@@ -1,0 +1,112 @@
+//! CORIE-style tightly-coupled consumer delivery (Steere et al.,
+//! MobiCom'00) as a baseline deployment model.
+//!
+//! CORIE's environmental observation system assumes "at most a few
+//! competing applications will run concurrently", which the paper reads
+//! as "a close coupling between the output data and the applications, a
+//! shortcoming that Garnet is designed to address" (§7).
+//!
+//! The coupled model: every consumer arranges its own feed from the
+//! sensor — the sensor (or its gateway, charged to the sensor-side
+//! budget) transmits once per consumer per sample, and adding a consumer
+//! means touching the sensor-side configuration. The decoupled (Garnet)
+//! model: the sensor transmits once per sample; the middleware fans out
+//! on the fixed network, and adding a consumer is a subscription no one
+//! else notices.
+
+use garnet_simkit::{SimDuration, SimTime};
+
+/// Cost report for serving `consumers` over `horizon` at one sample
+/// interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CouplingReport {
+    /// Number of consumer applications.
+    pub consumers: usize,
+    /// Sensor-side radio transmissions.
+    pub sensor_tx: u64,
+    /// Fixed-network deliveries.
+    pub fixednet_msgs: u64,
+    /// Sensor-side reconfigurations needed to get here (each one a
+    /// maintenance visit or firmware touch in the coupled model).
+    pub sensor_reconfigurations: u64,
+}
+
+fn samples(interval: SimDuration, horizon: SimTime) -> u64 {
+    if interval.is_zero() {
+        0
+    } else {
+        horizon.as_micros() / interval.as_micros().max(1)
+    }
+}
+
+/// The tightly-coupled model: per-consumer feeds from the sensor side.
+pub fn coupled_cost(consumers: usize, interval: SimDuration, horizon: SimTime) -> CouplingReport {
+    let per_feed = samples(interval, horizon);
+    CouplingReport {
+        consumers,
+        sensor_tx: per_feed * consumers as u64,
+        fixednet_msgs: per_feed * consumers as u64,
+        sensor_reconfigurations: consumers as u64,
+    }
+}
+
+/// The decoupled (Garnet) model: one uplink, middleware fan-out.
+pub fn decoupled_cost(consumers: usize, interval: SimDuration, horizon: SimTime) -> CouplingReport {
+    let uplink = samples(interval, horizon);
+    CouplingReport {
+        consumers,
+        sensor_tx: uplink,
+        fixednet_msgs: uplink * consumers as u64,
+        sensor_reconfigurations: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOUR: SimTime = SimTime::from_secs(3600);
+    const SEC: SimDuration = SimDuration::from_secs(1);
+
+    #[test]
+    fn coupled_sensor_cost_scales_with_consumers() {
+        let few = coupled_cost(2, SEC, HOUR);
+        let many = coupled_cost(50, SEC, HOUR);
+        assert_eq!(few.sensor_tx, 2 * 3600);
+        assert_eq!(many.sensor_tx, 50 * 3600);
+        assert_eq!(many.sensor_reconfigurations, 50);
+    }
+
+    #[test]
+    fn decoupled_sensor_cost_is_flat() {
+        let few = decoupled_cost(2, SEC, HOUR);
+        let many = decoupled_cost(50, SEC, HOUR);
+        assert_eq!(few.sensor_tx, 3600);
+        assert_eq!(many.sensor_tx, 3600);
+        assert_eq!(many.sensor_reconfigurations, 0);
+    }
+
+    #[test]
+    fn fixed_network_fanout_is_identical() {
+        // Both models deliver every consumer its data; the difference is
+        // *where* the multiplication happens.
+        let c = coupled_cost(10, SEC, HOUR);
+        let d = decoupled_cost(10, SEC, HOUR);
+        assert_eq!(c.fixednet_msgs, d.fixednet_msgs);
+    }
+
+    #[test]
+    fn models_agree_for_a_single_consumer() {
+        // CORIE's operating point: with one (or "a few") applications the
+        // coupling costs nothing extra.
+        let c = coupled_cost(1, SEC, HOUR);
+        let d = decoupled_cost(1, SEC, HOUR);
+        assert_eq!(c.sensor_tx, d.sensor_tx);
+    }
+
+    #[test]
+    fn zero_interval_degenerates_gracefully() {
+        let c = coupled_cost(5, SimDuration::ZERO, HOUR);
+        assert_eq!(c.sensor_tx, 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! E2 hot path: identifier-space handling at the paper's capacity limits.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use garnet_bench::e02_capacity::id_space_sweep;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e02_capacity");
+    group.sample_size(10);
+    for &count in &[1_000u32, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("id_space_sweep", count), &count, |b, &n| {
+            b.iter(|| assert_eq!(id_space_sweep(n), u64::from(n)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E1 hot path: encode/decode of Fig. 2 data messages across payload sizes.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use garnet_bench::e01_codec::{sample_message, PAYLOAD_SIZES};
+use garnet_wire::DataMessage;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e01_codec");
+    for &len in &PAYLOAD_SIZES {
+        let msg = sample_message(len);
+        let bytes = msg.encode_to_vec();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", len), &msg, |b, m| {
+            b.iter(|| std::hint::black_box(m.encode_to_vec()));
+        });
+        group.bench_with_input(BenchmarkId::new("decode", len), &bytes, |b, by| {
+            b.iter(|| DataMessage::decode(std::hint::black_box(by)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! E8: live pipeline cost as subscriber count grows.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use garnet_bench::e08_coupling::run_point;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e08_coupling");
+    group.sample_size(10);
+    for &consumers in &[1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("pipeline_consumers", consumers), &consumers, |b, &n| {
+            b.iter(|| std::hint::black_box(run_point(n)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E14: XTEA-CTR + CBC-MAC seal/open throughput.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use garnet_bench::e14_crypto::bench_key;
+use garnet_wire::{SequenceNumber, StreamId};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_crypto");
+    let key = bench_key();
+    let stream = StreamId::from_raw(0x0100);
+    for &len in &[16usize, 256, 4096] {
+        let plaintext = vec![0u8; len];
+        let sealed = key.seal(stream, SequenceNumber::new(1), &plaintext);
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::new("seal", len), &plaintext, |b, p| {
+            b.iter(|| std::hint::black_box(key.seal(stream, SequenceNumber::new(1), p)));
+        });
+        group.bench_with_input(BenchmarkId::new("open", len), &sealed, |b, s| {
+            b.iter(|| key.open(stream, SequenceNumber::new(1), std::hint::black_box(s)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

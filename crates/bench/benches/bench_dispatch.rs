@@ -1,0 +1,20 @@
+//! E5 hot path: subscription-table routing at varying fan-out.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use garnet_bench::e05_dispatch::build_service;
+use garnet_wire::{SensorId, StreamId, StreamIndex};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e05_dispatch");
+    let hot = StreamId::new(SensorId::new(42).unwrap(), StreamIndex::new(0));
+    for &fanout in &[1usize, 16, 256, 4096] {
+        let mut svc = build_service(fanout, 10_000);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("route_fanout", fanout), &fanout, |b, _| {
+            b.iter(|| std::hint::black_box(svc.route(hot).recipients.len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! E4 hot path: the filtering service under duplication and loss.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use garnet_bench::e04_filtering::run_point;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e04_filtering");
+    group.sample_size(20);
+    for &overlap in &[1u32, 4, 8] {
+        group.throughput(Throughput::Elements(u64::from(overlap) * 2_000));
+        group.bench_with_input(BenchmarkId::new("overlap", overlap), &overlap, |b, &k| {
+            b.iter(|| std::hint::black_box(run_point(k, 0.1, 2_000, 7)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E7: query-engine ingest with shared-proxy subsampling.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use garnet_baselines::querydb::{Query, QueryEngine};
+use garnet_simkit::{SimDuration, SimTime};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e07_fjords");
+    for &q in &[1usize, 16, 256] {
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_with_input(BenchmarkId::new("ingest_queries", q), &q, |b, &nq| {
+            b.iter(|| {
+                let mut engine = QueryEngine::new();
+                for i in 0..nq {
+                    engine.register(Query::latest_every(SimDuration::from_secs(1 + (i % 5) as u64)));
+                }
+                for i in 0..10_000u64 {
+                    engine.ingest(SimTime::from_millis(i * 100), i as f64);
+                }
+                std::hint::black_box(engine.samples_ingested())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! E9: location estimation from receiver sightings.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use garnet_bench::e09_location::run_point;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e09_location");
+    group.sample_size(10);
+    for &side in &[2usize, 5, 8] {
+        group.bench_with_input(BenchmarkId::new("grid", side), &side, |b, &s| {
+            b.iter(|| std::hint::black_box(run_point(s, 1)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E11: resource-manager adjudication throughput per policy.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use garnet_bench::e11_mediation::run_point;
+use garnet_core::resource::MediationPolicy;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_mediation");
+    for policy in [
+        MediationPolicy::DenyConflicts,
+        MediationPolicy::PriorityWins,
+        MediationPolicy::MergeMax,
+    ] {
+        group.throughput(Throughput::Elements(16));
+        group.bench_with_input(
+            BenchmarkId::new("adjudicate16", format!("{policy:?}")),
+            &policy,
+            |b, &p| {
+                b.iter(|| std::hint::black_box(run_point(p, 16)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! E15: the two-node relay pipeline at one operating point.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use garnet_bench::e15_multihop::run_point;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_multihop");
+    group.sample_size(10);
+    for &d in &[80.0f64, 160.0] {
+        group.bench_with_input(BenchmarkId::new("relay_pipeline", d as u64), &d, |b, &dist| {
+            b.iter(|| std::hint::black_box(run_point(dist, 1)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

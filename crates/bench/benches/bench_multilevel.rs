@@ -1,0 +1,18 @@
+//! E13: relay-chain dispatch at varying depth.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use garnet_bench::e13_multilevel::run_point;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_multilevel");
+    group.sample_size(20);
+    for &depth in &[1usize, 4, 8] {
+        group.throughput(Throughput::Elements(200));
+        group.bench_with_input(BenchmarkId::new("chain_depth", depth), &depth, |b, &d| {
+            b.iter(|| std::hint::black_box(run_point(d, 200, 16)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

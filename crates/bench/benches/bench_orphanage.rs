@@ -1,0 +1,18 @@
+//! E12: orphanage intake and late-subscriber replay.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use garnet_bench::e12_orphanage::run_point;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_orphanage");
+    group.sample_size(20);
+    for &before in &[100u16, 500] {
+        group.throughput(Throughput::Elements(u64::from(before) + 20));
+        group.bench_with_input(BenchmarkId::new("orphan_then_replay", before), &before, |b, &n| {
+            b.iter(|| std::hint::black_box(run_point(n, 20, 128)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

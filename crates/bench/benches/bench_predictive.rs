@@ -1,0 +1,21 @@
+//! E10: the two-wave water-course season under both coordinator modes.
+use criterion::{criterion_group, criterion_main, Criterion};
+use garnet_bench::e10_predictive::run_mode;
+use garnet_core::coordinator::CoordinationMode;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_predictive");
+    group.sample_size(10);
+    group.bench_function("reactive_season", |b| {
+        b.iter(|| std::hint::black_box(run_mode(CoordinationMode::Reactive)));
+    });
+    group.bench_function("predictive_season", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_mode(CoordinationMode::Predictive { min_confidence: 0.5 }))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! E16: the quiescence pipeline at both settings.
+use criterion::{criterion_group, criterion_main, Criterion};
+use garnet_bench::e16_quiesce::run_point;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_quiesce");
+    group.sample_size(10);
+    group.bench_function("quiesce_off", |b| b.iter(|| std::hint::black_box(run_point(false, 1))));
+    group.bench_function("quiesce_on", |b| b.iter(|| std::hint::black_box(run_point(true, 1))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E6: RETRI collision simulation and energy model.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use garnet_baselines::retri::simulate_collision_rate;
+use garnet_simkit::SimRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e06_retri");
+    for &concurrent in &[8usize, 64, 512] {
+        group.bench_with_input(
+            BenchmarkId::new("collision_sim", concurrent),
+            &concurrent,
+            |b, &n| {
+                let mut rng = SimRng::seed(1);
+                b.iter(|| std::hint::black_box(simulate_collision_rate(8, n, 50, &mut rng)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

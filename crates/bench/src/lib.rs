@@ -1,0 +1,25 @@
+//! Experiment implementations regenerating every quantitative claim and
+//! comparison in the paper (see `DESIGN.md` §5 for the experiment
+//! index, and `EXPERIMENTS.md` for paper-vs-measured).
+//!
+//! Each `eNN_*` module computes one experiment's rows; the
+//! `experiments` binary prints them all, and the Criterion benches in
+//! `benches/` time the hot paths of the same code.
+
+pub mod e01_codec;
+pub mod e02_capacity;
+pub mod e03_pipeline;
+pub mod e04_filtering;
+pub mod e05_dispatch;
+pub mod e06_retri;
+pub mod e07_fjords;
+pub mod e08_coupling;
+pub mod e09_location;
+pub mod e10_predictive;
+pub mod e11_mediation;
+pub mod e12_orphanage;
+pub mod e13_multilevel;
+pub mod e14_crypto;
+pub mod e15_multihop;
+pub mod e16_quiesce;
+pub mod table;

@@ -1,0 +1,198 @@
+//! The Dispatching Service: delivery of filtered data to subscribers.
+//!
+//! "Filtered data is then forwarded to the Dispatching Service for
+//! delivery to subscribed consumer processes" (§4.2). Consumers are
+//! mutually unaware, so the dispatcher is the *only* place that knows who
+//! receives what; a message matching no subscription is *unclaimed* and
+//! is handed to the Orphanage by the middleware facade.
+//!
+//! The service wraps the fixed network's [`SubscriptionTable`] with
+//! subscriber-id allocation and dispatch accounting (fan-out and
+//! unclaimed-rate are the E5 metrics).
+
+use garnet_net::{SubscriberId, SubscriptionTable, TopicFilter};
+use garnet_simkit::Histogram;
+use garnet_wire::StreamId;
+
+/// The result of routing one message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DispatchOutcome {
+    /// Matching subscribers, ascending id order.
+    pub recipients: Vec<SubscriberId>,
+    /// True if nobody matched (→ Orphanage).
+    pub unclaimed: bool,
+}
+
+/// The Dispatching Service.
+///
+/// # Example
+///
+/// ```
+/// use garnet_core::dispatching::DispatchingService;
+/// use garnet_net::TopicFilter;
+/// use garnet_wire::StreamId;
+///
+/// let mut dispatch = DispatchingService::new();
+/// let alice = dispatch.register_subscriber();
+/// dispatch.subscribe(alice, TopicFilter::All);
+/// let outcome = dispatch.route(StreamId::from_raw(0x0100));
+/// assert_eq!(outcome.recipients, vec![alice]);
+/// assert!(!outcome.unclaimed);
+/// ```
+#[derive(Debug, Default)]
+pub struct DispatchingService {
+    table: SubscriptionTable,
+    next_subscriber: u32,
+    dispatched: u64,
+    deliveries: u64,
+    unclaimed: u64,
+    fanout: Histogram,
+}
+
+impl DispatchingService {
+    /// Creates the service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh subscriber identity.
+    pub fn register_subscriber(&mut self) -> SubscriberId {
+        let id = SubscriberId::new(self.next_subscriber);
+        self.next_subscriber += 1;
+        id
+    }
+
+    /// Adds a subscription. Returns true if new.
+    pub fn subscribe(&mut self, subscriber: SubscriberId, filter: TopicFilter) -> bool {
+        self.table.subscribe(subscriber, filter)
+    }
+
+    /// Removes one subscription.
+    pub fn unsubscribe(&mut self, subscriber: SubscriberId, filter: TopicFilter) -> bool {
+        self.table.unsubscribe(subscriber, filter)
+    }
+
+    /// Removes every subscription of a departing consumer.
+    pub fn unsubscribe_all(&mut self, subscriber: SubscriberId) -> usize {
+        self.table.unsubscribe_all(subscriber)
+    }
+
+    /// Routes one message, recording fan-out statistics.
+    pub fn route(&mut self, stream: StreamId) -> DispatchOutcome {
+        let recipients = self.table.match_subscribers(stream);
+        self.dispatched += 1;
+        self.deliveries += recipients.len() as u64;
+        self.fanout.record(recipients.len() as u64);
+        let unclaimed = recipients.is_empty();
+        if unclaimed {
+            self.unclaimed += 1;
+        }
+        DispatchOutcome { recipients, unclaimed }
+    }
+
+    /// Peeks the match set without accounting (used by claim logic).
+    pub fn would_deliver(&self, stream: StreamId) -> bool {
+        !self.table.is_unclaimed(stream)
+    }
+
+    /// Messages routed.
+    pub fn dispatched_count(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Total (message, subscriber) deliveries.
+    pub fn delivery_count(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// Messages that matched nobody.
+    pub fn unclaimed_count(&self) -> u64 {
+        self.unclaimed
+    }
+
+    /// Distribution of per-message fan-out.
+    pub fn fanout(&self) -> &Histogram {
+        &self.fanout
+    }
+
+    /// Distinct subscribers with live subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.table.subscriber_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use garnet_wire::{SensorId, StreamIndex};
+
+    fn stream(sensor: u32) -> StreamId {
+        StreamId::new(SensorId::new(sensor).unwrap(), StreamIndex::new(0))
+    }
+
+    #[test]
+    fn register_allocates_distinct_ids() {
+        let mut d = DispatchingService::new();
+        let a = d.register_subscriber();
+        let b = d.register_subscriber();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn route_to_matching_subscribers() {
+        let mut d = DispatchingService::new();
+        let a = d.register_subscriber();
+        let b = d.register_subscriber();
+        d.subscribe(a, TopicFilter::Sensor(SensorId::new(1).unwrap()));
+        d.subscribe(b, TopicFilter::All);
+        let out = d.route(stream(1));
+        assert_eq!(out.recipients, vec![a, b]);
+        let out = d.route(stream(2));
+        assert_eq!(out.recipients, vec![b]);
+    }
+
+    #[test]
+    fn unclaimed_counted() {
+        let mut d = DispatchingService::new();
+        let out = d.route(stream(9));
+        assert!(out.unclaimed);
+        assert_eq!(d.unclaimed_count(), 1);
+        assert_eq!(d.dispatched_count(), 1);
+        assert_eq!(d.delivery_count(), 0);
+    }
+
+    #[test]
+    fn fanout_statistics() {
+        let mut d = DispatchingService::new();
+        for _ in 0..10 {
+            let s = d.register_subscriber();
+            d.subscribe(s, TopicFilter::Stream(stream(1)));
+        }
+        d.route(stream(1));
+        d.route(stream(2));
+        assert_eq!(d.fanout().max(), 10);
+        assert_eq!(d.fanout().min(), 0);
+        assert_eq!(d.delivery_count(), 10);
+    }
+
+    #[test]
+    fn unsubscribe_all_cleans_up() {
+        let mut d = DispatchingService::new();
+        let a = d.register_subscriber();
+        d.subscribe(a, TopicFilter::All);
+        d.subscribe(a, TopicFilter::Stream(stream(1)));
+        assert_eq!(d.unsubscribe_all(a), 2);
+        assert!(d.route(stream(1)).unclaimed);
+        assert_eq!(d.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn would_deliver_does_not_account() {
+        let mut d = DispatchingService::new();
+        let a = d.register_subscriber();
+        d.subscribe(a, TopicFilter::Stream(stream(1)));
+        assert!(d.would_deliver(stream(1)));
+        assert!(!d.would_deliver(stream(2)));
+        assert_eq!(d.dispatched_count(), 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Garnet: data-stream-centric middleware for wireless sensor networks.
+//!
+//! This crate is the paper's primary contribution — the middleware layer
+//! of Figure 1. Data flows up from the receiver array through the
+//! [`filtering`] service (duplicate elimination and stream
+//! reconstruction) to the [`dispatching`] service, which delivers it to
+//! mutually-unaware consumer processes; unclaimed data lands in the
+//! [`orphanage`]. Control flows back down: consumer actuation requests
+//! are vetted by the [`resource`] manager against per-sensor
+//! [`constraints`], stamped by the [`actuation`] service, and targeted by
+//! the [`replicator`] using positions inferred by the [`location`]
+//! service. The [`coordinator`] (Super Coordinator) watches consumer
+//! state changes and can *anticipate* needs, invoking resource-manager
+//! policy ahead of demand.
+//!
+//! All services are sans-io state machines; [`middleware::Garnet`] wires
+//! them into one deployable unit and [`pipeline::PipelineSim`] closes the
+//! loop with the simulated radio field for experiments.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use garnet_core::middleware::{Garnet, GarnetConfig};
+//! use garnet_core::consumer::{Consumer, ConsumerCtx};
+//! use garnet_core::filtering::Delivery;
+//! use garnet_net::TopicFilter;
+//! use garnet_wire::SensorId;
+//!
+//! struct Printer(u64);
+//! impl Consumer for Printer {
+//!     fn name(&self) -> &str { "printer" }
+//!     fn on_data(&mut self, _d: &Delivery, _ctx: &mut ConsumerCtx) { self.0 += 1; }
+//! }
+//!
+//! let mut garnet = Garnet::new(GarnetConfig::default());
+//! let token = garnet.issue_default_token("printer");
+//! let id = garnet.register_consumer(Box::new(Printer(0)), &token, 0).unwrap();
+//! garnet.subscribe(id, TopicFilter::Sensor(SensorId::new(1).unwrap()), &token).unwrap();
+//! ```
+
+pub mod actuation;
+pub mod constraints;
+pub mod consumer;
+pub mod coordinator;
+pub mod dispatching;
+pub mod filtering;
+pub mod location;
+pub mod middleware;
+pub mod orphanage;
+pub mod pipeline;
+pub mod replicator;
+pub mod resource;
+pub mod stream;
+
+pub use consumer::{Consumer, ConsumerCtx};
+pub use filtering::{Delivery, FilterConfig, FilteringService, Observation};
+pub use middleware::{Garnet, GarnetConfig};
+pub use pipeline::{PipelineConfig, PipelineSim};

@@ -1,0 +1,1440 @@
+//! The Garnet middleware facade: Figure 1 assembled into one deployable
+//! unit.
+//!
+//! [`Garnet`] owns every service and routes between them:
+//!
+//! ```text
+//!   on_frame ─→ Filtering ─→ Dispatching ─→ consumers ─→ actions
+//!                  │              │                         │
+//!                  │              └─(unclaimed)→ Orphanage  │
+//!                  ├─(observations)→ Location               │
+//!                  └─(piggy-backed acks)→ Actuation         │
+//!                                                           ▼
+//!        Resource Manager ←─ actuation requests ←───────────┤
+//!               │                                            │
+//!        Actuation Service → Message Replicator → control    │
+//!               ▲                                 plans out  │
+//!        Super Coordinator ←─ state reports ←───────────────┘
+//! ```
+//!
+//! Consumers run *inside* the facade (mutually unaware of each other, as
+//! §2 demands); their derived streams re-enter the dispatch loop with a
+//! bounded depth, forming the "essentially arbitrary graph of consumer
+//! processes and data streams" of §6.
+
+use std::collections::{HashMap, VecDeque};
+
+use core::fmt;
+use garnet_net::{
+    AuthService, Capability, CapabilitySet, Principal, ServiceDescriptor, ServiceKind,
+    ServiceRegistry, SubscriberId, Token, TopicFilter,
+};
+use garnet_radio::geometry::Point;
+use garnet_radio::{Receiver, ReceiverId, Transmitter};
+use garnet_simkit::{SimTime};
+use garnet_wire::{
+    ActuationTarget, AckStatus, DataMessage, RequestId, SensorCommand, SensorId, SequenceNumber,
+    StreamId, StreamUpdateRequest,
+};
+
+use crate::actuation::{ActuationConfig, ActuationService};
+use crate::consumer::{Consumer, ConsumerAction, ConsumerCtx};
+use crate::coordinator::{CoordinationMode, PolicyAction, SuperCoordinator};
+use crate::dispatching::DispatchingService;
+use crate::filtering::{Delivery, FilterConfig, FilteringService};
+use crate::location::{LocationConfig, LocationEstimate, LocationService};
+use crate::orphanage::{Orphanage, OrphanageConfig};
+use crate::replicator::{MessageReplicator, ReplicationPlan};
+use crate::resource::{Decision, DenyReason, MediationPolicy, ResourceManager, SensorProfile};
+use crate::stream::StreamRegistry;
+
+/// Reserved subscriber identity for actions the middleware itself
+/// originates (Super Coordinator policies).
+pub const SYSTEM_SUBSCRIBER: SubscriberId = SubscriberId::new(u32::MAX);
+
+/// Priority used for coordinator-originated actuations.
+const SYSTEM_PRIORITY: u8 = 200;
+
+/// Demand-driven quiescence (§8's "system-inferred changes to data
+/// usage patterns"): streams nobody subscribes to are slowed down to
+/// save sensor energy and restored when demand appears — the middleware
+/// analogue of a Fjords proxy "adjusting sensor output based on user
+/// demand" (§7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuiesceConfig {
+    /// How long a stream may run unclaimed before it is slowed.
+    pub idle_after: garnet_simkit::SimDuration,
+    /// Interval (ms) imposed on quiesced streams.
+    pub slow_interval_ms: u32,
+    /// Interval (ms) restored when a subscriber appears (a subsequent
+    /// consumer actuation can refine it).
+    pub restore_interval_ms: u32,
+}
+
+/// Facade configuration.
+#[derive(Clone, Debug)]
+pub struct GarnetConfig {
+    /// Filtering Service tuning.
+    pub filter: FilterConfig,
+    /// Orphanage tuning.
+    pub orphanage: OrphanageConfig,
+    /// Location Service tuning.
+    pub location: LocationConfig,
+    /// Actuation Service tuning.
+    pub actuation: ActuationConfig,
+    /// Resource Manager conflict policy.
+    pub mediation: MediationPolicy,
+    /// Super Coordinator mode.
+    pub coordination: CoordinationMode,
+    /// Key material for the token authority.
+    pub auth_key: [u8; 16],
+    /// Maximum derived-stream depth (loop guard for the consumer graph).
+    pub max_derived_depth: u32,
+    /// Installed receiver array (for location inference).
+    pub receivers: Vec<Receiver>,
+    /// Installed transmitter array (for the actuation path).
+    pub transmitters: Vec<Transmitter>,
+    /// Demand-driven quiescence of unclaimed streams; `None` disables.
+    pub quiesce: Option<QuiesceConfig>,
+}
+
+impl Default for GarnetConfig {
+    fn default() -> Self {
+        GarnetConfig {
+            filter: FilterConfig::default(),
+            orphanage: OrphanageConfig::default(),
+            location: LocationConfig::default(),
+            actuation: ActuationConfig::default(),
+            mediation: MediationPolicy::MergeMax,
+            coordination: CoordinationMode::Predictive { min_confidence: 0.6 },
+            auth_key: *b"garnet-master-k!",
+            max_derived_depth: 16,
+            receivers: Vec::new(),
+            transmitters: Vec::new(),
+            quiesce: None,
+        }
+    }
+}
+
+/// Errors from facade operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GarnetError {
+    /// The presented token does not grant the needed capability (or is
+    /// expired/forged).
+    NotAuthorized {
+        /// The capability that was required.
+        needed: Capability,
+    },
+    /// No consumer is registered under this id.
+    UnknownConsumer(SubscriberId),
+    /// The 24-bit virtual sensor space for derived streams is exhausted.
+    VirtualSensorSpaceExhausted,
+}
+
+impl fmt::Display for GarnetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GarnetError::NotAuthorized { needed } => {
+                write!(f, "token does not grant {needed:?}")
+            }
+            GarnetError::UnknownConsumer(id) => write!(f, "no consumer registered as {id}"),
+            GarnetError::VirtualSensorSpaceExhausted => {
+                write!(f, "no virtual sensor ids remain for derived streams")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GarnetError {}
+
+/// Effects the caller must carry out after a facade call: control
+/// messages to transmit, and requests that exhausted their retries.
+#[derive(Debug, Default)]
+pub struct StepOutput {
+    /// Replication plans to broadcast through the transmitter array.
+    pub control: Vec<ReplicationPlan>,
+    /// Requests abandoned after all retries.
+    pub expired_requests: Vec<StreamUpdateRequest>,
+}
+
+impl StepOutput {
+    /// Appends another output's effects.
+    pub fn merge(&mut self, mut other: StepOutput) {
+        self.control.append(&mut other.control);
+        self.expired_requests.append(&mut other.expired_requests);
+    }
+}
+
+/// Outcome of a consumer actuation request.
+#[derive(Debug)]
+pub enum ActuationOutcome {
+    /// Approved; the plan is also appended to the returned
+    /// [`StepOutput`]-style effects.
+    Granted {
+        /// Correlation id for the eventual acknowledgement.
+        request_id: RequestId,
+        /// The broadcast plan.
+        plan: ReplicationPlan,
+    },
+    /// Refused by the Resource Manager.
+    Denied {
+        /// Why.
+        reason: DenyReason,
+    },
+}
+
+struct ConsumerEntry {
+    consumer: Option<Box<dyn Consumer>>,
+    principal: Principal,
+    caps: CapabilitySet,
+    priority: u8,
+    virtual_sensor: SensorId,
+    derived_seq: HashMap<u8, SequenceNumber>,
+}
+
+impl fmt::Debug for ConsumerEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConsumerEntry")
+            .field("principal", &self.principal)
+            .field("caps", &self.caps)
+            .field("priority", &self.priority)
+            .field("virtual_sensor", &self.virtual_sensor)
+            .finish()
+    }
+}
+
+/// The assembled middleware.
+#[derive(Debug)]
+pub struct Garnet {
+    max_derived_depth: u32,
+    filtering: FilteringService,
+    dispatching: DispatchingService,
+    orphanage: Orphanage,
+    location: LocationService,
+    resource: ResourceManager,
+    actuation: ActuationService,
+    replicator: MessageReplicator,
+    coordinator: SuperCoordinator,
+    auth: AuthService,
+    registry: ServiceRegistry,
+    streams: StreamRegistry,
+    consumers: HashMap<SubscriberId, ConsumerEntry>,
+    next_virtual_sensor: u32,
+    depth_drops: u64,
+    denied_actions: u64,
+    quiesce: Option<QuiesceConfig>,
+    quiesced: std::collections::BTreeSet<u32>,
+    quiesce_actions: u64,
+    restore_actions: u64,
+}
+
+impl Garnet {
+    /// Assembles the middleware from a configuration.
+    pub fn new(config: GarnetConfig) -> Garnet {
+        let mut registry = ServiceRegistry::new();
+        let system = Principal::new("garnet-system");
+        for (name, kind) in [
+            ("filtering", ServiceKind::Filtering),
+            ("dispatching", ServiceKind::Dispatching),
+            ("orphanage", ServiceKind::Orphanage),
+            ("location", ServiceKind::Location),
+            ("resource-manager", ServiceKind::ResourceManager),
+            ("actuation", ServiceKind::Actuation),
+            ("replicator", ServiceKind::Replicator),
+            ("super-coordinator", ServiceKind::SuperCoordinator),
+        ] {
+            registry.advertise(ServiceDescriptor {
+                name: name.to_owned(),
+                kind,
+                endpoint: format!("garnet://{name}"),
+                owner: system.clone(),
+            });
+        }
+        Garnet {
+            max_derived_depth: config.max_derived_depth,
+            filtering: FilteringService::new(config.filter),
+            dispatching: DispatchingService::new(),
+            orphanage: Orphanage::new(config.orphanage),
+            location: LocationService::new(config.location, &config.receivers),
+            resource: ResourceManager::new(config.mediation),
+            actuation: ActuationService::new(config.actuation),
+            replicator: MessageReplicator::new(config.transmitters),
+            coordinator: SuperCoordinator::new(config.coordination),
+            auth: AuthService::new(config.auth_key),
+            registry,
+            streams: StreamRegistry::new(),
+            consumers: HashMap::new(),
+            next_virtual_sensor: SensorId::MAX.as_u32(),
+            depth_drops: 0,
+            denied_actions: 0,
+            quiesce: config.quiesce,
+            quiesced: std::collections::BTreeSet::new(),
+            quiesce_actions: 0,
+            restore_actions: 0,
+        }
+    }
+
+    /// The token authority (for issuing scoped tokens).
+    pub fn auth(&self) -> &AuthService {
+        &self.auth
+    }
+
+    /// Issues an all-capability token with a far-future expiry —
+    /// convenience for examples and tests; real deployments scope
+    /// capabilities per principal.
+    pub fn issue_default_token(&self, principal: &str) -> Token {
+        self.auth
+            .issue(Principal::new(principal), CapabilitySet::all(), u64::MAX)
+    }
+
+    fn authorize(&self, token: &Token, needed: Capability, now: SimTime) -> Result<(), GarnetError> {
+        if self.auth.verify(token, now.as_micros(), needed) {
+            Ok(())
+        } else {
+            Err(GarnetError::NotAuthorized { needed })
+        }
+    }
+
+    /// Registers a consumer process. The token's capability set is
+    /// captured and governs everything the consumer later does through
+    /// its [`ConsumerCtx`]. Returns the consumer's subscriber id.
+    ///
+    /// # Errors
+    ///
+    /// Authorisation failure ([`Capability::Subscribe`] is required) or
+    /// virtual-sensor exhaustion.
+    pub fn register_consumer(
+        &mut self,
+        consumer: Box<dyn Consumer>,
+        token: &Token,
+        priority: u8,
+    ) -> Result<SubscriberId, GarnetError> {
+        self.authorize(token, Capability::Subscribe, SimTime::ZERO)?;
+        if self.next_virtual_sensor == 0 {
+            return Err(GarnetError::VirtualSensorSpaceExhausted);
+        }
+        let virtual_sensor =
+            SensorId::new(self.next_virtual_sensor).expect("counter stays in 24-bit range");
+        self.next_virtual_sensor -= 1;
+        let id = self.dispatching.register_subscriber();
+        self.registry.advertise(ServiceDescriptor {
+            name: format!("consumer/{}", consumer.name()),
+            kind: ServiceKind::Consumer,
+            endpoint: format!("garnet://consumer/{id}"),
+            owner: token.principal().clone(),
+        });
+        self.consumers.insert(
+            id,
+            ConsumerEntry {
+                consumer: Some(consumer),
+                principal: token.principal().clone(),
+                caps: token.capabilities(),
+                priority,
+                virtual_sensor,
+                derived_seq: HashMap::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Removes a consumer: drops its subscriptions, releases its
+    /// resource demands, withdraws its advertisement.
+    pub fn deregister_consumer(&mut self, id: SubscriberId) -> Result<(), GarnetError> {
+        let entry = self
+            .consumers
+            .remove(&id)
+            .ok_or(GarnetError::UnknownConsumer(id))?;
+        self.dispatching.unsubscribe_all(id);
+        self.resource.release_consumer(id);
+        if let Some(c) = &entry.consumer {
+            self.registry.withdraw(&format!("consumer/{}", c.name()));
+        }
+        Ok(())
+    }
+
+    /// The virtual sensor id under which a consumer's derived streams
+    /// publish.
+    pub fn virtual_sensor(&self, id: SubscriberId) -> Option<SensorId> {
+        self.consumers.get(&id).map(|e| e.virtual_sensor)
+    }
+
+    /// Subscribes a consumer to a filter. Any orphanage backlog matching
+    /// a `Stream` or `Sensor` filter is claimed and replayed to this
+    /// consumer immediately; the returned [`StepOutput`] carries any
+    /// effects of actions the consumer took during replay, and the count
+    /// of replayed messages.
+    ///
+    /// # Errors
+    ///
+    /// Authorisation failure or unknown consumer.
+    pub fn subscribe(
+        &mut self,
+        id: SubscriberId,
+        filter: TopicFilter,
+        token: &Token,
+    ) -> Result<(usize, StepOutput), GarnetError> {
+        self.subscribe_at(id, filter, token, SimTime::ZERO)
+    }
+
+    /// [`Garnet::subscribe`] with an explicit current time (token expiry
+    /// and replay timestamps use it).
+    pub fn subscribe_at(
+        &mut self,
+        id: SubscriberId,
+        filter: TopicFilter,
+        token: &Token,
+        now: SimTime,
+    ) -> Result<(usize, StepOutput), GarnetError> {
+        self.authorize(token, Capability::Subscribe, now)?;
+        if !self.consumers.contains_key(&id) {
+            return Err(GarnetError::UnknownConsumer(id));
+        }
+        self.dispatching.subscribe(id, filter);
+
+        // Claim matching orphanage backlog.
+        let claimable: Vec<StreamId> = match filter {
+            TopicFilter::Stream(s) => vec![s],
+            TopicFilter::Sensor(sensor) => self
+                .orphanage
+                .unclaimed_streams()
+                .into_iter()
+                .filter(|s| s.sensor() == sensor)
+                .collect(),
+            // An All-subscription is a wiretap; dumping the whole
+            // orphanage on it would rarely be intended.
+            TopicFilter::All => Vec::new(),
+        };
+        let mut backlog: Vec<DataMessage> = Vec::new();
+        let mut out = StepOutput::default();
+        for s in claimable {
+            backlog.extend(self.orphanage.claim(s));
+            self.streams.set_claimed(s, true);
+            self.restore_if_quiesced(s, now, &mut out);
+        }
+        let replayed = backlog.len();
+        let mut queue: VecDeque<(Delivery, u32)> = VecDeque::new();
+        for msg in backlog {
+            let delivery = Delivery { msg, first_received_at: now, delivered_at: now };
+            self.deliver_to(id, &delivery, 0, now, &mut queue, &mut out);
+        }
+        let pumped = self.pump_queue(queue, now);
+        out.merge(pumped);
+        Ok((replayed, out))
+    }
+
+    /// Removes one subscription.
+    pub fn unsubscribe(&mut self, id: SubscriberId, filter: TopicFilter) {
+        self.dispatching.unsubscribe(id, filter);
+        if let TopicFilter::Stream(s) = filter {
+            if !self.dispatching.would_deliver(s) {
+                self.streams.set_claimed(s, false);
+            }
+        }
+    }
+
+    /// Feeds one raw frame from a receiver into the pipeline.
+    pub fn on_frame(
+        &mut self,
+        receiver: ReceiverId,
+        rssi_dbm: f64,
+        frame: &[u8],
+        now: SimTime,
+    ) -> StepOutput {
+        let result = self.filtering.on_frame(receiver, rssi_dbm, frame, now);
+        if let Some(obs) = &result.observation {
+            self.location.observe(obs);
+        }
+        let mut out = StepOutput::default();
+        for d in &result.deliveries {
+            // Piggy-backed acknowledgement of a stream update request.
+            if let Some(request_id) = d.msg.ack() {
+                self.actuation.on_ack(request_id, AckStatus::Applied, now);
+            }
+        }
+        let queue: VecDeque<(Delivery, u32)> =
+            result.deliveries.into_iter().map(|d| (d, 0)).collect();
+        out.merge(self.pump_queue(queue, now));
+        out
+    }
+
+    /// Ingests a standalone acknowledgement (from sensors whose data
+    /// streams are disabled).
+    pub fn on_standalone_ack(
+        &mut self,
+        request_id: RequestId,
+        status: AckStatus,
+        now: SimTime,
+    ) {
+        self.actuation.on_ack(request_id, status, now);
+    }
+
+    /// Periodic maintenance: reorder-buffer flushes and actuation
+    /// retries. Call at [`Garnet::next_deadline`].
+    pub fn on_tick(&mut self, now: SimTime) -> StepOutput {
+        let mut out = StepOutput::default();
+        let flushed = self.filtering.on_tick(now);
+        let queue: VecDeque<(Delivery, u32)> = flushed.into_iter().map(|d| (d, 0)).collect();
+        out.merge(self.pump_queue(queue, now));
+
+        let (retransmit, expired) = self.actuation.on_tick(now);
+        for req in retransmit {
+            let plan = self.replicator.plan(req, &self.location, now);
+            out.control.push(plan);
+        }
+        out.expired_requests = expired;
+        self.sweep_quiesce(now, &mut out);
+        out
+    }
+
+    /// Slows down streams that have run unclaimed past the idle window
+    /// (no-op unless quiescence is configured). Derived (virtual)
+    /// streams are skipped: there is no radio behind them.
+    fn sweep_quiesce(&mut self, now: SimTime, out: &mut StepOutput) {
+        let Some(cfg) = self.quiesce else { return };
+        let due: Vec<StreamId> = self
+            .streams
+            .discover_unclaimed()
+            .into_iter()
+            .filter(|i| {
+                !i.derived
+                    && !self.quiesced.contains(&i.stream.to_raw())
+                    && now.saturating_since(i.first_seen) >= cfg.idle_after
+            })
+            .map(|i| i.stream)
+            .collect();
+        for stream in due {
+            let outcome = self.adjudicate_and_submit(
+                SYSTEM_SUBSCRIBER,
+                0, // lowest priority: any real consumer demand overrides
+                ActuationTarget::Stream(stream),
+                SensorCommand::SetReportInterval {
+                    stream: stream.index(),
+                    interval_ms: cfg.slow_interval_ms,
+                },
+                now,
+            );
+            if let ActuationOutcome::Granted { plan, .. } = outcome {
+                self.quiesced.insert(stream.to_raw());
+                self.quiesce_actions += 1;
+                out.control.push(plan);
+            }
+        }
+    }
+
+    /// Restores a quiesced stream when demand appears. Returns the plan
+    /// to transmit, if the stream was quiesced.
+    fn restore_if_quiesced(&mut self, stream: StreamId, now: SimTime, out: &mut StepOutput) {
+        let Some(cfg) = self.quiesce else { return };
+        if !self.quiesced.remove(&stream.to_raw()) {
+            return;
+        }
+        // Withdraw the system's slow-rate demand so consumer demands
+        // mediate freshly, then restore the working rate.
+        self.resource.release_consumer(SYSTEM_SUBSCRIBER);
+        let outcome = self.adjudicate_and_submit(
+            SYSTEM_SUBSCRIBER,
+            0,
+            ActuationTarget::Stream(stream),
+            SensorCommand::SetReportInterval {
+                stream: stream.index(),
+                interval_ms: cfg.restore_interval_ms,
+            },
+            now,
+        );
+        if let ActuationOutcome::Granted { plan, .. } = outcome {
+            self.restore_actions += 1;
+            out.control.push(plan);
+        }
+    }
+
+    /// The earliest instant at which [`Garnet::on_tick`] has work.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let quiesce_due = self.quiesce.and_then(|cfg| {
+            self.streams
+                .discover_unclaimed()
+                .into_iter()
+                .filter(|i| !i.derived && !self.quiesced.contains(&i.stream.to_raw()))
+                .map(|i| i.first_seen.saturating_add(cfg.idle_after))
+                .min()
+        });
+        [
+            self.filtering.next_deadline(),
+            self.actuation.next_deadline(),
+            quiesce_due,
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    /// A consumer (out-of-band, not during `on_data`) requests an
+    /// actuation. Token must grant [`Capability::Actuate`].
+    pub fn request_actuation(
+        &mut self,
+        id: SubscriberId,
+        token: &Token,
+        target: ActuationTarget,
+        command: SensorCommand,
+        now: SimTime,
+    ) -> Result<ActuationOutcome, GarnetError> {
+        self.authorize(token, Capability::Actuate, now)?;
+        let priority = self
+            .consumers
+            .get(&id)
+            .ok_or(GarnetError::UnknownConsumer(id))?
+            .priority;
+        Ok(self.adjudicate_and_submit(id, priority, target, command, now))
+    }
+
+    fn adjudicate_and_submit(
+        &mut self,
+        id: SubscriberId,
+        priority: u8,
+        target: ActuationTarget,
+        command: SensorCommand,
+        now: SimTime,
+    ) -> ActuationOutcome {
+        match self.resource.request(id, priority, &target, &command) {
+            Decision::Granted { effective } => {
+                let req = self.actuation.submit(target, effective, priority, now);
+                let plan = self.replicator.plan(req, &self.location, now);
+                ActuationOutcome::Granted { request_id: req.request_id, plan }
+            }
+            Decision::Denied { reason } => ActuationOutcome::Denied { reason },
+        }
+    }
+
+    /// Supplies a location hint (token must grant
+    /// [`Capability::ProvideHints`]).
+    pub fn provide_hint(
+        &mut self,
+        token: &Token,
+        sensor: SensorId,
+        position: Point,
+        confidence: f64,
+        now: SimTime,
+    ) -> Result<(), GarnetError> {
+        self.authorize(token, Capability::ProvideHints, now)?;
+        self.location.hint(sensor, position, confidence, now);
+        Ok(())
+    }
+
+    /// Reads a sensor's inferred location (token must grant
+    /// [`Capability::ReadLocation`] — location is sensitive, §2).
+    pub fn locate(
+        &self,
+        token: &Token,
+        sensor: SensorId,
+        now: SimTime,
+    ) -> Result<Option<LocationEstimate>, GarnetError> {
+        self.authorize(token, Capability::ReadLocation, now)?;
+        Ok(self.location.estimate(sensor, now))
+    }
+
+    /// A consumer reports a state change out-of-band. Coordinator policy
+    /// actions execute immediately; returned effects carry the resulting
+    /// control plans.
+    pub fn report_state(
+        &mut self,
+        id: SubscriberId,
+        token: &Token,
+        state: u32,
+        now: SimTime,
+    ) -> Result<StepOutput, GarnetError> {
+        self.authorize(token, Capability::Coordinate, now)?;
+        if !self.consumers.contains_key(&id) {
+            return Err(GarnetError::UnknownConsumer(id));
+        }
+        let mut out = StepOutput::default();
+        self.execute_coordinator_actions(id, state, now, &mut out);
+        Ok(out)
+    }
+
+    fn execute_coordinator_actions(
+        &mut self,
+        id: SubscriberId,
+        state: u32,
+        now: SimTime,
+        out: &mut StepOutput,
+    ) {
+        let actions = self.coordinator.report_state(id.as_u32(), state, now);
+        for a in actions {
+            let PolicyAction { target, command, priority, .. } = a.action;
+            let outcome = self.adjudicate_and_submit(
+                SYSTEM_SUBSCRIBER,
+                priority.max(SYSTEM_PRIORITY),
+                target,
+                command,
+                now,
+            );
+            if let ActuationOutcome::Granted { plan, .. } = outcome {
+                out.control.push(plan);
+            } else {
+                self.denied_actions += 1;
+            }
+        }
+    }
+
+    /// Registers a policy action with the Super Coordinator.
+    pub fn register_coordinator_policy(&mut self, state: u32, action: PolicyAction) {
+        self.coordinator.register_policy(state, action);
+    }
+
+    /// Registers a sensor's constraint profile with the Resource
+    /// Manager.
+    pub fn register_sensor_profile(&mut self, sensor: SensorId, profile: SensorProfile) {
+        self.resource.register_profile(sensor, profile);
+    }
+
+    fn pump_queue(&mut self, mut queue: VecDeque<(Delivery, u32)>, now: SimTime) -> StepOutput {
+        let mut out = StepOutput::default();
+        while let Some((delivery, depth)) = queue.pop_front() {
+            self.streams.note_message(
+                delivery.msg.stream(),
+                delivery.msg.payload().len(),
+                delivery.delivered_at,
+                depth > 0,
+            );
+            let outcome = self.dispatching.route(delivery.msg.stream());
+            // Keep the catalogue's claimed flag in sync with reality —
+            // a subscription made before the stream's first message
+            // would otherwise be invisible to the quiescence sweep.
+            self.streams.set_claimed(delivery.msg.stream(), !outcome.unclaimed);
+            if outcome.unclaimed {
+                self.orphanage.take_in(&delivery);
+                continue;
+            }
+            for rid in outcome.recipients {
+                self.deliver_to(rid, &delivery, depth, now, &mut queue, &mut out);
+            }
+        }
+        out
+    }
+
+    fn deliver_to(
+        &mut self,
+        rid: SubscriberId,
+        delivery: &Delivery,
+        depth: u32,
+        now: SimTime,
+        queue: &mut VecDeque<(Delivery, u32)>,
+        out: &mut StepOutput,
+    ) {
+        let Some(entry) = self.consumers.get_mut(&rid) else {
+            return;
+        };
+        let Some(mut consumer) = entry.consumer.take() else {
+            return;
+        };
+        let mut ctx = ConsumerCtx::new(now);
+        consumer.on_data(delivery, &mut ctx);
+        let actions = ctx.take_actions();
+        if let Some(entry) = self.consumers.get_mut(&rid) {
+            entry.consumer = Some(consumer);
+        }
+        self.handle_actions(rid, actions, depth, now, queue, out);
+    }
+
+    fn handle_actions(
+        &mut self,
+        rid: SubscriberId,
+        actions: Vec<ConsumerAction>,
+        depth: u32,
+        now: SimTime,
+        queue: &mut VecDeque<(Delivery, u32)>,
+        out: &mut StepOutput,
+    ) {
+        if actions.is_empty() {
+            return;
+        }
+        let (caps, priority) = match self.consumers.get(&rid) {
+            Some(e) => (e.caps, e.priority),
+            None => return,
+        };
+        for action in actions {
+            match action {
+                ConsumerAction::PublishDerived { index, payload } => {
+                    if depth + 1 > self.max_derived_depth {
+                        self.depth_drops += 1;
+                        continue;
+                    }
+                    let Some(entry) = self.consumers.get_mut(&rid) else { continue };
+                    let seq_slot = entry.derived_seq.entry(index.as_u8()).or_default();
+                    let seq = *seq_slot;
+                    *seq_slot = seq_slot.next();
+                    let stream = StreamId::new(entry.virtual_sensor, index);
+                    match DataMessage::builder(stream).seq(seq).payload(payload).build() {
+                        Ok(msg) => queue.push_back((
+                            Delivery { msg, first_received_at: now, delivered_at: now },
+                            depth + 1,
+                        )),
+                        Err(_) => self.denied_actions += 1, // oversize payload
+                    }
+                }
+                ConsumerAction::RequestActuation { target, command } => {
+                    if !caps.allows(Capability::Actuate) {
+                        self.denied_actions += 1;
+                        continue;
+                    }
+                    match self.adjudicate_and_submit(rid, priority, target, command, now) {
+                        ActuationOutcome::Granted { plan, .. } => out.control.push(plan),
+                        ActuationOutcome::Denied { .. } => self.denied_actions += 1,
+                    }
+                }
+                ConsumerAction::ReportState(state) => {
+                    if !caps.allows(Capability::Coordinate) {
+                        self.denied_actions += 1;
+                        continue;
+                    }
+                    self.execute_coordinator_actions(rid, state, now, out);
+                }
+                ConsumerAction::LocationHint { sensor, position, confidence } => {
+                    if !caps.allows(Capability::ProvideHints) {
+                        self.denied_actions += 1;
+                        continue;
+                    }
+                    self.location.hint(sensor, position, confidence, now);
+                }
+            }
+        }
+    }
+
+    /// The Filtering Service (statistics).
+    pub fn filtering(&self) -> &FilteringService {
+        &self.filtering
+    }
+
+    /// The Dispatching Service (statistics).
+    pub fn dispatching(&self) -> &DispatchingService {
+        &self.dispatching
+    }
+
+    /// The Orphanage.
+    pub fn orphanage(&self) -> &Orphanage {
+        &self.orphanage
+    }
+
+    /// The Location Service.
+    pub fn location(&self) -> &LocationService {
+        &self.location
+    }
+
+    /// The Resource Manager.
+    pub fn resource(&self) -> &ResourceManager {
+        &self.resource
+    }
+
+    /// The Actuation Service.
+    pub fn actuation(&self) -> &ActuationService {
+        &self.actuation
+    }
+
+    /// The Message Replicator.
+    pub fn replicator(&self) -> &MessageReplicator {
+        &self.replicator
+    }
+
+    /// The Super Coordinator.
+    pub fn coordinator(&self) -> &SuperCoordinator {
+        &self.coordinator
+    }
+
+    /// The service registry.
+    pub fn registry(&self) -> &ServiceRegistry {
+        &self.registry
+    }
+
+    /// The stream catalogue.
+    pub fn streams(&self) -> &StreamRegistry {
+        &self.streams
+    }
+
+    /// Streams slowed by demand-driven quiescence.
+    pub fn quiesce_action_count(&self) -> u64 {
+        self.quiesce_actions
+    }
+
+    /// Quiesced streams restored on new demand.
+    pub fn restore_action_count(&self) -> u64 {
+        self.restore_actions
+    }
+
+    /// Derived publications dropped by the depth guard.
+    pub fn depth_drop_count(&self) -> u64 {
+        self.depth_drops
+    }
+
+    /// Consumer actions refused (capability or mediation).
+    pub fn denied_action_count(&self) -> u64 {
+        self.denied_actions
+    }
+
+    /// Builds a metrics snapshot of every service — the operator's
+    /// one-call health view. Deterministic name order; see
+    /// [`garnet_simkit::MetricsRegistry::report`] for the text form.
+    pub fn metrics(&self) -> garnet_simkit::MetricsRegistry {
+        let mut m = garnet_simkit::MetricsRegistry::new();
+        m.counter("filtering.delivered").add(self.filtering.delivered_count());
+        m.counter("filtering.duplicates").add(self.filtering.duplicate_count());
+        m.counter("filtering.crc_failures").add(self.filtering.crc_failure_count());
+        m.counter("filtering.reordered").add(self.filtering.reordered_count());
+        m.counter("filtering.gaps_accepted").add(self.filtering.gap_count());
+        m.counter("filtering.restarts").add(self.filtering.restart_count());
+        m.counter("filtering.streams").add(self.filtering.stream_count() as u64);
+        m.counter("dispatching.messages").add(self.dispatching.dispatched_count());
+        m.counter("dispatching.deliveries").add(self.dispatching.delivery_count());
+        m.counter("dispatching.unclaimed").add(self.dispatching.unclaimed_count());
+        m.counter("dispatching.subscribers").add(self.dispatching.subscriber_count() as u64);
+        m.counter("orphanage.taken").add(self.orphanage.total_taken());
+        m.counter("orphanage.evicted").add(self.orphanage.total_evicted());
+        m.counter("orphanage.streams").add(self.orphanage.stream_count() as u64);
+        m.counter("location.observations").add(self.location.observation_count());
+        m.counter("location.hints").add(self.location.hint_count());
+        m.counter("location.tracked_sensors").add(self.location.tracked_sensors() as u64);
+        m.counter("resource.approved").add(self.resource.approved_count());
+        m.counter("resource.denied").add(self.resource.denied_count());
+        m.counter("actuation.submitted").add(self.actuation.submitted_count());
+        m.counter("actuation.acknowledged").add(self.actuation.acknowledged_count());
+        m.counter("actuation.timed_out").add(self.actuation.timeout_count());
+        m.counter("actuation.retransmissions").add(self.actuation.retransmission_count());
+        m.counter("actuation.in_flight").add(self.actuation.in_flight() as u64);
+        m.counter("replicator.targeted").add(self.replicator.targeted_count());
+        m.counter("replicator.flooded").add(self.replicator.flooded_count());
+        m.counter("replicator.broadcasts").add(self.replicator.broadcast_count());
+        m.counter("coordinator.reports").add(self.coordinator.report_count());
+        m.counter("coordinator.reactive_actions").add(self.coordinator.reactive_action_count());
+        m.counter("coordinator.anticipatory_actions")
+            .add(self.coordinator.anticipatory_action_count());
+        m.counter("consumers.registered").add(self.consumers.len() as u64);
+        m.counter("consumers.denied_actions").add(self.denied_actions);
+        m.counter("consumers.depth_drops").add(self.depth_drops);
+        m.counter("streams.catalogued").add(self.streams.len() as u64);
+        m.histogram("actuation.ack_latency_us").merge(self.actuation.ack_latency());
+        m
+    }
+
+    /// Runs a closure against a registered consumer (to read
+    /// application-level results out of it).
+    pub fn with_consumer<R>(
+        &mut self,
+        id: SubscriberId,
+        f: impl FnOnce(&mut dyn Consumer) -> R,
+    ) -> Option<R> {
+        let entry = self.consumers.get_mut(&id)?;
+        // The closure reborrows for the call; passing `f` point-free
+        // would demand the borrow live as long as `&mut self`.
+        #[allow(clippy::redundant_closure)]
+        entry.consumer.as_deref_mut().map(|c| f(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consumer::CountingConsumer;
+    use garnet_wire::{DataMessage, StreamIndex};
+
+    fn frame(sensor: u32, idx: u8, seq: u16) -> Vec<u8> {
+        let stream = StreamId::new(SensorId::new(sensor).unwrap(), StreamIndex::new(idx));
+        DataMessage::builder(stream)
+            .seq(SequenceNumber::new(seq))
+            .payload(vec![1, 2, 3])
+            .build()
+            .unwrap()
+            .encode_to_vec()
+    }
+
+    fn garnet() -> Garnet {
+        Garnet::new(GarnetConfig::default())
+    }
+
+    #[test]
+    fn end_to_end_frame_to_consumer() {
+        let mut g = garnet();
+        let token = g.issue_default_token("t");
+        let id = g
+            .register_consumer(Box::new(CountingConsumer::new("c")), &token, 0)
+            .unwrap();
+        g.subscribe(id, TopicFilter::Sensor(SensorId::new(1).unwrap()), &token)
+            .unwrap();
+        g.on_frame(ReceiverId::new(0), -50.0, &frame(1, 0, 0), SimTime::ZERO);
+        g.on_frame(ReceiverId::new(0), -50.0, &frame(1, 0, 1), SimTime::from_millis(1));
+        let count = g
+            .with_consumer(id, |c| {
+                // Downcast-free read: CountingConsumer exposes nothing via
+                // the trait, so count via name as a smoke signal…
+                c.name().to_owned()
+            })
+            .unwrap();
+        assert_eq!(count, "c");
+        assert_eq!(g.dispatching().delivery_count(), 2);
+        assert_eq!(g.filtering().delivered_count(), 2);
+    }
+
+    #[test]
+    fn unclaimed_goes_to_orphanage_and_replays_on_subscribe() {
+        let mut g = garnet();
+        // Nobody subscribed: three messages orphaned.
+        for seq in 0..3u16 {
+            g.on_frame(ReceiverId::new(0), -50.0, &frame(2, 0, seq), SimTime::from_millis(seq as u64));
+        }
+        assert_eq!(g.orphanage().total_taken(), 3);
+        let token = g.issue_default_token("late");
+        let id = g
+            .register_consumer(Box::new(CountingConsumer::new("late")), &token, 0)
+            .unwrap();
+        let stream = StreamId::new(SensorId::new(2).unwrap(), StreamIndex::new(0));
+        let (replayed, _) = g.subscribe(id, TopicFilter::Stream(stream), &token).unwrap();
+        assert_eq!(replayed, 3);
+        assert_eq!(g.orphanage().stream_count(), 0);
+    }
+
+    #[test]
+    fn sensor_filter_claims_all_streams_of_sensor() {
+        let mut g = garnet();
+        g.on_frame(ReceiverId::new(0), -50.0, &frame(3, 0, 0), SimTime::ZERO);
+        g.on_frame(ReceiverId::new(0), -50.0, &frame(3, 1, 0), SimTime::ZERO);
+        g.on_frame(ReceiverId::new(0), -50.0, &frame(4, 0, 0), SimTime::ZERO);
+        let token = g.issue_default_token("t");
+        let id = g
+            .register_consumer(Box::new(CountingConsumer::new("c")), &token, 0)
+            .unwrap();
+        let (replayed, _) = g
+            .subscribe(id, TopicFilter::Sensor(SensorId::new(3).unwrap()), &token)
+            .unwrap();
+        assert_eq!(replayed, 2);
+        assert_eq!(g.orphanage().stream_count(), 1, "sensor 4 stays orphaned");
+    }
+
+    #[test]
+    fn duplicate_frames_filtered_before_dispatch() {
+        let mut g = garnet();
+        let token = g.issue_default_token("t");
+        let id = g
+            .register_consumer(Box::new(CountingConsumer::new("c")), &token, 0)
+            .unwrap();
+        g.subscribe(id, TopicFilter::All, &token).unwrap();
+        let f = frame(1, 0, 0);
+        g.on_frame(ReceiverId::new(0), -50.0, &f, SimTime::ZERO);
+        g.on_frame(ReceiverId::new(1), -60.0, &f, SimTime::ZERO);
+        g.on_frame(ReceiverId::new(2), -70.0, &f, SimTime::ZERO);
+        assert_eq!(g.dispatching().delivery_count(), 1);
+        assert_eq!(g.filtering().duplicate_count(), 2);
+    }
+
+    #[test]
+    fn unauthorized_subscribe_rejected() {
+        let mut g = garnet();
+        let token = g.issue_default_token("t");
+        let id = g
+            .register_consumer(Box::new(CountingConsumer::new("c")), &token, 0)
+            .unwrap();
+        // A token from a different authority.
+        let other = AuthService::new([1u8; 16]).issue(
+            Principal::new("mallory"),
+            CapabilitySet::all(),
+            u64::MAX,
+        );
+        assert!(matches!(
+            g.subscribe(id, TopicFilter::All, &other),
+            Err(GarnetError::NotAuthorized { .. })
+        ));
+    }
+
+    #[test]
+    fn derived_streams_flow_to_second_level_consumer() {
+        use crate::consumer::{Consumer, ConsumerCtx};
+
+        /// Level-1: averages pairs of readings onto derived stream 0.
+        struct Averager {
+            values: Vec<u8>,
+        }
+        impl Consumer for Averager {
+            fn name(&self) -> &str {
+                "averager"
+            }
+            fn on_data(&mut self, d: &Delivery, ctx: &mut ConsumerCtx) {
+                self.values.extend_from_slice(d.msg.payload());
+                if self.values.len() >= 2 {
+                    let avg =
+                        (self.values.iter().map(|&b| u32::from(b)).sum::<u32>() / self.values.len() as u32) as u8;
+                    ctx.publish_derived(StreamIndex::new(0), vec![avg]);
+                    self.values.clear();
+                }
+            }
+        }
+
+        let mut g = garnet();
+        let token = g.issue_default_token("t");
+        let l1 = g
+            .register_consumer(Box::new(Averager { values: Vec::new() }), &token, 0)
+            .unwrap();
+        let l2 = g
+            .register_consumer(Box::new(CountingConsumer::new("l2")), &token, 0)
+            .unwrap();
+        let raw = StreamId::new(SensorId::new(1).unwrap(), StreamIndex::new(0));
+        g.subscribe(l1, TopicFilter::Stream(raw), &token).unwrap();
+        // L2 subscribes to the averager's derived stream.
+        let derived = StreamId::new(g.virtual_sensor(l1).unwrap(), StreamIndex::new(0));
+        g.subscribe(l2, TopicFilter::Stream(derived), &token).unwrap();
+
+        for seq in 0..4u16 {
+            g.on_frame(ReceiverId::new(0), -50.0, &frame(1, 0, seq), SimTime::from_millis(seq as u64));
+        }
+        // 4 raw messages → 2 derived messages, each with 3-byte payloads
+        // (frame() sends [1,2,3]) so the averager fires on every message.
+        assert!(g.streams().info(derived).is_some(), "derived stream registered");
+        let derived_info = g.streams().info(derived).unwrap();
+        assert!(derived_info.derived);
+        assert!(derived_info.messages >= 2);
+        assert!(g.dispatching().delivery_count() >= 6);
+    }
+
+    #[test]
+    fn derived_depth_guard_stops_loops() {
+        use crate::consumer::{Consumer, ConsumerCtx};
+
+        /// Pathological: republishes everything it hears, including its
+        /// own derived stream.
+        struct Loopy;
+        impl Consumer for Loopy {
+            fn name(&self) -> &str {
+                "loopy"
+            }
+            fn on_data(&mut self, d: &Delivery, ctx: &mut ConsumerCtx) {
+                ctx.publish_derived(StreamIndex::new(0), d.msg.payload().to_vec());
+            }
+        }
+
+        let mut g = Garnet::new(GarnetConfig { max_derived_depth: 4, ..GarnetConfig::default() });
+        let token = g.issue_default_token("t");
+        let id = g.register_consumer(Box::new(Loopy), &token, 0).unwrap();
+        g.subscribe(id, TopicFilter::All, &token).unwrap();
+        g.on_frame(ReceiverId::new(0), -50.0, &frame(1, 0, 0), SimTime::ZERO);
+        assert_eq!(g.depth_drop_count(), 1);
+        // 1 raw + 4 derived levels delivered, then the guard stopped it.
+        assert_eq!(g.dispatching().dispatched_count(), 5);
+    }
+
+    #[test]
+    fn consumer_actuation_flows_through_resource_manager() {
+        use crate::consumer::{Consumer, ConsumerCtx};
+
+        struct Actuator;
+        impl Consumer for Actuator {
+            fn name(&self) -> &str {
+                "actuator"
+            }
+            fn on_data(&mut self, d: &Delivery, ctx: &mut ConsumerCtx) {
+                ctx.request_actuation(
+                    ActuationTarget::Sensor(d.msg.stream().sensor()),
+                    SensorCommand::SetReportInterval {
+                        stream: StreamIndex::new(0),
+                        interval_ms: 100,
+                    },
+                );
+            }
+        }
+
+        let mut g = garnet();
+        let token = g.issue_default_token("t");
+        let id = g.register_consumer(Box::new(Actuator), &token, 0).unwrap();
+        g.subscribe(id, TopicFilter::All, &token).unwrap();
+        let out = g.on_frame(ReceiverId::new(0), -50.0, &frame(1, 0, 0), SimTime::ZERO);
+        assert_eq!(out.control.len(), 1);
+        assert_eq!(g.actuation().submitted_count(), 1);
+        assert_eq!(g.resource().approved_count(), 1);
+    }
+
+    #[test]
+    fn capability_gates_consumer_actions() {
+        use crate::consumer::{Consumer, ConsumerCtx};
+
+        struct Pushy;
+        impl Consumer for Pushy {
+            fn name(&self) -> &str {
+                "pushy"
+            }
+            fn on_data(&mut self, _d: &Delivery, ctx: &mut ConsumerCtx) {
+                ctx.request_actuation(
+                    ActuationTarget::Sensor(SensorId::new(1).unwrap()),
+                    SensorCommand::Ping,
+                );
+                ctx.location_hint(SensorId::new(1).unwrap(), Point::ORIGIN, 1.0);
+                ctx.report_state(1);
+            }
+        }
+
+        let mut g = garnet();
+        // Subscribe-only token.
+        let token = g.auth().issue(
+            Principal::new("limited"),
+            CapabilitySet::of(&[Capability::Subscribe]),
+            u64::MAX,
+        );
+        let id = g.register_consumer(Box::new(Pushy), &token, 0).unwrap();
+        g.subscribe(id, TopicFilter::All, &token).unwrap();
+        let out = g.on_frame(ReceiverId::new(0), -50.0, &frame(1, 0, 0), SimTime::ZERO);
+        assert!(out.control.is_empty());
+        assert_eq!(g.denied_action_count(), 3);
+        assert_eq!(g.location().hint_count(), 0);
+    }
+
+    #[test]
+    fn piggybacked_ack_completes_actuation() {
+        let mut g = garnet();
+        let token = g.issue_default_token("t");
+        let id = g
+            .register_consumer(Box::new(CountingConsumer::new("c")), &token, 0)
+            .unwrap();
+        g.subscribe(id, TopicFilter::All, &token).unwrap();
+        let outcome = g
+            .request_actuation(
+                id,
+                &token,
+                ActuationTarget::Sensor(SensorId::new(1).unwrap()),
+                SensorCommand::Ping,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let request_id = match outcome {
+            ActuationOutcome::Granted { request_id, .. } => request_id,
+            other => panic!("expected grant, got {other:?}"),
+        };
+        assert_eq!(g.actuation().in_flight(), 1);
+        // The sensor's next data message piggy-backs the ack.
+        let stream = StreamId::new(SensorId::new(1).unwrap(), StreamIndex::new(0));
+        let acked = DataMessage::builder(stream)
+            .seq(SequenceNumber::new(0))
+            .ack(request_id)
+            .build()
+            .unwrap()
+            .encode_to_vec();
+        g.on_frame(ReceiverId::new(0), -50.0, &acked, SimTime::from_millis(20));
+        assert_eq!(g.actuation().in_flight(), 0);
+        assert_eq!(g.actuation().acknowledged_count(), 1);
+    }
+
+    #[test]
+    fn tick_retries_and_expires() {
+        let mut g = garnet();
+        let token = g.issue_default_token("t");
+        let id = g
+            .register_consumer(Box::new(CountingConsumer::new("c")), &token, 0)
+            .unwrap();
+        let _ = g
+            .request_actuation(
+                id,
+                &token,
+                ActuationTarget::Sensor(SensorId::new(1).unwrap()),
+                SensorCommand::Ping,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        // Default: 5s timeout, 2 retries.
+        let out = g.on_tick(SimTime::from_secs(5));
+        assert_eq!(out.control.len(), 1, "first retry");
+        let out = g.on_tick(SimTime::from_secs(10));
+        assert_eq!(out.control.len(), 1, "second retry");
+        let out = g.on_tick(SimTime::from_secs(15));
+        assert!(out.control.is_empty());
+        assert_eq!(out.expired_requests.len(), 1);
+    }
+
+    #[test]
+    fn registry_advertises_system_services_and_consumers() {
+        let mut g = garnet();
+        assert!(g.registry().lookup("filtering").is_some());
+        assert!(g.registry().lookup("super-coordinator").is_some());
+        let token = g.issue_default_token("t");
+        g.register_consumer(Box::new(CountingConsumer::new("flood-watch")), &token, 0)
+            .unwrap();
+        assert!(g.registry().lookup("consumer/flood-watch").is_some());
+        assert_eq!(g.registry().discover_kind(ServiceKind::Consumer).len(), 1);
+    }
+
+    #[test]
+    fn deregister_cleans_up() {
+        let mut g = garnet();
+        let token = g.issue_default_token("t");
+        let id = g
+            .register_consumer(Box::new(CountingConsumer::new("c")), &token, 0)
+            .unwrap();
+        g.subscribe(id, TopicFilter::All, &token).unwrap();
+        g.deregister_consumer(id).unwrap();
+        assert!(matches!(
+            g.deregister_consumer(id),
+            Err(GarnetError::UnknownConsumer(_))
+        ));
+        // Messages now orphan instead of dispatching.
+        g.on_frame(ReceiverId::new(0), -50.0, &frame(1, 0, 0), SimTime::ZERO);
+        assert_eq!(g.orphanage().total_taken(), 1);
+    }
+
+    #[test]
+    fn virtual_sensor_ids_are_distinct_and_high() {
+        let mut g = garnet();
+        let token = g.issue_default_token("t");
+        let a = g
+            .register_consumer(Box::new(CountingConsumer::new("a")), &token, 0)
+            .unwrap();
+        let b = g
+            .register_consumer(Box::new(CountingConsumer::new("b")), &token, 0)
+            .unwrap();
+        let va = g.virtual_sensor(a).unwrap();
+        let vb = g.virtual_sensor(b).unwrap();
+        assert_ne!(va, vb);
+        assert!(va.as_u32() > 0x00F0_0000);
+    }
+
+    #[test]
+    fn quiescence_slows_unclaimed_streams_and_restores_on_demand() {
+        use garnet_simkit::SimDuration;
+        let mut g = Garnet::new(GarnetConfig {
+            quiesce: Some(QuiesceConfig {
+                idle_after: SimDuration::from_secs(30),
+                slow_interval_ms: 60_000,
+                restore_interval_ms: 1_000,
+            }),
+            ..GarnetConfig::default()
+        });
+        // An unclaimed stream appears at t=0.
+        g.on_frame(ReceiverId::new(0), -50.0, &frame(1, 0, 0), SimTime::ZERO);
+        assert_eq!(
+            g.next_deadline(),
+            Some(SimTime::from_secs(30)),
+            "quiesce due time drives the tick schedule"
+        );
+        // Before the idle window: nothing.
+        let out = g.on_tick(SimTime::from_secs(10));
+        assert!(out.control.is_empty());
+        // Past it: the system slows the stream.
+        let out = g.on_tick(SimTime::from_secs(31));
+        assert_eq!(out.control.len(), 1);
+        assert_eq!(g.quiesce_action_count(), 1);
+        match out.control[0].request.command {
+            SensorCommand::SetReportInterval { interval_ms, .. } => {
+                assert_eq!(interval_ms, 60_000)
+            }
+            other => panic!("expected slow-down, got {other:?}"),
+        }
+        // The sensor acknowledges; otherwise the actuation service would
+        // (correctly) retransmit the slow-down.
+        g.on_standalone_ack(
+            out.control[0].request.request_id,
+            garnet_wire::AckStatus::Applied,
+            SimTime::from_secs(32),
+        );
+        // Idempotent: no second slow-down.
+        let out = g.on_tick(SimTime::from_secs(60));
+        assert!(out.control.is_empty());
+
+        // A subscriber appears: the stream is restored.
+        let token = g.issue_default_token("late");
+        let id = g
+            .register_consumer(Box::new(CountingConsumer::new("late")), &token, 0)
+            .unwrap();
+        let stream = StreamId::new(SensorId::new(1).unwrap(), StreamIndex::new(0));
+        let (_, out) = g
+            .subscribe_at(id, TopicFilter::Stream(stream), &token, SimTime::from_secs(70))
+            .unwrap();
+        assert_eq!(out.control.len(), 1);
+        assert_eq!(g.restore_action_count(), 1);
+        match out.control[0].request.command {
+            SensorCommand::SetReportInterval { interval_ms, .. } => assert_eq!(interval_ms, 1_000),
+            other => panic!("expected restore, got {other:?}"),
+        }
+        // Claimed streams are never re-quiesced.
+        let out = g.on_tick(SimTime::from_secs(200));
+        assert!(out.control.iter().all(|p| !matches!(
+            p.request.command,
+            SensorCommand::SetReportInterval { interval_ms: 60_000, .. }
+        )));
+    }
+
+    #[test]
+    fn quiescence_skips_derived_streams() {
+        use crate::consumer::{Consumer, ConsumerCtx};
+        use garnet_simkit::SimDuration;
+
+        struct Repub;
+        impl Consumer for Repub {
+            fn name(&self) -> &str {
+                "repub"
+            }
+            fn on_data(&mut self, d: &Delivery, ctx: &mut ConsumerCtx) {
+                ctx.publish_derived(StreamIndex::new(0), d.msg.payload().to_vec());
+            }
+        }
+
+        let mut g = Garnet::new(GarnetConfig {
+            quiesce: Some(QuiesceConfig {
+                idle_after: SimDuration::from_secs(10),
+                slow_interval_ms: 60_000,
+                restore_interval_ms: 1_000,
+            }),
+            ..GarnetConfig::default()
+        });
+        let token = g.issue_default_token("t");
+        let id = g.register_consumer(Box::new(Repub), &token, 0).unwrap();
+        let physical = StreamId::new(SensorId::new(1).unwrap(), StreamIndex::new(0));
+        g.subscribe(id, TopicFilter::Stream(physical), &token).unwrap();
+        // The derived stream is unclaimed, but virtual — never quiesced.
+        g.on_frame(ReceiverId::new(0), -50.0, &frame(1, 0, 0), SimTime::ZERO);
+        let out = g.on_tick(SimTime::from_secs(60));
+        assert!(out.control.is_empty());
+        assert_eq!(g.quiesce_action_count(), 0);
+    }
+
+    #[test]
+    fn metrics_snapshot_reflects_service_state() {
+        let mut g = garnet();
+        let token = g.issue_default_token("t");
+        let id = g
+            .register_consumer(Box::new(CountingConsumer::new("c")), &token, 0)
+            .unwrap();
+        g.subscribe(id, TopicFilter::All, &token).unwrap();
+        let f = frame(1, 0, 0);
+        g.on_frame(ReceiverId::new(0), -50.0, &f, SimTime::ZERO);
+        g.on_frame(ReceiverId::new(1), -55.0, &f, SimTime::ZERO);
+
+        let m = g.metrics();
+        assert_eq!(m.counter_value("filtering.delivered"), 1);
+        assert_eq!(m.counter_value("filtering.duplicates"), 1);
+        assert_eq!(m.counter_value("dispatching.deliveries"), 1);
+        assert_eq!(m.counter_value("consumers.registered"), 1);
+        assert_eq!(m.counter_value("location.observations"), 0, "no receivers installed");
+        let report = m.report();
+        assert!(report.contains("filtering.delivered = 1"));
+        // Snapshots are point-in-time and reproducible.
+        assert_eq!(report, g.metrics().report());
+    }
+
+    #[test]
+    fn coordinator_policy_fires_through_facade() {
+        let mut g = garnet();
+        let token = g.issue_default_token("t");
+        let id = g
+            .register_consumer(Box::new(CountingConsumer::new("c")), &token, 0)
+            .unwrap();
+        g.register_coordinator_policy(
+            2,
+            PolicyAction {
+                target: ActuationTarget::Sensor(SensorId::new(1).unwrap()),
+                command: SensorCommand::SetReportInterval {
+                    stream: StreamIndex::new(0),
+                    interval_ms: 100,
+                },
+                priority: 9,
+                anticipatable: true,
+            },
+        );
+        // Train 1→2, then re-enter 1: predictive mode pre-fires 2's policy.
+        g.report_state(id, &token, 1, SimTime::ZERO).unwrap();
+        g.report_state(id, &token, 2, SimTime::from_secs(1)).unwrap();
+        let out = g.report_state(id, &token, 1, SimTime::from_secs(2)).unwrap();
+        assert_eq!(out.control.len(), 1, "anticipatory actuation dispatched");
+        assert_eq!(g.coordinator().anticipatory_action_count(), 1);
+    }
+}

@@ -1,0 +1,599 @@
+//! The closed-loop experiment harness: simulated radio field + Garnet.
+//!
+//! [`PipelineSim`] drives the whole of Figure 1 on the deterministic
+//! event queue: sensors sample their environment and transmit; the
+//! medium loses, duplicates and delays frames on the way to the receiver
+//! array; every reception enters the middleware; control plans leaving
+//! the middleware are broadcast through the chosen transmitters and —
+//! propagation permitting — reach receive-capable sensors, closing the
+//! actuation loop.
+//!
+//! Every experiment, integration test and example builds on this
+//! harness; it is the "deployment" a downstream user would start from.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use garnet_radio::field::DynField;
+use garnet_radio::{Medium, Receiver, SensorNode, Transmitter};
+use garnet_simkit::{Histogram, SimRng, SimTime, Simulation};
+use garnet_wire::StreamUpdateRequest;
+use parking_lot::Mutex;
+
+use crate::consumer::{Consumer, ConsumerCtx};
+use crate::filtering::Delivery;
+use crate::middleware::{Garnet, GarnetConfig, StepOutput};
+use crate::replicator::ReplicationPlan;
+
+/// Pipeline configuration. The receiver/transmitter installation lives
+/// in [`GarnetConfig`]; the pipeline reads it from there so the
+/// middleware's location service and the physical simulation always
+/// agree on the antenna plan.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Seed for all physical-layer randomness.
+    pub seed: u64,
+    /// The wireless medium model.
+    pub medium: Medium,
+    /// Middleware configuration (including antennas).
+    pub garnet: GarnetConfig,
+    /// Sensor-to-sensor overhearing range (m) for §8 multi-hop
+    /// relaying. `None` disables the peer path entirely (the default:
+    /// single-hop deployments pay nothing for the feature).
+    pub peer_range_m: Option<f64>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            seed: 0x6A72_6E74,
+            medium: Medium::ideal(garnet_radio::Propagation::UnitDisk { range_m: 150.0 }),
+            garnet: GarnetConfig::default(),
+            peer_range_m: None,
+        }
+    }
+}
+
+/// Events flowing through the closed loop.
+#[derive(Debug)]
+enum PipelineEvent {
+    /// A sensor may have a transmission due.
+    SensorPoll(usize),
+    /// A frame arrives at a receiver.
+    Reception(garnet_radio::Reception),
+    /// A control request reaches a sensor's radio.
+    ControlDeliver {
+        sensor: usize,
+        request: StreamUpdateRequest,
+    },
+    /// A peer sensor's frame reaches a potential relay.
+    Overhear {
+        sensor: usize,
+        frame: bytes::Bytes,
+    },
+    /// Middleware maintenance is due.
+    MiddlewareTick,
+}
+
+/// The closed-loop simulator.
+pub struct PipelineSim {
+    sim: Simulation<PipelineEvent>,
+    garnet: Garnet,
+    sensors: Vec<SensorNode>,
+    field: DynField,
+    medium: Medium,
+    receivers: Vec<Receiver>,
+    transmitters: Vec<Transmitter>,
+    rng: SimRng,
+    tick_scheduled: Option<SimTime>,
+    peer_range_m: Option<f64>,
+    transmissions: u64,
+    receptions: u64,
+    control_deliveries: u64,
+    relayed_transmissions: u64,
+}
+
+impl std::fmt::Debug for PipelineSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineSim")
+            .field("now", &self.sim.now())
+            .field("sensors", &self.sensors.len())
+            .field("transmissions", &self.transmissions)
+            .field("receptions", &self.receptions)
+            .finish()
+    }
+}
+
+impl PipelineSim {
+    /// Builds the harness over an environmental field.
+    pub fn new(config: PipelineConfig, field: DynField) -> PipelineSim {
+        let receivers = config.garnet.receivers.clone();
+        let transmitters = config.garnet.transmitters.clone();
+        PipelineSim {
+            sim: Simulation::new(),
+            garnet: Garnet::new(config.garnet),
+            sensors: Vec::new(),
+            field,
+            medium: config.medium,
+            receivers,
+            transmitters,
+            rng: SimRng::seed(config.seed),
+            tick_scheduled: None,
+            peer_range_m: config.peer_range_m,
+            transmissions: 0,
+            receptions: 0,
+            control_deliveries: 0,
+            relayed_transmissions: 0,
+        }
+    }
+
+    /// Deploys a sensor into the field; it begins transmitting on its
+    /// own schedule. Returns its index.
+    pub fn add_sensor(&mut self, sensor: SensorNode) -> usize {
+        let idx = self.sensors.len();
+        let due = sensor.next_due();
+        self.sensors.push(sensor);
+        if let Some(at) = due {
+            self.sim.schedule_at(at, PipelineEvent::SensorPoll(idx));
+        }
+        idx
+    }
+
+    /// The middleware, for registration/subscription/actuation calls.
+    pub fn garnet_mut(&mut self) -> &mut Garnet {
+        &mut self.garnet
+    }
+
+    /// The middleware, read-only (statistics).
+    pub fn garnet(&self) -> &Garnet {
+        &self.garnet
+    }
+
+    /// The deployed sensors.
+    pub fn sensors(&self) -> &[SensorNode] {
+        &self.sensors
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Frames transmitted by sensors.
+    pub fn transmission_count(&self) -> u64 {
+        self.transmissions
+    }
+
+    /// Frame copies that reached some receiver.
+    pub fn reception_count(&self) -> u64 {
+        self.receptions
+    }
+
+    /// Control requests that reached a sensor radio.
+    pub fn control_delivery_count(&self) -> u64 {
+        self.control_deliveries
+    }
+
+    /// Frames re-broadcast by relay-capable sensors.
+    pub fn relayed_transmission_count(&self) -> u64 {
+        self.relayed_transmissions
+    }
+
+    /// Injects an externally produced step output (e.g. from a direct
+    /// `garnet_mut()` actuation call) so its control plans actually
+    /// transmit.
+    pub fn carry_out(&mut self, output: StepOutput) {
+        let now = self.sim.now();
+        for plan in output.control {
+            self.transmit_plan(&plan, now);
+        }
+        self.ensure_tick();
+    }
+
+    /// Broadcasts one replication plan through its chosen transmitters.
+    fn transmit_plan(&mut self, plan: &ReplicationPlan, now: SimTime) {
+        let positions: Vec<garnet_radio::geometry::Point> =
+            self.sensors.iter().map(|s| s.position(now)).collect();
+        for tid in &plan.transmitters {
+            let Some(tx) = self.transmitters.iter().find(|t| t.id() == *tid) else {
+                continue;
+            };
+            for (idx, arrive_at) in self.medium.downlink(tx, &positions, now, &mut self.rng) {
+                self.sim.schedule_at(
+                    arrive_at,
+                    PipelineEvent::ControlDeliver { sensor: idx, request: plan.request },
+                );
+            }
+        }
+    }
+
+    /// Sends one sensor transmission into the air: to the receiver
+    /// array, and — when peer overhearing is enabled — to nearby relay
+    /// candidates.
+    fn propagate_uplink(&mut self, sender: usize, t: &garnet_radio::sensor::Transmission, now: SimTime) {
+        let hits = self.medium.uplink(t.origin, &t.frame, &self.receivers, now, &mut self.rng);
+        for rec in hits {
+            let at = rec.received_at;
+            self.sim.schedule_at(at, PipelineEvent::Reception(rec));
+        }
+        if let Some(range) = self.peer_range_m {
+            let positions: Vec<garnet_radio::geometry::Point> =
+                self.sensors.iter().map(|s| s.position(now)).collect();
+            for (peer, at) in
+                self.medium.overhear(t.origin, sender, &positions, range, now, &mut self.rng)
+            {
+                if self.sensors[peer].caps().relay_capable {
+                    self.sim.schedule_at(
+                        at,
+                        PipelineEvent::Overhear { sensor: peer, frame: t.frame.clone() },
+                    );
+                }
+            }
+        }
+    }
+
+    fn ensure_tick(&mut self) {
+        if let Some(deadline) = self.garnet.next_deadline() {
+            let need = match self.tick_scheduled {
+                Some(t) => deadline < t,
+                None => true,
+            };
+            if need {
+                self.sim.schedule_at(deadline, PipelineEvent::MiddlewareTick);
+                self.tick_scheduled = Some(deadline.max(self.sim.now()));
+            }
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, event: PipelineEvent) {
+        match event {
+            PipelineEvent::SensorPoll(idx) => {
+                let Some(due) = self.sensors[idx].next_due() else {
+                    return; // disabled or battery-dead
+                };
+                if due > now {
+                    // Stale poll; re-arm at the real due time.
+                    self.sim.schedule_at(due, PipelineEvent::SensorPoll(idx));
+                    return;
+                }
+                let txs = self.sensors[idx].poll(now, &self.field);
+                for t in txs {
+                    self.transmissions += 1;
+                    self.propagate_uplink(idx, &t, now);
+                }
+                if let Some(next) = self.sensors[idx].next_due() {
+                    self.sim.schedule_at(next, PipelineEvent::SensorPoll(idx));
+                }
+            }
+            PipelineEvent::Reception(rec) => {
+                self.receptions += 1;
+                let out = self.garnet.on_frame(rec.receiver, rec.rssi_dbm, &rec.frame, now);
+                for plan in &out.control {
+                    self.transmit_plan(plan, now);
+                }
+                self.ensure_tick();
+            }
+            PipelineEvent::ControlDeliver { sensor, request } => {
+                self.control_deliveries += 1;
+                self.sensors[sensor].handle_request(&request, now);
+                if let Some(next) = self.sensors[sensor].next_due() {
+                    self.sim.schedule_at(next, PipelineEvent::SensorPoll(sensor));
+                }
+            }
+            PipelineEvent::Overhear { sensor, frame } => {
+                if let Some(tx) = self.sensors[sensor].maybe_relay(&frame, now) {
+                    self.relayed_transmissions += 1;
+                    // Relayed copies go up to the fixed network but are
+                    // not re-relayed (maybe_relay rejects RELAYED frames,
+                    // so skipping the peer path here just saves events).
+                    let hits = self
+                        .medium
+                        .uplink(tx.origin, &tx.frame, &self.receivers, now, &mut self.rng);
+                    for rec in hits {
+                        let at = rec.received_at;
+                        self.sim.schedule_at(at, PipelineEvent::Reception(rec));
+                    }
+                }
+            }
+            PipelineEvent::MiddlewareTick => {
+                self.tick_scheduled = None;
+                let out = self.garnet.on_tick(now);
+                for plan in &out.control {
+                    self.transmit_plan(plan, now);
+                }
+                self.ensure_tick();
+            }
+        }
+    }
+
+    /// Runs the closed loop until `deadline` (inclusive).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.sim.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (now, ev) = self.sim.next_event().expect("peeked event exists");
+            self.handle(now, ev);
+        }
+    }
+}
+
+/// A consumer that measures end-to-end latency (sensing instant →
+/// middleware delivery) for plaintext [`garnet_radio::Reading`]
+/// payloads. Results are read through the shared histogram handle.
+#[derive(Debug)]
+pub struct LatencyProbe {
+    name: String,
+    hist: Arc<Mutex<Histogram>>,
+}
+
+impl LatencyProbe {
+    /// Creates a probe and the handle its results are read through.
+    pub fn new(name: impl Into<String>) -> (LatencyProbe, Arc<Mutex<Histogram>>) {
+        let hist = Arc::new(Mutex::new(Histogram::new()));
+        (LatencyProbe { name: name.into(), hist: Arc::clone(&hist) }, hist)
+    }
+}
+
+impl Consumer for LatencyProbe {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_data(&mut self, delivery: &Delivery, _ctx: &mut ConsumerCtx) {
+        if let Some(reading) = garnet_radio::Reading::decode(delivery.msg.payload()) {
+            let latency = delivery
+                .delivered_at
+                .saturating_since(reading.sensed_at())
+                .as_micros();
+            self.hist.lock().record(latency);
+        }
+    }
+}
+
+/// A consumer that counts deliveries into a shared atomic — readable
+/// from outside the middleware without downcasting.
+#[derive(Debug)]
+pub struct SharedCountConsumer {
+    name: String,
+    count: Arc<AtomicU64>,
+}
+
+impl SharedCountConsumer {
+    /// Creates a counting consumer and its shared counter handle.
+    pub fn new(name: impl Into<String>) -> (SharedCountConsumer, Arc<AtomicU64>) {
+        let count = Arc::new(AtomicU64::new(0));
+        (SharedCountConsumer { name: name.into(), count: Arc::clone(&count) }, count)
+    }
+}
+
+impl Consumer for SharedCountConsumer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_data(&mut self, _delivery: &Delivery, _ctx: &mut ConsumerCtx) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use garnet_net::TopicFilter;
+    use garnet_radio::field::Uniform;
+    use garnet_radio::geometry::Point;
+    use garnet_radio::{Propagation, SensorCaps, StreamConfig};
+    use garnet_simkit::SimDuration;
+    use garnet_wire::{ActuationTarget, SensorCommand, SensorId, StreamIndex};
+
+    fn config() -> PipelineConfig {
+        let receivers = Receiver::grid(Point::ORIGIN, 2, 2, 100.0, 150.0);
+        let transmitters = Transmitter::grid(Point::ORIGIN, 2, 2, 100.0, 150.0);
+        PipelineConfig {
+            seed: 7,
+            medium: Medium::ideal(Propagation::UnitDisk { range_m: 150.0 }),
+            garnet: GarnetConfig { receivers, transmitters, ..GarnetConfig::default() },
+            peer_range_m: None,
+        }
+    }
+
+    fn sensor(id: u32, pos: Point) -> SensorNode {
+        SensorNode::new(SensorId::new(id).unwrap(), pos)
+            .with_stream(StreamIndex::new(0), StreamConfig::every(SimDuration::from_secs(1)))
+    }
+
+    #[test]
+    fn sensor_data_reaches_consumer_end_to_end() {
+        let mut sim = PipelineSim::new(config(), Box::new(Uniform(20.0)));
+        sim.add_sensor(sensor(1, Point::new(50.0, 50.0)));
+        let token = sim.garnet_mut().issue_default_token("t");
+        let (probe, hist) = LatencyProbe::new("probe");
+        let id = sim.garnet_mut().register_consumer(Box::new(probe), &token, 0).unwrap();
+        sim.garnet_mut()
+            .subscribe(id, TopicFilter::Sensor(SensorId::new(1).unwrap()), &token)
+            .unwrap();
+
+        sim.run_until(SimTime::from_secs(10));
+        let h = hist.lock();
+        assert!(h.count() >= 9, "delivered {} messages", h.count());
+        // Latency = medium base latency (500µs) since reordering never kicks in.
+        assert!(h.p50() >= 500, "p50={}", h.p50());
+        assert!(h.max() < 100_000, "max={}", h.max());
+    }
+
+    #[test]
+    fn overlapping_receivers_duplicate_and_filter_removes() {
+        let mut sim = PipelineSim::new(config(), Box::new(Uniform(0.0)));
+        // At (50,50) all four grid receivers (range 150) hear everything.
+        sim.add_sensor(sensor(1, Point::new(50.0, 50.0)));
+        sim.run_until(SimTime::from_secs(5));
+        // Drain in-flight receptions of the final transmission without
+        // triggering another sensor poll (next poll is at t=6s).
+        sim.run_until(SimTime::from_millis(5_100));
+        assert!(sim.reception_count() > sim.transmission_count(), "duplication happened");
+        assert_eq!(
+            sim.garnet().filtering().delivered_count() + sim.garnet().filtering().duplicate_count(),
+            sim.reception_count()
+        );
+        assert_eq!(sim.garnet().filtering().delivered_count(), sim.transmission_count());
+    }
+
+    #[test]
+    fn actuation_round_trip_changes_sensor_rate() {
+        let mut sim = PipelineSim::new(config(), Box::new(Uniform(0.0)));
+        let s = sensor(1, Point::new(50.0, 50.0)).with_caps(SensorCaps::sophisticated());
+        sim.add_sensor(s);
+        let token = sim.garnet_mut().issue_default_token("t");
+        let (counter, count) = SharedCountConsumer::new("c");
+        let id = sim.garnet_mut().register_consumer(Box::new(counter), &token, 0).unwrap();
+        sim.garnet_mut()
+            .subscribe(id, TopicFilter::Sensor(SensorId::new(1).unwrap()), &token)
+            .unwrap();
+
+        // Let it run at 1 Hz for 5s, then ask for 4 Hz.
+        sim.run_until(SimTime::from_secs(5));
+        let baseline = count.load(Ordering::Relaxed);
+        let now = sim.now();
+        let outcome = sim
+            .garnet_mut()
+            .request_actuation(
+                id,
+                &token,
+                ActuationTarget::Sensor(SensorId::new(1).unwrap()),
+                SensorCommand::SetReportInterval { stream: StreamIndex::new(0), interval_ms: 250 },
+                now,
+            )
+            .unwrap();
+        let plan = match outcome {
+            crate::middleware::ActuationOutcome::Granted { plan, .. } => plan,
+            other => panic!("expected grant: {other:?}"),
+        };
+        sim.carry_out(StepOutput { control: vec![plan], expired_requests: vec![] });
+        sim.run_until(SimTime::from_secs(15));
+        let after = count.load(Ordering::Relaxed) - baseline;
+        assert!(after >= 30, "rate change should ~4x deliveries in 10s, got {after}");
+        // The ack made it back (piggy-backed on a data message).
+        assert_eq!(sim.garnet().actuation().acknowledged_count(), 1);
+        assert!(sim.control_delivery_count() >= 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = |seed: u64| {
+            let mut cfg = config();
+            cfg.seed = seed;
+            cfg.medium = Medium::wifi_outdoor();
+            let mut sim = PipelineSim::new(cfg, Box::new(Uniform(1.0)));
+            for i in 0..5 {
+                sim.add_sensor(sensor(i + 1, Point::new(20.0 * i as f64, 30.0)));
+            }
+            sim.run_until(SimTime::from_secs(20));
+            (
+                sim.transmission_count(),
+                sim.reception_count(),
+                sim.garnet().filtering().delivered_count(),
+                sim.garnet().filtering().duplicate_count(),
+            )
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn relay_extends_coverage_to_out_of_range_sensor() {
+        use garnet_radio::SensorCaps;
+        // One receiver at the origin with 100 m range; the source sensor
+        // sits at 180 m (unreachable); a relay sits at 90 m, within
+        // overhearing range (120 m) of the source and within receiver
+        // range itself.
+        let receivers = vec![Receiver::new(
+            garnet_radio::ReceiverId::new(0),
+            Point::ORIGIN,
+            100.0,
+        )];
+        let run = |peer_range: Option<f64>| {
+            let cfg = PipelineConfig {
+                seed: 3,
+                medium: Medium::ideal(Propagation::UnitDisk { range_m: 400.0 }),
+                garnet: GarnetConfig { receivers: receivers.clone(), ..GarnetConfig::default() },
+                peer_range_m: peer_range,
+            };
+            let mut sim = PipelineSim::new(cfg, Box::new(Uniform(5.0)));
+            sim.add_sensor(sensor(1, Point::new(180.0, 0.0)));
+            sim.add_sensor(
+                SensorNode::new(SensorId::new(2).unwrap(), Point::new(90.0, 0.0))
+                    .with_caps(SensorCaps::relay()),
+            );
+            sim.run_until(SimTime::from_secs(20));
+            (
+                sim.garnet().filtering().delivered_count(),
+                sim.relayed_transmission_count(),
+            )
+        };
+
+        let (without, relayed_off) = run(None);
+        assert_eq!(without, 0, "source is out of receiver range");
+        assert_eq!(relayed_off, 0);
+
+        let (with, relayed_on) = run(Some(120.0));
+        assert!(with >= 19, "relay carries the stream in: delivered={with}");
+        assert!(relayed_on >= 19);
+    }
+
+    #[test]
+    fn relayed_deliveries_carry_multihop_tags_and_dedup_against_direct() {
+        use garnet_radio::SensorCaps;
+        use garnet_wire::HeaderFlags;
+        // Source *in* range AND near a relay: the middleware hears both
+        // the direct copy and the relayed copy; exactly one is delivered.
+        let receivers = vec![Receiver::new(
+            garnet_radio::ReceiverId::new(0),
+            Point::ORIGIN,
+            200.0,
+        )];
+        let cfg = PipelineConfig {
+            seed: 4,
+            medium: Medium::ideal(Propagation::UnitDisk { range_m: 400.0 }),
+            garnet: GarnetConfig { receivers, ..GarnetConfig::default() },
+            peer_range_m: Some(120.0),
+        };
+        let mut sim = PipelineSim::new(cfg, Box::new(Uniform(5.0)));
+        sim.add_sensor(sensor(1, Point::new(100.0, 0.0)));
+        sim.add_sensor(
+            SensorNode::new(SensorId::new(2).unwrap(), Point::new(60.0, 0.0))
+                .with_caps(SensorCaps::relay()),
+        );
+        let token = sim.garnet_mut().issue_default_token("t");
+        let (probe, hist) = LatencyProbe::new("probe");
+        let id = sim.garnet_mut().register_consumer(Box::new(probe), &token, 0).unwrap();
+        sim.garnet_mut()
+            .subscribe(id, garnet_net::TopicFilter::Sensor(SensorId::new(1).unwrap()), &token)
+            .unwrap();
+        sim.run_until(SimTime::from_secs(10));
+        drop(hist);
+        // Duplicates (direct + relayed copies) absorbed; stream delivered once per seq.
+        assert!(sim.relayed_transmission_count() > 0);
+        assert!(sim.garnet().filtering().duplicate_count() > 0);
+        assert_eq!(
+            sim.garnet().filtering().delivered_count(),
+            sim.garnet().dispatching().dispatched_count()
+        );
+        // Some catalogued message carried the relayed flag end to end:
+        // check by decoding a relayed frame through the wire directly.
+        let relayed = garnet_wire::DataMessage::builder(garnet_wire::StreamId::from_raw(0x0100))
+            .build()
+            .unwrap()
+            .relayed_copy();
+        assert!(relayed.header().has(HeaderFlags::RELAYED));
+    }
+
+    #[test]
+    fn out_of_range_sensor_is_lost() {
+        let mut sim = PipelineSim::new(config(), Box::new(Uniform(0.0)));
+        sim.add_sensor(sensor(1, Point::new(5_000.0, 5_000.0)));
+        sim.run_until(SimTime::from_secs(5));
+        assert!(sim.transmission_count() > 0);
+        assert_eq!(sim.reception_count(), 0);
+    }
+}

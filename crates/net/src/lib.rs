@@ -1,0 +1,36 @@
+//! The fixed-network substrate beneath the Garnet middleware.
+//!
+//! "At the fixed network, the data is consumed by applications which use
+//! typical advertising, discovery, registration, authentication and
+//! publish/subscribe mechanisms to identify, subscribe to, and receive
+//! data streams of interest. … Unless otherwise indicated, communication
+//! is based on asynchronous message exchange" (§3).
+//!
+//! This crate provides those five mechanisms:
+//!
+//! * [`registry`] — service **advertising**, **discovery** and
+//!   **registration**;
+//! * [`auth`] — principal **authentication** via MAC-signed capability
+//!   tokens;
+//! * [`pubsub`] — the **publish/subscribe** subscription table that the
+//!   Dispatching Service consults;
+//! * [`bus`] — asynchronous message exchange between services, with a
+//!   crossbeam-channel threaded driver for live deployments (experiments
+//!   use the deterministic `garnet-simkit` event queue instead);
+//! * [`rpc`] — request/response correlation over the bus (the "Remote
+//!   Procedure Call" arrows of Figure 1).
+//!
+//! No async runtime is used: the paper's asynchrony is plain message
+//! passing, which channels model directly and deterministically.
+
+pub mod auth;
+pub mod bus;
+pub mod pubsub;
+pub mod registry;
+pub mod rpc;
+
+pub use auth::{AuthService, Capability, CapabilitySet, Principal, Token};
+pub use bus::{BusError, ThreadedBus};
+pub use pubsub::{SubscriberId, SubscriptionTable, TopicFilter};
+pub use registry::{ServiceDescriptor, ServiceKind, ServiceRegistry};
+pub use rpc::{CallId, RpcTable};

@@ -1,0 +1,415 @@
+//! The publish/subscribe subscription table.
+//!
+//! "Consumer processes use a publish/subscribe mechanism to access data
+//! streams, which permits un-configured data streams to be detected"
+//! (§4.2). The table maps a published [`StreamId`] to the set of
+//! subscribers that should receive it; an empty match is exactly the
+//! "unclaimed data" signal that routes a message to the Orphanage.
+//!
+//! Filters come in three granularities: one stream, every stream of one
+//! sensor, or everything (wiretaps, loggers, the Orphanage itself).
+//! Matching is O(subscribers-on-topic), not O(all-subscribers), so
+//! dispatch cost scales with fan-out rather than population — the
+//! property experiment E5 measures.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use core::fmt;
+use garnet_wire::{SensorId, StreamId};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one subscriber (assigned by the Dispatching Service at
+/// registration).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SubscriberId(u32);
+
+impl SubscriberId {
+    /// Creates a subscriber id.
+    pub const fn new(raw: u32) -> Self {
+        SubscriberId(raw)
+    }
+
+    /// The raw value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for SubscriberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SubscriberId({})", self.0)
+    }
+}
+
+impl fmt::Display for SubscriberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub{}", self.0)
+    }
+}
+
+/// What a subscription matches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TopicFilter {
+    /// Exactly one stream.
+    Stream(StreamId),
+    /// Every internal stream of one sensor.
+    Sensor(SensorId),
+    /// Every stream in the system.
+    All,
+}
+
+impl TopicFilter {
+    /// True if the filter matches `stream`.
+    pub fn matches(&self, stream: StreamId) -> bool {
+        match *self {
+            TopicFilter::Stream(s) => s == stream,
+            TopicFilter::Sensor(id) => stream.sensor() == id,
+            TopicFilter::All => true,
+        }
+    }
+}
+
+/// The subscription table.
+///
+/// # Example
+///
+/// ```
+/// use garnet_net::{SubscriberId, SubscriptionTable, TopicFilter};
+/// use garnet_wire::{SensorId, StreamId};
+///
+/// let mut table = SubscriptionTable::new();
+/// let alice = SubscriberId::new(1);
+/// table.subscribe(alice, TopicFilter::Sensor(SensorId::new(7)?));
+/// let stream = StreamId::from_raw((7 << 8) | 0);
+/// assert_eq!(table.match_subscribers(stream), vec![alice]);
+/// # Ok::<(), garnet_wire::WireError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SubscriptionTable {
+    by_stream: BTreeMap<u32, BTreeSet<SubscriberId>>,
+    by_sensor: BTreeMap<u32, BTreeSet<SubscriberId>>,
+    all: BTreeSet<SubscriberId>,
+    // Reverse index so unsubscribe-all is O(own subscriptions).
+    filters: BTreeMap<SubscriberId, BTreeSet<TopicFilter>>,
+}
+
+impl SubscriptionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a subscription. Returns `true` if it was new.
+    pub fn subscribe(&mut self, subscriber: SubscriberId, filter: TopicFilter) -> bool {
+        let inserted = match filter {
+            TopicFilter::Stream(s) => {
+                self.by_stream.entry(s.to_raw()).or_default().insert(subscriber)
+            }
+            TopicFilter::Sensor(id) => {
+                self.by_sensor.entry(id.as_u32()).or_default().insert(subscriber)
+            }
+            TopicFilter::All => self.all.insert(subscriber),
+        };
+        self.filters.entry(subscriber).or_default().insert(filter);
+        inserted
+    }
+
+    /// Removes one subscription. Returns `true` if it existed.
+    pub fn unsubscribe(&mut self, subscriber: SubscriberId, filter: TopicFilter) -> bool {
+        let removed = match filter {
+            TopicFilter::Stream(s) => {
+                let raw = s.to_raw();
+                if let Some(set) = self.by_stream.get_mut(&raw) {
+                    let removed = set.remove(&subscriber);
+                    if set.is_empty() {
+                        self.by_stream.remove(&raw);
+                    }
+                    removed
+                } else {
+                    false
+                }
+            }
+            TopicFilter::Sensor(id) => {
+                let raw = id.as_u32();
+                if let Some(set) = self.by_sensor.get_mut(&raw) {
+                    let removed = set.remove(&subscriber);
+                    if set.is_empty() {
+                        self.by_sensor.remove(&raw);
+                    }
+                    removed
+                } else {
+                    false
+                }
+            }
+            TopicFilter::All => self.all.remove(&subscriber),
+        };
+        if let Some(fs) = self.filters.get_mut(&subscriber) {
+            fs.remove(&filter);
+            if fs.is_empty() {
+                self.filters.remove(&subscriber);
+            }
+        }
+        removed
+    }
+
+    /// Removes every subscription held by `subscriber` (consumer
+    /// departure). Returns how many were removed.
+    pub fn unsubscribe_all(&mut self, subscriber: SubscriberId) -> usize {
+        let Some(filters) = self.filters.remove(&subscriber) else {
+            return 0;
+        };
+        let n = filters.len();
+        for f in filters {
+            match f {
+                TopicFilter::Stream(s) => {
+                    if let Some(set) = self.by_stream.get_mut(&s.to_raw()) {
+                        set.remove(&subscriber);
+                        if set.is_empty() {
+                            self.by_stream.remove(&s.to_raw());
+                        }
+                    }
+                }
+                TopicFilter::Sensor(id) => {
+                    if let Some(set) = self.by_sensor.get_mut(&id.as_u32()) {
+                        set.remove(&subscriber);
+                        if set.is_empty() {
+                            self.by_sensor.remove(&id.as_u32());
+                        }
+                    }
+                }
+                TopicFilter::All => {
+                    self.all.remove(&subscriber);
+                }
+            }
+        }
+        n
+    }
+
+    /// The subscribers that should receive a message on `stream`,
+    /// deduplicated, in ascending id order (deterministic dispatch).
+    pub fn match_subscribers(&self, stream: StreamId) -> Vec<SubscriberId> {
+        let mut out: BTreeSet<SubscriberId> = self.all.clone();
+        if let Some(set) = self.by_sensor.get(&stream.sensor().as_u32()) {
+            out.extend(set.iter().copied());
+        }
+        if let Some(set) = self.by_stream.get(&stream.to_raw()) {
+            out.extend(set.iter().copied());
+        }
+        out.into_iter().collect()
+    }
+
+    /// True if no subscription matches `stream` — the message is
+    /// *unclaimed* and belongs to the Orphanage.
+    pub fn is_unclaimed(&self, stream: StreamId) -> bool {
+        if !self.all.is_empty() {
+            return false;
+        }
+        if self
+            .by_sensor
+            .get(&stream.sensor().as_u32())
+            .is_some_and(|s| !s.is_empty())
+        {
+            return false;
+        }
+        self.by_stream
+            .get(&stream.to_raw())
+            .is_none_or(|s| s.is_empty())
+    }
+
+    /// Number of distinct subscribers with at least one subscription.
+    pub fn subscriber_count(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Total number of live subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.filters.values().map(|f| f.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(sensor: u32, idx: u8) -> StreamId {
+        StreamId::new(SensorId::new(sensor).unwrap(), garnet_wire::StreamIndex::new(idx))
+    }
+
+    #[test]
+    fn exact_stream_subscription() {
+        let mut t = SubscriptionTable::new();
+        let a = SubscriberId::new(1);
+        assert!(t.subscribe(a, TopicFilter::Stream(stream(5, 0))));
+        assert_eq!(t.match_subscribers(stream(5, 0)), vec![a]);
+        assert!(t.match_subscribers(stream(5, 1)).is_empty());
+        assert!(t.match_subscribers(stream(6, 0)).is_empty());
+    }
+
+    #[test]
+    fn sensor_subscription_matches_all_indices() {
+        let mut t = SubscriptionTable::new();
+        let a = SubscriberId::new(1);
+        t.subscribe(a, TopicFilter::Sensor(SensorId::new(5).unwrap()));
+        assert_eq!(t.match_subscribers(stream(5, 0)), vec![a]);
+        assert_eq!(t.match_subscribers(stream(5, 255)), vec![a]);
+        assert!(t.match_subscribers(stream(4, 0)).is_empty());
+    }
+
+    #[test]
+    fn all_subscription_matches_everything() {
+        let mut t = SubscriptionTable::new();
+        let a = SubscriberId::new(9);
+        t.subscribe(a, TopicFilter::All);
+        assert_eq!(t.match_subscribers(stream(1, 1)), vec![a]);
+        assert!(!t.is_unclaimed(stream(123, 9)));
+    }
+
+    #[test]
+    fn overlapping_filters_deduplicate() {
+        let mut t = SubscriptionTable::new();
+        let a = SubscriberId::new(1);
+        t.subscribe(a, TopicFilter::Stream(stream(5, 0)));
+        t.subscribe(a, TopicFilter::Sensor(SensorId::new(5).unwrap()));
+        t.subscribe(a, TopicFilter::All);
+        assert_eq!(t.match_subscribers(stream(5, 0)), vec![a]);
+    }
+
+    #[test]
+    fn match_order_is_ascending_and_deterministic() {
+        let mut t = SubscriptionTable::new();
+        for id in [30u32, 10, 20] {
+            t.subscribe(SubscriberId::new(id), TopicFilter::Stream(stream(1, 0)));
+        }
+        let ids: Vec<u32> = t.match_subscribers(stream(1, 0)).iter().map(|s| s.as_u32()).collect();
+        assert_eq!(ids, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn duplicate_subscribe_is_idempotent() {
+        let mut t = SubscriptionTable::new();
+        let a = SubscriberId::new(1);
+        assert!(t.subscribe(a, TopicFilter::All));
+        assert!(!t.subscribe(a, TopicFilter::All));
+        assert_eq!(t.subscription_count(), 1);
+    }
+
+    #[test]
+    fn unsubscribe_restores_unclaimed() {
+        let mut t = SubscriptionTable::new();
+        let a = SubscriberId::new(1);
+        let f = TopicFilter::Stream(stream(2, 3));
+        t.subscribe(a, f);
+        assert!(!t.is_unclaimed(stream(2, 3)));
+        assert!(t.unsubscribe(a, f));
+        assert!(t.is_unclaimed(stream(2, 3)));
+        assert!(!t.unsubscribe(a, f), "second unsubscribe is a no-op");
+        assert_eq!(t.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn unsubscribe_all_removes_everything() {
+        let mut t = SubscriptionTable::new();
+        let a = SubscriberId::new(1);
+        let b = SubscriberId::new(2);
+        t.subscribe(a, TopicFilter::Stream(stream(1, 0)));
+        t.subscribe(a, TopicFilter::Sensor(SensorId::new(2).unwrap()));
+        t.subscribe(a, TopicFilter::All);
+        t.subscribe(b, TopicFilter::All);
+        assert_eq!(t.unsubscribe_all(a), 3);
+        assert_eq!(t.match_subscribers(stream(1, 0)), vec![b]);
+        assert_eq!(t.subscriber_count(), 1);
+        assert_eq!(t.unsubscribe_all(a), 0);
+    }
+
+    #[test]
+    fn unclaimed_logic() {
+        let mut t = SubscriptionTable::new();
+        assert!(t.is_unclaimed(stream(9, 9)));
+        let a = SubscriberId::new(1);
+        t.subscribe(a, TopicFilter::Sensor(SensorId::new(9).unwrap()));
+        assert!(!t.is_unclaimed(stream(9, 9)));
+        assert!(t.is_unclaimed(stream(8, 0)));
+    }
+
+    #[test]
+    fn filter_matches_directly() {
+        assert!(TopicFilter::All.matches(stream(1, 1)));
+        assert!(TopicFilter::Sensor(SensorId::new(1).unwrap()).matches(stream(1, 9)));
+        assert!(!TopicFilter::Sensor(SensorId::new(2).unwrap()).matches(stream(1, 9)));
+        assert!(TopicFilter::Stream(stream(3, 3)).matches(stream(3, 3)));
+        assert!(!TopicFilter::Stream(stream(3, 3)).matches(stream(3, 4)));
+    }
+
+    #[test]
+    fn large_population_small_fanout_matching() {
+        // 10k subscribers on other streams must not appear in a match.
+        let mut t = SubscriptionTable::new();
+        for i in 0..10_000u32 {
+            t.subscribe(SubscriberId::new(i), TopicFilter::Stream(stream(i % 1000, 0)));
+        }
+        let m = t.match_subscribers(stream(7, 0));
+        assert_eq!(m.len(), 10); // ids 7, 1007, 2007, ...
+        for s in m {
+            assert_eq!(s.as_u32() % 1000, 7);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_filter() -> impl Strategy<Value = TopicFilter> {
+        prop_oneof![
+            (0u32..50, 0u8..4).prop_map(|(s, i)| TopicFilter::Stream(StreamId::new(
+                SensorId::new(s).unwrap(),
+                garnet_wire::StreamIndex::new(i)
+            ))),
+            (0u32..50).prop_map(|s| TopicFilter::Sensor(SensorId::new(s).unwrap())),
+            Just(TopicFilter::All),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn match_equals_bruteforce(
+            subs in proptest::collection::vec((0u32..30, arb_filter()), 0..60),
+            sensor in 0u32..50,
+            idx in 0u8..4,
+        ) {
+            let mut t = SubscriptionTable::new();
+            for (id, f) in &subs {
+                t.subscribe(SubscriberId::new(*id), *f);
+            }
+            let stream = StreamId::new(SensorId::new(sensor).unwrap(), garnet_wire::StreamIndex::new(idx));
+            let got = t.match_subscribers(stream);
+            let mut want: Vec<SubscriberId> = subs
+                .iter()
+                .filter(|(_, f)| f.matches(stream))
+                .map(|(id, _)| SubscriberId::new(*id))
+                .collect();
+            want.sort();
+            want.dedup();
+            prop_assert_eq!(got.clone(), want);
+            prop_assert_eq!(t.is_unclaimed(stream), got.is_empty());
+        }
+
+        #[test]
+        fn subscribe_unsubscribe_is_identity(
+            subs in proptest::collection::vec((0u32..20, arb_filter()), 0..40),
+        ) {
+            let mut t = SubscriptionTable::new();
+            for (id, f) in &subs {
+                t.subscribe(SubscriberId::new(*id), *f);
+            }
+            for (id, f) in &subs {
+                t.unsubscribe(SubscriberId::new(*id), *f);
+            }
+            prop_assert_eq!(t.subscriber_count(), 0);
+            prop_assert_eq!(t.subscription_count(), 0);
+            let probe = StreamId::from_raw(0x0000_0100);
+            prop_assert!(t.is_unclaimed(probe));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Request/response correlation over asynchronous messaging.
+//!
+//! Figure 1 shows "Remote Procedure Call" edges (consumer → Resource
+//! Manager approval, Replicator → Location Service lookup) alongside
+//! event-based message passing. Over an asynchronous bus, RPC is a
+//! correlation discipline: tag the request with a [`CallId`], route the
+//! response back, time out the ones that never return. [`RpcTable`]
+//! implements that discipline sans-io so it works identically under the
+//! simulated and threaded drivers.
+
+use std::collections::BTreeMap;
+
+use core::fmt;
+use garnet_simkit::{SimDuration, SimTime};
+
+/// Correlation id of one in-flight call.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CallId(u64);
+
+impl CallId {
+    /// The raw value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for CallId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CallId({})", self.0)
+    }
+}
+
+impl fmt::Display for CallId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "call{}", self.0)
+    }
+}
+
+/// Tracks in-flight calls and their deadlines. `Ctx` is whatever the
+/// caller needs to resume when the response (or timeout) arrives.
+///
+/// # Example
+///
+/// ```
+/// use garnet_net::RpcTable;
+/// use garnet_simkit::{SimDuration, SimTime};
+///
+/// let mut table: RpcTable<&'static str> = RpcTable::new();
+/// let id = table.begin("approve-request-7", SimTime::ZERO, SimDuration::from_secs(1));
+/// // ... later, the response arrives:
+/// assert_eq!(table.complete(id), Some("approve-request-7"));
+/// // Completing twice (duplicate response) is harmless:
+/// assert_eq!(table.complete(id), None);
+/// ```
+#[derive(Debug)]
+pub struct RpcTable<Ctx> {
+    next: u64,
+    pending: BTreeMap<u64, (SimTime, Ctx)>,
+}
+
+impl<Ctx> Default for RpcTable<Ctx> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Ctx> RpcTable<Ctx> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RpcTable { next: 0, pending: BTreeMap::new() }
+    }
+
+    /// Registers a new call issued at `now` with the given timeout,
+    /// returning its correlation id.
+    pub fn begin(&mut self, ctx: Ctx, now: SimTime, timeout: SimDuration) -> CallId {
+        let id = self.next;
+        self.next += 1;
+        self.pending.insert(id, (now.saturating_add(timeout), ctx));
+        CallId(id)
+    }
+
+    /// Consumes a response: returns the stored context, or `None` for an
+    /// unknown/duplicate/expired-and-collected id.
+    pub fn complete(&mut self, id: CallId) -> Option<Ctx> {
+        self.pending.remove(&id.0).map(|(_, ctx)| ctx)
+    }
+
+    /// Harvests every call whose deadline is at or before `now`,
+    /// returning their ids and contexts (the caller decides whether to
+    /// retry or fail them).
+    pub fn expire(&mut self, now: SimTime) -> Vec<(CallId, Ctx)> {
+        let expired: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, (deadline, _))| *deadline <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        expired
+            .into_iter()
+            .filter_map(|id| self.pending.remove(&id).map(|(_, ctx)| (CallId(id), ctx)))
+            .collect()
+    }
+
+    /// The earliest pending deadline, for scheduling the next expiry
+    /// sweep.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.pending.values().map(|(d, _)| *d).min()
+    }
+
+    /// Number of in-flight calls.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let mut t: RpcTable<u32> = RpcTable::new();
+        let a = t.begin(1, SimTime::ZERO, SimDuration::from_secs(1));
+        let b = t.begin(2, SimTime::ZERO, SimDuration::from_secs(1));
+        assert_ne!(a, b);
+        assert!(b.as_u64() > a.as_u64());
+        assert_eq!(t.in_flight(), 2);
+    }
+
+    #[test]
+    fn complete_returns_context_once() {
+        let mut t: RpcTable<String> = RpcTable::new();
+        let id = t.begin("ctx".into(), SimTime::ZERO, SimDuration::from_secs(1));
+        assert_eq!(t.complete(id), Some("ctx".into()));
+        assert_eq!(t.complete(id), None);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn expiry_harvests_only_due_calls() {
+        let mut t: RpcTable<&str> = RpcTable::new();
+        let _a = t.begin("fast", SimTime::ZERO, SimDuration::from_millis(10));
+        let b = t.begin("slow", SimTime::ZERO, SimDuration::from_secs(10));
+        let expired = t.expire(SimTime::from_millis(10));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].1, "fast");
+        assert_eq!(t.in_flight(), 1);
+        assert_eq!(t.complete(b), Some("slow"));
+    }
+
+    #[test]
+    fn expired_call_cannot_complete() {
+        let mut t: RpcTable<u8> = RpcTable::new();
+        let id = t.begin(1, SimTime::ZERO, SimDuration::from_millis(5));
+        let _ = t.expire(SimTime::from_secs(1));
+        assert_eq!(t.complete(id), None);
+    }
+
+    #[test]
+    fn next_deadline_tracks_minimum() {
+        let mut t: RpcTable<u8> = RpcTable::new();
+        assert_eq!(t.next_deadline(), None);
+        t.begin(1, SimTime::ZERO, SimDuration::from_secs(5));
+        t.begin(2, SimTime::ZERO, SimDuration::from_secs(2));
+        assert_eq!(t.next_deadline(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn expire_on_empty_is_empty() {
+        let mut t: RpcTable<u8> = RpcTable::new();
+        assert!(t.expire(SimTime::from_secs(100)).is_empty());
+    }
+}

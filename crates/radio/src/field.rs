@@ -1,0 +1,187 @@
+//! Environmental scalar fields sampled by sensors.
+//!
+//! A [`ScalarField`] gives each point of the plane a physical quantity at
+//! each instant (temperature, contaminant concentration, water level…).
+//! Sensors sample the field at their own position; consumers downstream
+//! reconstruct spatial structure from many streams — which is what makes
+//! multi-level consumers (§4.2) worth building.
+
+use garnet_simkit::SimTime;
+
+use crate::geometry::Point;
+
+/// A time-varying scalar quantity over the plane.
+///
+/// Implementations must be pure: the same `(p, t)` always yields the
+/// same value, keeping simulations replayable.
+pub trait ScalarField {
+    /// The field value at point `p` and instant `t`.
+    fn sample(&self, p: Point, t: SimTime) -> f64;
+}
+
+/// A constant field (calibration runs, codec-only benchmarks).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Uniform(pub f64);
+
+impl ScalarField for Uniform {
+    fn sample(&self, _p: Point, _t: SimTime) -> f64 {
+        self.0
+    }
+}
+
+/// A static linear gradient: `base + gx·x + gy·y`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Gradient {
+    /// Value at the origin.
+    pub base: f64,
+    /// Slope along x (unit per metre).
+    pub gx: f64,
+    /// Slope along y (unit per metre).
+    pub gy: f64,
+}
+
+impl ScalarField for Gradient {
+    fn sample(&self, p: Point, _t: SimTime) -> f64 {
+        self.base + self.gx * p.x + self.gy * p.y
+    }
+}
+
+/// A Gaussian plume drifting with constant velocity: a moving hot spot
+/// (contaminant release, warm outflow, target vehicle's heat signature).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GaussianPlume {
+    /// Plume centre at `t = 0`.
+    pub origin: Point,
+    /// Drift velocity (m/s).
+    pub velocity: (f64, f64),
+    /// Peak amplitude at the centre.
+    pub amplitude: f64,
+    /// Spatial spread (standard deviation, m).
+    pub sigma_m: f64,
+    /// Ambient background level.
+    pub background: f64,
+}
+
+impl ScalarField for GaussianPlume {
+    fn sample(&self, p: Point, t: SimTime) -> f64 {
+        let secs = t.as_secs_f64();
+        let center = Point::new(
+            self.origin.x + self.velocity.0 * secs,
+            self.origin.y + self.velocity.1 * secs,
+        );
+        let d2 = p.distance_sq(center);
+        self.background + self.amplitude * (-d2 / (2.0 * self.sigma_m * self.sigma_m)).exp()
+    }
+}
+
+/// A diurnal sinusoid plus gradient: the habitat-monitoring temperature
+/// field (day/night cycle over a study plot).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Diurnal {
+    /// Mean value.
+    pub mean: f64,
+    /// Half the peak-to-trough swing.
+    pub amplitude: f64,
+    /// Cycle length (s); 86 400 for a day.
+    pub period_s: f64,
+    /// Spatial gradient along x (unit/m) superimposed on the cycle.
+    pub gx: f64,
+}
+
+impl ScalarField for Diurnal {
+    fn sample(&self, p: Point, t: SimTime) -> f64 {
+        let phase = t.as_secs_f64() / self.period_s * std::f64::consts::TAU;
+        self.mean + self.amplitude * phase.sin() + self.gx * p.x
+    }
+}
+
+/// Boxed field for heterogeneous collections.
+pub type DynField = Box<dyn ScalarField + Send + Sync>;
+
+impl ScalarField for DynField {
+    fn sample(&self, p: Point, t: SimTime) -> f64 {
+        self.as_ref().sample(p, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_constant_everywhere() {
+        let f = Uniform(21.5);
+        assert_eq!(f.sample(Point::ORIGIN, SimTime::ZERO), 21.5);
+        assert_eq!(f.sample(Point::new(1e3, -1e3), SimTime::from_secs(999)), 21.5);
+    }
+
+    #[test]
+    fn gradient_slopes() {
+        let f = Gradient { base: 10.0, gx: 0.1, gy: -0.2 };
+        assert_eq!(f.sample(Point::ORIGIN, SimTime::ZERO), 10.0);
+        // 10 + 0.1·10 − 0.2·5 = 10.
+        assert!((f.sample(Point::new(10.0, 5.0), SimTime::ZERO) - 10.0).abs() < 1e-12);
+        assert!((f.sample(Point::new(20.0, 0.0), SimTime::ZERO) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plume_peak_moves_with_velocity() {
+        let f = GaussianPlume {
+            origin: Point::ORIGIN,
+            velocity: (1.0, 0.0),
+            amplitude: 100.0,
+            sigma_m: 10.0,
+            background: 5.0,
+        };
+        // At t=0 the peak is at the origin.
+        assert!((f.sample(Point::ORIGIN, SimTime::ZERO) - 105.0).abs() < 1e-9);
+        // At t=60s the peak has moved 60 m along x.
+        let moved = Point::new(60.0, 0.0);
+        assert!((f.sample(moved, SimTime::from_secs(60)) - 105.0).abs() < 1e-9);
+        assert!(f.sample(Point::ORIGIN, SimTime::from_secs(60)) < 105.0);
+    }
+
+    #[test]
+    fn plume_decays_with_distance() {
+        let f = GaussianPlume {
+            origin: Point::ORIGIN,
+            velocity: (0.0, 0.0),
+            amplitude: 50.0,
+            sigma_m: 5.0,
+            background: 0.0,
+        };
+        let near = f.sample(Point::new(1.0, 0.0), SimTime::ZERO);
+        let far = f.sample(Point::new(20.0, 0.0), SimTime::ZERO);
+        assert!(near > far);
+        assert!(far < 0.02 * 50.0);
+    }
+
+    #[test]
+    fn diurnal_cycles() {
+        let f = Diurnal { mean: 15.0, amplitude: 10.0, period_s: 86_400.0, gx: 0.0 };
+        let quarter = SimTime::from_secs(21_600); // peak of the sine
+        assert!((f.sample(Point::ORIGIN, quarter) - 25.0).abs() < 1e-6);
+        let full = SimTime::from_secs(86_400);
+        assert!((f.sample(Point::ORIGIN, full) - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dyn_field_dispatches() {
+        let f: DynField = Box::new(Uniform(3.0));
+        assert_eq!(f.sample(Point::ORIGIN, SimTime::ZERO), 3.0);
+    }
+
+    #[test]
+    fn fields_are_pure() {
+        let f = GaussianPlume {
+            origin: Point::new(2.0, 3.0),
+            velocity: (0.5, -0.5),
+            amplitude: 7.0,
+            sigma_m: 3.0,
+            background: 1.0,
+        };
+        let p = Point::new(4.0, 4.0);
+        let t = SimTime::from_millis(12_345);
+        assert_eq!(f.sample(p, t), f.sample(p, t));
+    }
+}

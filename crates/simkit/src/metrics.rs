@@ -1,0 +1,534 @@
+//! Lightweight metrics: counters and log-bucketed histograms.
+//!
+//! Every experiment reports throughput (counters over a window) and
+//! latency percentiles (histograms). The histogram uses HDR-style
+//! log-linear bucketing: values are grouped by their binary magnitude with
+//! 16 linear sub-buckets per octave, giving a worst-case relative
+//! quantile error of ~6% across the full `u64` range with a fixed 1KiB-ish
+//! footprint — adequate for simulation reporting and cheap enough to keep
+//! always-on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use garnet_simkit::Counter;
+///
+/// let mut delivered = Counter::new();
+/// delivered.incr();
+/// delivered.add(4);
+/// assert_eq!(delivered.get(), 5);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+const SUB_BUCKET_BITS: u32 = 4; // 16 linear sub-buckets per octave
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+const OCTAVES: usize = 64;
+
+/// A log-linear histogram over `u64` values.
+///
+/// Recording is O(1); quantile queries walk the (bounded) bucket array.
+/// Relative error of reported quantiles is at most `1/16` (one linear
+/// sub-bucket within an octave).
+///
+/// # Example
+///
+/// ```
+/// use garnet_simkit::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.quantile(0.5);
+/// assert!((450..=560).contains(&p50), "p50={p50}");
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>, // OCTAVES * SUB_BUCKETS, lazily sized
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; OCTAVES * SUB_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let octave = 63 - value.leading_zeros(); // >= SUB_BUCKET_BITS
+        let shift = octave - SUB_BUCKET_BITS;
+        let sub = ((value >> shift) as usize) & (SUB_BUCKETS - 1);
+        ((octave - SUB_BUCKET_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    /// Representative (lower-bound) value of a bucket.
+    fn bucket_floor(index: usize) -> u64 {
+        let octave = index / SUB_BUCKETS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        if octave == 0 {
+            return sub;
+        }
+        let shift = (octave - 1) as u32;
+        ((SUB_BUCKETS as u64) << shift) | (sub << shift)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a simulated duration in microseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (approximate; see type docs).
+    /// Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            return self.max;
+        }
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_floor(i).max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience accessor for the median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Convenience accessor for the 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Clears all recorded observations.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+/// A named registry of counters and histograms, used by services to
+/// expose operational statistics without threading dozens of references.
+///
+/// # Example
+///
+/// ```
+/// use garnet_simkit::MetricsRegistry;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.counter("filtering.duplicates").add(3);
+/// m.histogram("dispatch.latency_us").record(120);
+/// assert_eq!(m.counter("filtering.duplicates").get(), 3);
+/// let report = m.report();
+/// assert!(report.contains("dispatch.latency_us"));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it at zero on first use.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        self.counters.entry(name.to_owned()).or_default()
+    }
+
+    /// Reads a counter without creating it.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |c| c.get())
+    }
+
+    /// Returns the histogram named `name`, creating it empty on first use.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_owned()).or_default()
+    }
+
+    /// Reads a histogram without creating it.
+    pub fn histogram_ref(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+
+    /// Renders a deterministic plain-text report (name order).
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, c) in &self.counters {
+            let _ = writeln!(out, "{name} = {}", c.get());
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name}: n={} mean={:.1} p50={} p99={} max={}",
+                h.count(),
+                h.mean(),
+                h.p50(),
+                h.p99(),
+                h.max()
+            );
+        }
+        out
+    }
+
+    /// Clears every metric.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        assert_eq!(c.to_string(), "3");
+    }
+
+    #[test]
+    fn histogram_empty_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn histogram_single_value() {
+        let mut h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 42);
+        assert_eq!(h.max(), 42);
+        assert_eq!(h.quantile(0.0), 42);
+        assert_eq!(h.quantile(1.0), 42);
+        assert!((h.mean() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_small_values_exact() {
+        // Values below SUB_BUCKETS land in exact unit buckets.
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 3, 3, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.max(), 10);
+    }
+
+    #[test]
+    fn histogram_quantile_relative_error_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for &(q, exact) in &[(0.5, 50_000u64), (0.9, 90_000), (0.99, 99_000)] {
+            let est = h.quantile(q);
+            let rel = (est as f64 - exact as f64).abs() / exact as f64;
+            assert!(rel < 0.08, "q={q} est={est} exact={exact} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn histogram_handles_extreme_values() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for v in 0..1000u64 {
+            if v % 2 == 0 {
+                a.record(v * 7);
+            } else {
+                b.record(v * 7);
+            }
+            combined.record(v * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.min(), combined.min());
+        assert_eq!(a.max(), combined.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), combined.quantile(q));
+        }
+    }
+
+    #[test]
+    fn histogram_reset_clears_everything() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_rejects_out_of_range() {
+        Histogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn bucket_floor_is_monotone_and_inverts_index() {
+        let mut prev = 0;
+        for v in (0..20_000u64).chain([1 << 40, u64::MAX / 2, u64::MAX]) {
+            let idx = Histogram::bucket_index(v);
+            let floor = Histogram::bucket_floor(idx);
+            assert!(floor <= v, "floor {floor} > value {v}");
+            // floor must be within one sub-bucket of the value
+            if v >= SUB_BUCKETS as u64 {
+                assert!(v - floor <= v / SUB_BUCKETS as u64 + 1, "v={v} floor={floor}");
+            } else {
+                assert_eq!(floor, v);
+            }
+            let _ = prev;
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn registry_report_is_deterministic() {
+        let mut m = MetricsRegistry::new();
+        m.counter("b").incr();
+        m.counter("a").add(2);
+        m.histogram("lat").record(10);
+        let r1 = m.report();
+        let r2 = m.report();
+        assert_eq!(r1, r2);
+        assert!(r1.starts_with("a = 2\n"));
+    }
+
+    #[test]
+    fn registry_read_without_create() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.counter_value("missing"), 0);
+        assert!(m.histogram_ref("missing").is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn quantiles_are_monotone_in_q(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut h = Histogram::new();
+            for v in &values {
+                h.record(*v);
+            }
+            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+            let mut prev = 0;
+            for &q in &qs {
+                let v = h.quantile(q);
+                prop_assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+                prev = v;
+            }
+            // Extremes are exact.
+            prop_assert_eq!(h.quantile(1.0), *values.iter().max().unwrap());
+            prop_assert!(h.quantile(0.0) >= *values.iter().min().unwrap());
+        }
+
+        #[test]
+        fn merge_is_commutative(
+            a in proptest::collection::vec(0u64..1_000_000, 0..100),
+            b in proptest::collection::vec(0u64..1_000_000, 0..100),
+        ) {
+            let build = |vals: &[u64]| {
+                let mut h = Histogram::new();
+                for v in vals {
+                    h.record(*v);
+                }
+                h
+            };
+            let mut ab = build(&a);
+            ab.merge(&build(&b));
+            let mut ba = build(&b);
+            ba.merge(&build(&a));
+            prop_assert_eq!(ab.count(), ba.count());
+            prop_assert_eq!(ab.min(), ba.min());
+            prop_assert_eq!(ab.max(), ba.max());
+            for q in [0.25, 0.5, 0.9] {
+                prop_assert_eq!(ab.quantile(q), ba.quantile(q));
+            }
+        }
+
+        #[test]
+        fn quantile_within_relative_error(values in proptest::collection::vec(1u64..1_000_000, 1..300), q in 0.01f64..0.99) {
+            let mut h = Histogram::new();
+            for v in &values {
+                h.record(*v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let est = h.quantile(q);
+            // Log-linear bucketing: one sub-bucket of relative error.
+            let tolerance = (exact / 8).max(1);
+            prop_assert!(
+                est <= exact && exact - est <= tolerance || est > exact && est - exact <= tolerance,
+                "q={q} est={est} exact={exact}"
+            );
+        }
+    }
+}

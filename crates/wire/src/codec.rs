@@ -1,0 +1,247 @@
+//! Length-delimited framing for carrying wire messages over byte streams.
+//!
+//! The wireless medium delivers whole datagrams, but the fixed network
+//! side of Garnet (receiver arrays → filtering service) moves batches of
+//! messages over stream transports. [`FrameEncoder`] prefixes each frame
+//! with a big-endian `u32` length; [`FrameDecoder`] re-segments an
+//! arbitrary chunking of the byte stream back into frames.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::WireError;
+
+/// Default maximum accepted frame: a max-size data message plus slack.
+pub const DEFAULT_MAX_FRAME: usize = 70 * 1024;
+
+const LEN_PREFIX: usize = 4;
+
+/// Writes length-prefixed frames into a reusable buffer.
+///
+/// # Example
+///
+/// ```
+/// use garnet_wire::{FrameDecoder, FrameEncoder};
+///
+/// let mut enc = FrameEncoder::new();
+/// enc.write_frame(b"hello");
+/// enc.write_frame(b"world");
+/// let wire = enc.take();
+///
+/// let mut dec = FrameDecoder::new();
+/// dec.extend(&wire);
+/// assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"hello");
+/// assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"world");
+/// assert!(dec.next_frame().unwrap().is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameEncoder {
+    buf: BytesMut,
+}
+
+impl FrameEncoder {
+    /// Creates an encoder with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one frame.
+    pub fn write_frame(&mut self, frame: &[u8]) {
+        self.buf.reserve(LEN_PREFIX + frame.len());
+        self.buf.put_u32(frame.len() as u32);
+        self.buf.extend_from_slice(frame);
+    }
+
+    /// Takes all encoded bytes, leaving the encoder empty.
+    pub fn take(&mut self) -> Bytes {
+        self.buf.split().freeze()
+    }
+
+    /// Bytes currently buffered.
+    pub fn pending_len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Re-assembles frames from arbitrarily chunked input.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+    max_frame: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameDecoder {
+    /// Creates a decoder with [`DEFAULT_MAX_FRAME`].
+    pub fn new() -> Self {
+        FrameDecoder { buf: BytesMut::new(), max_frame: DEFAULT_MAX_FRAME }
+    }
+
+    /// Creates a decoder that rejects frames longer than `max_frame`
+    /// (guards against a corrupt length prefix swallowing the stream).
+    pub fn with_max_frame(max_frame: usize) -> Self {
+        FrameDecoder { buf: BytesMut::new(), max_frame }
+    }
+
+    /// Feeds more raw bytes.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Attempts to extract the next complete frame.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::FrameTooLong`] when a length prefix exceeds the
+    /// configured maximum; the stream should be abandoned.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, WireError> {
+        if self.buf.len() < LEN_PREFIX {
+            return Ok(None);
+        }
+        let declared = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if declared > self.max_frame {
+            return Err(WireError::FrameTooLong { declared, max: self.max_frame });
+        }
+        if self.buf.len() < LEN_PREFIX + declared {
+            return Ok(None);
+        }
+        self.buf.advance(LEN_PREFIX);
+        Ok(Some(self.buf.split_to(declared).freeze()))
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_frame_round_trips() {
+        let mut enc = FrameEncoder::new();
+        enc.write_frame(b"");
+        let mut dec = FrameDecoder::new();
+        dec.extend(&enc.take());
+        assert_eq!(dec.next_frame().unwrap().unwrap().len(), 0);
+        assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn frames_survive_byte_at_a_time_delivery() {
+        let mut enc = FrameEncoder::new();
+        enc.write_frame(b"abc");
+        enc.write_frame(&[0u8; 100]);
+        let wire = enc.take();
+
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for b in wire.iter() {
+            dec.extend(&[*b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].as_ref(), b"abc");
+        assert_eq!(frames[1].len(), 100);
+        assert_eq!(dec.buffered_len(), 0);
+    }
+
+    #[test]
+    fn oversize_frame_rejected() {
+        let mut dec = FrameDecoder::with_max_frame(8);
+        dec.extend(&9u32.to_be_bytes());
+        dec.extend(&[0u8; 9]);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(WireError::FrameTooLong { declared: 9, max: 8 })
+        ));
+    }
+
+    #[test]
+    fn partial_length_prefix_waits() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&[0, 0]);
+        assert!(dec.next_frame().unwrap().is_none());
+        dec.extend(&[0, 1, 0xAA]);
+        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), &[0xAA]);
+    }
+
+    #[test]
+    fn encoder_take_resets() {
+        let mut enc = FrameEncoder::new();
+        enc.write_frame(b"x");
+        assert_eq!(enc.pending_len(), 5);
+        let _ = enc.take();
+        assert_eq!(enc.pending_len(), 0);
+    }
+
+    #[test]
+    fn data_messages_travel_in_frames() {
+        use crate::ids::{SensorId, SequenceNumber, StreamId, StreamIndex};
+        use crate::message::DataMessage;
+
+        let stream = StreamId::new(SensorId::new(5).unwrap(), StreamIndex::new(1));
+        let msgs: Vec<DataMessage> = (0..10u16)
+            .map(|i| {
+                DataMessage::builder(stream)
+                    .seq(SequenceNumber::new(i))
+                    .payload(vec![i as u8; i as usize])
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+
+        let mut enc = FrameEncoder::new();
+        for m in &msgs {
+            enc.write_frame(&m.encode_to_vec());
+        }
+        let mut dec = FrameDecoder::new();
+        dec.extend(&enc.take());
+        let mut out = Vec::new();
+        while let Some(frame) = dec.next_frame().unwrap() {
+            let (m, used) = DataMessage::decode(&frame).unwrap();
+            assert_eq!(used, frame.len());
+            out.push(m);
+        }
+        assert_eq!(out, msgs);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn arbitrary_chunking_preserves_frames(
+            frames in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 0..20),
+            chunk_size in 1usize..64,
+        ) {
+            let mut enc = FrameEncoder::new();
+            for f in &frames {
+                enc.write_frame(f);
+            }
+            let wire = enc.take();
+            let mut dec = FrameDecoder::new();
+            let mut out: Vec<Vec<u8>> = Vec::new();
+            for chunk in wire.chunks(chunk_size) {
+                dec.extend(chunk);
+                while let Some(f) = dec.next_frame().unwrap() {
+                    out.push(f.to_vec());
+                }
+            }
+            prop_assert_eq!(out, frames);
+        }
+    }
+}

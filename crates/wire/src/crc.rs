@@ -1,0 +1,215 @@
+//! Cyclic redundancy checks used by the wire format.
+//!
+//! The paper omits checksums from Figure 2 "for simplicity" while noting
+//! they are "the usual checksums associated with the data messages". We
+//! use two standard polynomials, implemented from scratch (no external
+//! crypto/CRC crates are in the sanctioned dependency set):
+//!
+//! * **CRC-16/CCITT-FALSE** (poly `0x1021`, init `0xFFFF`) on data
+//!   messages — 2 bytes of trailer on a hot path handling every sensor
+//!   reading.
+//! * **CRC-32/ISO-HDLC** (reflected poly `0xEDB88320`) on control
+//!   messages — actuation requests are rare but change sensor behaviour,
+//!   justifying the stronger check (§4.2: the Actuation Service "processes
+//!   the request with timestamps, and checksums").
+//!
+//! Both are table-driven; tables are built in `const` context so there is
+//! no runtime initialisation.
+
+/// Lookup table for CRC-16/CCITT-FALSE (polynomial 0x1021, MSB-first).
+const CRC16_TABLE: [u16; 256] = {
+    let mut table = [0u16; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = (i as u16) << 8;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 0x8000 != 0 { (crc << 1) ^ 0x1021 } else { crc << 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Lookup table for CRC-32/ISO-HDLC (reflected polynomial 0xEDB88320).
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Computes CRC-16/CCITT-FALSE over `data`.
+///
+/// # Example
+///
+/// ```
+/// // The standard check value for "123456789".
+/// assert_eq!(garnet_wire::crc::crc16(b"123456789"), 0x29B1);
+/// ```
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in data {
+        let idx = ((crc >> 8) ^ u16::from(b)) & 0xFF;
+        crc = (crc << 8) ^ CRC16_TABLE[idx as usize];
+    }
+    crc
+}
+
+/// Computes CRC-32/ISO-HDLC (the ubiquitous "crc32") over `data`.
+///
+/// # Example
+///
+/// ```
+/// // The standard check value for "123456789".
+/// assert_eq!(garnet_wire::crc::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        let idx = (crc ^ u32::from(b)) & 0xFF;
+        crc = (crc >> 8) ^ CRC32_TABLE[idx as usize];
+    }
+    !crc
+}
+
+/// An incremental CRC-16 for callers that produce bytes in pieces.
+///
+/// # Example
+///
+/// ```
+/// use garnet_wire::crc::{crc16, Crc16};
+///
+/// let mut inc = Crc16::new();
+/// inc.update(b"1234");
+/// inc.update(b"56789");
+/// assert_eq!(inc.finish(), crc16(b"123456789"));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Crc16 {
+    state: u16,
+}
+
+impl Default for Crc16 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc16 {
+    /// Starts a fresh computation.
+    pub fn new() -> Self {
+        Crc16 { state: 0xFFFF }
+    }
+
+    /// Feeds more bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            let idx = ((self.state >> 8) ^ u16::from(b)) & 0xFF;
+            self.state = (self.state << 8) ^ CRC16_TABLE[idx as usize];
+        }
+    }
+
+    /// Returns the checksum of everything fed so far.
+    pub fn finish(self) -> u16 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_known_vectors() {
+        // CRC-16/CCITT-FALSE reference values.
+        assert_eq!(crc16(b""), 0xFFFF);
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+        assert_eq!(crc16(b"A"), 0xB915);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc16_detects_single_bit_flips() {
+        let data = b"garnet sensor payload".to_vec();
+        let base = crc16(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc16(&corrupted), base, "undetected flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"stream update request body".to_vec();
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), base, "undetected flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0u16..1000).map(|i| (i % 251) as u8).collect();
+        for split in [0, 1, 7, 500, 999, 1000] {
+            let mut inc = Crc16::new();
+            inc.update(&data[..split]);
+            inc.update(&data[split..]);
+            assert_eq!(inc.finish(), crc16(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn crc16_is_order_sensitive() {
+        assert_ne!(crc16(b"ab"), crc16(b"ba"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in any::<prop::sample::Index>()) {
+            let k = if data.is_empty() { 0 } else { split.index(data.len()) };
+            let mut inc = Crc16::new();
+            inc.update(&data[..k]);
+            inc.update(&data[k..]);
+            prop_assert_eq!(inc.finish(), crc16(&data));
+        }
+
+        #[test]
+        fn single_bit_flip_always_detected_crc16(data in proptest::collection::vec(any::<u8>(), 1..256), byte in any::<prop::sample::Index>(), bit in 0u8..8) {
+            let mut corrupted = data.clone();
+            let i = byte.index(data.len());
+            corrupted[i] ^= 1 << bit;
+            prop_assert_ne!(crc16(&corrupted), crc16(&data));
+        }
+    }
+}

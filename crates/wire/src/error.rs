@@ -1,0 +1,120 @@
+//! Error types for encoding and decoding Garnet wire messages.
+
+use core::fmt;
+
+/// An error raised while constructing, encoding or decoding wire messages.
+///
+/// Every variant is actionable by the caller: truncation means "wait for
+/// more bytes" when streaming, checksum and version errors mean "discard
+/// the frame", and the construction errors indicate programmer mistakes
+/// caught at the API boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The input ended before a complete message could be decoded.
+    Truncated {
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The trailer checksum did not match the message contents.
+    BadChecksum {
+        /// Checksum carried by the message.
+        expected: u32,
+        /// Checksum recomputed over the received bytes.
+        actual: u32,
+    },
+    /// The header carried a protocol version this implementation does not
+    /// speak.
+    UnsupportedVersion(u8),
+    /// A payload larger than the 16-bit size field can describe.
+    PayloadTooLarge(usize),
+    /// A sensor identifier outside the 24-bit space.
+    InvalidSensorId(u32),
+    /// A control message carried an unknown command discriminant.
+    UnknownCommand(u8),
+    /// A control message carried an unknown target discriminant.
+    UnknownTarget(u8),
+    /// An acknowledgement status byte was not a known value.
+    UnknownAckStatus(u8),
+    /// Header flags and message body disagree (e.g. the update-ack flag is
+    /// set but no acknowledgement field is present).
+    FlagBodyMismatch(&'static str),
+    /// An encrypted payload failed authentication (tampered, replayed
+    /// into the wrong context, or wrong key).
+    AuthFailure,
+    /// A frame length prefix exceeded the decoder's configured maximum.
+    FrameTooLong {
+        /// Declared frame length.
+        declared: usize,
+        /// Maximum the decoder accepts.
+        max: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated message: need {needed} bytes, have {have}")
+            }
+            WireError::BadChecksum { expected, actual } => {
+                write!(f, "checksum mismatch: message carries {expected:#06x}, computed {actual:#06x}")
+            }
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::PayloadTooLarge(n) => {
+                write!(f, "payload of {n} bytes exceeds the 64KiB wire limit")
+            }
+            WireError::InvalidSensorId(id) => {
+                write!(f, "sensor id {id:#x} exceeds the 24-bit identifier space")
+            }
+            WireError::UnknownCommand(d) => write!(f, "unknown sensor command discriminant {d}"),
+            WireError::UnknownTarget(d) => write!(f, "unknown actuation target discriminant {d}"),
+            WireError::UnknownAckStatus(d) => write!(f, "unknown ack status byte {d}"),
+            WireError::FlagBodyMismatch(what) => {
+                write!(f, "header flags disagree with message body: {what}")
+            }
+            WireError::AuthFailure => write!(f, "payload authentication failed"),
+            WireError::FrameTooLong { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds decoder maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<WireError> = vec![
+            WireError::Truncated { needed: 9, have: 3 },
+            WireError::BadChecksum { expected: 0xABCD, actual: 0x1234 },
+            WireError::UnsupportedVersion(3),
+            WireError::PayloadTooLarge(70_000),
+            WireError::InvalidSensorId(0x0100_0000),
+            WireError::UnknownCommand(250),
+            WireError::UnknownTarget(9),
+            WireError::UnknownAckStatus(7),
+            WireError::FlagBodyMismatch("update-ack flag without ack field"),
+            WireError::AuthFailure,
+            WireError::FrameTooLong { declared: 1 << 20, max: 1 << 16 },
+        ];
+        for e in cases {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "message not lowercase: {s}");
+            assert!(!s.ends_with('.'), "message has trailing punctuation: {s}");
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_error(WireError::UnsupportedVersion(2));
+    }
+}

@@ -1,0 +1,230 @@
+//! Failure injection: the middleware under dying sensors, roaming out of
+//! coverage, corrupted control paths, token expiry and consumer churn.
+
+use std::sync::atomic::Ordering;
+
+use garnet::core::middleware::{ActuationOutcome, GarnetConfig, StepOutput};
+use garnet::core::pipeline::{PipelineConfig, PipelineSim, SharedCountConsumer};
+use garnet::net::{Capability, CapabilitySet, Principal, TopicFilter};
+use garnet::radio::field::Uniform;
+use garnet::radio::geometry::Point;
+use garnet::radio::{
+    EnergyModel, Medium, Mobility, Propagation, Receiver, SensorCaps, SensorNode, StreamConfig,
+    Transmitter,
+};
+use garnet::simkit::{SimDuration, SimTime};
+use garnet::wire::{ActuationTarget, SensorCommand, SensorId, StreamIndex};
+
+fn pipeline(seed: u64) -> PipelineSim {
+    let receivers = Receiver::grid(Point::ORIGIN, 2, 2, 80.0, 120.0);
+    let transmitters = Transmitter::grid(Point::ORIGIN, 2, 2, 80.0, 120.0);
+    PipelineSim::new(
+        PipelineConfig {
+            seed,
+            medium: Medium::ideal(Propagation::UnitDisk { range_m: 120.0 }),
+            garnet: GarnetConfig { receivers, transmitters, ..GarnetConfig::default() },
+            peer_range_m: None,
+        },
+        Box::new(Uniform(4.0)),
+    )
+}
+
+#[test]
+fn battery_death_silences_stream_without_breaking_others() {
+    let mut sim = pipeline(1);
+    let model = EnergyModel::microsensor();
+    // Frame = 9 hdr + 16 reading + 2 crc = 27 bytes; budget for ~5 frames.
+    let budget = model.tx_cost_nj(27) * 5;
+    sim.add_sensor(
+        SensorNode::new(SensorId::new(1).unwrap(), Point::new(40.0, 40.0))
+            .with_stream(StreamIndex::new(0), StreamConfig::every(SimDuration::from_secs(1)))
+            .with_energy_budget_nj(budget),
+    );
+    sim.add_sensor(
+        SensorNode::new(SensorId::new(2).unwrap(), Point::new(50.0, 40.0))
+            .with_stream(StreamIndex::new(0), StreamConfig::every(SimDuration::from_secs(1))),
+    );
+    let token = sim.garnet_mut().issue_default_token("t");
+    let (c1, n1) = SharedCountConsumer::new("watch-1");
+    let (c2, n2) = SharedCountConsumer::new("watch-2");
+    let id1 = sim.garnet_mut().register_consumer(Box::new(c1), &token, 0).unwrap();
+    let id2 = sim.garnet_mut().register_consumer(Box::new(c2), &token, 0).unwrap();
+    sim.garnet_mut().subscribe(id1, TopicFilter::Sensor(SensorId::new(1).unwrap()), &token).unwrap();
+    sim.garnet_mut().subscribe(id2, TopicFilter::Sensor(SensorId::new(2).unwrap()), &token).unwrap();
+
+    sim.run_until(SimTime::from_secs(30));
+    let dead = n1.load(Ordering::Relaxed);
+    let alive = n2.load(Ordering::Relaxed);
+    assert_eq!(dead, 5, "sensor 1 died after its budget");
+    assert!(alive >= 29, "sensor 2 unaffected: {alive}");
+    assert!(sim.sensors()[0].meter().is_exhausted());
+    // The dead stream's catalogue entry records its short life.
+    let stream = garnet::wire::StreamId::new(SensorId::new(1).unwrap(), StreamIndex::new(0));
+    assert_eq!(sim.garnet().streams().info(stream).unwrap().messages, 5);
+}
+
+#[test]
+fn roaming_out_of_coverage_and_back_resumes_stream() {
+    let mut sim = pipeline(2);
+    // Walk from inside coverage to 1 km away and back over 120 s.
+    let track = Mobility::Waypoints(vec![
+        (0, Point::new(40.0, 40.0)),
+        (40_000_000, Point::new(1_000.0, 40.0)),
+        (80_000_000, Point::new(1_000.0, 40.0)),
+        (120_000_000, Point::new(40.0, 40.0)),
+    ]);
+    sim.add_sensor(
+        SensorNode::new(SensorId::new(1).unwrap(), Point::ORIGIN)
+            .with_mobility(track)
+            .with_stream(StreamIndex::new(0), StreamConfig::every(SimDuration::from_secs(1))),
+    );
+    let token = sim.garnet_mut().issue_default_token("t");
+    let (c, n) = SharedCountConsumer::new("c");
+    let id = sim.garnet_mut().register_consumer(Box::new(c), &token, 0).unwrap();
+    sim.garnet_mut().subscribe(id, TopicFilter::All, &token).unwrap();
+
+    sim.run_until(SimTime::from_secs(10));
+    let early = n.load(Ordering::Relaxed);
+    assert!(early >= 5, "in coverage at the start: {early}");
+
+    sim.run_until(SimTime::from_secs(80));
+    let mid = n.load(Ordering::Relaxed);
+
+    sim.run_until(SimTime::from_secs(125));
+    let late = n.load(Ordering::Relaxed);
+    assert!(late > mid, "stream resumes on return: {mid} → {late}");
+    // The filtering service saw the gap as loss, not corruption.
+    assert_eq!(sim.garnet().filtering().crc_failure_count(), 0);
+    assert!(sim.transmission_count() > sim.reception_count() / 4, "messages were lost in the hole");
+}
+
+#[test]
+fn actuation_to_unreachable_sensor_times_out_cleanly() {
+    let mut sim = pipeline(3);
+    // A sophisticated sensor far outside every transmitter's range.
+    sim.add_sensor(
+        SensorNode::new(SensorId::new(1).unwrap(), Point::new(5_000.0, 0.0))
+            .with_caps(SensorCaps::sophisticated())
+            .with_stream(StreamIndex::new(0), StreamConfig::every(SimDuration::from_secs(1))),
+    );
+    let token = sim.garnet_mut().issue_default_token("t");
+    let (c, _n) = SharedCountConsumer::new("c");
+    let id = sim.garnet_mut().register_consumer(Box::new(c), &token, 0).unwrap();
+    let now = sim.now();
+    let outcome = sim
+        .garnet_mut()
+        .request_actuation(
+            id,
+            &token,
+            ActuationTarget::Sensor(SensorId::new(1).unwrap()),
+            SensorCommand::Ping,
+            now,
+        )
+        .unwrap();
+    let ActuationOutcome::Granted { plan, .. } = outcome else {
+        panic!("grant expected");
+    };
+    assert!(plan.flooded, "no location fix for a silent far sensor");
+    sim.carry_out(StepOutput { control: vec![plan], expired_requests: vec![] });
+
+    // Default actuation config: 5 s timeout, 2 retries → dead by ~15 s.
+    sim.run_until(SimTime::from_secs(30));
+    assert_eq!(sim.garnet().actuation().in_flight(), 0, "request fully expired");
+    assert_eq!(sim.garnet().actuation().timeout_count(), 1);
+    assert_eq!(sim.garnet().actuation().acknowledged_count(), 0);
+    assert_eq!(sim.garnet().actuation().retransmission_count(), 2);
+    assert_eq!(sim.control_delivery_count(), 0, "nothing ever reached the sensor");
+}
+
+#[test]
+fn expired_token_is_refused_everywhere() {
+    let mut sim = pipeline(4);
+    let garnet = sim.garnet_mut();
+    let token = garnet.auth().issue(
+        Principal::new("short-lived"),
+        CapabilitySet::all(),
+        1_000_000, // expires at t = 1 s
+    );
+    let (c, _n) = SharedCountConsumer::new("c");
+    let id = garnet.register_consumer(Box::new(c), &token, 0).unwrap();
+    // Valid before expiry…
+    garnet.subscribe_at(id, TopicFilter::All, &token, SimTime::ZERO).unwrap();
+    // …refused after.
+    let later = SimTime::from_secs(2);
+    assert!(garnet.subscribe_at(id, TopicFilter::All, &token, later).is_err());
+    assert!(garnet
+        .request_actuation(
+            id,
+            &token,
+            ActuationTarget::Sensor(SensorId::new(1).unwrap()),
+            SensorCommand::Ping,
+            later,
+        )
+        .is_err());
+    assert!(garnet.locate(&token, SensorId::new(1).unwrap(), later).is_err());
+    assert!(matches!(
+        garnet.provide_hint(&token, SensorId::new(1).unwrap(), Point::ORIGIN, 1.0, later),
+        Err(garnet::core::middleware::GarnetError::NotAuthorized {
+            needed: Capability::ProvideHints
+        })
+    ));
+}
+
+#[test]
+fn consumer_churn_releases_resources_and_reroutes_data() {
+    let mut sim = pipeline(5);
+    sim.add_sensor(
+        SensorNode::new(SensorId::new(1).unwrap(), Point::new(40.0, 40.0))
+            .with_caps(SensorCaps::sophisticated())
+            .with_stream(StreamIndex::new(0), StreamConfig::every(SimDuration::from_secs(1))),
+    );
+    let token = sim.garnet_mut().issue_default_token("t");
+
+    // First consumer demands a fast rate, then leaves.
+    let (c1, _n1) = SharedCountConsumer::new("c1");
+    let id1 = sim.garnet_mut().register_consumer(Box::new(c1), &token, 0).unwrap();
+    sim.garnet_mut().subscribe(id1, TopicFilter::All, &token).unwrap();
+    let now = sim.now();
+    let _ = sim
+        .garnet_mut()
+        .request_actuation(
+            id1,
+            &token,
+            ActuationTarget::Sensor(SensorId::new(1).unwrap()),
+            SensorCommand::SetReportInterval { stream: StreamIndex::new(0), interval_ms: 200 },
+            now,
+        )
+        .unwrap();
+    assert_eq!(
+        sim.garnet().resource().effective_interval_ms(SensorId::new(1).unwrap(), StreamIndex::new(0)),
+        Some(200)
+    );
+    sim.garnet_mut().deregister_consumer(id1).unwrap();
+    // The departing consumer's demand is released.
+    assert_eq!(
+        sim.garnet().resource().effective_interval_ms(SensorId::new(1).unwrap(), StreamIndex::new(0)),
+        None
+    );
+
+    // Its data now orphans until a second consumer claims it.
+    sim.run_until(SimTime::from_secs(5));
+    assert!(sim.garnet().orphanage().total_taken() > 0);
+    let (c2, n2) = SharedCountConsumer::new("c2");
+    let id2 = sim.garnet_mut().register_consumer(Box::new(c2), &token, 0).unwrap();
+    let now = sim.now();
+    let (replayed, _) = sim
+        .garnet_mut()
+        .subscribe_at(
+            id2,
+            TopicFilter::Stream(garnet::wire::StreamId::new(
+                SensorId::new(1).unwrap(),
+                StreamIndex::new(0),
+            )),
+            &token,
+            now,
+        )
+        .unwrap();
+    assert!(replayed > 0);
+    sim.run_until(SimTime::from_secs(10));
+    assert!(n2.load(Ordering::Relaxed) > replayed as u64);
+}
