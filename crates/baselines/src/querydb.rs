@@ -231,10 +231,7 @@ mod tests {
         let out = e.finish(SimTime::from_secs(6));
         let results = &out[&q].results;
         // Windows (0,2], (2,4], (4,6]: last samples are 1, 3, 5.
-        assert_eq!(
-            results.iter().map(|&(_, v)| v).collect::<Vec<_>>(),
-            vec![1.0, 3.0, 5.0]
-        );
+        assert_eq!(results.iter().map(|&(_, v)| v).collect::<Vec<_>>(), vec![1.0, 3.0, 5.0]);
         assert_eq!(results[0].0, SimTime::from_secs(2));
     }
 

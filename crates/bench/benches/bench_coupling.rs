@@ -6,9 +6,13 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e08_coupling");
     group.sample_size(10);
     for &consumers in &[1usize, 8, 32] {
-        group.bench_with_input(BenchmarkId::new("pipeline_consumers", consumers), &consumers, |b, &n| {
-            b.iter(|| std::hint::black_box(run_point(n)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pipeline_consumers", consumers),
+            &consumers,
+            |b, &n| {
+                b.iter(|| std::hint::black_box(run_point(n)));
+            },
+        );
     }
     group.finish();
 }

@@ -11,7 +11,8 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut engine = QueryEngine::new();
                 for i in 0..nq {
-                    engine.register(Query::latest_every(SimDuration::from_secs(1 + (i % 5) as u64)));
+                    engine
+                        .register(Query::latest_every(SimDuration::from_secs(1 + (i % 5) as u64)));
                 }
                 for i in 0..10_000u64 {
                     engine.ingest(SimTime::from_millis(i * 100), i as f64);

@@ -5,11 +5,9 @@ use garnet_core::resource::MediationPolicy;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e11_mediation");
-    for policy in [
-        MediationPolicy::DenyConflicts,
-        MediationPolicy::PriorityWins,
-        MediationPolicy::MergeMax,
-    ] {
+    for policy in
+        [MediationPolicy::DenyConflicts, MediationPolicy::PriorityWins, MediationPolicy::MergeMax]
+    {
         group.throughput(Throughput::Elements(16));
         group.bench_with_input(
             BenchmarkId::new("adjudicate16", format!("{policy:?}")),

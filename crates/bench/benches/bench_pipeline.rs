@@ -1,6 +1,8 @@
-//! E3: the full Fig. 1 pipeline at one operating point.
-use criterion::{criterion_group, criterion_main, Criterion};
-use garnet_bench::e03_pipeline::run_point;
+//! E3: the full Fig. 1 pipeline at one operating point, plus the ingest
+//! shard sweep (writes `BENCH_pipeline_shards.json` next to the bench's
+//! working directory).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use garnet_bench::e03_pipeline::{run_point, run_shard_point, shard_sweep_json, shard_workload};
 use garnet_simkit::{SimDuration, SimTime};
 
 fn bench(c: &mut Criterion) {
@@ -14,6 +16,24 @@ fn bench(c: &mut Criterion) {
         });
     });
     group.finish();
+
+    let frames = 50_000u32;
+    let workload = shard_workload(frames, 64);
+    let mut group = c.benchmark_group("e03_pipeline_shards");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(u64::from(frames)));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &s| {
+            b.iter(|| std::hint::black_box(run_shard_point(&workload, s)));
+        });
+    }
+    group.finish();
+
+    let json = shard_sweep_json(frames, 64, &[1, 2, 4, 8]);
+    if let Err(e) = std::fs::write("BENCH_pipeline_shards.json", &json) {
+        eprintln!("could not write BENCH_pipeline_shards.json: {e}");
+    }
+    println!("{json}");
 }
 
 criterion_group!(benches, bench);

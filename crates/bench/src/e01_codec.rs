@@ -47,11 +47,8 @@ pub fn run() -> (Vec<CodecPoint>, Table) {
         let (back, used) = DataMessage::decode(&bytes).expect("round trip");
         assert_eq!(back, msg);
         assert_eq!(used, bytes.len());
-        let point = CodecPoint {
-            payload_len: len,
-            encoded_len: bytes.len(),
-            overhead: bytes.len() - len,
-        };
+        let point =
+            CodecPoint { payload_len: len, encoded_len: bytes.len(), overhead: bytes.len() - len };
         table.row(&[n(len as u64), n(bytes.len() as u64), n(point.overhead as u64), "ok".into()]);
         points.push(point);
     }

@@ -10,9 +10,7 @@
 use garnet_core::filtering::{FilterConfig, FilteringService};
 use garnet_radio::ReceiverId;
 use garnet_simkit::SimTime;
-use garnet_wire::{
-    DataMessage, SensorId, SequenceNumber, StreamId, StreamIndex, MAX_PAYLOAD_LEN,
-};
+use garnet_wire::{DataMessage, SensorId, SequenceNumber, StreamId, StreamIndex, MAX_PAYLOAD_LEN};
 
 use crate::table::Table;
 
@@ -97,9 +95,7 @@ pub fn run() -> (Vec<CapacityCheck>, Table) {
 
     // 64K payloads: the maximum round-trips; one more byte is rejected.
     assert!(full_round_trip(stream, 0, MAX_PAYLOAD_LEN));
-    let too_big = DataMessage::builder(stream)
-        .payload(vec![0u8; MAX_PAYLOAD_LEN + 1])
-        .build();
+    let too_big = DataMessage::builder(stream).payload(vec![0u8; MAX_PAYLOAD_LEN + 1]).build();
     checks.push(CapacityCheck {
         claim: "payload bytes (16-bit size)",
         paper: 65_535,
@@ -134,10 +130,9 @@ pub fn id_space_sweep(count: u32) -> u64 {
         let sensor = SensorId::new((i * stride) % (SensorId::MAX.as_u32() + 1)).unwrap();
         let stream = StreamId::new(sensor, StreamIndex::new(0));
         let frame = DataMessage::builder(stream).build().unwrap().encode_to_vec();
-        delivered += filter
-            .on_frame(ReceiverId::new(0), -40.0, &frame, SimTime::ZERO)
-            .deliveries
-            .len() as u64;
+        delivered +=
+            filter.on_frame(ReceiverId::new(0), -40.0, &frame, SimTime::ZERO).deliveries.len()
+                as u64;
     }
     delivered
 }
@@ -151,7 +146,13 @@ mod tests {
         let (checks, _) = run();
         assert_eq!(checks.len(), 4);
         for c in &checks {
-            assert!(c.measured >= c.paper, "{}: measured {} < paper {}", c.claim, c.measured, c.paper);
+            assert!(
+                c.measured >= c.paper,
+                "{}: measured {} < paper {}",
+                c.claim,
+                c.measured,
+                c.paper
+            );
             assert!(c.overflow_rejected, "{}", c.claim);
         }
     }

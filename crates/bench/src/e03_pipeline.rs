@@ -8,8 +8,12 @@
 //! throughput scales linearly with offered load.
 
 use garnet_core::pipeline::LatencyProbe;
-use garnet_net::TopicFilter;
+use garnet_core::router::ThreadedIngest;
+use garnet_core::FilterConfig;
+use garnet_net::{SubscriberId, SubscriptionTable, TopicFilter};
+use garnet_radio::ReceiverId;
 use garnet_simkit::{SimDuration, SimTime};
+use garnet_wire::{DataMessage, SensorId, SequenceNumber, StreamId, StreamIndex};
 use garnet_workloads::HabitatScenario;
 
 use crate::table::{f2, n, Table};
@@ -85,6 +89,102 @@ pub fn run() -> (Vec<PipelinePoint>, Table) {
     (points, table)
 }
 
+/// One sample of the ingest shard sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardPoint {
+    /// Worker shards in the threaded ingest driver.
+    pub shards: usize,
+    /// Frames pushed through the stage.
+    pub frames: u64,
+    /// Wall-clock for the whole batch (first push to join), µs.
+    pub elapsed_us: u64,
+    /// Frames per second of wall-clock.
+    pub throughput_fps: f64,
+}
+
+/// Pre-encodes the sweep workload: `frames` data messages round-robined
+/// over `sensors` sensors with monotonic per-stream sequence numbers —
+/// the pure ingest hot path with no radio simulation in front of it.
+pub fn shard_workload(frames: u32, sensors: u32) -> Vec<Vec<u8>> {
+    (0..frames)
+        .map(|i| {
+            let sensor = 1 + (i % sensors);
+            let seq = (i / sensors) as u16;
+            let stream = StreamId::new(SensorId::new(sensor).unwrap(), StreamIndex::new(0));
+            DataMessage::builder(stream)
+                .seq(SequenceNumber::new(seq))
+                .payload(vec![seq as u8; 16])
+                .build()
+                .unwrap()
+                .encode_to_vec()
+        })
+        .collect()
+}
+
+/// Pushes `workload` through a [`ThreadedIngest`] with `shards` workers
+/// and returns the wall-clock sample. Panics if any frame is lost (the
+/// workload is duplicate- and gap-free, so delivered must equal pushed).
+pub fn run_shard_point(workload: &[Vec<u8>], shards: usize) -> ShardPoint {
+    let mut subs = SubscriptionTable::new();
+    subs.subscribe(SubscriberId::new(1), TopicFilter::All);
+    let started = std::time::Instant::now();
+    let mut ingest = ThreadedIngest::new(FilterConfig::default(), shards, 64, &subs);
+    let mut delivered = 0u64;
+    for (i, frame) in workload.iter().enumerate() {
+        let at = SimTime::from_micros(i as u64);
+        for b in ingest.push(ReceiverId::new(0), -40.0, frame.clone(), at) {
+            delivered += b.deliveries.len() as u64;
+        }
+    }
+    for b in ingest.flush(SimTime::from_secs(3_600)) {
+        delivered += b.deliveries.len() as u64;
+    }
+    for b in ingest.finish() {
+        delivered += b.deliveries.len() as u64;
+    }
+    let elapsed = started.elapsed();
+    assert_eq!(delivered, workload.len() as u64, "ingest lost frames");
+    ShardPoint {
+        shards,
+        frames: delivered,
+        elapsed_us: elapsed.as_micros() as u64,
+        throughput_fps: delivered as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+/// Runs the shard sweep and renders it as a JSON document for
+/// `BENCH_pipeline_shards.json`. The host's core count is recorded
+/// because the speedup ceiling is `min(shards, cores)`: on a
+/// single-core host every shard count measures the same serial work
+/// plus channel overhead.
+pub fn shard_sweep_json(frames: u32, sensors: u32, shard_counts: &[usize]) -> String {
+    let workload = shard_workload(frames, sensors);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let points: Vec<ShardPoint> =
+        shard_counts.iter().map(|&s| run_shard_point(&workload, s)).collect();
+    let base = points.first().map_or(1.0, |p| p.throughput_fps);
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"shards\": {}, \"frames\": {}, \"elapsed_us\": {}, \
+                 \"throughput_fps\": {:.1}, \"speedup_vs_1\": {:.3}}}",
+                p.shards,
+                p.frames,
+                p.elapsed_us,
+                p.throughput_fps,
+                p.throughput_fps / base
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"e03_pipeline_shards\",\n  \"driver\": \"ThreadedIngest\",\n  \
+         \"host_cores\": {cores},\n  \"note\": \"speedup ceiling is min(shards, host_cores)\",\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +199,14 @@ mod tests {
         assert!(slow.delivery_ratio > 0.95, "ratio={}", slow.delivery_ratio);
         // Latency does not blow up with 60x the load.
         assert!(fast.p99_us < slow.p99_us.max(2_000) * 10, "fast p99 {}", fast.p99_us);
+    }
+
+    #[test]
+    fn shard_sweep_is_lossless_and_serialisable() {
+        let json = shard_sweep_json(2_000, 16, &[1, 2]);
+        assert!(json.contains("\"host_cores\""));
+        assert!(json.contains("\"shards\": 1"));
+        assert!(json.contains("\"shards\": 2"));
+        assert!(json.contains("\"frames\": 2000"));
     }
 }

@@ -48,15 +48,12 @@ pub fn run_point(overlap: u32, loss: f64, n_msgs: u16, seed: u64) -> FilteringPo
         }
         copies_arrived += 1;
         last_t = last_t.max(f.at);
-        delivered += filter
-            .on_frame(ReceiverId::new(f.receiver), -50.0, &f.frame, f.at)
-            .deliveries
-            .len() as u64;
+        delivered +=
+            filter.on_frame(ReceiverId::new(f.receiver), -50.0, &f.frame, f.at).deliveries.len()
+                as u64;
     }
     // Flush reorder buffers.
-    delivered += filter
-        .on_tick(last_t.saturating_add(SimDuration::from_secs(10)))
-        .len() as u64;
+    delivered += filter.on_tick(last_t.saturating_add(SimDuration::from_secs(10))).len() as u64;
     FilteringPoint {
         overlap,
         loss,
@@ -100,18 +97,15 @@ pub fn run_timeout_ablation(timeout_ms: u64, seed: u64) -> TimeoutAblationPoint 
             continue;
         }
         clock = clock.max(f.at);
-        delivered += filter
-            .on_frame(ReceiverId::new(f.receiver), -50.0, &f.frame, f.at)
-            .deliveries
-            .len() as u64;
+        delivered +=
+            filter.on_frame(ReceiverId::new(f.receiver), -50.0, &f.frame, f.at).deliveries.len()
+                as u64;
         // Run the maintenance tick as the middleware would.
         while filter.next_deadline().is_some_and(|d| d <= clock) {
             delivered += filter.on_tick(clock).len() as u64;
         }
     }
-    delivered += filter
-        .on_tick(clock.saturating_add(SimDuration::from_secs(60)))
-        .len() as u64;
+    delivered += filter.on_tick(clock.saturating_add(SimDuration::from_secs(60))).len() as u64;
     TimeoutAblationPoint {
         timeout_ms,
         delivered,
@@ -185,11 +179,7 @@ mod tests {
         let lone = run_point(1, 0.3, 2_000, 3);
         let redundant = run_point(4, 0.3, 2_000, 3);
         assert!(lone.completeness < 0.8, "lone={}", lone.completeness);
-        assert!(
-            redundant.completeness > 0.95,
-            "redundant={}",
-            redundant.completeness
-        );
+        assert!(redundant.completeness > 0.95, "redundant={}", redundant.completeness);
         assert!(redundant.duplicates > 0);
     }
 

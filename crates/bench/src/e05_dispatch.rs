@@ -42,7 +42,8 @@ pub fn build_service(fanout: usize, bystanders: usize) -> DispatchingService {
     }
     for i in 0..bystanders {
         let id = d.register_subscriber();
-        let other = StreamId::new(SensorId::new(1000 + i as u32 % 4000).unwrap(), StreamIndex::new(0));
+        let other =
+            StreamId::new(SensorId::new(1000 + i as u32 % 4000).unwrap(), StreamIndex::new(0));
         d.subscribe(id, TopicFilter::Stream(other));
     }
     d

@@ -62,7 +62,8 @@ pub fn run() -> (Vec<RetriPoint>, Table) {
             &energy,
             &mut rng,
         );
-        let garnet = scheme_cost(RetriScheme::GarnetStable, concurrent, payload_bits, &energy, &mut rng);
+        let garnet =
+            scheme_cost(RetriScheme::GarnetStable, concurrent, payload_bits, &energy, &mut rng);
         let winner = if retri.energy_per_delivered_nj < garnet.energy_per_delivered_nj {
             "RETRI"
         } else {
@@ -81,7 +82,10 @@ pub fn run() -> (Vec<RetriPoint>, Table) {
             concurrent,
             retri,
             garnet,
-            analytic_any_collision: analytic_collision_probability(RETRI_ID_BITS, concurrent as u64),
+            analytic_any_collision: analytic_collision_probability(
+                RETRI_ID_BITS,
+                concurrent as u64,
+            ),
         });
     }
     (points, table)

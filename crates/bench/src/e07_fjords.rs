@@ -30,9 +30,7 @@ pub struct FjordsPoint {
 /// 1s/2s/5s.
 pub fn query_mix(q: usize) -> Vec<Query> {
     let intervals = [1u64, 2, 5];
-    (0..q)
-        .map(|i| Query::latest_every(SimDuration::from_secs(intervals[i % 3])))
-        .collect()
+    (0..q).map(|i| Query::latest_every(SimDuration::from_secs(intervals[i % 3]))).collect()
 }
 
 /// Runs one point.
@@ -76,12 +74,19 @@ pub fn run() -> (Vec<FjordsPoint>, Table) {
     let mut points = Vec::new();
     let mut table = Table::new(
         "E7 — Fjords proxy sharing: sensor tx (shared vs per-query) & Garnet MergeMax equivalence",
-        &["queries", "tx shared", "tx per-query", "saving x", "proxy interval ms", "Garnet interval ms"],
+        &[
+            "queries",
+            "tx shared",
+            "tx per-query",
+            "saving x",
+            "proxy interval ms",
+            "Garnet interval ms",
+        ],
     );
     for &q in &[1usize, 4, 16, 64, 256] {
         let p = run_point(q, horizon);
-        let saving = p.comparison.sensor_tx_per_query as f64
-            / p.comparison.sensor_tx_shared.max(1) as f64;
+        let saving =
+            p.comparison.sensor_tx_per_query as f64 / p.comparison.sensor_tx_shared.max(1) as f64;
         table.row(&[
             n(q as u64),
             n(p.comparison.sensor_tx_shared),
@@ -104,13 +109,12 @@ mod tests {
         let (points, _) = run();
         let shared: Vec<u64> = points.iter().map(|p| p.comparison.sensor_tx_shared).collect();
         assert!(shared.windows(2).all(|w| w[0] == w[1]), "shared cost flat: {shared:?}");
-        let per_query: Vec<u64> =
-            points.iter().map(|p| p.comparison.sensor_tx_per_query).collect();
+        let per_query: Vec<u64> = points.iter().map(|p| p.comparison.sensor_tx_per_query).collect();
         assert!(per_query.windows(2).all(|w| w[1] > w[0]));
         // The 256-query saving is "significant" (> 50x here).
         let last = points.last().unwrap();
-        let saving = last.comparison.sensor_tx_per_query as f64
-            / last.comparison.sensor_tx_shared as f64;
+        let saving =
+            last.comparison.sensor_tx_per_query as f64 / last.comparison.sensor_tx_shared as f64;
         assert!(saving > 50.0, "saving={saving}");
     }
 

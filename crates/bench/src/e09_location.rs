@@ -46,7 +46,8 @@ pub fn run_point(grid_side: usize, seed: u64) -> LocationPoint {
     let mut rng = SimRng::seed(seed);
     let spacing = FIELD_SIDE / (grid_side.max(2) - 1) as f64;
     let receivers = Receiver::grid(Point::ORIGIN, grid_side, grid_side, spacing, 400.0);
-    let transmitters = Transmitter::grid(Point::ORIGIN, grid_side, grid_side, spacing, spacing * 0.9);
+    let transmitters =
+        Transmitter::grid(Point::ORIGIN, grid_side, grid_side, spacing, spacing * 0.9);
     let prop = Propagation::wifi_outdoor();
     let truths = survey_positions(&mut rng.fork("truths"), 20);
 
@@ -60,7 +61,11 @@ pub fn run_point(grid_side: usize, seed: u64) -> LocationPoint {
     for (si, &truth) in truths.iter().enumerate() {
         let sensor = SensorId::new(si as u32 + 1).unwrap();
         let mut loc = LocationService::new(
-            LocationConfig { max_observations: 512, max_sightings_used: 8, ..LocationConfig::default() },
+            LocationConfig {
+                max_observations: 512,
+                max_sightings_used: 8,
+                ..LocationConfig::default()
+            },
             &receivers,
         );
         // Each receiver rolls reception of 4 transmissions.

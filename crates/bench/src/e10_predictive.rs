@@ -96,7 +96,12 @@ pub fn run_mode(mode: CoordinationMode) -> PredictivePoint {
     let config = PipelineConfig {
         seed: s.seed,
         medium: Medium::ideal(Propagation::UnitDisk { range_m: s.station_spacing_m * 0.9 }),
-        garnet: GarnetConfig { receivers, transmitters, coordination: mode, ..GarnetConfig::default() },
+        garnet: GarnetConfig {
+            receivers,
+            transmitters,
+            coordination: mode,
+            ..GarnetConfig::default()
+        },
         peer_range_m: None,
     };
     let mut sim = PipelineSim::new(config, s.field());

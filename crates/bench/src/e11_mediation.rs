@@ -47,9 +47,10 @@ fn demand(i: usize) -> (u32, u8) {
 pub fn run_point(policy: MediationPolicy, consumers: usize) -> MediationPoint {
     let sensor = SensorId::new(1).unwrap();
     let mut rm = ResourceManager::new(policy);
-    rm.register_profile(sensor, SensorProfile {
-        constraints: vec![Constraint::parse("rate_hz <= 20").unwrap()],
-    });
+    rm.register_profile(
+        sensor,
+        SensorProfile { constraints: vec![Constraint::parse("rate_hz <= 20").unwrap()] },
+    );
     let mut granted = 0u64;
     for i in 0..consumers {
         let (interval_ms, priority) = demand(i);
@@ -89,11 +90,9 @@ pub fn run() -> (Vec<MediationPoint>, Table) {
         "E11 — conflict mediation: policy vs contention (sensor capped at 20 Hz)",
         &["policy", "consumers", "granted", "denied", "satisfaction", "effective Hz"],
     );
-    for &policy in &[
-        MediationPolicy::DenyConflicts,
-        MediationPolicy::PriorityWins,
-        MediationPolicy::MergeMax,
-    ] {
+    for &policy in
+        &[MediationPolicy::DenyConflicts, MediationPolicy::PriorityWins, MediationPolicy::MergeMax]
+    {
         for &consumers in &[2usize, 8, 16] {
             let p = run_point(policy, consumers);
             table.row(&[

@@ -56,11 +56,15 @@ pub fn run_point(before: u16, after: u16, retain_cap: usize) -> OrphanagePoint {
     let (consumer, count) = SharedCountConsumer::new("late");
     let id = g.register_consumer(Box::new(consumer), &token, 0).unwrap();
     let stream = StreamId::new(SensorId::new(1).unwrap(), StreamIndex::new(0));
-    let (replayed, _) = g
-        .subscribe_at(id, TopicFilter::Stream(stream), &token, SimTime::from_secs(10))
-        .unwrap();
+    let (replayed, _) =
+        g.subscribe_at(id, TopicFilter::Stream(stream), &token, SimTime::from_secs(10)).unwrap();
     for seq in before..before + after {
-        g.on_frame(ReceiverId::new(0), -50.0, &frame(1, seq), SimTime::from_millis(10_000 + u64::from(seq)));
+        g.on_frame(
+            ReceiverId::new(0),
+            -50.0,
+            &frame(1, seq),
+            SimTime::from_millis(10_000 + u64::from(seq)),
+        );
     }
     OrphanagePoint {
         sent_before_subscribe: u64::from(before),

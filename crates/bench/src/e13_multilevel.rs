@@ -54,7 +54,8 @@ pub struct MultilevelPoint {
 /// Builds a relay chain of `depth` levels terminated by a counter, then
 /// injects `msgs` raw messages.
 pub fn run_point(depth: usize, msgs: u16, max_depth: u32) -> MultilevelPoint {
-    let mut g = Garnet::new(GarnetConfig { max_derived_depth: max_depth, ..GarnetConfig::default() });
+    let mut g =
+        Garnet::new(GarnetConfig { max_derived_depth: max_depth, ..GarnetConfig::default() });
     let token = g.issue_default_token("chain");
     let raw_stream = StreamId::new(SensorId::new(1).unwrap(), StreamIndex::new(0));
 

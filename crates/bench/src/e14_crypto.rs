@@ -47,9 +47,8 @@ pub fn run_point(payload_len: usize, iters: u32) -> CryptoPoint {
 
     let start = std::time::Instant::now();
     for _ in 0..iters {
-        let opened = key
-            .open(stream, SequenceNumber::new((iters - 1) as u16), &sealed)
-            .expect("authentic");
+        let opened =
+            key.open(stream, SequenceNumber::new((iters - 1) as u16), &sealed).expect("authentic");
         std::hint::black_box(&opened);
     }
     let open_elapsed = start.elapsed().as_secs_f64();

@@ -12,7 +12,9 @@ use garnet_core::middleware::GarnetConfig;
 use garnet_core::pipeline::{PipelineConfig, PipelineSim};
 use garnet_radio::field::Uniform;
 use garnet_radio::geometry::Point;
-use garnet_radio::{Medium, Propagation, Receiver, ReceiverId, SensorCaps, SensorNode, StreamConfig};
+use garnet_radio::{
+    Medium, Propagation, Receiver, ReceiverId, SensorCaps, SensorNode, StreamConfig,
+};
 use garnet_simkit::{SimDuration, SimTime};
 use garnet_wire::{SensorId, StreamIndex};
 
@@ -41,8 +43,7 @@ const HORIZON_S: u64 = 60;
 /// halfway between the source and the receiver.
 pub fn run_point(source_distance_m: f64, seed: u64) -> MultihopPoint {
     let run = |peer_range: Option<f64>| {
-        let receivers =
-            vec![Receiver::new(ReceiverId::new(0), Point::ORIGIN, RECEIVER_RANGE)];
+        let receivers = vec![Receiver::new(ReceiverId::new(0), Point::ORIGIN, RECEIVER_RANGE)];
         let cfg = PipelineConfig {
             seed,
             medium: Medium::ideal(Propagation::UnitDisk { range_m: 400.0 }),
@@ -60,11 +61,7 @@ pub fn run_point(source_distance_m: f64, seed: u64) -> MultihopPoint {
         );
         sim.run_until(SimTime::from_secs(HORIZON_S));
         let relay_energy = sim.sensors()[relay_idx].energy_consumed_nj();
-        (
-            sim.garnet().filtering().delivered_count(),
-            sim.relayed_transmission_count(),
-            relay_energy,
-        )
+        (sim.garnet().filtering().delivered_count(), sim.relayed_transmission_count(), relay_energy)
     };
     let (delivered_without, _, _) = run(None);
     let (delivered_with, relay_tx, relay_energy_nj) = run(Some(PEER_RANGE));

@@ -81,10 +81,8 @@ pub fn run_point(enabled: bool, seed: u64) -> QuiescePoint {
 
     sim.run_until(SimTime::from_secs(HORIZON_S));
     let fleet: u64 = sim.sensors().iter().map(|s| s.energy_consumed_nj()).sum();
-    let unclaimed: u64 = sim.sensors()[(SENSORS / 2) as usize..]
-        .iter()
-        .map(|s| s.energy_consumed_nj())
-        .sum();
+    let unclaimed: u64 =
+        sim.sensors()[(SENSORS / 2) as usize..].iter().map(|s| s.energy_consumed_nj()).sum();
     QuiescePoint {
         enabled,
         fleet_energy_mj: fleet as f64 / 1e6,
@@ -101,13 +99,7 @@ pub fn run() -> (QuiescePoint, QuiescePoint, Table) {
     let on = run_point(true, 0xE16);
     let mut table = Table::new(
         "E16 — demand-driven quiescence: fleet energy, half the streams unclaimed (30 min)",
-        &[
-            "quiesce",
-            "fleet mJ",
-            "unclaimed-half mJ",
-            "delivered to consumer",
-            "quiesce actions",
-        ],
+        &["quiesce", "fleet mJ", "unclaimed-half mJ", "delivered to consumer", "quiesce actions"],
     );
     for p in [&off, &on] {
         table.row(&[

@@ -139,22 +139,20 @@ impl ActuationService {
     ) -> Option<RequestOutcome> {
         let pending = self.pending.remove(&request_id.as_u32())?;
         self.acknowledged += 1;
-        self.ack_latency_us
-            .record(now.saturating_since(pending.submitted_at).as_micros());
+        self.ack_latency_us.record(now.saturating_since(pending.submitted_at).as_micros());
         Some(RequestOutcome::Acknowledged(status))
     }
 
     /// Harvests due retransmissions and expirations at `now`. Returns
     /// requests to retransmit plus requests that finally timed out.
-    pub fn on_tick(&mut self, now: SimTime) -> (Vec<StreamUpdateRequest>, Vec<StreamUpdateRequest>) {
+    pub fn on_tick(
+        &mut self,
+        now: SimTime,
+    ) -> (Vec<StreamUpdateRequest>, Vec<StreamUpdateRequest>) {
         let mut retransmit = Vec::new();
         let mut expired = Vec::new();
-        let due: Vec<u32> = self
-            .pending
-            .iter()
-            .filter(|(_, p)| p.deadline <= now)
-            .map(|(&id, _)| id)
-            .collect();
+        let due: Vec<u32> =
+            self.pending.iter().filter(|(_, p)| p.deadline <= now).map(|(&id, _)| id).collect();
         for id in due {
             let p = self.pending.get_mut(&id).expect("listed above");
             if p.retries_left > 0 {

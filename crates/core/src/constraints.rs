@@ -73,20 +73,18 @@ impl Value {
     fn as_num(self) -> Result<f64, ConstraintError> {
         match self {
             Value::Num(n) => Ok(n),
-            Value::Bool(_) => Err(ConstraintError::TypeMismatch {
-                expected: "number",
-                found: "boolean",
-            }),
+            Value::Bool(_) => {
+                Err(ConstraintError::TypeMismatch { expected: "number", found: "boolean" })
+            }
         }
     }
 
     fn as_bool(self) -> Result<bool, ConstraintError> {
         match self {
             Value::Bool(b) => Ok(b),
-            Value::Num(_) => Err(ConstraintError::TypeMismatch {
-                expected: "boolean",
-                found: "number",
-            }),
+            Value::Num(_) => {
+                Err(ConstraintError::TypeMismatch { expected: "boolean", found: "number" })
+            }
         }
     }
 }
@@ -307,17 +305,13 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ConstraintError> {
                     i += 1;
                 }
                 let text = &src[start..i];
-                let n: f64 = text.parse().map_err(|_| ConstraintError::BadToken {
-                    at: start,
-                    found: c,
-                })?;
+                let n: f64 =
+                    text.parse().map_err(|_| ConstraintError::BadToken { at: start, found: c })?;
                 out.push((start, Tok::Num(n)));
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -589,9 +583,9 @@ impl Expr {
         match self {
             Expr::Num(n) => Ok(Value::Num(*n)),
             Expr::Bool(b) => Ok(Value::Bool(*b)),
-            Expr::Var(name) => env
-                .get(name)
-                .ok_or_else(|| ConstraintError::UnknownIdentifier(name.clone())),
+            Expr::Var(name) => {
+                env.get(name).ok_or_else(|| ConstraintError::UnknownIdentifier(name.clone()))
+            }
             Expr::Neg(inner) => Ok(Value::Num(-inner.eval(env)?.as_num()?)),
             Expr::Not(inner) => Ok(Value::Bool(!inner.eval(env)?.as_bool()?)),
             Expr::Call(builtin, args) => {
@@ -827,10 +821,7 @@ mod tests {
     #[test]
     fn unknown_identifier_is_error() {
         let c = Constraint::parse("bogus_var < 5").unwrap();
-        assert_eq!(
-            c.check(&env()),
-            Err(ConstraintError::UnknownIdentifier("bogus_var".into()))
-        );
+        assert_eq!(c.check(&env()), Err(ConstraintError::UnknownIdentifier("bogus_var".into())));
     }
 
     #[test]
@@ -864,10 +855,7 @@ mod tests {
 
     #[test]
     fn syntax_errors_reported_with_position() {
-        assert!(matches!(
-            Constraint::parse("rate_hz <"),
-            Err(ConstraintError::UnexpectedEnd)
-        ));
+        assert!(matches!(Constraint::parse("rate_hz <"), Err(ConstraintError::UnexpectedEnd)));
         assert!(matches!(
             Constraint::parse("rate_hz # 5"),
             Err(ConstraintError::BadToken { found: '#', .. })
@@ -876,18 +864,12 @@ mod tests {
             Constraint::parse("1 = 2"),
             Err(ConstraintError::BadToken { found: '=', .. })
         ));
-        assert!(matches!(
-            Constraint::parse("(1 < 2"),
-            Err(ConstraintError::UnexpectedEnd)
-        ));
+        assert!(matches!(Constraint::parse("(1 < 2"), Err(ConstraintError::UnexpectedEnd)));
         assert!(matches!(
             Constraint::parse("1 < 2 extra"),
             Err(ConstraintError::UnexpectedToken { .. })
         ));
-        assert!(matches!(
-            Constraint::parse(""),
-            Err(ConstraintError::UnexpectedEnd)
-        ));
+        assert!(matches!(Constraint::parse(""), Err(ConstraintError::UnexpectedEnd)));
         assert!(matches!(
             Constraint::parse("a & b"),
             Err(ConstraintError::BadToken { found: '&', .. })
@@ -948,10 +930,7 @@ mod tests {
             Constraint::parse("abs(1, 2) > 0"),
             Err(ConstraintError::WrongArity { function: "abs", .. })
         ));
-        assert!(matches!(
-            Constraint::parse("min(1,"),
-            Err(ConstraintError::UnexpectedEnd)
-        ));
+        assert!(matches!(Constraint::parse("min(1,"), Err(ConstraintError::UnexpectedEnd)));
         // Type errors inside calls surface.
         let c = Constraint::parse("min(true, 1) > 0").unwrap();
         assert!(matches!(c.check(&env()), Err(ConstraintError::TypeMismatch { .. })));

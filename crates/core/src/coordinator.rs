@@ -178,11 +178,7 @@ impl SuperCoordinator {
         if !unchanged {
             if let Some(action) = self.policies.get(&state) {
                 self.reactive_actions += 1;
-                out.push(CoordinatorAction {
-                    action: action.clone(),
-                    anticipatory: false,
-                    state,
-                });
+                out.push(CoordinatorAction { action: action.clone(), anticipatory: false, state });
             }
         }
 
@@ -221,10 +217,7 @@ impl SuperCoordinator {
     /// The current state of every known consumer — the coordinator's
     /// "global view" (§4.2), nearly correct by construction (§6).
     pub fn global_view(&self) -> BTreeMap<u32, ConsumerStateId> {
-        self.models
-            .iter()
-            .filter_map(|(&c, m)| m.current.map(|s| (c, s)))
-            .collect()
+        self.models.iter().filter_map(|(&c, m)| m.current.map(|s| (c, s))).collect()
     }
 
     /// State-change reports received.
@@ -251,10 +244,7 @@ mod tests {
     fn action(interval_ms: u32) -> PolicyAction {
         PolicyAction {
             target: ActuationTarget::Sensor(SensorId::new(1).unwrap()),
-            command: SensorCommand::SetReportInterval {
-                stream: StreamIndex::new(0),
-                interval_ms,
-            },
+            command: SensorCommand::SetReportInterval { stream: StreamIndex::new(0), interval_ms },
             priority: 3,
             anticipatable: true,
         }

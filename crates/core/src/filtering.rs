@@ -24,7 +24,7 @@
 //! [`Observation`] for the Location Service: duplicates are useless to
 //! consumers but golden for trilateration.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use garnet_radio::ReceiverId;
 use garnet_simkit::{Counter, SimDuration, SimTime};
@@ -154,7 +154,11 @@ impl StreamFilter {
         }
         let b = self.buffer.remove(0);
         self.last_delivered = Some(b.msg.seq());
-        out.push(Delivery { msg: b.msg, first_received_at: b.first_received_at, delivered_at: now });
+        out.push(Delivery {
+            msg: b.msg,
+            first_received_at: b.first_received_at,
+            delivered_at: now,
+        });
         self.drain_ready(now, out);
     }
 }
@@ -184,7 +188,7 @@ impl StreamFilter {
 #[derive(Debug)]
 pub struct FilteringService {
     config: FilterConfig,
-    streams: HashMap<u32, StreamFilter>,
+    streams: BTreeMap<u32, StreamFilter>,
     delivered: Counter,
     duplicates: Counter,
     crc_failures: Counter,
@@ -198,7 +202,7 @@ impl FilteringService {
     pub fn new(config: FilterConfig) -> Self {
         FilteringService {
             config,
-            streams: HashMap::new(),
+            streams: BTreeMap::new(),
             delivered: Counter::new(),
             duplicates: Counter::new(),
             crc_failures: Counter::new(),
@@ -225,12 +229,8 @@ impl FilteringService {
                 return result;
             }
         };
-        result.observation = Some(Observation {
-            sensor: msg.stream().sensor(),
-            receiver,
-            rssi_dbm,
-            at: now,
-        });
+        result.observation =
+            Some(Observation { sensor: msg.stream().sensor(), receiver, rssi_dbm, at: now });
 
         let state = self.streams.entry(msg.stream().to_raw()).or_default();
         let seq = msg.seq();
@@ -244,11 +244,7 @@ impl FilteringService {
             None => {
                 // First message of the stream: deliver whatever seq it has.
                 state.last_delivered = Some(seq);
-                result.deliveries.push(Delivery {
-                    msg,
-                    first_received_at: now,
-                    delivered_at: now,
-                });
+                result.deliveries.push(Delivery { msg, first_received_at: now, delivered_at: now });
                 state.drain_ready(now, &mut result.deliveries);
             }
             Some(last) => {
@@ -294,6 +290,11 @@ impl FilteringService {
 
     /// Releases buffered messages whose reorder deadline has passed,
     /// accepting the gaps before them.
+    ///
+    /// Streams flush in ascending stream-id order. That order is load
+    /// bearing: the sharded ingest stage merges per-shard flushes by
+    /// re-sorting on stream id, which reproduces this sequence exactly —
+    /// a sharded pipeline is bit-identical to an unsharded one.
     pub fn on_tick(&mut self, now: SimTime) -> Vec<Delivery> {
         let mut out = Vec::new();
         for state in self.streams.values_mut() {
@@ -309,10 +310,7 @@ impl FilteringService {
     /// The earliest buffered-message deadline, for scheduling the next
     /// [`FilteringService::on_tick`].
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.streams
-            .values()
-            .filter_map(|s| s.buffer.first().map(|b| b.deadline))
-            .min()
+        self.streams.values().filter_map(|s| s.buffer.first().map(|b| b.deadline)).min()
     }
 
     /// Messages released downstream.

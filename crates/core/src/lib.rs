@@ -13,9 +13,16 @@
 //! state changes and can *anticipate* needs, invoking resource-manager
 //! policy ahead of demand.
 //!
-//! All services are sans-io state machines; [`middleware::Garnet`] wires
-//! them into one deployable unit and [`pipeline::PipelineSim`] closes the
-//! loop with the simulated radio field for experiments.
+//! All services are sans-io state machines implementing the
+//! [`service::GarnetService`] trait; the [`router::Router`] threads
+//! typed events between them over a FIFO queue, and
+//! [`middleware::Garnet`] is a thin facade that drives the router (and
+//! hosts the consumers). The filtering hot path is partitioned by
+//! sensor id into [`router::ShardedIngest`] shards with a deterministic
+//! merge, so any shard count produces bit-identical outputs under the
+//! simulation driver while [`router::ThreadedIngest`] runs the shards
+//! on real threads. [`pipeline::PipelineSim`] closes the loop with the
+//! simulated radio field for experiments.
 //!
 //! # Quickstart
 //!
@@ -50,9 +57,13 @@ pub mod orphanage;
 pub mod pipeline;
 pub mod replicator;
 pub mod resource;
+pub mod router;
+pub mod service;
 pub mod stream;
 
 pub use consumer::{Consumer, ConsumerCtx};
 pub use filtering::{Delivery, FilterConfig, FilteringService, Observation};
 pub use middleware::{Garnet, GarnetConfig};
 pub use pipeline::{PipelineConfig, PipelineSim};
+pub use router::{DispatchStage, Router, Services, ShardedIngest, ThreadedIngest};
+pub use service::{GarnetService, ServiceEvent, ServiceOutput};

@@ -144,10 +144,7 @@ impl LocationService {
             return;
         };
         let est_distance_m = self.config.propagation.estimate_distance(obs.rssi_dbm);
-        self.push(
-            obs.sensor,
-            Evidence::Sighting { receiver_pos, est_distance_m, at: obs.at },
-        );
+        self.push(obs.sensor, Evidence::Sighting { receiver_pos, est_distance_m, at: obs.at });
         self.observations_taken += 1;
     }
 
@@ -198,10 +195,7 @@ impl LocationService {
         let position = weighted_centroid(&weighted)?;
         // Weighted RMS spread of the evidence around the centroid.
         let total_w: f64 = weighted.iter().map(|(_, w)| w).sum();
-        let spread = (weighted
-            .iter()
-            .map(|(p, w)| w * p.distance_sq(position))
-            .sum::<f64>()
+        let spread = (weighted.iter().map(|(p, w)| w * p.distance_sq(position)).sum::<f64>()
             / total_w)
             .sqrt();
         Some(LocationEstimate {
@@ -303,7 +297,10 @@ mod tests {
         // A confident consumer hint at the true position.
         loc.hint(sensor(), Point::new(20.0, 5.0), 5.0, SimTime::ZERO);
         let after = loc.estimate(sensor(), SimTime::ZERO).unwrap();
-        assert!(after.position.distance_to(Point::new(20.0, 5.0)) < before.position.distance_to(Point::new(20.0, 5.0)));
+        assert!(
+            after.position.distance_to(Point::new(20.0, 5.0))
+                < before.position.distance_to(Point::new(20.0, 5.0))
+        );
         assert_eq!(loc.hint_count(), 1);
     }
 

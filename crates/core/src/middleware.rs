@@ -1,28 +1,36 @@
 //! The Garnet middleware facade: Figure 1 assembled into one deployable
 //! unit.
 //!
-//! [`Garnet`] owns every service and routes between them:
+//! [`Garnet`] is a thin driver over the event [`Router`]: every external
+//! input becomes a [`ServiceEvent`] on the router's FIFO queue, and the
+//! facade pumps the queue to quiescence, applying the outputs that
+//! escape the service graph (consumer callbacks, control plans,
+//! denials, expiries):
 //!
 //! ```text
-//!   on_frame ─→ Filtering ─→ Dispatching ─→ consumers ─→ actions
-//!                  │              │                         │
-//!                  │              └─(unclaimed)→ Orphanage  │
-//!                  ├─(observations)→ Location               │
-//!                  └─(piggy-backed acks)→ Actuation         │
-//!                                                           ▼
-//!        Resource Manager ←─ actuation requests ←───────────┤
-//!               │                                            │
-//!        Actuation Service → Message Replicator → control    │
-//!               ▲                                 plans out  │
-//!        Super Coordinator ←─ state reports ←───────────────┘
+//!   on_frame ─→ ShardedIngest ─→ Dispatching ─→ consumers ─→ actions
+//!                  │                  │                         │
+//!                  │                  └─(Orphaned)→ Orphanage   │
+//!                  ├─(Observed)→ Location                       │
+//!                  └─(AckReceived)→ Actuation                   │
+//!                                                               ▼
+//!        Resource Manager ←─ ActuationRequested ←───────────────┤
+//!               │ (Submit)                                      │
+//!        Actuation Service ─(Replicate)→ Replicator → control   │
+//!               ▲                                    plans out  │
+//!        Super Coordinator ←─ StateReported ←───────────────────┘
 //! ```
 //!
 //! Consumers run *inside* the facade (mutually unaware of each other, as
-//! §2 demands); their derived streams re-enter the dispatch loop with a
-//! bounded depth, forming the "essentially arbitrary graph of consumer
-//! processes and data streams" of §6.
+//! §2 demands); their derived streams re-enter the dispatch loop as
+//! `Filtered` events with a bounded depth, forming the "essentially
+//! arbitrary graph of consumer processes and data streams" of §6.
+//!
+//! The queue is strictly FIFO and the ingest stage merges its shards
+//! deterministically, so a facade configured with any
+//! [`GarnetConfig::ingest_shards`] produces bit-identical outputs.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use core::fmt;
 use garnet_net::{
@@ -31,9 +39,9 @@ use garnet_net::{
 };
 use garnet_radio::geometry::Point;
 use garnet_radio::{Receiver, ReceiverId, Transmitter};
-use garnet_simkit::{SimTime};
+use garnet_simkit::SimTime;
 use garnet_wire::{
-    ActuationTarget, AckStatus, DataMessage, RequestId, SensorCommand, SensorId, SequenceNumber,
+    AckStatus, ActuationTarget, DataMessage, RequestId, SensorCommand, SensorId, SequenceNumber,
     StreamId, StreamUpdateRequest,
 };
 
@@ -41,19 +49,16 @@ use crate::actuation::{ActuationConfig, ActuationService};
 use crate::consumer::{Consumer, ConsumerAction, ConsumerCtx};
 use crate::coordinator::{CoordinationMode, PolicyAction, SuperCoordinator};
 use crate::dispatching::DispatchingService;
-use crate::filtering::{Delivery, FilterConfig, FilteringService};
+use crate::filtering::{Delivery, FilterConfig};
 use crate::location::{LocationConfig, LocationEstimate, LocationService};
 use crate::orphanage::{Orphanage, OrphanageConfig};
 use crate::replicator::{MessageReplicator, ReplicationPlan};
-use crate::resource::{Decision, DenyReason, MediationPolicy, ResourceManager, SensorProfile};
+use crate::resource::{DenyReason, MediationPolicy, ResourceManager, SensorProfile};
+use crate::router::{DispatchStage, Router, Services, ShardedIngest};
+use crate::service::{ActuationOrigin, ServiceEvent, ServiceOutput};
 use crate::stream::StreamRegistry;
 
-/// Reserved subscriber identity for actions the middleware itself
-/// originates (Super Coordinator policies).
-pub const SYSTEM_SUBSCRIBER: SubscriberId = SubscriberId::new(u32::MAX);
-
-/// Priority used for coordinator-originated actuations.
-const SYSTEM_PRIORITY: u8 = 200;
+pub use crate::service::SYSTEM_SUBSCRIBER;
 
 /// Demand-driven quiescence (§8's "system-inferred changes to data
 /// usage patterns"): streams nobody subscribes to are slowed down to
@@ -76,6 +81,11 @@ pub struct QuiesceConfig {
 pub struct GarnetConfig {
     /// Filtering Service tuning.
     pub filter: FilterConfig,
+    /// Number of ingest shards the filtering hot path is partitioned
+    /// into (by sensor id). Any value produces bit-identical outputs
+    /// under the simulation driver; values above 1 let threaded drivers
+    /// run filtering in parallel. 0 is treated as 1.
+    pub ingest_shards: usize,
     /// Orphanage tuning.
     pub orphanage: OrphanageConfig,
     /// Location Service tuning.
@@ -102,6 +112,7 @@ impl Default for GarnetConfig {
     fn default() -> Self {
         GarnetConfig {
             filter: FilterConfig::default(),
+            ingest_shards: 1,
             orphanage: OrphanageConfig::default(),
             location: LocationConfig::default(),
             actuation: ActuationConfig::default(),
@@ -159,10 +170,21 @@ pub struct StepOutput {
 }
 
 impl StepOutput {
-    /// Appends another output's effects.
+    /// Appends another output's effects, then restores the canonical
+    /// order: ascending request id (stable, so equal-id entries — e.g.
+    /// an original and its retransmission — keep their relative order).
+    ///
+    /// Request ids are allocated in grant order by the single Actuation
+    /// Service, so this is chronological order — and it makes the merge
+    /// **order-independent**: merging shard or partial outputs in any
+    /// order yields the same final sequence, which is what lets sharded
+    /// drivers combine per-shard effects without re-introducing
+    /// nondeterminism.
     pub fn merge(&mut self, mut other: StepOutput) {
         self.control.append(&mut other.control);
         self.expired_requests.append(&mut other.expired_requests);
+        self.control.sort_by_key(|p| p.request.request_id.as_u32());
+        self.expired_requests.sort_by_key(|r| r.request_id.as_u32());
     }
 }
 
@@ -208,17 +230,9 @@ impl fmt::Debug for ConsumerEntry {
 #[derive(Debug)]
 pub struct Garnet {
     max_derived_depth: u32,
-    filtering: FilteringService,
-    dispatching: DispatchingService,
-    orphanage: Orphanage,
-    location: LocationService,
-    resource: ResourceManager,
-    actuation: ActuationService,
-    replicator: MessageReplicator,
-    coordinator: SuperCoordinator,
+    router: Router,
     auth: AuthService,
     registry: ServiceRegistry,
-    streams: StreamRegistry,
     consumers: HashMap<SubscriberId, ConsumerEntry>,
     next_virtual_sensor: u32,
     depth_drops: u64,
@@ -227,6 +241,9 @@ pub struct Garnet {
     quiesced: std::collections::BTreeSet<u32>,
     quiesce_actions: u64,
     restore_actions: u64,
+    /// Holds the terminal outcome of an in-flight `Api` actuation chain
+    /// between enqueueing it and the pump draining it.
+    api_outcome: Option<ActuationOutcome>,
 }
 
 impl Garnet {
@@ -251,19 +268,21 @@ impl Garnet {
                 owner: system.clone(),
             });
         }
-        Garnet {
-            max_derived_depth: config.max_derived_depth,
-            filtering: FilteringService::new(config.filter),
-            dispatching: DispatchingService::new(),
+        let services = Services {
+            ingest: ShardedIngest::new(config.filter, config.ingest_shards),
+            dispatch: DispatchStage::new(),
             orphanage: Orphanage::new(config.orphanage),
             location: LocationService::new(config.location, &config.receivers),
             resource: ResourceManager::new(config.mediation),
             actuation: ActuationService::new(config.actuation),
             replicator: MessageReplicator::new(config.transmitters),
             coordinator: SuperCoordinator::new(config.coordination),
+        };
+        Garnet {
+            max_derived_depth: config.max_derived_depth,
+            router: Router::new(services),
             auth: AuthService::new(config.auth_key),
             registry,
-            streams: StreamRegistry::new(),
             consumers: HashMap::new(),
             next_virtual_sensor: SensorId::MAX.as_u32(),
             depth_drops: 0,
@@ -272,6 +291,7 @@ impl Garnet {
             quiesced: std::collections::BTreeSet::new(),
             quiesce_actions: 0,
             restore_actions: 0,
+            api_outcome: None,
         }
     }
 
@@ -284,11 +304,15 @@ impl Garnet {
     /// convenience for examples and tests; real deployments scope
     /// capabilities per principal.
     pub fn issue_default_token(&self, principal: &str) -> Token {
-        self.auth
-            .issue(Principal::new(principal), CapabilitySet::all(), u64::MAX)
+        self.auth.issue(Principal::new(principal), CapabilitySet::all(), u64::MAX)
     }
 
-    fn authorize(&self, token: &Token, needed: Capability, now: SimTime) -> Result<(), GarnetError> {
+    fn authorize(
+        &self,
+        token: &Token,
+        needed: Capability,
+        now: SimTime,
+    ) -> Result<(), GarnetError> {
         if self.auth.verify(token, now.as_micros(), needed) {
             Ok(())
         } else {
@@ -317,7 +341,7 @@ impl Garnet {
         let virtual_sensor =
             SensorId::new(self.next_virtual_sensor).expect("counter stays in 24-bit range");
         self.next_virtual_sensor -= 1;
-        let id = self.dispatching.register_subscriber();
+        let id = self.router.services_mut().dispatch.dispatching.register_subscriber();
         self.registry.advertise(ServiceDescriptor {
             name: format!("consumer/{}", consumer.name()),
             kind: ServiceKind::Consumer,
@@ -341,12 +365,10 @@ impl Garnet {
     /// Removes a consumer: drops its subscriptions, releases its
     /// resource demands, withdraws its advertisement.
     pub fn deregister_consumer(&mut self, id: SubscriberId) -> Result<(), GarnetError> {
-        let entry = self
-            .consumers
-            .remove(&id)
-            .ok_or(GarnetError::UnknownConsumer(id))?;
-        self.dispatching.unsubscribe_all(id);
-        self.resource.release_consumer(id);
+        let entry = self.consumers.remove(&id).ok_or(GarnetError::UnknownConsumer(id))?;
+        let services = self.router.services_mut();
+        services.dispatch.dispatching.unsubscribe_all(id);
+        services.resource.release_consumer(id);
         if let Some(c) = &entry.consumer {
             self.registry.withdraw(&format!("consumer/{}", c.name()));
         }
@@ -390,12 +412,15 @@ impl Garnet {
         if !self.consumers.contains_key(&id) {
             return Err(GarnetError::UnknownConsumer(id));
         }
-        self.dispatching.subscribe(id, filter);
+        self.router.services_mut().dispatch.dispatching.subscribe(id, filter);
 
-        // Claim matching orphanage backlog.
+        // Claim matching orphanage backlog. Claims are synchronous
+        // request/response, not dataflow, so they stay direct calls.
         let claimable: Vec<StreamId> = match filter {
             TopicFilter::Stream(s) => vec![s],
             TopicFilter::Sensor(sensor) => self
+                .router
+                .services()
                 .orphanage
                 .unclaimed_streams()
                 .into_iter()
@@ -408,27 +433,27 @@ impl Garnet {
         let mut backlog: Vec<DataMessage> = Vec::new();
         let mut out = StepOutput::default();
         for s in claimable {
-            backlog.extend(self.orphanage.claim(s));
-            self.streams.set_claimed(s, true);
+            let services = self.router.services_mut();
+            backlog.extend(services.orphanage.claim(s));
+            services.dispatch.streams.set_claimed(s, true);
             self.restore_if_quiesced(s, now, &mut out);
         }
         let replayed = backlog.len();
-        let mut queue: VecDeque<(Delivery, u32)> = VecDeque::new();
         for msg in backlog {
             let delivery = Delivery { msg, first_received_at: now, delivered_at: now };
-            self.deliver_to(id, &delivery, 0, now, &mut queue, &mut out);
+            self.deliver_to(id, &delivery, 0, now);
         }
-        let pumped = self.pump_queue(queue, now);
-        out.merge(pumped);
+        self.pump(now, &mut out);
         Ok((replayed, out))
     }
 
     /// Removes one subscription.
     pub fn unsubscribe(&mut self, id: SubscriberId, filter: TopicFilter) {
-        self.dispatching.unsubscribe(id, filter);
+        let services = self.router.services_mut();
+        services.dispatch.dispatching.unsubscribe(id, filter);
         if let TopicFilter::Stream(s) = filter {
-            if !self.dispatching.would_deliver(s) {
-                self.streams.set_claimed(s, false);
+            if !services.dispatch.dispatching.would_deliver(s) {
+                services.dispatch.streams.set_claimed(s, false);
             }
         }
     }
@@ -441,48 +466,28 @@ impl Garnet {
         frame: &[u8],
         now: SimTime,
     ) -> StepOutput {
-        let result = self.filtering.on_frame(receiver, rssi_dbm, frame, now);
-        if let Some(obs) = &result.observation {
-            self.location.observe(obs);
-        }
         let mut out = StepOutput::default();
-        for d in &result.deliveries {
-            // Piggy-backed acknowledgement of a stream update request.
-            if let Some(request_id) = d.msg.ack() {
-                self.actuation.on_ack(request_id, AckStatus::Applied, now);
-            }
-        }
-        let queue: VecDeque<(Delivery, u32)> =
-            result.deliveries.into_iter().map(|d| (d, 0)).collect();
-        out.merge(self.pump_queue(queue, now));
+        self.router.enqueue(ServiceEvent::Frame { receiver, rssi_dbm, frame: frame.to_vec() });
+        self.pump(now, &mut out);
         out
     }
 
     /// Ingests a standalone acknowledgement (from sensors whose data
     /// streams are disabled).
-    pub fn on_standalone_ack(
-        &mut self,
-        request_id: RequestId,
-        status: AckStatus,
-        now: SimTime,
-    ) {
-        self.actuation.on_ack(request_id, status, now);
+    pub fn on_standalone_ack(&mut self, request_id: RequestId, status: AckStatus, now: SimTime) {
+        self.router.enqueue(ServiceEvent::AckReceived { request_id, status });
+        let mut scratch = StepOutput::default();
+        self.pump(now, &mut scratch);
     }
 
     /// Periodic maintenance: reorder-buffer flushes and actuation
     /// retries. Call at [`Garnet::next_deadline`].
     pub fn on_tick(&mut self, now: SimTime) -> StepOutput {
         let mut out = StepOutput::default();
-        let flushed = self.filtering.on_tick(now);
-        let queue: VecDeque<(Delivery, u32)> = flushed.into_iter().map(|d| (d, 0)).collect();
-        out.merge(self.pump_queue(queue, now));
-
-        let (retransmit, expired) = self.actuation.on_tick(now);
-        for req in retransmit {
-            let plan = self.replicator.plan(req, &self.location, now);
-            out.control.push(plan);
-        }
-        out.expired_requests = expired;
+        self.router.enqueue(ServiceEvent::FlushReorder);
+        self.pump(now, &mut out);
+        self.router.enqueue(ServiceEvent::ActuationTick);
+        self.pump(now, &mut out);
         self.sweep_quiesce(now, &mut out);
         out
     }
@@ -493,6 +498,9 @@ impl Garnet {
     fn sweep_quiesce(&mut self, now: SimTime, out: &mut StepOutput) {
         let Some(cfg) = self.quiesce else { return };
         let due: Vec<StreamId> = self
+            .router
+            .services()
+            .dispatch
             .streams
             .discover_unclaimed()
             .into_iter()
@@ -504,26 +512,22 @@ impl Garnet {
             .map(|i| i.stream)
             .collect();
         for stream in due {
-            let outcome = self.adjudicate_and_submit(
-                SYSTEM_SUBSCRIBER,
-                0, // lowest priority: any real consumer demand overrides
-                ActuationTarget::Stream(stream),
-                SensorCommand::SetReportInterval {
+            self.router.enqueue(ServiceEvent::ActuationRequested {
+                origin: ActuationOrigin::Quiesce,
+                requester: SYSTEM_SUBSCRIBER,
+                priority: 0, // lowest: any real consumer demand overrides
+                target: ActuationTarget::Stream(stream),
+                command: SensorCommand::SetReportInterval {
                     stream: stream.index(),
                     interval_ms: cfg.slow_interval_ms,
                 },
-                now,
-            );
-            if let ActuationOutcome::Granted { plan, .. } = outcome {
-                self.quiesced.insert(stream.to_raw());
-                self.quiesce_actions += 1;
-                out.control.push(plan);
-            }
+            });
         }
+        self.pump(now, out);
     }
 
-    /// Restores a quiesced stream when demand appears. Returns the plan
-    /// to transmit, if the stream was quiesced.
+    /// Restores a quiesced stream when demand appears; the plan to
+    /// transmit lands in `out`.
     fn restore_if_quiesced(&mut self, stream: StreamId, now: SimTime, out: &mut StepOutput) {
         let Some(cfg) = self.quiesce else { return };
         if !self.quiesced.remove(&stream.to_raw()) {
@@ -531,41 +535,34 @@ impl Garnet {
         }
         // Withdraw the system's slow-rate demand so consumer demands
         // mediate freshly, then restore the working rate.
-        self.resource.release_consumer(SYSTEM_SUBSCRIBER);
-        let outcome = self.adjudicate_and_submit(
-            SYSTEM_SUBSCRIBER,
-            0,
-            ActuationTarget::Stream(stream),
-            SensorCommand::SetReportInterval {
+        self.router.services_mut().resource.release_consumer(SYSTEM_SUBSCRIBER);
+        self.router.enqueue(ServiceEvent::ActuationRequested {
+            origin: ActuationOrigin::Restore,
+            requester: SYSTEM_SUBSCRIBER,
+            priority: 0,
+            target: ActuationTarget::Stream(stream),
+            command: SensorCommand::SetReportInterval {
                 stream: stream.index(),
                 interval_ms: cfg.restore_interval_ms,
             },
-            now,
-        );
-        if let ActuationOutcome::Granted { plan, .. } = outcome {
-            self.restore_actions += 1;
-            out.control.push(plan);
-        }
+        });
+        self.pump(now, out);
     }
 
     /// The earliest instant at which [`Garnet::on_tick`] has work.
     pub fn next_deadline(&self) -> Option<SimTime> {
         let quiesce_due = self.quiesce.and_then(|cfg| {
-            self.streams
+            self.router
+                .services()
+                .dispatch
+                .streams
                 .discover_unclaimed()
                 .into_iter()
                 .filter(|i| !i.derived && !self.quiesced.contains(&i.stream.to_raw()))
                 .map(|i| i.first_seen.saturating_add(cfg.idle_after))
                 .min()
         });
-        [
-            self.filtering.next_deadline(),
-            self.actuation.next_deadline(),
-            quiesce_due,
-        ]
-        .into_iter()
-        .flatten()
-        .min()
+        [self.router.next_deadline(), quiesce_due].into_iter().flatten().min()
     }
 
     /// A consumer (out-of-band, not during `on_data`) requests an
@@ -579,30 +576,20 @@ impl Garnet {
         now: SimTime,
     ) -> Result<ActuationOutcome, GarnetError> {
         self.authorize(token, Capability::Actuate, now)?;
-        let priority = self
-            .consumers
-            .get(&id)
-            .ok_or(GarnetError::UnknownConsumer(id))?
-            .priority;
-        Ok(self.adjudicate_and_submit(id, priority, target, command, now))
-    }
-
-    fn adjudicate_and_submit(
-        &mut self,
-        id: SubscriberId,
-        priority: u8,
-        target: ActuationTarget,
-        command: SensorCommand,
-        now: SimTime,
-    ) -> ActuationOutcome {
-        match self.resource.request(id, priority, &target, &command) {
-            Decision::Granted { effective } => {
-                let req = self.actuation.submit(target, effective, priority, now);
-                let plan = self.replicator.plan(req, &self.location, now);
-                ActuationOutcome::Granted { request_id: req.request_id, plan }
-            }
-            Decision::Denied { reason } => ActuationOutcome::Denied { reason },
-        }
+        let priority = self.consumers.get(&id).ok_or(GarnetError::UnknownConsumer(id))?.priority;
+        self.router.enqueue(ServiceEvent::ActuationRequested {
+            origin: ActuationOrigin::Api,
+            requester: id,
+            priority,
+            target,
+            command,
+        });
+        let mut scratch = StepOutput::default();
+        self.pump(now, &mut scratch);
+        Ok(self
+            .api_outcome
+            .take()
+            .expect("an Api actuation chain always terminates in Planned or Denied"))
     }
 
     /// Supplies a location hint (token must grant
@@ -616,7 +603,9 @@ impl Garnet {
         now: SimTime,
     ) -> Result<(), GarnetError> {
         self.authorize(token, Capability::ProvideHints, now)?;
-        self.location.hint(sensor, position, confidence, now);
+        self.router.enqueue(ServiceEvent::Hint { sensor, position, confidence });
+        let mut scratch = StepOutput::default();
+        self.pump(now, &mut scratch);
         Ok(())
     }
 
@@ -629,7 +618,7 @@ impl Garnet {
         now: SimTime,
     ) -> Result<Option<LocationEstimate>, GarnetError> {
         self.authorize(token, Capability::ReadLocation, now)?;
-        Ok(self.location.estimate(sensor, now))
+        Ok(self.router.services().location.estimate(sensor, now))
     }
 
     /// A consumer reports a state change out-of-band. Coordinator policy
@@ -647,80 +636,78 @@ impl Garnet {
             return Err(GarnetError::UnknownConsumer(id));
         }
         let mut out = StepOutput::default();
-        self.execute_coordinator_actions(id, state, now, &mut out);
+        self.router.enqueue(ServiceEvent::StateReported { reporter: id, state });
+        self.pump(now, &mut out);
         Ok(out)
-    }
-
-    fn execute_coordinator_actions(
-        &mut self,
-        id: SubscriberId,
-        state: u32,
-        now: SimTime,
-        out: &mut StepOutput,
-    ) {
-        let actions = self.coordinator.report_state(id.as_u32(), state, now);
-        for a in actions {
-            let PolicyAction { target, command, priority, .. } = a.action;
-            let outcome = self.adjudicate_and_submit(
-                SYSTEM_SUBSCRIBER,
-                priority.max(SYSTEM_PRIORITY),
-                target,
-                command,
-                now,
-            );
-            if let ActuationOutcome::Granted { plan, .. } = outcome {
-                out.control.push(plan);
-            } else {
-                self.denied_actions += 1;
-            }
-        }
     }
 
     /// Registers a policy action with the Super Coordinator.
     pub fn register_coordinator_policy(&mut self, state: u32, action: PolicyAction) {
-        self.coordinator.register_policy(state, action);
+        self.router.services_mut().coordinator.register_policy(state, action);
     }
 
     /// Registers a sensor's constraint profile with the Resource
     /// Manager.
     pub fn register_sensor_profile(&mut self, sensor: SensorId, profile: SensorProfile) {
-        self.resource.register_profile(sensor, profile);
+        self.router.services_mut().resource.register_profile(sensor, profile);
     }
 
-    fn pump_queue(&mut self, mut queue: VecDeque<(Delivery, u32)>, now: SimTime) -> StepOutput {
-        let mut out = StepOutput::default();
-        while let Some((delivery, depth)) = queue.pop_front() {
-            self.streams.note_message(
-                delivery.msg.stream(),
-                delivery.msg.payload().len(),
-                delivery.delivered_at,
-                depth > 0,
-            );
-            let outcome = self.dispatching.route(delivery.msg.stream());
-            // Keep the catalogue's claimed flag in sync with reality —
-            // a subscription made before the stream's first message
-            // would otherwise be invisible to the quiescence sweep.
-            self.streams.set_claimed(delivery.msg.stream(), !outcome.unclaimed);
-            if outcome.unclaimed {
-                self.orphanage.take_in(&delivery);
-                continue;
-            }
-            for rid in outcome.recipients {
-                self.deliver_to(rid, &delivery, depth, now, &mut queue, &mut out);
+    /// Drains the router queue, applying every escaped output.
+    fn pump(&mut self, now: SimTime, out: &mut StepOutput) {
+        while let Some(outputs) = self.router.step(now) {
+            for o in outputs {
+                self.apply(o, now, out);
             }
         }
-        out
     }
 
-    fn deliver_to(
-        &mut self,
-        rid: SubscriberId,
-        delivery: &Delivery,
-        depth: u32,
-        now: SimTime,
-        queue: &mut VecDeque<(Delivery, u32)>,
-        out: &mut StepOutput,
-    ) {
+    /// Applies one service output: runs the consumer callback for a
+    /// delivery, or interprets an actuation chain's terminal according
+    /// to its [`ActuationOrigin`].
+    fn apply(&mut self, output: ServiceOutput, now: SimTime, out: &mut StepOutput) {
+        match output {
+            ServiceOutput::Emit(ev) => self.router.enqueue(ev),
+            ServiceOutput::Deliver { recipient, delivery, depth } => {
+                self.deliver_to(recipient, &delivery, depth, now);
+            }
+            ServiceOutput::Planned { origin, plan, .. } => match origin {
+                ActuationOrigin::Api => {
+                    self.api_outcome = Some(ActuationOutcome::Granted {
+                        request_id: plan.request.request_id,
+                        plan,
+                    });
+                }
+                ActuationOrigin::Consumer
+                | ActuationOrigin::Coordinator
+                | ActuationOrigin::Retry => out.control.push(plan),
+                ActuationOrigin::Quiesce => {
+                    if let ActuationTarget::Stream(s) = plan.request.target {
+                        self.quiesced.insert(s.to_raw());
+                    }
+                    self.quiesce_actions += 1;
+                    out.control.push(plan);
+                }
+                ActuationOrigin::Restore => {
+                    self.restore_actions += 1;
+                    out.control.push(plan);
+                }
+            },
+            ServiceOutput::Denied { origin, reason, .. } => match origin {
+                ActuationOrigin::Api => {
+                    self.api_outcome = Some(ActuationOutcome::Denied { reason });
+                }
+                ActuationOrigin::Consumer | ActuationOrigin::Coordinator => {
+                    self.denied_actions += 1;
+                }
+                // A losing system request (quiesce/restore) or retry is
+                // not an error: consumer demand simply outranked it.
+                ActuationOrigin::Quiesce | ActuationOrigin::Restore | ActuationOrigin::Retry => {}
+            },
+            ServiceOutput::Expired(req) => out.expired_requests.push(req),
+        }
+    }
+
+    fn deliver_to(&mut self, rid: SubscriberId, delivery: &Delivery, depth: u32, now: SimTime) {
         let Some(entry) = self.consumers.get_mut(&rid) else {
             return;
         };
@@ -733,17 +720,17 @@ impl Garnet {
         if let Some(entry) = self.consumers.get_mut(&rid) {
             entry.consumer = Some(consumer);
         }
-        self.handle_actions(rid, actions, depth, now, queue, out);
+        self.handle_actions(rid, actions, depth, now);
     }
 
+    /// Converts a consumer's actions into router events (capability
+    /// checks happen here, where the consumer's token is known).
     fn handle_actions(
         &mut self,
         rid: SubscriberId,
         actions: Vec<ConsumerAction>,
         depth: u32,
         now: SimTime,
-        queue: &mut VecDeque<(Delivery, u32)>,
-        out: &mut StepOutput,
     ) {
         if actions.is_empty() {
             return;
@@ -765,10 +752,10 @@ impl Garnet {
                     *seq_slot = seq_slot.next();
                     let stream = StreamId::new(entry.virtual_sensor, index);
                     match DataMessage::builder(stream).seq(seq).payload(payload).build() {
-                        Ok(msg) => queue.push_back((
-                            Delivery { msg, first_received_at: now, delivered_at: now },
-                            depth + 1,
-                        )),
+                        Ok(msg) => self.router.enqueue(ServiceEvent::Filtered {
+                            delivery: Delivery { msg, first_received_at: now, delivered_at: now },
+                            depth: depth + 1,
+                        }),
                         Err(_) => self.denied_actions += 1, // oversize payload
                     }
                 }
@@ -777,67 +764,75 @@ impl Garnet {
                         self.denied_actions += 1;
                         continue;
                     }
-                    match self.adjudicate_and_submit(rid, priority, target, command, now) {
-                        ActuationOutcome::Granted { plan, .. } => out.control.push(plan),
-                        ActuationOutcome::Denied { .. } => self.denied_actions += 1,
-                    }
+                    self.router.enqueue(ServiceEvent::ActuationRequested {
+                        origin: ActuationOrigin::Consumer,
+                        requester: rid,
+                        priority,
+                        target,
+                        command,
+                    });
                 }
                 ConsumerAction::ReportState(state) => {
                     if !caps.allows(Capability::Coordinate) {
                         self.denied_actions += 1;
                         continue;
                     }
-                    self.execute_coordinator_actions(rid, state, now, out);
+                    self.router.enqueue(ServiceEvent::StateReported { reporter: rid, state });
                 }
                 ConsumerAction::LocationHint { sensor, position, confidence } => {
                     if !caps.allows(Capability::ProvideHints) {
                         self.denied_actions += 1;
                         continue;
                     }
-                    self.location.hint(sensor, position, confidence, now);
+                    self.router.enqueue(ServiceEvent::Hint { sensor, position, confidence });
                 }
             }
         }
     }
 
-    /// The Filtering Service (statistics).
-    pub fn filtering(&self) -> &FilteringService {
-        &self.filtering
+    /// The event router (topology introspection; the facade drives it).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The ingest stage — sharded filtering (statistics).
+    pub fn filtering(&self) -> &ShardedIngest {
+        &self.router.services().ingest
     }
 
     /// The Dispatching Service (statistics).
     pub fn dispatching(&self) -> &DispatchingService {
-        &self.dispatching
+        &self.router.services().dispatch.dispatching
     }
 
     /// The Orphanage.
     pub fn orphanage(&self) -> &Orphanage {
-        &self.orphanage
+        &self.router.services().orphanage
     }
 
     /// The Location Service.
     pub fn location(&self) -> &LocationService {
-        &self.location
+        &self.router.services().location
     }
 
     /// The Resource Manager.
     pub fn resource(&self) -> &ResourceManager {
-        &self.resource
+        &self.router.services().resource
     }
 
     /// The Actuation Service.
     pub fn actuation(&self) -> &ActuationService {
-        &self.actuation
+        &self.router.services().actuation
     }
 
     /// The Message Replicator.
     pub fn replicator(&self) -> &MessageReplicator {
-        &self.replicator
+        &self.router.services().replicator
     }
 
     /// The Super Coordinator.
     pub fn coordinator(&self) -> &SuperCoordinator {
-        &self.coordinator
+        &self.router.services().coordinator
     }
 
     /// The service registry.
@@ -847,7 +842,7 @@ impl Garnet {
 
     /// The stream catalogue.
     pub fn streams(&self) -> &StreamRegistry {
-        &self.streams
+        &self.router.services().dispatch.streams
     }
 
     /// Streams slowed by demand-driven quiescence.
@@ -873,44 +868,47 @@ impl Garnet {
     /// Builds a metrics snapshot of every service — the operator's
     /// one-call health view. Deterministic name order; see
     /// [`garnet_simkit::MetricsRegistry::report`] for the text form.
+    /// Counter names and values are independent of
+    /// [`GarnetConfig::ingest_shards`].
     pub fn metrics(&self) -> garnet_simkit::MetricsRegistry {
+        let s = self.router.services();
         let mut m = garnet_simkit::MetricsRegistry::new();
-        m.counter("filtering.delivered").add(self.filtering.delivered_count());
-        m.counter("filtering.duplicates").add(self.filtering.duplicate_count());
-        m.counter("filtering.crc_failures").add(self.filtering.crc_failure_count());
-        m.counter("filtering.reordered").add(self.filtering.reordered_count());
-        m.counter("filtering.gaps_accepted").add(self.filtering.gap_count());
-        m.counter("filtering.restarts").add(self.filtering.restart_count());
-        m.counter("filtering.streams").add(self.filtering.stream_count() as u64);
-        m.counter("dispatching.messages").add(self.dispatching.dispatched_count());
-        m.counter("dispatching.deliveries").add(self.dispatching.delivery_count());
-        m.counter("dispatching.unclaimed").add(self.dispatching.unclaimed_count());
-        m.counter("dispatching.subscribers").add(self.dispatching.subscriber_count() as u64);
-        m.counter("orphanage.taken").add(self.orphanage.total_taken());
-        m.counter("orphanage.evicted").add(self.orphanage.total_evicted());
-        m.counter("orphanage.streams").add(self.orphanage.stream_count() as u64);
-        m.counter("location.observations").add(self.location.observation_count());
-        m.counter("location.hints").add(self.location.hint_count());
-        m.counter("location.tracked_sensors").add(self.location.tracked_sensors() as u64);
-        m.counter("resource.approved").add(self.resource.approved_count());
-        m.counter("resource.denied").add(self.resource.denied_count());
-        m.counter("actuation.submitted").add(self.actuation.submitted_count());
-        m.counter("actuation.acknowledged").add(self.actuation.acknowledged_count());
-        m.counter("actuation.timed_out").add(self.actuation.timeout_count());
-        m.counter("actuation.retransmissions").add(self.actuation.retransmission_count());
-        m.counter("actuation.in_flight").add(self.actuation.in_flight() as u64);
-        m.counter("replicator.targeted").add(self.replicator.targeted_count());
-        m.counter("replicator.flooded").add(self.replicator.flooded_count());
-        m.counter("replicator.broadcasts").add(self.replicator.broadcast_count());
-        m.counter("coordinator.reports").add(self.coordinator.report_count());
-        m.counter("coordinator.reactive_actions").add(self.coordinator.reactive_action_count());
+        m.counter("filtering.delivered").add(s.ingest.delivered_count());
+        m.counter("filtering.duplicates").add(s.ingest.duplicate_count());
+        m.counter("filtering.crc_failures").add(s.ingest.crc_failure_count());
+        m.counter("filtering.reordered").add(s.ingest.reordered_count());
+        m.counter("filtering.gaps_accepted").add(s.ingest.gap_count());
+        m.counter("filtering.restarts").add(s.ingest.restart_count());
+        m.counter("filtering.streams").add(s.ingest.stream_count() as u64);
+        m.counter("dispatching.messages").add(s.dispatch.dispatching.dispatched_count());
+        m.counter("dispatching.deliveries").add(s.dispatch.dispatching.delivery_count());
+        m.counter("dispatching.unclaimed").add(s.dispatch.dispatching.unclaimed_count());
+        m.counter("dispatching.subscribers").add(s.dispatch.dispatching.subscriber_count() as u64);
+        m.counter("orphanage.taken").add(s.orphanage.total_taken());
+        m.counter("orphanage.evicted").add(s.orphanage.total_evicted());
+        m.counter("orphanage.streams").add(s.orphanage.stream_count() as u64);
+        m.counter("location.observations").add(s.location.observation_count());
+        m.counter("location.hints").add(s.location.hint_count());
+        m.counter("location.tracked_sensors").add(s.location.tracked_sensors() as u64);
+        m.counter("resource.approved").add(s.resource.approved_count());
+        m.counter("resource.denied").add(s.resource.denied_count());
+        m.counter("actuation.submitted").add(s.actuation.submitted_count());
+        m.counter("actuation.acknowledged").add(s.actuation.acknowledged_count());
+        m.counter("actuation.timed_out").add(s.actuation.timeout_count());
+        m.counter("actuation.retransmissions").add(s.actuation.retransmission_count());
+        m.counter("actuation.in_flight").add(s.actuation.in_flight() as u64);
+        m.counter("replicator.targeted").add(s.replicator.targeted_count());
+        m.counter("replicator.flooded").add(s.replicator.flooded_count());
+        m.counter("replicator.broadcasts").add(s.replicator.broadcast_count());
+        m.counter("coordinator.reports").add(s.coordinator.report_count());
+        m.counter("coordinator.reactive_actions").add(s.coordinator.reactive_action_count());
         m.counter("coordinator.anticipatory_actions")
-            .add(self.coordinator.anticipatory_action_count());
+            .add(s.coordinator.anticipatory_action_count());
         m.counter("consumers.registered").add(self.consumers.len() as u64);
         m.counter("consumers.denied_actions").add(self.denied_actions);
         m.counter("consumers.depth_drops").add(self.depth_drops);
-        m.counter("streams.catalogued").add(self.streams.len() as u64);
-        m.histogram("actuation.ack_latency_us").merge(self.actuation.ack_latency());
+        m.counter("streams.catalogued").add(s.dispatch.streams.len() as u64);
+        m.histogram("actuation.ack_latency_us").merge(s.actuation.ack_latency());
         m
     }
 
@@ -953,11 +951,8 @@ mod tests {
     fn end_to_end_frame_to_consumer() {
         let mut g = garnet();
         let token = g.issue_default_token("t");
-        let id = g
-            .register_consumer(Box::new(CountingConsumer::new("c")), &token, 0)
-            .unwrap();
-        g.subscribe(id, TopicFilter::Sensor(SensorId::new(1).unwrap()), &token)
-            .unwrap();
+        let id = g.register_consumer(Box::new(CountingConsumer::new("c")), &token, 0).unwrap();
+        g.subscribe(id, TopicFilter::Sensor(SensorId::new(1).unwrap()), &token).unwrap();
         g.on_frame(ReceiverId::new(0), -50.0, &frame(1, 0, 0), SimTime::ZERO);
         g.on_frame(ReceiverId::new(0), -50.0, &frame(1, 0, 1), SimTime::from_millis(1));
         let count = g
@@ -977,13 +972,16 @@ mod tests {
         let mut g = garnet();
         // Nobody subscribed: three messages orphaned.
         for seq in 0..3u16 {
-            g.on_frame(ReceiverId::new(0), -50.0, &frame(2, 0, seq), SimTime::from_millis(seq as u64));
+            g.on_frame(
+                ReceiverId::new(0),
+                -50.0,
+                &frame(2, 0, seq),
+                SimTime::from_millis(seq as u64),
+            );
         }
         assert_eq!(g.orphanage().total_taken(), 3);
         let token = g.issue_default_token("late");
-        let id = g
-            .register_consumer(Box::new(CountingConsumer::new("late")), &token, 0)
-            .unwrap();
+        let id = g.register_consumer(Box::new(CountingConsumer::new("late")), &token, 0).unwrap();
         let stream = StreamId::new(SensorId::new(2).unwrap(), StreamIndex::new(0));
         let (replayed, _) = g.subscribe(id, TopicFilter::Stream(stream), &token).unwrap();
         assert_eq!(replayed, 3);
@@ -997,12 +995,9 @@ mod tests {
         g.on_frame(ReceiverId::new(0), -50.0, &frame(3, 1, 0), SimTime::ZERO);
         g.on_frame(ReceiverId::new(0), -50.0, &frame(4, 0, 0), SimTime::ZERO);
         let token = g.issue_default_token("t");
-        let id = g
-            .register_consumer(Box::new(CountingConsumer::new("c")), &token, 0)
-            .unwrap();
-        let (replayed, _) = g
-            .subscribe(id, TopicFilter::Sensor(SensorId::new(3).unwrap()), &token)
-            .unwrap();
+        let id = g.register_consumer(Box::new(CountingConsumer::new("c")), &token, 0).unwrap();
+        let (replayed, _) =
+            g.subscribe(id, TopicFilter::Sensor(SensorId::new(3).unwrap()), &token).unwrap();
         assert_eq!(replayed, 2);
         assert_eq!(g.orphanage().stream_count(), 1, "sensor 4 stays orphaned");
     }
@@ -1011,9 +1006,7 @@ mod tests {
     fn duplicate_frames_filtered_before_dispatch() {
         let mut g = garnet();
         let token = g.issue_default_token("t");
-        let id = g
-            .register_consumer(Box::new(CountingConsumer::new("c")), &token, 0)
-            .unwrap();
+        let id = g.register_consumer(Box::new(CountingConsumer::new("c")), &token, 0).unwrap();
         g.subscribe(id, TopicFilter::All, &token).unwrap();
         let f = frame(1, 0, 0);
         g.on_frame(ReceiverId::new(0), -50.0, &f, SimTime::ZERO);
@@ -1027,9 +1020,7 @@ mod tests {
     fn unauthorized_subscribe_rejected() {
         let mut g = garnet();
         let token = g.issue_default_token("t");
-        let id = g
-            .register_consumer(Box::new(CountingConsumer::new("c")), &token, 0)
-            .unwrap();
+        let id = g.register_consumer(Box::new(CountingConsumer::new("c")), &token, 0).unwrap();
         // A token from a different authority.
         let other = AuthService::new([1u8; 16]).issue(
             Principal::new("mallory"),
@@ -1057,8 +1048,8 @@ mod tests {
             fn on_data(&mut self, d: &Delivery, ctx: &mut ConsumerCtx) {
                 self.values.extend_from_slice(d.msg.payload());
                 if self.values.len() >= 2 {
-                    let avg =
-                        (self.values.iter().map(|&b| u32::from(b)).sum::<u32>() / self.values.len() as u32) as u8;
+                    let avg = (self.values.iter().map(|&b| u32::from(b)).sum::<u32>()
+                        / self.values.len() as u32) as u8;
                     ctx.publish_derived(StreamIndex::new(0), vec![avg]);
                     self.values.clear();
                 }
@@ -1067,12 +1058,8 @@ mod tests {
 
         let mut g = garnet();
         let token = g.issue_default_token("t");
-        let l1 = g
-            .register_consumer(Box::new(Averager { values: Vec::new() }), &token, 0)
-            .unwrap();
-        let l2 = g
-            .register_consumer(Box::new(CountingConsumer::new("l2")), &token, 0)
-            .unwrap();
+        let l1 = g.register_consumer(Box::new(Averager { values: Vec::new() }), &token, 0).unwrap();
+        let l2 = g.register_consumer(Box::new(CountingConsumer::new("l2")), &token, 0).unwrap();
         let raw = StreamId::new(SensorId::new(1).unwrap(), StreamIndex::new(0));
         g.subscribe(l1, TopicFilter::Stream(raw), &token).unwrap();
         // L2 subscribes to the averager's derived stream.
@@ -1080,7 +1067,12 @@ mod tests {
         g.subscribe(l2, TopicFilter::Stream(derived), &token).unwrap();
 
         for seq in 0..4u16 {
-            g.on_frame(ReceiverId::new(0), -50.0, &frame(1, 0, seq), SimTime::from_millis(seq as u64));
+            g.on_frame(
+                ReceiverId::new(0),
+                -50.0,
+                &frame(1, 0, seq),
+                SimTime::from_millis(seq as u64),
+            );
         }
         // 4 raw messages → 2 derived messages, each with 3-byte payloads
         // (frame() sends [1,2,3]) so the averager fires on every message.
@@ -1185,9 +1177,7 @@ mod tests {
     fn piggybacked_ack_completes_actuation() {
         let mut g = garnet();
         let token = g.issue_default_token("t");
-        let id = g
-            .register_consumer(Box::new(CountingConsumer::new("c")), &token, 0)
-            .unwrap();
+        let id = g.register_consumer(Box::new(CountingConsumer::new("c")), &token, 0).unwrap();
         g.subscribe(id, TopicFilter::All, &token).unwrap();
         let outcome = g
             .request_actuation(
@@ -1220,9 +1210,7 @@ mod tests {
     fn tick_retries_and_expires() {
         let mut g = garnet();
         let token = g.issue_default_token("t");
-        let id = g
-            .register_consumer(Box::new(CountingConsumer::new("c")), &token, 0)
-            .unwrap();
+        let id = g.register_consumer(Box::new(CountingConsumer::new("c")), &token, 0).unwrap();
         let _ = g
             .request_actuation(
                 id,
@@ -1248,8 +1236,7 @@ mod tests {
         assert!(g.registry().lookup("filtering").is_some());
         assert!(g.registry().lookup("super-coordinator").is_some());
         let token = g.issue_default_token("t");
-        g.register_consumer(Box::new(CountingConsumer::new("flood-watch")), &token, 0)
-            .unwrap();
+        g.register_consumer(Box::new(CountingConsumer::new("flood-watch")), &token, 0).unwrap();
         assert!(g.registry().lookup("consumer/flood-watch").is_some());
         assert_eq!(g.registry().discover_kind(ServiceKind::Consumer).len(), 1);
     }
@@ -1258,15 +1245,10 @@ mod tests {
     fn deregister_cleans_up() {
         let mut g = garnet();
         let token = g.issue_default_token("t");
-        let id = g
-            .register_consumer(Box::new(CountingConsumer::new("c")), &token, 0)
-            .unwrap();
+        let id = g.register_consumer(Box::new(CountingConsumer::new("c")), &token, 0).unwrap();
         g.subscribe(id, TopicFilter::All, &token).unwrap();
         g.deregister_consumer(id).unwrap();
-        assert!(matches!(
-            g.deregister_consumer(id),
-            Err(GarnetError::UnknownConsumer(_))
-        ));
+        assert!(matches!(g.deregister_consumer(id), Err(GarnetError::UnknownConsumer(_))));
         // Messages now orphan instead of dispatching.
         g.on_frame(ReceiverId::new(0), -50.0, &frame(1, 0, 0), SimTime::ZERO);
         assert_eq!(g.orphanage().total_taken(), 1);
@@ -1276,12 +1258,8 @@ mod tests {
     fn virtual_sensor_ids_are_distinct_and_high() {
         let mut g = garnet();
         let token = g.issue_default_token("t");
-        let a = g
-            .register_consumer(Box::new(CountingConsumer::new("a")), &token, 0)
-            .unwrap();
-        let b = g
-            .register_consumer(Box::new(CountingConsumer::new("b")), &token, 0)
-            .unwrap();
+        let a = g.register_consumer(Box::new(CountingConsumer::new("a")), &token, 0).unwrap();
+        let b = g.register_consumer(Box::new(CountingConsumer::new("b")), &token, 0).unwrap();
         let va = g.virtual_sensor(a).unwrap();
         let vb = g.virtual_sensor(b).unwrap();
         assert_ne!(va, vb);
@@ -1332,9 +1310,7 @@ mod tests {
 
         // A subscriber appears: the stream is restored.
         let token = g.issue_default_token("late");
-        let id = g
-            .register_consumer(Box::new(CountingConsumer::new("late")), &token, 0)
-            .unwrap();
+        let id = g.register_consumer(Box::new(CountingConsumer::new("late")), &token, 0).unwrap();
         let stream = StreamId::new(SensorId::new(1).unwrap(), StreamIndex::new(0));
         let (_, out) = g
             .subscribe_at(id, TopicFilter::Stream(stream), &token, SimTime::from_secs(70))
@@ -1391,9 +1367,7 @@ mod tests {
     fn metrics_snapshot_reflects_service_state() {
         let mut g = garnet();
         let token = g.issue_default_token("t");
-        let id = g
-            .register_consumer(Box::new(CountingConsumer::new("c")), &token, 0)
-            .unwrap();
+        let id = g.register_consumer(Box::new(CountingConsumer::new("c")), &token, 0).unwrap();
         g.subscribe(id, TopicFilter::All, &token).unwrap();
         let f = frame(1, 0, 0);
         g.on_frame(ReceiverId::new(0), -50.0, &f, SimTime::ZERO);
@@ -1415,9 +1389,7 @@ mod tests {
     fn coordinator_policy_fires_through_facade() {
         let mut g = garnet();
         let token = g.issue_default_token("t");
-        let id = g
-            .register_consumer(Box::new(CountingConsumer::new("c")), &token, 0)
-            .unwrap();
+        let id = g.register_consumer(Box::new(CountingConsumer::new("c")), &token, 0).unwrap();
         g.register_coordinator_policy(
             2,
             PolicyAction {
@@ -1436,5 +1408,91 @@ mod tests {
         let out = g.report_state(id, &token, 1, SimTime::from_secs(2)).unwrap();
         assert_eq!(out.control.len(), 1, "anticipatory actuation dispatched");
         assert_eq!(g.coordinator().anticipatory_action_count(), 1);
+    }
+
+    #[test]
+    fn sharded_facade_is_bit_identical_to_unsharded() {
+        // Same frame schedule through 1-, 2- and 4-shard facades: every
+        // observable (deliveries, duplicates, orphanage, metrics report)
+        // must match exactly.
+        fn run(shards: usize) -> (u64, u64, u64, String) {
+            let mut g =
+                Garnet::new(GarnetConfig { ingest_shards: shards, ..GarnetConfig::default() });
+            let token = g.issue_default_token("t");
+            let id = g.register_consumer(Box::new(CountingConsumer::new("c")), &token, 0).unwrap();
+            g.subscribe(id, TopicFilter::Sensor(SensorId::new(2).unwrap()), &token).unwrap();
+            for seq in 0..20u16 {
+                for sensor in 1..=5u32 {
+                    // Skip one message per stream to exercise reorder
+                    // buffers, and duplicate another.
+                    if seq == 7 {
+                        continue;
+                    }
+                    let f = frame(sensor, 0, seq);
+                    let t = SimTime::from_millis(u64::from(seq) * 10);
+                    g.on_frame(ReceiverId::new(0), -50.0, &f, t);
+                    if seq == 3 {
+                        g.on_frame(ReceiverId::new(1), -60.0, &f, t);
+                    }
+                }
+            }
+            g.on_tick(SimTime::from_secs(30));
+            (
+                g.filtering().delivered_count(),
+                g.filtering().duplicate_count(),
+                g.orphanage().total_taken(),
+                g.metrics().report(),
+            )
+        }
+        let baseline = run(1);
+        assert_eq!(run(2), baseline);
+        assert_eq!(run(4), baseline);
+    }
+
+    #[test]
+    fn step_output_merge_is_order_independent() {
+        fn plan(id: u32) -> ReplicationPlan {
+            ReplicationPlan {
+                request: StreamUpdateRequest {
+                    request_id: RequestId::new(id),
+                    target: ActuationTarget::Sensor(SensorId::new(1).unwrap()),
+                    command: SensorCommand::Ping,
+                    issued_at_us: 0,
+                    priority: 0,
+                },
+                transmitters: Vec::new(),
+                flooded: true,
+            }
+        }
+        let make = |ids: &[u32]| StepOutput {
+            control: ids.iter().map(|&i| plan(i)).collect(),
+            expired_requests: ids
+                .iter()
+                .map(|&i| StreamUpdateRequest {
+                    request_id: RequestId::new(i),
+                    target: ActuationTarget::Sensor(SensorId::new(1).unwrap()),
+                    command: SensorCommand::Ping,
+                    issued_at_us: 0,
+                    priority: 0,
+                })
+                .collect(),
+        };
+
+        // Shard A produced {1, 4}, shard B produced {2, 3}. Merging in
+        // either order yields the canonical ascending sequence.
+        let mut ab = make(&[1, 4]);
+        ab.merge(make(&[2, 3]));
+        let mut ba = make(&[2, 3]);
+        ba.merge(make(&[1, 4]));
+        let ids = |o: &StepOutput| -> Vec<u32> {
+            o.control.iter().map(|p| p.request.request_id.as_u32()).collect()
+        };
+        assert_eq!(ids(&ab), vec![1, 2, 3, 4]);
+        assert_eq!(ids(&ab), ids(&ba));
+        let exp = |o: &StepOutput| -> Vec<u32> {
+            o.expired_requests.iter().map(|r| r.request_id.as_u32()).collect()
+        };
+        assert_eq!(exp(&ab), vec![1, 2, 3, 4]);
+        assert_eq!(exp(&ab), exp(&ba));
     }
 }

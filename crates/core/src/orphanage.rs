@@ -11,7 +11,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use garnet_simkit::{SimTime, SimDuration};
+use garnet_simkit::{SimDuration, SimTime};
 use garnet_wire::{DataMessage, StreamId};
 
 use crate::filtering::Delivery;
@@ -120,10 +120,8 @@ impl Orphanage {
     }
 
     fn evict_stalest(&mut self) {
-        if let Some((&raw, _)) = self
-            .streams
-            .iter()
-            .min_by_key(|(_, s)| (s.last_seen, s.first_seen))
+        if let Some((&raw, _)) =
+            self.streams.iter().min_by_key(|(_, s)| (s.last_seen, s.first_seen))
         {
             self.streams.remove(&raw);
             self.total_evicted += 1;
@@ -152,9 +150,8 @@ impl Orphanage {
             } else {
                 s.payload_total as f64 / s.messages_seen as f64
             },
-            estimated_interval: (s.messages_seen >= 2).then(|| {
-                s.last_seen.saturating_since(s.first_seen) / (s.messages_seen - 1)
-            }),
+            estimated_interval: (s.messages_seen >= 2)
+                .then(|| s.last_seen.saturating_since(s.first_seen) / (s.messages_seen - 1)),
         })
     }
 

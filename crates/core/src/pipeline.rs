@@ -62,15 +62,9 @@ enum PipelineEvent {
     /// A frame arrives at a receiver.
     Reception(garnet_radio::Reception),
     /// A control request reaches a sensor's radio.
-    ControlDeliver {
-        sensor: usize,
-        request: StreamUpdateRequest,
-    },
+    ControlDeliver { sensor: usize, request: StreamUpdateRequest },
     /// A peer sensor's frame reaches a potential relay.
-    Overhear {
-        sensor: usize,
-        frame: bytes::Bytes,
-    },
+    Overhear { sensor: usize, frame: bytes::Bytes },
     /// Middleware maintenance is due.
     MiddlewareTick,
 }
@@ -210,7 +204,12 @@ impl PipelineSim {
     /// Sends one sensor transmission into the air: to the receiver
     /// array, and — when peer overhearing is enabled — to nearby relay
     /// candidates.
-    fn propagate_uplink(&mut self, sender: usize, t: &garnet_radio::sensor::Transmission, now: SimTime) {
+    fn propagate_uplink(
+        &mut self,
+        sender: usize,
+        t: &garnet_radio::sensor::Transmission,
+        now: SimTime,
+    ) {
         let hits = self.medium.uplink(t.origin, &t.frame, &self.receivers, now, &mut self.rng);
         for rec in hits {
             let at = rec.received_at;
@@ -286,9 +285,13 @@ impl PipelineSim {
                     // Relayed copies go up to the fixed network but are
                     // not re-relayed (maybe_relay rejects RELAYED frames,
                     // so skipping the peer path here just saves events).
-                    let hits = self
-                        .medium
-                        .uplink(tx.origin, &tx.frame, &self.receivers, now, &mut self.rng);
+                    let hits = self.medium.uplink(
+                        tx.origin,
+                        &tx.frame,
+                        &self.receivers,
+                        now,
+                        &mut self.rng,
+                    );
                     for rec in hits {
                         let at = rec.received_at;
                         self.sim.schedule_at(at, PipelineEvent::Reception(rec));
@@ -342,10 +345,7 @@ impl Consumer for LatencyProbe {
 
     fn on_data(&mut self, delivery: &Delivery, _ctx: &mut ConsumerCtx) {
         if let Some(reading) = garnet_radio::Reading::decode(delivery.msg.payload()) {
-            let latency = delivery
-                .delivered_at
-                .saturating_since(reading.sensed_at())
-                .as_micros();
+            let latency = delivery.delivered_at.saturating_since(reading.sensed_at()).as_micros();
             self.hist.lock().record(latency);
         }
     }
@@ -507,11 +507,7 @@ mod tests {
         // sits at 180 m (unreachable); a relay sits at 90 m, within
         // overhearing range (120 m) of the source and within receiver
         // range itself.
-        let receivers = vec![Receiver::new(
-            garnet_radio::ReceiverId::new(0),
-            Point::ORIGIN,
-            100.0,
-        )];
+        let receivers = vec![Receiver::new(garnet_radio::ReceiverId::new(0), Point::ORIGIN, 100.0)];
         let run = |peer_range: Option<f64>| {
             let cfg = PipelineConfig {
                 seed: 3,
@@ -526,10 +522,7 @@ mod tests {
                     .with_caps(SensorCaps::relay()),
             );
             sim.run_until(SimTime::from_secs(20));
-            (
-                sim.garnet().filtering().delivered_count(),
-                sim.relayed_transmission_count(),
-            )
+            (sim.garnet().filtering().delivered_count(), sim.relayed_transmission_count())
         };
 
         let (without, relayed_off) = run(None);
@@ -547,11 +540,7 @@ mod tests {
         use garnet_wire::HeaderFlags;
         // Source *in* range AND near a relay: the middleware hears both
         // the direct copy and the relayed copy; exactly one is delivered.
-        let receivers = vec![Receiver::new(
-            garnet_radio::ReceiverId::new(0),
-            Point::ORIGIN,
-            200.0,
-        )];
+        let receivers = vec![Receiver::new(garnet_radio::ReceiverId::new(0), Point::ORIGIN, 200.0)];
         let cfg = PipelineConfig {
             seed: 4,
             medium: Medium::ideal(Propagation::UnitDisk { range_m: 400.0 }),

@@ -12,7 +12,7 @@
 use garnet_radio::geometry::Disk;
 use garnet_radio::{Transmitter, TransmitterId};
 use garnet_simkit::SimTime;
-use garnet_wire::{ActuationTarget, SensorId, StreamUpdateRequest, TargetArea};
+use garnet_wire::{ActuationTarget, StreamUpdateRequest, TargetArea};
 
 use crate::location::LocationService;
 
@@ -85,14 +85,31 @@ impl MessageReplicator {
         location: &LocationService,
         now: SimTime,
     ) -> ReplicationPlan {
+        let estimate = match request.target {
+            ActuationTarget::Area(_) => None,
+            ActuationTarget::Sensor(sensor) => location.estimate(sensor, now),
+            ActuationTarget::Stream(stream) => location.estimate(stream.sensor(), now),
+        };
+        self.plan_with_estimate(request, estimate)
+    }
+
+    /// Plans the broadcast of `request` from an already-resolved location
+    /// estimate (sans-io entry point: the event router looks the estimate
+    /// up and passes it in, so the replicator needs no reference to the
+    /// Location Service). Area-targeted requests ignore `estimate` and
+    /// use their explicit area.
+    pub fn plan_with_estimate(
+        &mut self,
+        request: StreamUpdateRequest,
+        estimate: Option<crate::location::LocationEstimate>,
+    ) -> ReplicationPlan {
         let area: Option<Disk> = match request.target {
             ActuationTarget::Area(TargetArea { x, y, radius }) => Some(Disk::new(
                 garnet_radio::geometry::Point::new(f64::from(x), f64::from(y)),
                 f64::from(radius),
             )),
-            ActuationTarget::Sensor(sensor) => self.estimate_disk(sensor, location, now),
-            ActuationTarget::Stream(stream) => {
-                self.estimate_disk(stream.sensor(), location, now)
+            ActuationTarget::Sensor(_) | ActuationTarget::Stream(_) => {
+                estimate.map(|e| Disk::new(e.position, e.radius_m))
             }
         };
 
@@ -115,17 +132,6 @@ impl MessageReplicator {
         }
         self.broadcasts += transmitters.len() as u64;
         ReplicationPlan { request, transmitters, flooded }
-    }
-
-    fn estimate_disk(
-        &self,
-        sensor: SensorId,
-        location: &LocationService,
-        now: SimTime,
-    ) -> Option<Disk> {
-        location
-            .estimate(sensor, now)
-            .map(|e| Disk::new(e.position, e.radius_m))
     }
 
     /// Requests that used a targeted (non-flood) plan.
@@ -151,7 +157,7 @@ mod tests {
     use crate::location::LocationConfig;
     use garnet_radio::geometry::Point;
     use garnet_radio::{Receiver, ReceiverId};
-    use garnet_wire::{RequestId, SensorCommand};
+    use garnet_wire::{RequestId, SensorCommand, SensorId};
 
     fn request(target: ActuationTarget) -> StreamUpdateRequest {
         StreamUpdateRequest {
@@ -175,7 +181,11 @@ mod tests {
     #[test]
     fn unknown_sensor_floods() {
         let (mut r, loc) = setup();
-        let plan = r.plan(request(ActuationTarget::Sensor(SensorId::new(7).unwrap())), &loc, SimTime::ZERO);
+        let plan = r.plan(
+            request(ActuationTarget::Sensor(SensorId::new(7).unwrap())),
+            &loc,
+            SimTime::ZERO,
+        );
         assert!(plan.flooded);
         assert_eq!(plan.transmitters.len(), 9);
         assert_eq!(r.flooded_count(), 1);
@@ -240,7 +250,10 @@ mod tests {
         let stream = garnet_wire::StreamId::new(sensor, garnet_wire::StreamIndex::new(0));
         let plan = r.plan(request(ActuationTarget::Stream(stream)), &loc, SimTime::ZERO);
         assert!(!plan.flooded);
-        assert!(plan.transmitters.contains(&TransmitterId::new(8)), "corner transmitter at (200,200)");
+        assert!(
+            plan.transmitters.contains(&TransmitterId::new(8)),
+            "corner transmitter at (200,200)"
+        );
     }
 
     #[test]

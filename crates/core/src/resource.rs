@@ -200,8 +200,7 @@ impl ResourceManager {
             SensorCommand::Sleep { duration_ms } => {
                 env.set("sleep_ms", Value::Num(f64::from(duration_ms)));
             }
-            SensorCommand::EnableStream { stream }
-            | SensorCommand::DisableStream { stream } => {
+            SensorCommand::EnableStream { stream } | SensorCommand::DisableStream { stream } => {
                 env.set("stream", Value::Num(f64::from(stream.as_u8())));
             }
             SensorCommand::SetEncryption { stream, enabled } => {
@@ -274,9 +273,8 @@ impl ResourceManager {
             ),
             _ => {
                 // Non-mediated commands: constraint check only.
-                let check_on = sensor.map_or(Ok(()), |s| {
-                    self.check_constraints(s, command, priority)
-                });
+                let check_on =
+                    sensor.map_or(Ok(()), |s| self.check_constraints(s, command, priority));
                 match check_on {
                     Ok(()) => Decision::Granted { effective: *command },
                     Err(reason) => Decision::Denied { reason },
@@ -310,33 +308,26 @@ impl ResourceManager {
         };
 
         let demands = match kind {
-            MediatedKind::Interval { stream } => self
-                .interval_demands
-                .entry((sensor.as_u32(), stream.as_u8()))
-                .or_default(),
+            MediatedKind::Interval { stream } => {
+                self.interval_demands.entry((sensor.as_u32(), stream.as_u8())).or_default()
+            }
             MediatedKind::Duty => self.duty_demands.entry(sensor.as_u32()).or_default(),
         };
 
         // Conflict resolution decides the candidate effective value.
-        let others: Vec<(SubscriberId, Demand)> = demands
-            .iter()
-            .filter(|(id, _)| **id != consumer)
-            .map(|(id, d)| (*id, *d))
-            .collect();
+        let others: Vec<(SubscriberId, Demand)> =
+            demands.iter().filter(|(id, _)| **id != consumer).map(|(id, d)| (*id, *d)).collect();
         let effective_value = match self.policy {
             MediationPolicy::DenyConflicts => {
-                if let Some((holder, d)) =
-                    others.iter().find(|(_, d)| d.value != requested)
-                {
+                if let Some((holder, d)) = others.iter().find(|(_, d)| d.value != requested) {
                     let _ = d;
                     return Decision::Denied { reason: DenyReason::Conflict { holder: *holder } };
                 }
                 requested
             }
             MediationPolicy::PriorityWins => {
-                if let Some((holder, _)) = others
-                    .iter()
-                    .find(|(_, d)| d.value != requested && d.priority >= priority)
+                if let Some((holder, _)) =
+                    others.iter().find(|(_, d)| d.value != requested && d.priority >= priority)
                 {
                     return Decision::Denied { reason: DenyReason::Conflict { holder: *holder } };
                 }
@@ -368,10 +359,9 @@ impl ResourceManager {
         // Record this consumer's demand (the *requested* value — releases
         // recompute merges from raw demands).
         let demands = match kind {
-            MediatedKind::Interval { stream } => self
-                .interval_demands
-                .entry((sensor.as_u32(), stream.as_u8()))
-                .or_default(),
+            MediatedKind::Interval { stream } => {
+                self.interval_demands.entry((sensor.as_u32(), stream.as_u8())).or_default()
+            }
             MediatedKind::Duty => self.duty_demands.entry(sensor.as_u32()).or_default(),
         };
         demands.insert(consumer, Demand { value: requested, priority });
@@ -384,11 +374,7 @@ impl ResourceManager {
         Decision::Granted { effective }
     }
 
-    fn check_area_defaults(
-        &self,
-        command: &SensorCommand,
-        priority: u8,
-    ) -> Result<(), DenyReason> {
+    fn check_area_defaults(&self, command: &SensorCommand, priority: u8) -> Result<(), DenyReason> {
         let env = Self::env_for(command, priority);
         for c in &self.default_constraints {
             match c.check(&env) {
@@ -449,13 +435,12 @@ enum MediatedKind {
 impl MediatedKind {
     fn rebuild(self, original: &SensorCommand, value: u32) -> SensorCommand {
         match (self, original) {
-            (MediatedKind::Interval { stream }, _) => SensorCommand::SetReportInterval {
-                stream,
-                interval_ms: value,
-            },
-            (MediatedKind::Duty, _) => SensorCommand::SetDutyCycle {
-                permille: value.min(u32::from(u16::MAX)) as u16,
-            },
+            (MediatedKind::Interval { stream }, _) => {
+                SensorCommand::SetReportInterval { stream, interval_ms: value }
+            }
+            (MediatedKind::Duty, _) => {
+                SensorCommand::SetDutyCycle { permille: value.min(u32::from(u16::MAX)) as u16 }
+            }
         }
     }
 }
@@ -491,24 +476,23 @@ mod tests {
     #[test]
     fn constraint_blocks_excessive_rate() {
         let mut rm = ResourceManager::new(MediationPolicy::MergeMax);
-        rm.register_profile(sensor(), SensorProfile {
-            constraints: vec![Constraint::parse("rate_hz <= 2").unwrap()],
-        });
+        rm.register_profile(
+            sensor(),
+            SensorProfile { constraints: vec![Constraint::parse("rate_hz <= 2").unwrap()] },
+        );
         assert!(rm.request(sub(1), 0, &target(), &interval(500)).is_granted());
         let d = rm.request(sub(2), 0, &target(), &interval(100)); // 10 Hz
-        assert!(matches!(
-            d,
-            Decision::Denied { reason: DenyReason::ConstraintViolated(_) }
-        ));
+        assert!(matches!(d, Decision::Denied { reason: DenyReason::ConstraintViolated(_) }));
         assert_eq!(rm.denied_count(), 1);
     }
 
     #[test]
     fn inapplicable_constraints_skipped() {
         let mut rm = ResourceManager::new(MediationPolicy::MergeMax);
-        rm.register_profile(sensor(), SensorProfile {
-            constraints: vec![Constraint::parse("rate_hz <= 2").unwrap()],
-        });
+        rm.register_profile(
+            sensor(),
+            SensorProfile { constraints: vec![Constraint::parse("rate_hz <= 2").unwrap()] },
+        );
         // A Sleep command has no rate_hz; the constraint is skipped.
         let d = rm.request(sub(1), 0, &target(), &SensorCommand::Sleep { duration_ms: 100 });
         assert!(d.is_granted());
@@ -537,11 +521,12 @@ mod tests {
     #[test]
     fn merge_max_effective_must_satisfy_constraints() {
         let mut rm = ResourceManager::new(MediationPolicy::MergeMax);
-        rm.register_profile(sensor(), SensorProfile {
-            constraints: vec![Constraint::parse("rate_hz <= 5").unwrap()],
-        });
+        rm.register_profile(
+            sensor(),
+            SensorProfile { constraints: vec![Constraint::parse("rate_hz <= 5").unwrap()] },
+        );
         assert!(rm.request(sub(1), 0, &target(), &interval(250)).is_granted()); // 4 Hz
-        // Requesting 10 Hz: merged effective would be 10 Hz > cap → denied.
+                                                                                // Requesting 10 Hz: merged effective would be 10 Hz > cap → denied.
         assert!(!rm.request(sub(2), 0, &target(), &interval(100)).is_granted());
         // The original demand still stands.
         assert_eq!(rm.effective_interval_ms(sensor(), StreamIndex::new(0)), Some(250));
@@ -613,19 +598,21 @@ mod tests {
         let mut rm = ResourceManager::new(MediationPolicy::DenyConflicts);
         let s1 = SensorCommand::SetReportInterval { stream: StreamIndex::new(1), interval_ms: 100 };
         assert!(rm.request(sub(1), 0, &target(), &interval(1000)).is_granted());
-        assert!(rm.request(sub(2), 0, &target(), &s1).is_granted(), "different stream, no conflict");
+        assert!(
+            rm.request(sub(2), 0, &target(), &s1).is_granted(),
+            "different stream, no conflict"
+        );
     }
 
     #[test]
     fn stream_target_resolves_to_sensor() {
         let mut rm = ResourceManager::new(MediationPolicy::MergeMax);
-        rm.register_profile(sensor(), SensorProfile {
-            constraints: vec![Constraint::parse("rate_hz <= 1").unwrap()],
-        });
-        let stream_target = ActuationTarget::Stream(garnet_wire::StreamId::new(
+        rm.register_profile(
             sensor(),
-            StreamIndex::new(0),
-        ));
+            SensorProfile { constraints: vec![Constraint::parse("rate_hz <= 1").unwrap()] },
+        );
+        let stream_target =
+            ActuationTarget::Stream(garnet_wire::StreamId::new(sensor(), StreamIndex::new(0)));
         assert!(!rm.request(sub(1), 0, &stream_target, &interval(100)).is_granted());
     }
 
@@ -641,11 +628,12 @@ mod tests {
     #[test]
     fn priority_visible_to_constraints() {
         let mut rm = ResourceManager::new(MediationPolicy::MergeMax);
-        rm.register_profile(sensor(), SensorProfile {
-            constraints: vec![
-                Constraint::parse("rate_hz <= 1 || priority >= 5").unwrap(),
-            ],
-        });
+        rm.register_profile(
+            sensor(),
+            SensorProfile {
+                constraints: vec![Constraint::parse("rate_hz <= 1 || priority >= 5").unwrap()],
+            },
+        );
         assert!(!rm.request(sub(1), 0, &target(), &interval(100)).is_granted());
         assert!(rm.request(sub(1), 5, &target(), &interval(100)).is_granted());
     }
@@ -653,14 +641,12 @@ mod tests {
     #[test]
     fn broken_constraint_reports_error() {
         let mut rm = ResourceManager::new(MediationPolicy::MergeMax);
-        rm.register_profile(sensor(), SensorProfile {
-            constraints: vec![Constraint::parse("rate_hz && true").unwrap()],
-        });
+        rm.register_profile(
+            sensor(),
+            SensorProfile { constraints: vec![Constraint::parse("rate_hz && true").unwrap()] },
+        );
         let d = rm.request(sub(1), 0, &target(), &interval(100));
-        assert!(matches!(
-            d,
-            Decision::Denied { reason: DenyReason::ConstraintError(_) }
-        ));
+        assert!(matches!(d, Decision::Denied { reason: DenyReason::ConstraintError(_) }));
     }
 
     #[test]

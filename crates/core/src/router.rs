@@ -1,0 +1,603 @@
+//! The event router: Figure 1's arrows as a FIFO of typed events.
+//!
+//! [`Router`] owns every sans-io service and moves
+//! [`ServiceEvent`]s between them. One [`Router::step`] pops one event,
+//! hands it to the owning service, re-enqueues any
+//! [`ServiceOutput::Emit`] at the *back* of the queue, and returns the
+//! remaining outputs (deliveries, plans, denials, expiries) for the
+//! facade to apply. The queue is strictly FIFO, which makes the whole
+//! middleware a deterministic event machine: the same enqueue sequence
+//! always produces the same output sequence, regardless of how the
+//! ingest stage is sharded.
+//!
+//! The ingest hot path (the Filtering Service) is the only stage with
+//! per-message CPU cost worth parallelising, so it alone is sharded:
+//! [`ShardedIngest`] partitions streams across N independent
+//! [`FilteringService`]s by sensor id (every stream of a sensor lands on
+//! one shard, so per-stream sequence state never crosses shards) and
+//! merges flushes back into the stream-id order a single service would
+//! have produced. [`ThreadedIngest`] runs the same shards on OS threads
+//! via [`garnet_net::ShardPool`] for live deployments.
+
+use std::collections::VecDeque;
+
+use garnet_net::{ShardPool, SubscriptionTable};
+use garnet_radio::ReceiverId;
+use garnet_simkit::SimTime;
+use garnet_wire::{peek_stream, ActuationTarget};
+
+use crate::actuation::ActuationService;
+use crate::coordinator::SuperCoordinator;
+use crate::dispatching::DispatchingService;
+use crate::filtering::{Delivery, FilterConfig, FilterResult, FilteringService};
+use crate::location::LocationService;
+use crate::orphanage::Orphanage;
+use crate::replicator::MessageReplicator;
+use crate::resource::ResourceManager;
+use crate::service::{GarnetService, ServiceEvent, ServiceOutput};
+use crate::stream::StreamRegistry;
+
+/// Spreads a 24-bit sensor id across `shards` buckets (Fibonacci
+/// hashing: dense sensor ids from grid deployments stay balanced).
+fn shard_of_sensor(sensor: u32, shards: usize) -> usize {
+    (sensor.wrapping_mul(0x9E37_79B1) >> 16) as usize % shards.max(1)
+}
+
+/// The ingest stage: N filtering shards partitioned by sensor id.
+///
+/// With `shards == 1` this is exactly one [`FilteringService`]. With
+/// more, each sensor's streams are pinned to one shard; frame handling
+/// is embarrassingly parallel across shards because the only shared
+/// state — per-stream sequence windows — is partitioned with them.
+/// Reorder flushes are merged back into ascending stream-id order,
+/// which is the order a single service's `BTreeMap` walk produces, so
+/// the event sequence leaving this stage is bit-identical for any shard
+/// count.
+#[derive(Debug)]
+pub struct ShardedIngest {
+    shards: Vec<FilteringService>,
+}
+
+impl ShardedIngest {
+    /// Creates an ingest stage with `shards` filtering shards (0 is
+    /// treated as 1).
+    pub fn new(config: FilterConfig, shards: usize) -> Self {
+        let n = shards.max(1);
+        ShardedIngest { shards: (0..n).map(|_| FilteringService::new(config)).collect() }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a frame belongs to. Undecodable-but-headed frames
+    /// still shard deterministically via [`peek_stream`]; frames too
+    /// short to carry a stream id land on shard 0 (they fail CRC
+    /// wherever they land — the choice only has to be deterministic).
+    pub fn shard_of(&self, frame: &[u8]) -> usize {
+        match peek_stream(frame) {
+            Some(stream) => shard_of_sensor(stream.sensor().as_u32(), self.shards.len()),
+            None => 0,
+        }
+    }
+
+    /// Feeds one frame to its shard, returning the raw filter result.
+    pub fn on_frame(
+        &mut self,
+        receiver: ReceiverId,
+        rssi_dbm: f64,
+        frame: &[u8],
+        now: SimTime,
+    ) -> FilterResult {
+        let shard = self.shard_of(frame);
+        self.shards[shard].on_frame(receiver, rssi_dbm, frame, now)
+    }
+
+    /// Flushes expired reorder buffers on every shard and merges the
+    /// releases into ascending stream-id order (identical to a single
+    /// unsharded service: each shard flushes in stream-id order, and
+    /// streams are partitioned, so a stable merge by stream id
+    /// reproduces the global order).
+    pub fn on_tick(&mut self, now: SimTime) -> Vec<Delivery> {
+        let mut out: Vec<Delivery> = Vec::new();
+        for shard in &mut self.shards {
+            out.extend(shard.on_tick(now));
+        }
+        out.sort_by_key(|d| d.msg.stream().to_raw());
+        out
+    }
+
+    /// The earliest reorder deadline across shards.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.shards.iter().filter_map(FilteringService::next_deadline).min()
+    }
+
+    fn frame_outputs(result: FilterResult) -> Vec<ServiceOutput> {
+        let mut out = Vec::new();
+        if let Some(obs) = result.observation {
+            out.push(ServiceOutput::Emit(ServiceEvent::Observed(obs)));
+        }
+        for d in &result.deliveries {
+            if let Some(request_id) = d.msg.ack() {
+                out.push(ServiceOutput::Emit(ServiceEvent::AckReceived {
+                    request_id,
+                    status: garnet_wire::AckStatus::Applied,
+                }));
+            }
+        }
+        out.extend(
+            result
+                .deliveries
+                .into_iter()
+                .map(|delivery| ServiceOutput::Emit(ServiceEvent::Filtered { delivery, depth: 0 })),
+        );
+        out
+    }
+
+    /// Messages released downstream (all shards).
+    pub fn delivered_count(&self) -> u64 {
+        self.shards.iter().map(FilteringService::delivered_count).sum()
+    }
+
+    /// Duplicate frames eliminated (all shards).
+    pub fn duplicate_count(&self) -> u64 {
+        self.shards.iter().map(FilteringService::duplicate_count).sum()
+    }
+
+    /// Frames rejected by CRC/decode (all shards).
+    pub fn crc_failure_count(&self) -> u64 {
+        self.shards.iter().map(FilteringService::crc_failure_count).sum()
+    }
+
+    /// Frames buffered out of order (all shards).
+    pub fn reordered_count(&self) -> u64 {
+        self.shards.iter().map(FilteringService::reordered_count).sum()
+    }
+
+    /// Gaps accepted (all shards).
+    pub fn gap_count(&self) -> u64 {
+        self.shards.iter().map(FilteringService::gap_count).sum()
+    }
+
+    /// Stream restarts detected (all shards).
+    pub fn restart_count(&self) -> u64 {
+        self.shards.iter().map(FilteringService::restart_count).sum()
+    }
+
+    /// Streams tracked (streams are partitioned, so the sum is exact).
+    pub fn stream_count(&self) -> usize {
+        self.shards.iter().map(FilteringService::stream_count).sum()
+    }
+}
+
+impl GarnetService for ShardedIngest {
+    fn handle(&mut self, ev: ServiceEvent, now: SimTime) -> Vec<ServiceOutput> {
+        match ev {
+            ServiceEvent::Frame { receiver, rssi_dbm, frame } => {
+                let result = self.on_frame(receiver, rssi_dbm, &frame, now);
+                Self::frame_outputs(result)
+            }
+            ServiceEvent::FlushReorder => self
+                .on_tick(now)
+                .into_iter()
+                .map(|delivery| ServiceOutput::Emit(ServiceEvent::Filtered { delivery, depth: 0 }))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        ShardedIngest::next_deadline(self)
+    }
+}
+
+/// The dispatch stage: subscription routing plus the stream catalogue
+/// (the catalogue rides here because every routed message updates it).
+#[derive(Debug)]
+pub struct DispatchStage {
+    /// The Dispatching Service proper.
+    pub dispatching: DispatchingService,
+    /// The stream catalogue (discovery + claimed flags).
+    pub streams: StreamRegistry,
+}
+
+impl DispatchStage {
+    /// Creates an empty dispatch stage.
+    pub fn new() -> Self {
+        DispatchStage { dispatching: DispatchingService::new(), streams: StreamRegistry::new() }
+    }
+}
+
+impl Default for DispatchStage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GarnetService for DispatchStage {
+    fn handle(&mut self, ev: ServiceEvent, _now: SimTime) -> Vec<ServiceOutput> {
+        let ServiceEvent::Filtered { delivery, depth } = ev else {
+            return Vec::new();
+        };
+        self.streams.note_message(
+            delivery.msg.stream(),
+            delivery.msg.payload().len(),
+            delivery.delivered_at,
+            depth > 0,
+        );
+        let outcome = self.dispatching.route(delivery.msg.stream());
+        // Keep the catalogue's claimed flag in sync with reality — a
+        // subscription made before the stream's first message would
+        // otherwise be invisible to the quiescence sweep.
+        self.streams.set_claimed(delivery.msg.stream(), !outcome.unclaimed);
+        if outcome.unclaimed {
+            return vec![ServiceOutput::Emit(ServiceEvent::Orphaned(delivery))];
+        }
+        outcome
+            .recipients
+            .into_iter()
+            .map(|recipient| ServiceOutput::Deliver {
+                recipient,
+                delivery: delivery.clone(),
+                depth,
+            })
+            .collect()
+    }
+}
+
+/// Every routed service, owned together so the router can borrow them
+/// independently. Fields are public: the facade reaches in for direct
+/// reads (statistics) and the rare synchronous call (subscription
+/// changes, orphanage claims) that is request/response rather than
+/// dataflow.
+#[derive(Debug)]
+pub struct Services {
+    /// Sharded filtering (the ingest hot path).
+    pub ingest: ShardedIngest,
+    /// Subscription routing + stream catalogue.
+    pub dispatch: DispatchStage,
+    /// Unclaimed-message retention.
+    pub orphanage: Orphanage,
+    /// Sensor location inference.
+    pub location: LocationService,
+    /// Actuation conflict mediation.
+    pub resource: ResourceManager,
+    /// Stream-update tracking and retry.
+    pub actuation: ActuationService,
+    /// Area-targeted downlink planning.
+    pub replicator: MessageReplicator,
+    /// State-triggered policy actions.
+    pub coordinator: SuperCoordinator,
+}
+
+/// The FIFO event router over [`Services`].
+#[derive(Debug)]
+pub struct Router {
+    services: Services,
+    queue: VecDeque<ServiceEvent>,
+}
+
+impl Router {
+    /// Creates a router over the given services with an empty queue.
+    pub fn new(services: Services) -> Self {
+        Router { services, queue: VecDeque::new() }
+    }
+
+    /// Shared view of the services.
+    pub fn services(&self) -> &Services {
+        &self.services
+    }
+
+    /// Mutable view of the services (for synchronous facade calls).
+    pub fn services_mut(&mut self) -> &mut Services {
+        &mut self.services
+    }
+
+    /// Enqueues an event at the back of the queue.
+    pub fn enqueue(&mut self, ev: ServiceEvent) {
+        self.queue.push_back(ev);
+    }
+
+    /// Pops and routes one event. `Emit` outputs go to the back of the
+    /// queue; everything else is returned for the driver to apply.
+    /// Returns `None` when the queue is empty (quiescence).
+    pub fn step(&mut self, now: SimTime) -> Option<Vec<ServiceOutput>> {
+        let ev = self.queue.pop_front()?;
+        let outputs = self.route(ev, now);
+        let mut external = Vec::new();
+        for o in outputs {
+            match o {
+                ServiceOutput::Emit(ev) => self.queue.push_back(ev),
+                other => external.push(other),
+            }
+        }
+        Some(external)
+    }
+
+    fn route(&mut self, ev: ServiceEvent, now: SimTime) -> Vec<ServiceOutput> {
+        use ServiceEvent::*;
+        match ev {
+            Frame { .. } | FlushReorder => self.services.ingest.handle(ev, now),
+            Filtered { .. } => self.services.dispatch.handle(ev, now),
+            Orphaned(_) => self.services.orphanage.handle(ev, now),
+            Observed(_) | Hint { .. } => self.services.location.handle(ev, now),
+            ActuationRequested { .. } => self.services.resource.handle(ev, now),
+            Submit { .. } | AckReceived { .. } | ActuationTick => {
+                self.services.actuation.handle(ev, now)
+            }
+            Replicate { origin, requester, request, estimate } => {
+                // The replicator's read-dependency on the Location
+                // Service is resolved here, at routing time, so the
+                // replicator itself stays free of service references.
+                let estimate = estimate.or_else(|| match request.target {
+                    ActuationTarget::Sensor(s) => self.services.location.estimate(s, now),
+                    ActuationTarget::Stream(st) => {
+                        self.services.location.estimate(st.sensor(), now)
+                    }
+                    ActuationTarget::Area(_) => None,
+                });
+                self.services
+                    .replicator
+                    .handle(Replicate { origin, requester, request, estimate }, now)
+            }
+            StateReported { .. } => self.services.coordinator.handle(ev, now),
+        }
+    }
+
+    /// The earliest time-driven deadline across routed services.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        [
+            GarnetService::next_deadline(&self.services.ingest),
+            GarnetService::next_deadline(&self.services.actuation),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+}
+
+/// One queued frame awaiting its shard batch: (receiver, rssi_dbm,
+/// frame bytes, arrival time).
+type PendingFrame = (ReceiverId, f64, Vec<u8>, SimTime);
+
+/// A job for one threaded ingest shard.
+enum IngestJob {
+    /// A batch of frames.
+    Frames(Vec<PendingFrame>),
+    /// Flush reorder buffers up to the given instant.
+    Flush(SimTime),
+}
+
+/// What one threaded shard produced for one job: deliveries in shard
+/// order plus the subscriber matches it resolved (dispatch routing is
+/// pushed onto the worker so the hot path's two stages both
+/// parallelise).
+#[derive(Debug, Default)]
+pub struct IngestBatch {
+    /// Messages released by filtering, in per-stream order.
+    pub deliveries: Vec<Delivery>,
+    /// Total subscriber matches across those deliveries.
+    pub matched: u64,
+}
+
+/// The ingest hot path on OS threads: one [`FilteringService`] per
+/// worker, frames batched per shard through a [`ShardPool`], outputs
+/// merged in submission order. Each worker also resolves subscriber
+/// matches against a snapshot of the [`SubscriptionTable`].
+///
+/// This driver trades the simulator's bit-exact event interleaving for
+/// wall-clock parallelism; per-stream delivery order is still exact
+/// because streams are pinned to shards and the pool merges in
+/// submission order.
+pub struct ThreadedIngest {
+    pool: ShardPool<IngestJob, IngestBatch>,
+    shards: usize,
+    batch_size: usize,
+    pending: Vec<Vec<PendingFrame>>,
+}
+
+impl ThreadedIngest {
+    /// Spawns `shards` workers. `batch_size` frames accumulate per
+    /// shard before a job is submitted (batching amortises channel
+    /// overhead); `subscriptions` is snapshotted per worker.
+    pub fn new(
+        config: FilterConfig,
+        shards: usize,
+        batch_size: usize,
+        subscriptions: &SubscriptionTable,
+    ) -> Self {
+        let n = shards.max(1);
+        let pool = ShardPool::new(n, 4, |_shard| {
+            let mut filter = FilteringService::new(config);
+            let subs = subscriptions.clone();
+            Box::new(move |job: IngestJob| {
+                let mut batch = IngestBatch::default();
+                match job {
+                    IngestJob::Frames(frames) => {
+                        for (receiver, rssi_dbm, frame, at) in frames {
+                            let result = filter.on_frame(receiver, rssi_dbm, &frame, at);
+                            for d in result.deliveries {
+                                batch.matched +=
+                                    subs.match_subscribers(d.msg.stream()).len() as u64;
+                                batch.deliveries.push(d);
+                            }
+                        }
+                    }
+                    IngestJob::Flush(now) => {
+                        for d in filter.on_tick(now) {
+                            batch.matched += subs.match_subscribers(d.msg.stream()).len() as u64;
+                            batch.deliveries.push(d);
+                        }
+                    }
+                }
+                batch
+            })
+        });
+        ThreadedIngest {
+            pool,
+            shards: n,
+            batch_size: batch_size.max(1),
+            pending: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Queues one frame, submitting its shard's batch when full.
+    /// Returns any result batches that have become ready, in submission
+    /// order.
+    pub fn push(
+        &mut self,
+        receiver: ReceiverId,
+        rssi_dbm: f64,
+        frame: Vec<u8>,
+        at: SimTime,
+    ) -> Vec<IngestBatch> {
+        let shard = match peek_stream(&frame) {
+            Some(stream) => shard_of_sensor(stream.sensor().as_u32(), self.shards),
+            None => 0,
+        };
+        self.pending[shard].push((receiver, rssi_dbm, frame, at));
+        if self.pending[shard].len() >= self.batch_size {
+            let frames = std::mem::take(&mut self.pending[shard]);
+            self.pool.submit(shard, IngestJob::Frames(frames));
+        }
+        self.pool.drain()
+    }
+
+    /// Submits all partial batches and a reorder flush on every shard.
+    pub fn flush(&mut self, now: SimTime) -> Vec<IngestBatch> {
+        for shard in 0..self.shards {
+            if !self.pending[shard].is_empty() {
+                let frames = std::mem::take(&mut self.pending[shard]);
+                self.pool.submit(shard, IngestJob::Frames(frames));
+            }
+            self.pool.submit(shard, IngestJob::Flush(now));
+        }
+        self.pool.drain()
+    }
+
+    /// Drains remaining work and joins the workers. Returned batches
+    /// complete the submission-order sequence.
+    pub fn finish(self) -> Vec<IngestBatch> {
+        self.pool.finish()
+    }
+}
+
+impl std::fmt::Debug for ThreadedIngest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedIngest")
+            .field("shards", &self.shards)
+            .field("batch_size", &self.batch_size)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use garnet_wire::{DataMessage, SensorId, SequenceNumber, StreamId, StreamIndex};
+
+    fn frame(sensor: u32, seq: u16) -> Vec<u8> {
+        let stream = StreamId::new(SensorId::new(sensor).unwrap(), StreamIndex::new(0));
+        DataMessage::builder(stream)
+            .seq(SequenceNumber::new(seq))
+            .payload(vec![seq as u8])
+            .build()
+            .unwrap()
+            .encode_to_vec()
+    }
+
+    #[test]
+    fn sensors_pin_to_one_shard() {
+        let ingest = ShardedIngest::new(FilterConfig::default(), 4);
+        for sensor in 1..200u32 {
+            let a = ingest.shard_of(&frame(sensor, 0));
+            let b = ingest.shard_of(&frame(sensor, 9));
+            assert_eq!(a, b, "sensor {sensor} moved shards");
+        }
+    }
+
+    #[test]
+    fn sharded_flush_is_stream_id_ordered() {
+        // Leave a reorder gap on several sensors spread across shards,
+        // then flush: releases must come back in ascending stream id.
+        for shards in [1usize, 2, 4, 8] {
+            let mut ingest = ShardedIngest::new(FilterConfig::default(), shards);
+            for sensor in [9u32, 3, 14, 7, 11] {
+                ingest.on_frame(ReceiverId::new(0), -40.0, &frame(sensor, 0), SimTime::ZERO);
+                ingest.on_frame(
+                    ReceiverId::new(0),
+                    -40.0,
+                    &frame(sensor, 2), // gap at 1
+                    SimTime::from_millis(1),
+                );
+            }
+            let out = ingest.on_tick(SimTime::from_secs(10));
+            let ids: Vec<u32> = out.iter().map(|d| d.msg.stream().to_raw()).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted, "shards={shards}");
+            assert_eq!(out.len(), 5, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_counters_aggregate() {
+        let mut ingest = ShardedIngest::new(FilterConfig::default(), 4);
+        for sensor in 1..=8u32 {
+            let fr = frame(sensor, 0);
+            ingest.on_frame(ReceiverId::new(0), -40.0, &fr, SimTime::ZERO);
+            ingest.on_frame(ReceiverId::new(1), -50.0, &fr, SimTime::ZERO); // dup
+        }
+        assert_eq!(ingest.delivered_count(), 8);
+        assert_eq!(ingest.duplicate_count(), 8);
+        assert_eq!(ingest.stream_count(), 8);
+    }
+
+    #[test]
+    fn threaded_ingest_matches_serial_filtering() {
+        let mut subs = SubscriptionTable::new();
+        subs.subscribe(garnet_net::SubscriberId::new(1), garnet_net::TopicFilter::All);
+        let mut threaded = ThreadedIngest::new(FilterConfig::default(), 4, 8, &subs);
+        let mut serial = FilteringService::new(FilterConfig::default());
+
+        let mut serial_delivered: Vec<(u32, u16)> = Vec::new();
+        let mut batches: Vec<IngestBatch> = Vec::new();
+        for seq in 0..50u16 {
+            for sensor in 1..=6u32 {
+                let fr = frame(sensor, seq);
+                let at = SimTime::from_millis(u64::from(seq));
+                for d in serial.on_frame(ReceiverId::new(0), -40.0, &fr, at).deliveries {
+                    serial_delivered.push((d.msg.stream().to_raw(), d.msg.seq().as_u16()));
+                }
+                batches.extend(threaded.push(ReceiverId::new(0), -40.0, fr, at));
+            }
+        }
+        batches.extend(threaded.flush(SimTime::from_secs(10)));
+        batches.extend(threaded.finish());
+        let mut threaded_delivered: Vec<(u32, u16)> = Vec::new();
+        let mut matched = 0u64;
+        for b in batches {
+            matched += b.matched;
+            for d in b.deliveries {
+                threaded_delivered.push((d.msg.stream().to_raw(), d.msg.seq().as_u16()));
+            }
+        }
+        // Per-stream sequences are identical (global interleaving may
+        // differ across shard threads).
+        for sensor in 1..=6u32 {
+            let raw = StreamId::new(SensorId::new(sensor).unwrap(), StreamIndex::new(0)).to_raw();
+            let s: Vec<u16> =
+                serial_delivered.iter().filter(|(r, _)| *r == raw).map(|(_, q)| *q).collect();
+            let t: Vec<u16> =
+                threaded_delivered.iter().filter(|(r, _)| *r == raw).map(|(_, q)| *q).collect();
+            assert_eq!(s, t, "sensor {sensor}");
+        }
+        assert_eq!(matched, threaded_delivered.len() as u64, "one All-subscriber");
+    }
+}

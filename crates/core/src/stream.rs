@@ -63,7 +63,13 @@ impl StreamRegistry {
     }
 
     /// Records one message on `stream`.
-    pub fn note_message(&mut self, stream: StreamId, payload_len: usize, at: SimTime, derived: bool) {
+    pub fn note_message(
+        &mut self,
+        stream: StreamId,
+        payload_len: usize,
+        at: SimTime,
+        derived: bool,
+    ) {
         let info = self.streams.entry(stream.to_raw()).or_insert_with(|| StreamInfo {
             stream,
             first_seen: at,

@@ -138,7 +138,11 @@ impl fmt::Debug for CapabilitySet {
                 Capability::Admin => "Admin",
             })
             .collect();
-        write!(f, "CapabilitySet({})", if names.is_empty() { "∅".to_owned() } else { names.join("|") })
+        write!(
+            f,
+            "CapabilitySet({})",
+            if names.is_empty() { "∅".to_owned() } else { names.join("|") }
+        )
     }
 }
 
@@ -204,7 +208,12 @@ impl AuthService {
         data
     }
 
-    fn compute_mac(&self, principal: &Principal, caps: CapabilitySet, expires_at_us: u64) -> [u8; 8] {
+    fn compute_mac(
+        &self,
+        principal: &Principal,
+        caps: CapabilitySet,
+        expires_at_us: u64,
+    ) -> [u8; 8] {
         // Reuse the keyed MAC by sealing a canonical encoding in a fixed
         // context and keeping only the 8-byte tag.
         let data = Self::mac_input(principal, caps, expires_at_us);

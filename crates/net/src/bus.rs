@@ -136,8 +136,7 @@ impl<M> ThreadedBus<M> {
                 None => return Err(BusError::UnknownEndpoint(name.to_owned())),
             }
         };
-        tx.send(message)
-            .map_err(|_| BusError::Disconnected(name.to_owned()))
+        tx.send(message).map_err(|_| BusError::Disconnected(name.to_owned()))
     }
 
     /// Names of all live endpoints, sorted (diagnostics).
@@ -150,8 +149,149 @@ impl<M> ThreadedBus<M> {
 
 impl<M> fmt::Debug for ThreadedBus<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ThreadedBus")
-            .field("endpoints", &self.endpoint_names())
+        f.debug_struct("ThreadedBus").field("endpoints", &self.endpoint_names()).finish()
+    }
+}
+
+/// A fixed pool of shard workers with a deterministic output merge.
+///
+/// Each shard runs one stateful stage function on its own thread; jobs
+/// are tagged with a global submission sequence number and the pool
+/// reassembles outputs in exactly that order, so the result stream is
+/// **bit-identical regardless of thread scheduling**. This is the
+/// threaded driver of the middleware's sharded ingest stage: the caller
+/// partitions work (e.g. by sensor id) and the pool guarantees that
+/// whatever interleaving the OS produces, downstream observers see the
+/// submission order.
+///
+/// Result channels are unbounded so a worker can never block on a slow
+/// collector while the submitter blocks on a full job queue (the classic
+/// fan-out/fan-in deadlock); memory is bounded by the caller keeping
+/// submissions and [`ShardPool::drain`] calls interleaved.
+///
+/// # Example
+///
+/// ```
+/// use garnet_net::ShardPool;
+///
+/// let mut pool: ShardPool<u64, u64> = ShardPool::new(4, 16, |_shard| {
+///     let mut seen = 0u64; // per-shard state
+///     Box::new(move |x| {
+///         seen += 1;
+///         x * 10 + seen
+///     })
+/// });
+/// for i in 0..8u64 {
+///     pool.submit((i % 4) as usize, i);
+/// }
+/// let out = pool.finish();
+/// assert_eq!(out.len(), 8, "submission-order merge, nothing lost");
+/// assert_eq!(out[0], 1, "job 0 was shard 0's first job");
+/// assert_eq!(out[4], 42, "job 4 was shard 0's second job");
+/// ```
+pub struct ShardPool<I: Send + 'static, O: Send + 'static> {
+    jobs: Vec<Sender<(u64, I)>>,
+    results: Receiver<(u64, O)>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    next_seq: u64,
+    collected: std::collections::BTreeMap<u64, O>,
+    next_out: u64,
+}
+
+impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
+    /// Spawns `shards` workers (at least one). `factory` is called once
+    /// per shard to build that shard's stage function, which owns any
+    /// per-shard state. `capacity` bounds each shard's job queue;
+    /// submission blocks when the target shard is that far behind.
+    pub fn new<F>(shards: usize, capacity: usize, mut factory: F) -> Self
+    where
+        F: FnMut(usize) -> Box<dyn FnMut(I) -> O + Send>,
+    {
+        let shards = shards.max(1);
+        let (result_tx, results) = channel::unbounded::<(u64, O)>();
+        let mut jobs = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = channel::bounded::<(u64, I)>(capacity.max(1));
+            let out = result_tx.clone();
+            let mut stage = factory(shard);
+            jobs.push(tx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("garnet-shard-{shard}"))
+                    .spawn(move || {
+                        while let Ok((seq, job)) = rx.recv() {
+                            if out.send((seq, stage(job))).is_err() {
+                                break; // collector gone; shutting down
+                            }
+                        }
+                    })
+                    .expect("spawn shard worker"),
+            );
+        }
+        ShardPool {
+            jobs,
+            results,
+            workers,
+            next_seq: 0,
+            collected: std::collections::BTreeMap::new(),
+            next_out: 0,
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn shard_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Submits a job to `shard` (modulo the shard count), blocking while
+    /// that shard's queue is full. Jobs submitted to the same shard are
+    /// processed in submission order.
+    pub fn submit(&mut self, shard: usize, job: I) {
+        self.absorb_ready();
+        let idx = shard % self.jobs.len();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.jobs[idx].send((seq, job)).expect("shard worker exited while pool is live");
+    }
+
+    fn absorb_ready(&mut self) {
+        while let Ok((seq, out)) = self.results.try_recv() {
+            self.collected.insert(seq, out);
+        }
+    }
+
+    /// Returns the outputs that are ready *and* form a gap-free prefix of
+    /// the submission order. Outputs held back here are released by a
+    /// later `drain` or by [`ShardPool::finish`].
+    pub fn drain(&mut self) -> Vec<O> {
+        self.absorb_ready();
+        let mut out = Vec::new();
+        while let Some(o) = self.collected.remove(&self.next_out) {
+            out.push(o);
+            self.next_out += 1;
+        }
+        out
+    }
+
+    /// Closes the job queues, waits for every worker to finish, and
+    /// returns all remaining outputs in submission order.
+    pub fn finish(mut self) -> Vec<O> {
+        self.jobs.clear(); // drop senders: workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.absorb_ready();
+        let collected = std::mem::take(&mut self.collected);
+        collected.into_values().collect()
+    }
+}
+
+impl<I: Send + 'static, O: Send + 'static> fmt::Debug for ShardPool<I, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("shards", &self.jobs.len())
+            .field("submitted", &self.next_seq)
             .finish()
     }
 }
@@ -254,6 +394,54 @@ mod tests {
         let rx = bus.register("a", 1).unwrap();
         drop(rx);
         assert!(matches!(bus.send_blocking("a", 1), Err(BusError::Disconnected(_))));
+    }
+
+    #[test]
+    fn shard_pool_merges_in_submission_order() {
+        // Workers that sleep *inversely* to their shard index, so later
+        // submissions finish first — the merge must still be in
+        // submission order.
+        let mut pool: ShardPool<u32, u32> = ShardPool::new(3, 8, |shard| {
+            Box::new(move |x| {
+                thread::sleep(std::time::Duration::from_micros((3 - shard as u64) * 200));
+                x
+            })
+        });
+        for i in 0..30u32 {
+            pool.submit((i % 3) as usize, i);
+        }
+        let out = pool.finish();
+        assert_eq!(out, (0..30).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn shard_pool_state_is_per_shard() {
+        let mut pool: ShardPool<(), u64> = ShardPool::new(2, 4, |_| {
+            let mut n = 0u64;
+            Box::new(move |()| {
+                n += 1;
+                n
+            })
+        });
+        for i in 0..6 {
+            pool.submit(i % 2, ());
+        }
+        // Each shard saw 3 jobs: counters run 1..=3 independently.
+        assert_eq!(pool.finish(), vec![1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn shard_pool_drain_releases_gap_free_prefix() {
+        let mut pool: ShardPool<u32, u32> = ShardPool::new(2, 4, |_| Box::new(|x| x));
+        for i in 0..4u32 {
+            pool.submit(i as usize % 2, i);
+        }
+        let mut got = Vec::new();
+        while got.len() < 4 {
+            got.extend(pool.drain());
+        }
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert!(pool.finish().is_empty());
     }
 
     #[test]

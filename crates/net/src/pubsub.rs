@@ -84,7 +84,7 @@ impl TopicFilter {
 /// assert_eq!(table.match_subscribers(stream), vec![alice]);
 /// # Ok::<(), garnet_wire::WireError>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SubscriptionTable {
     by_stream: BTreeMap<u32, BTreeSet<SubscriberId>>,
     by_sensor: BTreeMap<u32, BTreeSet<SubscriberId>>,
@@ -204,16 +204,10 @@ impl SubscriptionTable {
         if !self.all.is_empty() {
             return false;
         }
-        if self
-            .by_sensor
-            .get(&stream.sensor().as_u32())
-            .is_some_and(|s| !s.is_empty())
-        {
+        if self.by_sensor.get(&stream.sensor().as_u32()).is_some_and(|s| !s.is_empty()) {
             return false;
         }
-        self.by_stream
-            .get(&stream.to_raw())
-            .is_none_or(|s| s.is_empty())
+        self.by_stream.get(&stream.to_raw()).is_none_or(|s| s.is_empty())
     }
 
     /// Number of distinct subscribers with at least one subscription.

@@ -186,7 +186,8 @@ mod tests {
             Receiver::new(ReceiverId::new(2), Point::new(500.0, 0.0), 100.0),
         ];
         let mut rng = SimRng::seed(1);
-        let hits = medium.uplink(Point::new(30.0, 0.0), &frame(), &receivers, SimTime::ZERO, &mut rng);
+        let hits =
+            medium.uplink(Point::new(30.0, 0.0), &frame(), &receivers, SimTime::ZERO, &mut rng);
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].receiver, ReceiverId::new(0));
         assert_eq!(hits[1].receiver, ReceiverId::new(1));
@@ -197,7 +198,8 @@ mod tests {
         let medium = Medium::ideal(Propagation::UnitDisk { range_m: 50.0 });
         let receivers = vec![Receiver::new(ReceiverId::new(0), Point::ORIGIN, 50.0)];
         let mut rng = SimRng::seed(2);
-        let hits = medium.uplink(Point::new(80.0, 0.0), &frame(), &receivers, SimTime::ZERO, &mut rng);
+        let hits =
+            medium.uplink(Point::new(80.0, 0.0), &frame(), &receivers, SimTime::ZERO, &mut rng);
         assert!(hits.is_empty());
     }
 
@@ -208,7 +210,8 @@ mod tests {
         let receivers = vec![Receiver::new(ReceiverId::new(0), Point::ORIGIN, 100.0)];
         let mut rng = SimRng::seed(3);
         for _ in 0..100 {
-            let hits = medium.uplink(Point::ORIGIN, &frame(), &receivers, SimTime::from_secs(1), &mut rng);
+            let hits =
+                medium.uplink(Point::ORIGIN, &frame(), &receivers, SimTime::from_secs(1), &mut rng);
             let dt = hits[0].received_at - SimTime::from_secs(1);
             assert!(dt >= SimDuration::from_micros(500));
             assert!(dt < SimDuration::from_micros(700));
@@ -242,12 +245,7 @@ mod tests {
         let mut rng = SimRng::seed(5);
         let f = frame();
         let hits = medium.uplink(Point::ORIGIN, &f, &receivers, SimTime::ZERO, &mut rng);
-        let diff: u32 = hits[0]
-            .frame
-            .iter()
-            .zip(f.iter())
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum();
+        let diff: u32 = hits[0].frame.iter().zip(f.iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
         assert_eq!(diff, 1);
     }
 
@@ -255,11 +253,7 @@ mod tests {
     fn downlink_reaches_sensors_in_range() {
         let medium = Medium::ideal(Propagation::UnitDisk { range_m: 100.0 });
         let tx = Transmitter::new(TransmitterId::new(0), Point::ORIGIN, 100.0);
-        let positions = vec![
-            Point::new(10.0, 0.0),
-            Point::new(99.0, 0.0),
-            Point::new(150.0, 0.0),
-        ];
+        let positions = vec![Point::new(10.0, 0.0), Point::new(99.0, 0.0), Point::new(150.0, 0.0)];
         let mut rng = SimRng::seed(6);
         let reached = medium.downlink(&tx, &positions, SimTime::ZERO, &mut rng);
         let idx: Vec<usize> = reached.iter().map(|&(i, _)| i).collect();
@@ -292,9 +286,9 @@ mod tests {
     fn overhear_excludes_sender_and_respects_range() {
         let medium = Medium::ideal(Propagation::UnitDisk { range_m: 500.0 });
         let positions = vec![
-            Point::new(0.0, 0.0),   // sender
-            Point::new(30.0, 0.0),  // near peer
-            Point::new(90.0, 0.0),  // far peer (outside peer range)
+            Point::new(0.0, 0.0),  // sender
+            Point::new(30.0, 0.0), // near peer
+            Point::new(90.0, 0.0), // far peer (outside peer range)
         ];
         let mut rng = SimRng::seed(8);
         let heard = medium.overhear(positions[0], 0, &positions, 50.0, SimTime::ZERO, &mut rng);
@@ -314,7 +308,8 @@ mod tests {
             let mut log = Vec::new();
             for i in 0..50 {
                 let p = Point::new(i as f64 * 7.0, i as f64 * 3.0);
-                let hits = medium.uplink(p, &frame(), &receivers, SimTime::from_millis(i), &mut rng);
+                let hits =
+                    medium.uplink(p, &frame(), &receivers, SimTime::from_millis(i), &mut rng);
                 log.push(hits.len());
             }
             log

@@ -70,11 +70,9 @@ impl Reading {
             u64::from_be_bytes(b)
         };
         match payload.len() {
-            Self::BASE_LEN => Some(Reading {
-                value: f64_at(0),
-                sensed_at_us: u64_at(8),
-                position: None,
-            }),
+            Self::BASE_LEN => {
+                Some(Reading { value: f64_at(0), sensed_at_us: u64_at(8), position: None })
+            }
             Self::LOCATED_LEN => Some(Reading {
                 value: f64_at(0),
                 sensed_at_us: u64_at(8),

@@ -80,7 +80,13 @@ impl Receiver {
     /// Lays out an `nx × ny` grid of receivers with the given spacing,
     /// starting at `origin`. `range_m > spacing` yields the overlapping
     /// coverage of §4.2.
-    pub fn grid(origin: Point, nx: usize, ny: usize, spacing_m: f64, range_m: f64) -> Vec<Receiver> {
+    pub fn grid(
+        origin: Point,
+        nx: usize,
+        ny: usize,
+        spacing_m: f64,
+        range_m: f64,
+    ) -> Vec<Receiver> {
         let mut out = Vec::with_capacity(nx * ny);
         let mut id = 0u32;
         for j in 0..ny {

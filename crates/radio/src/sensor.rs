@@ -316,11 +316,7 @@ impl SensorNode {
     /// acknowledgement status the node will piggy-back, or `None` if the
     /// node is not receive-capable (it never even decodes the frame) or
     /// the request targets a different sensor.
-    pub fn handle_request(
-        &mut self,
-        req: &StreamUpdateRequest,
-        now: SimTime,
-    ) -> Option<AckStatus> {
+    pub fn handle_request(&mut self, req: &StreamUpdateRequest, now: SimTime) -> Option<AckStatus> {
         if !self.caps.receive_capable || self.meter.is_exhausted() {
             return None;
         }
@@ -363,13 +359,15 @@ impl SensorNode {
                 }
                 None => AckStatus::Unsupported,
             },
-            SensorCommand::DisableStream { stream } => match self.streams.get_mut(&stream.as_u8()) {
-                Some(s) => {
-                    s.config.enabled = false;
-                    AckStatus::Applied
+            SensorCommand::DisableStream { stream } => {
+                match self.streams.get_mut(&stream.as_u8()) {
+                    Some(s) => {
+                        s.config.enabled = false;
+                        AckStatus::Applied
+                    }
+                    None => AckStatus::Unsupported,
                 }
-                None => AckStatus::Unsupported,
-            },
+            }
             SensorCommand::SetDutyCycle { permille } => {
                 if !self.caps.supports_power_mgmt {
                     return AckStatus::Unsupported;
@@ -384,7 +382,8 @@ impl SensorNode {
                 if !self.caps.supports_power_mgmt {
                     return AckStatus::Unsupported;
                 }
-                self.asleep_until = now.saturating_add(SimDuration::from_millis(u64::from(duration_ms)));
+                self.asleep_until =
+                    now.saturating_add(SimDuration::from_millis(u64::from(duration_ms)));
                 // Nothing was sensed while asleep; push schedules past the nap.
                 for s in self.streams.values_mut() {
                     s.next_due = s.next_due.max(self.asleep_until);
@@ -550,7 +549,10 @@ mod tests {
             interval_ms: 100,
         });
         assert_eq!(n.handle_request(&r, SimTime::from_millis(1)), Some(AckStatus::Applied));
-        assert_eq!(n.stream_config(StreamIndex::new(0)).unwrap().interval, SimDuration::from_millis(100));
+        assert_eq!(
+            n.stream_config(StreamIndex::new(0)).unwrap().interval,
+            SimDuration::from_millis(100)
+        );
         assert_eq!(n.next_due(), Some(SimTime::from_millis(101)));
     }
 
@@ -574,9 +576,15 @@ mod tests {
     #[test]
     fn disable_then_enable_stream() {
         let mut n = node().with_caps(SensorCaps::sophisticated());
-        n.handle_request(&request(SensorCommand::DisableStream { stream: StreamIndex::new(0) }), SimTime::ZERO);
+        n.handle_request(
+            &request(SensorCommand::DisableStream { stream: StreamIndex::new(0) }),
+            SimTime::ZERO,
+        );
         assert!(n.poll(SimTime::from_secs(5), &Uniform(0.0)).is_empty());
-        n.handle_request(&request(SensorCommand::EnableStream { stream: StreamIndex::new(0) }), SimTime::from_secs(6));
+        n.handle_request(
+            &request(SensorCommand::EnableStream { stream: StreamIndex::new(0) }),
+            SimTime::from_secs(6),
+        );
         let txs = n.poll(SimTime::from_secs(6), &Uniform(0.0));
         // One data message; it may carry piggy-backed acks from the two requests.
         assert_eq!(txs.len(), 1);
@@ -601,25 +609,27 @@ mod tests {
     #[test]
     fn duty_cycle_over_1000_rejected() {
         let mut n = node().with_caps(SensorCaps::sophisticated());
-        let st = n.handle_request(&request(SensorCommand::SetDutyCycle { permille: 1001 }), SimTime::ZERO);
+        let st = n.handle_request(
+            &request(SensorCommand::SetDutyCycle { permille: 1001 }),
+            SimTime::ZERO,
+        );
         assert_eq!(st, Some(AckStatus::ConstraintViolation));
     }
 
     #[test]
     fn power_mgmt_unsupported_on_limited_node() {
-        let caps = SensorCaps {
-            supports_power_mgmt: false,
-            ..SensorCaps::receive_only()
-        };
+        let caps = SensorCaps { supports_power_mgmt: false, ..SensorCaps::receive_only() };
         let mut n = node().with_caps(caps);
-        let st = n.handle_request(&request(SensorCommand::SetDutyCycle { permille: 100 }), SimTime::ZERO);
+        let st = n
+            .handle_request(&request(SensorCommand::SetDutyCycle { permille: 100 }), SimTime::ZERO);
         assert_eq!(st, Some(AckStatus::Unsupported));
     }
 
     #[test]
     fn sleep_defers_and_suppresses_reports() {
         let mut n = node().with_caps(SensorCaps::sophisticated());
-        let st = n.handle_request(&request(SensorCommand::Sleep { duration_ms: 5_000 }), SimTime::ZERO);
+        let st =
+            n.handle_request(&request(SensorCommand::Sleep { duration_ms: 5_000 }), SimTime::ZERO);
         assert_eq!(st, Some(AckStatus::Deferred));
         assert!(n.poll(SimTime::from_secs(3), &Uniform(0.0)).is_empty());
         assert_eq!(n.next_due(), Some(SimTime::from_secs(5)));
@@ -629,9 +639,8 @@ mod tests {
     #[test]
     fn encryption_round_trip_through_poll() {
         let key = PayloadKey::from_bytes([9u8; 16]);
-        let mut n = node()
-            .with_caps(SensorCaps::sophisticated())
-            .with_stream_key(StreamIndex::new(0), key);
+        let mut n =
+            node().with_caps(SensorCaps::sophisticated()).with_stream_key(StreamIndex::new(0), key);
         n.handle_request(
             &request(SensorCommand::SetEncryption { stream: StreamIndex::new(0), enabled: true }),
             SimTime::ZERO,
@@ -715,15 +724,17 @@ mod tests {
         let mut relay = SensorNode::new(SensorId::new(99).unwrap(), Point::ORIGIN)
             .with_caps(SensorCaps::relay());
         // Its own frame: no echo.
-        let own = DataMessage::builder(StreamId::new(SensorId::new(99).unwrap(), StreamIndex::new(0)))
-            .build()
-            .unwrap()
-            .encode_to_vec();
+        let own =
+            DataMessage::builder(StreamId::new(SensorId::new(99).unwrap(), StreamIndex::new(0)))
+                .build()
+                .unwrap()
+                .encode_to_vec();
         assert!(relay.maybe_relay(&own, SimTime::ZERO).is_none());
         // An already-relayed frame: single-hop only.
-        let peer = DataMessage::builder(StreamId::new(SensorId::new(1).unwrap(), StreamIndex::new(0)))
-            .build()
-            .unwrap();
+        let peer =
+            DataMessage::builder(StreamId::new(SensorId::new(1).unwrap(), StreamIndex::new(0)))
+                .build()
+                .unwrap();
         let relayed_once = peer.relayed_copy().encode_to_vec();
         assert!(relay.maybe_relay(&relayed_once, SimTime::ZERO).is_none());
         // Garbage bytes: ignored.
@@ -737,10 +748,11 @@ mod tests {
 
     #[test]
     fn exhausted_or_sleeping_relay_stays_silent() {
-        let peer_frame = DataMessage::builder(StreamId::new(SensorId::new(1).unwrap(), StreamIndex::new(0)))
-            .build()
-            .unwrap()
-            .encode_to_vec();
+        let peer_frame =
+            DataMessage::builder(StreamId::new(SensorId::new(1).unwrap(), StreamIndex::new(0)))
+                .build()
+                .unwrap()
+                .encode_to_vec();
         let mut broke = SensorNode::new(SensorId::new(99).unwrap(), Point::ORIGIN)
             .with_caps(SensorCaps::relay())
             .with_energy_budget_nj(1);

@@ -65,12 +65,7 @@ impl SimRng {
     pub fn seed(seed: u64) -> Self {
         let mut sm = seed;
         SimRng {
-            s: [
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-            ],
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
         }
     }
 
@@ -232,9 +227,8 @@ mod tests {
     #[test]
     fn fork_indexed_distinct_per_index() {
         let parent = SimRng::seed(5);
-        let mut s: Vec<u64> = (0..32)
-            .map(|i| parent.fork_indexed("sensor", i).next_u64())
-            .collect();
+        let mut s: Vec<u64> =
+            (0..32).map(|i| parent.fork_indexed("sensor", i).next_u64()).collect();
         s.sort_unstable();
         s.dedup();
         assert_eq!(s.len(), 32);

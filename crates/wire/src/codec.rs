@@ -104,7 +104,8 @@ impl FrameDecoder {
         if self.buf.len() < LEN_PREFIX {
             return Ok(None);
         }
-        let declared = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        let declared =
+            u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
         if declared > self.max_frame {
             return Err(WireError::FrameTooLong { declared, max: self.max_frame });
         }
@@ -161,10 +162,7 @@ mod tests {
         let mut dec = FrameDecoder::with_max_frame(8);
         dec.extend(&9u32.to_be_bytes());
         dec.extend(&[0u8; 9]);
-        assert!(matches!(
-            dec.next_frame(),
-            Err(WireError::FrameTooLong { declared: 9, max: 8 })
-        ));
+        assert!(matches!(dec.next_frame(), Err(WireError::FrameTooLong { declared: 9, max: 8 })));
     }
 
     #[test]

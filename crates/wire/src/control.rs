@@ -322,7 +322,8 @@ impl StreamUpdateRequest {
         if input[0] != REQUEST_TYPE {
             return Err(WireError::UnknownCommand(input[0]));
         }
-        let request_id = RequestId::new(u32::from_be_bytes([input[1], input[2], input[3], input[4]]));
+        let request_id =
+            RequestId::new(u32::from_be_bytes([input[1], input[2], input[3], input[4]]));
         let issued_at_us = u64::from_be_bytes([
             input[5], input[6], input[7], input[8], input[9], input[10], input[11], input[12],
         ]);
@@ -331,13 +332,23 @@ impl StreamUpdateRequest {
         let target = match input[off] {
             TARGET_SENSOR => {
                 need(off + 5)?;
-                let raw = u32::from_be_bytes([input[off + 1], input[off + 2], input[off + 3], input[off + 4]]);
+                let raw = u32::from_be_bytes([
+                    input[off + 1],
+                    input[off + 2],
+                    input[off + 3],
+                    input[off + 4],
+                ]);
                 off += 5;
                 ActuationTarget::Sensor(SensorId::new(raw)?)
             }
             TARGET_STREAM => {
                 need(off + 5)?;
-                let raw = u32::from_be_bytes([input[off + 1], input[off + 2], input[off + 3], input[off + 4]]);
+                let raw = u32::from_be_bytes([
+                    input[off + 1],
+                    input[off + 2],
+                    input[off + 3],
+                    input[off + 4],
+                ]);
                 off += 5;
                 ActuationTarget::Stream(StreamId::from_raw(raw))
             }
@@ -355,7 +366,8 @@ impl StreamUpdateRequest {
         let (command, used) = SensorCommand::decode(&input[off..])?;
         off += used;
         need(off + 4)?;
-        let expected = u32::from_be_bytes([input[off], input[off + 1], input[off + 2], input[off + 3]]);
+        let expected =
+            u32::from_be_bytes([input[off], input[off + 1], input[off + 2], input[off + 3]]);
         let actual = crc32(&input[..off]);
         if expected != actual {
             return Err(WireError::BadChecksum { expected, actual });
@@ -445,7 +457,8 @@ impl StreamUpdateAck {
         if input[0] != ACK_TYPE {
             return Err(WireError::UnknownCommand(input[0]));
         }
-        let request_id = RequestId::new(u32::from_be_bytes([input[1], input[2], input[3], input[4]]));
+        let request_id =
+            RequestId::new(u32::from_be_bytes([input[1], input[2], input[3], input[4]]));
         let sensor = SensorId::new(u32::from_be_bytes([input[5], input[6], input[7], input[8]]))?;
         let status = AckStatus::from_byte(input[9])?;
         let expected = u32::from_be_bytes([input[10], input[11], input[12], input[13]]);
@@ -526,7 +539,8 @@ mod tests {
 
     #[test]
     fn request_truncation_detected() {
-        let req = sample_request(ActuationTarget::Sensor(SensorId::new(1).unwrap()), SensorCommand::Ping);
+        let req =
+            sample_request(ActuationTarget::Sensor(SensorId::new(1).unwrap()), SensorCommand::Ping);
         let bytes = req.encode_to_vec();
         for cut in 0..bytes.len() {
             assert!(StreamUpdateRequest::decode(&bytes[..cut]).is_err(), "cut={cut}");
@@ -580,7 +594,8 @@ mod tests {
 
     #[test]
     fn unknown_command_tag_rejected() {
-        let req = sample_request(ActuationTarget::Sensor(SensorId::new(1).unwrap()), SensorCommand::Ping);
+        let req =
+            sample_request(ActuationTarget::Sensor(SensorId::new(1).unwrap()), SensorCommand::Ping);
         let mut bytes = req.encode_to_vec();
         // Command tag sits after type(1)+reqid(4)+ts(8)+prio(1)+target(1+4).
         bytes[19] = 200;

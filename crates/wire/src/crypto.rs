@@ -37,7 +37,8 @@ fn xtea_encrypt_block(key: &[u32; 4], block: u64) -> u64 {
     let mut sum: u32 = 0;
     for _ in 0..ROUNDS / 2 {
         v0 = v0.wrapping_add(
-            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(key[(sum & 3) as usize])),
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                ^ (sum.wrapping_add(key[(sum & 3) as usize])),
         );
         sum = sum.wrapping_add(DELTA);
         v1 = v1.wrapping_add(
@@ -62,7 +63,8 @@ fn xtea_decrypt_block(key: &[u32; 4], block: u64) -> u64 {
         );
         sum = sum.wrapping_sub(DELTA);
         v0 = v0.wrapping_sub(
-            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(key[(sum & 3) as usize])),
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                ^ (sum.wrapping_add(key[(sum & 3) as usize])),
         );
     }
     (u64::from(v0) << 32) | u64::from(v1)
@@ -95,9 +97,7 @@ pub struct PayloadKey {
 impl PayloadKey {
     /// Derives the working key pair from 16 key bytes.
     pub fn from_bytes(bytes: [u8; 16]) -> Self {
-        let w = |i: usize| {
-            u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]])
-        };
+        let w = |i: usize| u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
         let master = [w(0), w(4), w(8), w(12)];
         // Derive independent subkeys by encrypting distinct constants.
         let derive = |label: u64| {
@@ -120,8 +120,7 @@ impl PayloadKey {
     /// decrypts — CTR is an involution).
     fn ctr_xor(&self, nonce: u64, data: &mut [u8]) {
         for (i, chunk) in data.chunks_mut(8).enumerate() {
-            let ks = xtea_encrypt_block(&self.enc, nonce ^ ((i as u64) << 48))
-                .to_be_bytes();
+            let ks = xtea_encrypt_block(&self.enc, nonce ^ ((i as u64) << 48)).to_be_bytes();
             for (b, k) in chunk.iter_mut().zip(ks.iter()) {
                 *b ^= k;
             }
@@ -256,7 +255,9 @@ mod tests {
         // Wrong sequence number (replay into a different slot).
         assert!(key.open(stream(), SequenceNumber::new(2), &sealed).is_err());
         // Wrong stream (cross-stream replay).
-        assert!(key.open(StreamId::from_raw(0x00AA_BB02), SequenceNumber::new(1), &sealed).is_err());
+        assert!(key
+            .open(StreamId::from_raw(0x00AA_BB02), SequenceNumber::new(1), &sealed)
+            .is_err());
         // Wrong key.
         let other = PayloadKey::from_bytes(*b"fedcba9876543210");
         assert!(other.open(stream(), SequenceNumber::new(1), &sealed).is_err());

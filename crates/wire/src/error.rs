@@ -60,7 +60,10 @@ impl fmt::Display for WireError {
                 write!(f, "truncated message: need {needed} bytes, have {have}")
             }
             WireError::BadChecksum { expected, actual } => {
-                write!(f, "checksum mismatch: message carries {expected:#06x}, computed {actual:#06x}")
+                write!(
+                    f,
+                    "checksum mismatch: message carries {expected:#06x}, computed {actual:#06x}"
+                )
             }
             WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
             WireError::PayloadTooLarge(n) => {

@@ -164,10 +164,7 @@ impl StreamId {
     /// Reconstructs a stream id from its packed 32-bit wire form. Every
     /// `u32` is a valid packed stream id, so this is total.
     pub const fn from_raw(raw: u32) -> Self {
-        StreamId {
-            sensor: SensorId(raw >> 8),
-            index: StreamIndex((raw & 0xFF) as u8),
-        }
+        StreamId { sensor: SensorId(raw >> 8), index: StreamIndex((raw & 0xFF) as u8) }
     }
 
     /// Packs into the 32-bit wire representation.
@@ -351,10 +348,7 @@ mod tests {
 
     #[test]
     fn sensor_id_rejects_25_bits() {
-        assert_eq!(
-            SensorId::new(0x0100_0000),
-            Err(WireError::InvalidSensorId(0x0100_0000))
-        );
+        assert_eq!(SensorId::new(0x0100_0000), Err(WireError::InvalidSensorId(0x0100_0000)));
         assert!(SensorId::try_from(u32::MAX).is_err());
     }
 

@@ -14,7 +14,9 @@ use garnet_core::middleware::GarnetConfig;
 use garnet_core::pipeline::{PipelineConfig, PipelineSim};
 use garnet_radio::field::{Diurnal, DynField};
 use garnet_radio::geometry::Point;
-use garnet_radio::{Medium, Propagation, Receiver, SensorCaps, SensorNode, StreamConfig, Transmitter};
+use garnet_radio::{
+    Medium, Propagation, Receiver, SensorCaps, SensorNode, StreamConfig, Transmitter,
+};
 use garnet_simkit::SimDuration;
 use garnet_wire::{SensorId, StreamIndex};
 
@@ -87,7 +89,13 @@ impl HabitatScenario {
         } else {
             extent.max(1.0)
         };
-        Receiver::grid(Point::ORIGIN, self.receiver_side, self.receiver_side, spacing, self.receiver_range_m)
+        Receiver::grid(
+            Point::ORIGIN,
+            self.receiver_side,
+            self.receiver_side,
+            spacing,
+            self.receiver_range_m,
+        )
     }
 
     /// Assembles a ready-to-run pipeline (no transmitters: the scenario

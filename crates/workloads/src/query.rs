@@ -114,10 +114,8 @@ mod tests {
     fn queries_publish_derived_result_streams() {
         let mut host = ContinuousQueryConsumer::new("queries");
         let fast = host.register(Query::latest_every(SimDuration::from_secs(2)));
-        let slow = host.register(Query {
-            interval: SimDuration::from_secs(10),
-            aggregate: Aggregate::Avg,
-        });
+        let slow = host
+            .register(Query { interval: SimDuration::from_secs(10), aggregate: Aggregate::Avg });
         assert_eq!(host.acquisition_interval(), Some(SimDuration::from_secs(2)));
 
         let mut g = Garnet::new(GarnetConfig::default());
@@ -132,10 +130,18 @@ mod tests {
         let (slow_dash, slow_n) = SharedCountConsumer::new("slow-dash");
         let fid = g.register_consumer(Box::new(fast_dash), &token, 0).unwrap();
         let sid = g.register_consumer(Box::new(slow_dash), &token, 0).unwrap();
-        g.subscribe(fid, TopicFilter::Stream(StreamId::new(virtual_sensor, StreamIndex::new(fast))), &token)
-            .unwrap();
-        g.subscribe(sid, TopicFilter::Stream(StreamId::new(virtual_sensor, StreamIndex::new(slow))), &token)
-            .unwrap();
+        g.subscribe(
+            fid,
+            TopicFilter::Stream(StreamId::new(virtual_sensor, StreamIndex::new(fast))),
+            &token,
+        )
+        .unwrap();
+        g.subscribe(
+            sid,
+            TopicFilter::Stream(StreamId::new(virtual_sensor, StreamIndex::new(slow))),
+            &token,
+        )
+        .unwrap();
 
         // One sample per second for 40 s.
         for s in 0..40u16 {

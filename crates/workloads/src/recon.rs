@@ -211,10 +211,7 @@ impl ReconScenario {
 
     /// The site survey: sensor id → surveyed position.
     pub fn survey(&self) -> Vec<(SensorId, Point)> {
-        self.sensors()
-            .iter()
-            .map(|s| (s.id(), s.position(SimTime::ZERO)))
-            .collect()
+        self.sensors().iter().map(|s| (s.id(), s.position(SimTime::ZERO))).collect()
     }
 
     /// Masts at the field corners and centre.
@@ -298,15 +295,12 @@ mod tests {
         let scenario = ReconScenario { seed: 9, ..ReconScenario::default() };
         let mut sim = scenario.build();
         let token = sim.garnet_mut().issue_default_token("recon");
-        let (detector, detections) =
-            TargetDetector::new("recon", 10.0, scenario.survey());
+        let (detector, detections) = TargetDetector::new("recon", 10.0, scenario.survey());
         let id = sim.garnet_mut().register_consumer(Box::new(detector), &token, 3).unwrap();
         // Subscribe to the physical sensors only — an All subscription
         // would loop the detector's own derived stream back into it.
         for (sensor, _) in scenario.survey() {
-            sim.garnet_mut()
-                .subscribe(id, TopicFilter::Sensor(sensor), &token)
-                .unwrap();
+            sim.garnet_mut().subscribe(id, TopicFilter::Sensor(sensor), &token).unwrap();
         }
         // Target crosses over two minutes; run it through.
         sim.run_until(SimTime::from_secs(120));

@@ -35,7 +35,10 @@ impl TrafficGen {
 
     /// A stream id for sensor `sensor`, stream 0.
     pub fn stream(sensor: u32) -> StreamId {
-        StreamId::new(SensorId::new(sensor).expect("bench sensor ids are small"), StreamIndex::new(0))
+        StreamId::new(
+            SensorId::new(sensor).expect("bench sensor ids are small"),
+            StreamIndex::new(0),
+        )
     }
 
     /// Builds one data message.
@@ -178,10 +181,7 @@ mod tests {
         let n = g.corrupt(&mut frames, 0.3);
         assert!((200..400).contains(&n), "corrupted {n}/1000");
         // Corrupted frames fail CRC.
-        let failures = frames
-            .iter()
-            .filter(|f| DataMessage::decode(&f.frame).is_err())
-            .count();
+        let failures = frames.iter().filter(|f| DataMessage::decode(&f.frame).is_err()).count();
         assert_eq!(failures, n);
     }
 

@@ -156,13 +156,8 @@ impl Consumer for FloodWatch {
         let Some(reading) = Reading::decode(delivery.msg.payload()) else {
             return;
         };
-        self.latest_by_station
-            .insert(delivery.msg.stream().to_raw(), reading.value);
-        let worst = self
-            .latest_by_station
-            .values()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
+        self.latest_by_station.insert(delivery.msg.stream().to_raw(), reading.value);
+        let worst = self.latest_by_station.values().copied().fold(f64::NEG_INFINITY, f64::max);
         let state = self.classify(worst);
         if state != self.current {
             self.current = state;
@@ -232,8 +227,15 @@ impl WatercourseScenario {
     /// One receiver+transmitter mast per station, on the bank.
     pub fn masts(&self) -> (Vec<Receiver>, Vec<Transmitter>) {
         let range = self.station_spacing_m * 0.9;
-        let rx = Receiver::grid(Point::new(0.0, 20.0), self.stations, 1, self.station_spacing_m, range);
-        let tx = Transmitter::grid(Point::new(0.0, 20.0), self.stations, 1, self.station_spacing_m, range);
+        let rx =
+            Receiver::grid(Point::new(0.0, 20.0), self.stations, 1, self.station_spacing_m, range);
+        let tx = Transmitter::grid(
+            Point::new(0.0, 20.0),
+            self.stations,
+            1,
+            self.station_spacing_m,
+            range,
+        );
         (rx, tx)
     }
 
@@ -242,9 +244,7 @@ impl WatercourseScenario {
         let (receivers, transmitters) = self.masts();
         let config = PipelineConfig {
             seed: self.seed,
-            medium: Medium::ideal(Propagation::UnitDisk {
-                range_m: self.station_spacing_m * 0.9,
-            }),
+            medium: Medium::ideal(Propagation::UnitDisk { range_m: self.station_spacing_m * 0.9 }),
             garnet: GarnetConfig { receivers, transmitters, ..GarnetConfig::default() },
             peer_range_m: None,
         };

@@ -62,12 +62,12 @@ fn main() {
     // The query host: three cadences over sensor 1.
     let mut host = ContinuousQueryConsumer::new("query-host");
     let q_fast = host.register(Query::latest_every(SimDuration::from_secs(10)));
-    let q_avg = host.register(Query { interval: SimDuration::from_secs(60), aggregate: Aggregate::Avg });
-    let q_max = host.register(Query { interval: SimDuration::from_secs(300), aggregate: Aggregate::Max });
+    let q_avg =
+        host.register(Query { interval: SimDuration::from_secs(60), aggregate: Aggregate::Avg });
+    let q_max =
+        host.register(Query { interval: SimDuration::from_secs(300), aggregate: Aggregate::Max });
     let acquisition = host.acquisition_interval().expect("queries registered");
-    println!(
-        "query host needs acquisition every {acquisition} (fastest of 10s/60s/300s queries)"
-    );
+    println!("query host needs acquisition every {acquisition} (fastest of 10s/60s/300s queries)");
 
     let token = sim.garnet_mut().issue_default_token("ops");
     let host_id = sim.garnet_mut().register_consumer(Box::new(host), &token, 2).unwrap();
@@ -121,8 +121,7 @@ fn main() {
     println!("\nmiddleware:");
     println!(
         "  sensor 1 acquisition interval (merged): {:?} ms",
-        g.resource()
-            .effective_interval_ms(SensorId::new(1).unwrap(), StreamIndex::new(0))
+        g.resource().effective_interval_ms(SensorId::new(1).unwrap(), StreamIndex::new(0))
     );
     println!("  sensor 2 quiesced: {} action(s)", g.quiesce_action_count());
     println!(

@@ -41,10 +41,7 @@ impl Consumer for PlotAverager {
                 let mean = self.window.iter().sum::<f64>() / 36.0;
                 self.window.clear();
                 self.emitted += 1;
-                ctx.publish_derived(
-                    StreamIndex::new(0),
-                    Reading::new(mean, ctx.now()).encode(),
-                );
+                ctx.publish_derived(StreamIndex::new(0), Reading::new(mean, ctx.now()).encode());
             }
         }
     }
@@ -67,9 +64,7 @@ fn main() {
         .register_consumer(Box::new(PlotAverager { window: Vec::new(), emitted: 0 }), &token, 0)
         .unwrap();
     for node in scenario.sensors() {
-        sim.garnet_mut()
-            .subscribe(averager_id, TopicFilter::Sensor(node.id()), &token)
-            .unwrap();
+        sim.garnet_mut().subscribe(averager_id, TopicFilter::Sensor(node.id()), &token).unwrap();
     }
     let derived_stream = StreamId::new(
         sim.garnet_mut().virtual_sensor(averager_id).expect("consumer just registered"),
@@ -82,9 +77,7 @@ fn main() {
     let (logger, raw_count) = SharedCountConsumer::new("raw-logger");
     let logger_id = sim.garnet_mut().register_consumer(Box::new(logger), &token, 0).unwrap();
     for node in scenario.sensors() {
-        sim.garnet_mut()
-            .subscribe(logger_id, TopicFilter::Sensor(node.id()), &token)
-            .unwrap();
+        sim.garnet_mut().subscribe(logger_id, TopicFilter::Sensor(node.id()), &token).unwrap();
     }
 
     println!("phase 1: 5 simulated minutes with the averager publishing unclaimed derived data…");

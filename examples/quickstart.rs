@@ -16,7 +16,9 @@ use garnet::core::pipeline::{PipelineConfig, PipelineSim};
 use garnet::net::TopicFilter;
 use garnet::radio::field::Uniform;
 use garnet::radio::geometry::Point;
-use garnet::radio::{Medium, Propagation, Reading, Receiver, SensorNode, StreamConfig, Transmitter};
+use garnet::radio::{
+    Medium, Propagation, Reading, Receiver, SensorNode, StreamConfig, Transmitter,
+};
 use garnet::simkit::{SimDuration, SimTime};
 use garnet::wire::{SensorId, StreamIndex};
 

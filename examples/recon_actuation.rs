@@ -38,7 +38,8 @@ fn main() {
     }
 
     // An ops console subscribes to the detector's *derived* stream.
-    let derived = StreamId::new(sim.garnet_mut().virtual_sensor(det_id).unwrap(), StreamIndex::new(0));
+    let derived =
+        StreamId::new(sim.garnet_mut().virtual_sensor(det_id).unwrap(), StreamIndex::new(0));
     let (console, console_count) = SharedCountConsumer::new("ops-console");
     let console_id = sim.garnet_mut().register_consumer(Box::new(console), &token, 0).unwrap();
     sim.garnet_mut().subscribe(console_id, TopicFilter::Stream(derived), &token).unwrap();
@@ -52,12 +53,8 @@ fn main() {
     println!("phase 2: accelerating sophisticated sensors to 1 Hz via the actuation path…");
     let now = sim.now();
     let mut granted = 0;
-    let sophisticated: Vec<_> = scenario
-        .sensors()
-        .iter()
-        .filter(|s| s.caps().receive_capable)
-        .map(|s| s.id())
-        .collect();
+    let sophisticated: Vec<_> =
+        scenario.sensors().iter().filter(|s| s.caps().receive_capable).map(|s| s.id()).collect();
     for sensor in &sophisticated {
         let outcome = sim
             .garnet_mut()
@@ -65,7 +62,10 @@ fn main() {
                 console_id,
                 &token,
                 ActuationTarget::Sensor(*sensor),
-                SensorCommand::SetReportInterval { stream: StreamIndex::new(0), interval_ms: 1_000 },
+                SensorCommand::SetReportInterval {
+                    stream: StreamIndex::new(0),
+                    interval_ms: 1_000,
+                },
                 now,
             )
             .expect("authorized");

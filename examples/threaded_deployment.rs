@@ -42,8 +42,7 @@ fn main() {
     // The middleware thread.
     let (consumer, delivered) = SharedCountConsumer::new("dashboard");
     let middleware = thread::spawn(move || {
-        let transmitters =
-            vec![Transmitter::new(TransmitterId::new(0), Point::ORIGIN, 200.0)];
+        let transmitters = vec![Transmitter::new(TransmitterId::new(0), Point::ORIGIN, 200.0)];
         let mut garnet = Garnet::new(GarnetConfig { transmitters, ..GarnetConfig::default() });
         let token = garnet.issue_default_token("dashboard");
         let id = garnet.register_consumer(Box::new(consumer), &token, 3).unwrap();
@@ -86,11 +85,7 @@ fn main() {
                 ToGarnet::Shutdown => break,
             }
         }
-        (
-            garnet.filtering().delivered_count(),
-            garnet.filtering().duplicate_count(),
-            control_plans,
-        )
+        (garnet.filtering().delivered_count(), garnet.filtering().duplicate_count(), control_plans)
     });
 
     // Two receiver-array threads feeding overlapping copies.
@@ -102,10 +97,13 @@ fn main() {
                 for seq in 0..200u16 {
                     let bytes = DataMessage::builder(stream)
                         .seq(SequenceNumber::new(seq))
-                        .payload(garnet::radio::Reading::new(
-                            20.0 + f64::from(seq) * 0.01,
-                            SimTime::from_millis(u64::from(seq) * 50),
-                        ).encode())
+                        .payload(
+                            garnet::radio::Reading::new(
+                                20.0 + f64::from(seq) * 0.01,
+                                SimTime::from_millis(u64::from(seq) * 50),
+                            )
+                            .encode(),
+                        )
                         .build()
                         .unwrap()
                         .encode_to_vec();

@@ -40,10 +40,13 @@ fn season(mode: CoordinationMode) -> (u64, u64, Vec<(u32, u64)>) {
     let (receivers, transmitters) = scenario.masts();
     let config = PipelineConfig {
         seed: scenario.seed,
-        medium: Medium::ideal(Propagation::UnitDisk {
-            range_m: scenario.station_spacing_m * 0.9,
-        }),
-        garnet: GarnetConfig { receivers, transmitters, coordination: mode, ..GarnetConfig::default() },
+        medium: Medium::ideal(Propagation::UnitDisk { range_m: scenario.station_spacing_m * 0.9 }),
+        garnet: GarnetConfig {
+            receivers,
+            transmitters,
+            coordination: mode,
+            ..GarnetConfig::default()
+        },
         peer_range_m: None,
     };
     let mut sim = PipelineSim::new(config, scenario.field());

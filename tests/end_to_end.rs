@@ -47,9 +47,7 @@ fn readings_flow_from_field_to_consumer() {
     let token = sim.garnet_mut().issue_default_token("app");
     let (probe, hist) = LatencyProbe::new("probe");
     let id = sim.garnet_mut().register_consumer(Box::new(probe), &token, 0).unwrap();
-    sim.garnet_mut()
-        .subscribe(id, TopicFilter::Sensor(SensorId::new(1).unwrap()), &token)
-        .unwrap();
+    sim.garnet_mut().subscribe(id, TopicFilter::Sensor(SensorId::new(1).unwrap()), &token).unwrap();
     sim.run_until(SimTime::from_secs(30));
 
     let h = hist.lock();
@@ -142,15 +140,10 @@ fn encrypted_stream_is_opaque_to_middleware_but_readable_by_key_holder() {
     let token = sim.garnet_mut().issue_default_token("reader");
     let values = Arc::new(Mutex::new(Vec::new()));
     let undecodable = Arc::new(Mutex::new(0u64));
-    let reader = KeyedReader {
-        key,
-        values: Arc::clone(&values),
-        undecodable: Arc::clone(&undecodable),
-    };
+    let reader =
+        KeyedReader { key, values: Arc::clone(&values), undecodable: Arc::clone(&undecodable) };
     let id = sim.garnet_mut().register_consumer(Box::new(reader), &token, 0).unwrap();
-    sim.garnet_mut()
-        .subscribe(id, TopicFilter::Sensor(SensorId::new(5).unwrap()), &token)
-        .unwrap();
+    sim.garnet_mut().subscribe(id, TopicFilter::Sensor(SensorId::new(5).unwrap()), &token).unwrap();
 
     let now = sim.now();
     let outcome = sim
@@ -175,11 +168,7 @@ fn encrypted_stream_is_opaque_to_middleware_but_readable_by_key_holder() {
     assert!(decrypted.iter().all(|&v| (v - 18.0).abs() < 1e-9));
     // Encrypted payloads never decoded as plaintext readings (16/32-byte
     // plaintext lengths become 24/40-byte sealed payloads).
-    assert!(
-        decrypted.len() as u64 >= 15,
-        "most post-toggle messages decrypt: {}",
-        decrypted.len()
-    );
+    assert!(decrypted.len() as u64 >= 15, "most post-toggle messages decrypt: {}", decrypted.len());
 }
 
 #[test]
@@ -254,10 +243,8 @@ fn late_subscriber_receives_orphanage_backlog_through_full_stack() {
     let id = sim.garnet_mut().register_consumer(Box::new(consumer), &token, 0).unwrap();
     let stream = StreamId::new(SensorId::new(3).unwrap(), StreamIndex::new(0));
     let now = sim.now();
-    let (replayed, _) = sim
-        .garnet_mut()
-        .subscribe_at(id, TopicFilter::Stream(stream), &token, now)
-        .unwrap();
+    let (replayed, _) =
+        sim.garnet_mut().subscribe_at(id, TopicFilter::Stream(stream), &token, now).unwrap();
     assert!(replayed >= 9, "replayed={replayed}");
     sim.run_until(SimTime::from_secs(20));
     assert!(count.load(Ordering::Relaxed) >= replayed as u64 + 9);

@@ -49,8 +49,12 @@ fn battery_death_silences_stream_without_breaking_others() {
     let (c2, n2) = SharedCountConsumer::new("watch-2");
     let id1 = sim.garnet_mut().register_consumer(Box::new(c1), &token, 0).unwrap();
     let id2 = sim.garnet_mut().register_consumer(Box::new(c2), &token, 0).unwrap();
-    sim.garnet_mut().subscribe(id1, TopicFilter::Sensor(SensorId::new(1).unwrap()), &token).unwrap();
-    sim.garnet_mut().subscribe(id2, TopicFilter::Sensor(SensorId::new(2).unwrap()), &token).unwrap();
+    sim.garnet_mut()
+        .subscribe(id1, TopicFilter::Sensor(SensorId::new(1).unwrap()), &token)
+        .unwrap();
+    sim.garnet_mut()
+        .subscribe(id2, TopicFilter::Sensor(SensorId::new(2).unwrap()), &token)
+        .unwrap();
 
     sim.run_until(SimTime::from_secs(30));
     let dead = n1.load(Ordering::Relaxed);
@@ -196,13 +200,17 @@ fn consumer_churn_releases_resources_and_reroutes_data() {
         )
         .unwrap();
     assert_eq!(
-        sim.garnet().resource().effective_interval_ms(SensorId::new(1).unwrap(), StreamIndex::new(0)),
+        sim.garnet()
+            .resource()
+            .effective_interval_ms(SensorId::new(1).unwrap(), StreamIndex::new(0)),
         Some(200)
     );
     sim.garnet_mut().deregister_consumer(id1).unwrap();
     // The departing consumer's demand is released.
     assert_eq!(
-        sim.garnet().resource().effective_interval_ms(SensorId::new(1).unwrap(), StreamIndex::new(0)),
+        sim.garnet()
+            .resource()
+            .effective_interval_ms(SensorId::new(1).unwrap(), StreamIndex::new(0)),
         None
     );
 

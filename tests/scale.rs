@@ -96,8 +96,7 @@ fn scale_run_is_deterministic() {
             garnet: GarnetConfig { receivers, ..GarnetConfig::default() },
             peer_range_m: None,
         };
-        let mut sim =
-            PipelineSim::new(config, Box::new(Gradient { base: 0.0, gx: 0.01, gy: 0.0 }));
+        let mut sim = PipelineSim::new(config, Box::new(Gradient { base: 0.0, gx: 0.01, gy: 0.0 }));
         let mut rng = SimRng::seed(3).fork("p");
         for i in 0..100u32 {
             let pos = Point::new(rng.next_f64() * 400.0, rng.next_f64() * 400.0);

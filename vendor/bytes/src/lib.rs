@@ -1,0 +1,401 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the slices of the `bytes` API this workspace uses, with the
+//! one property the wire layer depends on: **clones of a [`Bytes`] share
+//! the same backing allocation** (fan-out of a payload to N consumers
+//! must not copy it N times — `garnet-wire` asserts pointer equality).
+//! Backing storage is an `Arc<[u8]>` plus an offset/length view.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, contiguous slice of memory.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty `Bytes`.
+    pub fn new() -> Self {
+        Bytes { data: Arc::from(&[][..]), start: 0, len: 0 }
+    }
+
+    /// Copies `data` into a new shared allocation.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        let len = data.len();
+        Bytes { data: Arc::from(data), start: 0, len }
+    }
+
+    /// Wraps static data (copied once; clones still share).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self::copy_from_slice(data)
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A sub-view sharing the same allocation.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len, "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// Copies the view out into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes { data: Arc::from(v.into_boxed_slice()), start: 0, len }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref() {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for Bytes {}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for Bytes {}
+
+/// A growable byte buffer with an O(1) consuming front cursor.
+#[derive(Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new(), start: 0 }
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { buf: Vec::with_capacity(cap), start: 0 }
+    }
+
+    /// Readable length.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when nothing is readable.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reserves space for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.compact();
+        self.buf.reserve(additional);
+    }
+
+    /// Appends `src`.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Removes and returns the first `at` readable bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.buf[self.start..self.start + at].to_vec();
+        self.start += at;
+        BytesMut { buf: head, start: 0 }
+    }
+
+    /// Removes and returns all readable bytes, leaving `self` empty.
+    pub fn split(&mut self) -> BytesMut {
+        let all = self.buf[self.start..].to_vec();
+        self.buf.clear();
+        self.start = 0;
+        BytesMut { buf: all, start: 0 }
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+
+    /// Freezes the readable bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        if self.start == 0 {
+            Bytes::from(self.buf)
+        } else {
+            Bytes::copy_from_slice(&self.buf[self.start..])
+        }
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let start = self.start;
+        &mut self.buf[start..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&Bytes::copy_from_slice(self), f)
+    }
+}
+
+/// Read-cursor operations (mirrors `bytes::Buf` where used).
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// The readable slice.
+    fn chunk(&self) -> &[u8];
+    /// Advances the read cursor by `cnt`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads a big-endian u16 and advances.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian u32 and advances.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads one byte and advances.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+}
+
+/// Write operations (mirrors `bytes::BufMut` where used).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_allocation() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_advance_freeze_roundtrip() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u32(0xDEAD_BEEF);
+        m.extend_from_slice(b"xyz");
+        assert_eq!(m.len(), 7);
+        let head = m.split_to(4).freeze();
+        assert_eq!(&head[..], &0xDEAD_BEEFu32.to_be_bytes());
+        m.advance(1);
+        assert_eq!(&m[..], b"yz");
+        assert_eq!(&m.split().freeze()[..], b"yz");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn slice_shares_and_bounds() {
+        let a = Bytes::copy_from_slice(b"hello world");
+        let w = a.slice(6..11);
+        assert_eq!(&w[..], b"world");
+        assert_eq!(unsafe { a.as_ptr().add(6) }, w.as_ptr());
+    }
+}

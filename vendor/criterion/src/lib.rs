@@ -1,0 +1,228 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the workspace's `[[bench]]` targets compiling and producing
+//! useful numbers without a crate registry: each benchmark runs a short
+//! warm-up then `sample_size` timed iterations and reports the median
+//! per-iteration wall time (plus derived throughput when declared).
+//! No statistical analysis, outlier rejection, or HTML reports.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark function.
+const TIME_BUDGET: Duration = Duration::from_secs(5);
+
+/// Opaque value sink (re-export of the std hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per iteration, for throughput reporting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, once per sample, after one warm-up call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.results.push(t0.elapsed());
+            if started.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the target measurement time (accepted for API parity; the
+    /// stand-in uses its fixed per-bench budget).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.sample_size, results: Vec::new() };
+        f(&mut b);
+        self.report(&id.to_string(), &mut b.results);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: self.sample_size, results: Vec::new() };
+        f(&mut b, input);
+        self.report(&id.to_string(), &mut b.results);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &str, samples: &mut [Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id:<40} (no samples)", self.name);
+            return;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+                let bps = n as f64 / median.as_secs_f64();
+                format!("  {:>12.1} MiB/s", bps / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+                let eps = n as f64 / median.as_secs_f64();
+                format!("  {eps:>12.0} elem/s")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id:<40} median {:>12} over {} samples{rate}",
+            self.name,
+            human(median),
+            samples.len(),
+        );
+        self.criterion.reported += 1;
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    reported: u64,
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, sample_size: 10, throughput: None }
+    }
+
+    /// Benchmarks reported so far (used by the harness macros).
+    pub fn reported(&self) -> u64 {
+        self.reported
+    }
+}
+
+/// Bundles benchmark functions into one runner (criterion API parity).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// The bench-target entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &k| {
+            b.iter(|| black_box(k * 2))
+        });
+        g.finish();
+        assert_eq!(c.reported(), 2);
+    }
+}

@@ -1,0 +1,271 @@
+//! Offline stand-in for `crossbeam`: the bounded MPMC channel surface
+//! the bus layer uses, built on `Mutex` + `Condvar`. Semantics mirror
+//! `crossbeam-channel`: cloneable senders and receivers, disconnect on
+//! last-drop of either side, non-blocking `try_*` variants. A capacity
+//! of 0 (rendezvous) is approximated as capacity 1 — nothing in this
+//! workspace creates rendezvous channels.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        capacity: usize,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Creates a bounded channel of the given capacity.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        bounded(usize::MAX)
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Sender::try_send`].
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "Full(..)"),
+                TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+            }
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// Empty and all senders are gone.
+        Disconnected,
+    }
+
+    /// The sending half. Cloneable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the value is queued or all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = self.chan.queue.lock().unwrap();
+            loop {
+                if self.chan.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                if q.len() < self.chan.capacity {
+                    q.push_back(value);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                q = self.chan.not_full.wait(q).unwrap();
+            }
+        }
+
+        /// Queues without blocking, or reports why it could not.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut q = self.chan.queue.lock().unwrap();
+            if self.chan.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if q.len() >= self.chan.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            q.push_back(value);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.chan.queue.lock().unwrap().len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.senders.fetch_add(1, Ordering::SeqCst);
+            Sender { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.chan.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Wake receivers blocked on an empty queue so they can
+                // observe the disconnect.
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    /// The receiving half. Cloneable (MPMC).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.chan.queue.lock().unwrap();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if self.chan.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.chan.not_empty.wait(q).unwrap();
+            }
+        }
+
+        /// Takes a queued value without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.chan.queue.lock().unwrap();
+            match q.pop_front() {
+                Some(v) => {
+                    self.chan.not_full.notify_one();
+                    Ok(v)
+                }
+                None if self.chan.senders.load(Ordering::SeqCst) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.chan.queue.lock().unwrap().len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Draining iterator that blocks like [`Receiver::recv`] and
+        /// ends on disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.chan.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Blocking iterator over received values.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn bounded_backpressure_and_order() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_is_observed() {
+            let (tx, rx) = bounded::<u32>(4);
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            let (tx, rx) = bounded::<u32>(4);
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn cross_thread_delivery() {
+            let (tx, rx) = bounded::<u32>(8);
+            let h = thread::spawn(move || {
+                (0..100).map(|i| tx.send(i).map(|_| 1).unwrap_or(0)).sum::<u32>()
+            });
+            let mut got = 0;
+            while rx.recv().is_ok() {
+                got += 1;
+            }
+            assert_eq!(h.join().unwrap(), 100);
+            assert_eq!(got, 100);
+        }
+    }
+}

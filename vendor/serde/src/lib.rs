@@ -1,0 +1,34 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on wire types to
+//! declare intent (external tooling serializes them), but contains no
+//! runtime serialization call sites. With no crate registry available,
+//! this stand-in keeps the annotations compiling: the traits are
+//! markers and the derives (see `serde_derive`) emit empty impls.
+//! Swapping back to real serde is a one-line change in the workspace
+//! manifest.
+
+/// Marker for types declared serializable.
+pub trait Serialize {}
+
+/// Marker for types declared deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing (mirrors
+/// `serde::de::DeserializeOwned`).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// `serde::de` module shim.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser` module shim.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
