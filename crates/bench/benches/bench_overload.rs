@@ -1,0 +1,31 @@
+//! E17: burst admission under each overload policy (writes
+//! `BENCH_overload.json` next to the bench's working directory).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use garnet_bench::e17_overload::{overload_json, run_point, CAPACITY};
+use garnet_core::router::OverloadPolicy;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_overload");
+    group.sample_size(10);
+    let offered = 8 * CAPACITY as u64;
+    group.throughput(Throughput::Elements(offered));
+    for policy in [OverloadPolicy::Shed, OverloadPolicy::CoalesceFrames, OverloadPolicy::Block] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}_8x")),
+            &policy,
+            |b, &p| {
+                b.iter(|| std::hint::black_box(run_point(p, 8)));
+            },
+        );
+    }
+    group.finish();
+
+    let json = overload_json();
+    if let Err(e) = std::fs::write("BENCH_overload.json", &json) {
+        eprintln!("could not write BENCH_overload.json: {e}");
+    }
+    println!("{json}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

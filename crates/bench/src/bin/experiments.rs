@@ -88,4 +88,8 @@ fn main() {
         let (_, _, t) = e16_quiesce::run();
         println!("{}", t.render());
     }
+    if want("e17") {
+        let (_, t) = e17_overload::run();
+        println!("{}", t.render());
+    }
 }

@@ -139,7 +139,7 @@ pub fn run_shard_point(workload: &[Vec<u8>], shards: usize) -> ShardPoint {
     for b in ingest.flush(SimTime::from_secs(3_600)) {
         delivered += b.deliveries.len() as u64;
     }
-    for b in ingest.finish() {
+    for b in ingest.finish().batches {
         delivered += b.deliveries.len() as u64;
     }
     let elapsed = started.elapsed();

@@ -1,0 +1,194 @@
+//! E17 — bounded-queue overload behaviour: shed rate and queue depth
+//! versus offered load, per admission policy.
+//!
+//! The paper's middleware sits between an unthrottled radio field and
+//! consumers of finite appetite; §6's receiver arrays can hand the
+//! Data Filtering Service far more frames than a step can absorb. This
+//! experiment drives the routed facade with bursts from 1x to 16x the
+//! queue capacity and records what each [`OverloadPolicy`] does: how
+//! much it sheds, what survives, and how deep the queue actually gets
+//! (p99 of depth-at-admission).
+
+use garnet_core::middleware::{Garnet, GarnetConfig};
+use garnet_core::router::{OverloadConfig, OverloadPolicy};
+use garnet_core::{Consumer, ConsumerCtx, Delivery};
+use garnet_net::TopicFilter;
+use garnet_radio::ReceiverId;
+use garnet_simkit::SimTime;
+use garnet_wire::{DataMessage, SensorId, SequenceNumber, StreamId, StreamIndex};
+
+use crate::table::{f2, n, Table};
+
+/// Queue capacity every point runs with.
+pub const CAPACITY: usize = 64;
+/// Distinct sensor streams interleaved in the burst.
+pub const STREAMS: u32 = 8;
+
+/// One (policy, offered-load) measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OverloadPoint {
+    /// The admission policy under test.
+    pub policy: OverloadPolicy,
+    /// Frames offered to admission (multiple of [`CAPACITY`]).
+    pub offered: u64,
+    /// Frames dropped by the policy.
+    pub shed: u64,
+    /// Frames that reached the services.
+    pub delivered: u64,
+    /// Shed frames whose drop picked a same-stream victim.
+    pub coalesced: u64,
+    /// shed / offered.
+    pub shed_rate: f64,
+    /// p99 of queue depth sampled at each admission.
+    pub p99_queue_depth: u64,
+    /// Deliveries that reached the subscribed consumer.
+    pub consumed: u64,
+}
+
+struct CountingSink(std::sync::Arc<std::sync::atomic::AtomicU64>);
+
+impl Consumer for CountingSink {
+    fn name(&self) -> &str {
+        "sink"
+    }
+    fn on_data(&mut self, _d: &Delivery, _ctx: &mut ConsumerCtx) {
+        self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+fn policy_name(policy: OverloadPolicy) -> &'static str {
+    match policy {
+        OverloadPolicy::Shed => "shed",
+        OverloadPolicy::CoalesceFrames => "coalesce",
+        OverloadPolicy::Block => "block",
+    }
+}
+
+/// Drives one burst of `multiplier * CAPACITY` frames through a fresh
+/// facade configured with `policy` and returns the admission ledger.
+pub fn run_point(policy: OverloadPolicy, multiplier: u64) -> OverloadPoint {
+    let overload = Some(OverloadConfig { capacity: CAPACITY, policy });
+    let mut g = Garnet::new(GarnetConfig { overload, ..GarnetConfig::default() });
+    let token = g.issue_default_token("sink");
+    let consumed = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let id = g
+        .register_consumer(Box::new(CountingSink(std::sync::Arc::clone(&consumed))), &token, 0)
+        .expect("fresh facade accepts a consumer");
+    g.subscribe(id, TopicFilter::All, &token).expect("subscribe with a fresh token");
+
+    let offered = multiplier * CAPACITY as u64;
+    let mut frames = Vec::with_capacity(offered as usize);
+    for i in 0..offered {
+        let sensor = (i % u64::from(STREAMS)) as u32 + 1;
+        let seq = (i / u64::from(STREAMS)) as u16;
+        let stream = StreamId::new(SensorId::new(sensor).expect("small id"), StreamIndex::new(0));
+        let bytes = DataMessage::builder(stream)
+            .seq(SequenceNumber::new(seq))
+            .payload(vec![sensor as u8, seq as u8])
+            .build()
+            .expect("tiny payload encodes")
+            .encode_to_vec();
+        frames.push((ReceiverId::new(0), -50.0, bytes));
+    }
+    let out = g.on_frames(frames, SimTime::from_millis(1));
+    g.on_tick(SimTime::from_secs(1)); // flush reorder buffers
+    let s = out.overload;
+    OverloadPoint {
+        policy,
+        offered: s.offered,
+        shed: s.shed,
+        delivered: s.delivered,
+        coalesced: s.coalesced,
+        shed_rate: if s.offered == 0 { 0.0 } else { s.shed as f64 / s.offered as f64 },
+        p99_queue_depth: g.queue_depth_p99(),
+        consumed: consumed.load(std::sync::atomic::Ordering::Relaxed),
+    }
+}
+
+/// The full sweep: every policy at 1x, 2x, 4x, 8x and 16x capacity.
+pub fn run() -> (Vec<OverloadPoint>, Table) {
+    let mut table = Table::new(
+        format!("E17 — overload policies under burst (queue capacity {CAPACITY})"),
+        &["policy", "offered", "shed", "delivered", "shed rate", "p99 depth", "consumed"],
+    );
+    let mut points = Vec::new();
+    for policy in [OverloadPolicy::Shed, OverloadPolicy::CoalesceFrames, OverloadPolicy::Block] {
+        for multiplier in [1u64, 2, 4, 8, 16] {
+            let p = run_point(policy, multiplier);
+            table.row(&[
+                policy_name(policy).to_owned(),
+                n(p.offered),
+                n(p.shed),
+                n(p.delivered),
+                f2(p.shed_rate),
+                n(p.p99_queue_depth),
+                n(p.consumed),
+            ]);
+            points.push(p);
+        }
+    }
+    (points, table)
+}
+
+/// Renders the sweep as the `BENCH_overload.json` payload.
+pub fn overload_json() -> String {
+    let (points, _) = run();
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"policy\": \"{}\", \"offered\": {}, \"shed\": {}, \"delivered\": {}, \
+                 \"coalesced\": {}, \"shed_rate\": {:.4}, \"p99_queue_depth\": {}, \
+                 \"consumed\": {}}}",
+                policy_name(p.policy),
+                p.offered,
+                p.shed,
+                p.delivered,
+                p.coalesced,
+                p.shed_rate,
+                p.p99_queue_depth,
+                p.consumed
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"e17_overload\",\n  \"driver\": \"Garnet::on_frames\",\n  \
+         \"queue_capacity\": {CAPACITY},\n  \"streams\": {STREAMS},\n  \"points\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_point_balances_its_ledger_and_bounds_the_queue() {
+        let (points, _) = run();
+        assert_eq!(points.len(), 15);
+        for p in &points {
+            assert_eq!(p.shed + p.delivered, p.offered, "{p:?}");
+            assert!(p.p99_queue_depth <= CAPACITY as u64, "{p:?}");
+            match p.policy {
+                OverloadPolicy::Block => {
+                    assert_eq!(p.shed, 0, "block never drops: {p:?}");
+                    assert_eq!(p.consumed, p.offered, "{p:?}");
+                }
+                _ => {
+                    if p.offered > CAPACITY as u64 {
+                        assert!(p.shed > 0, "a 2x+ burst must shed: {p:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn json_payload_covers_every_policy() {
+        let json = overload_json();
+        assert!(json.contains("\"bench\": \"e17_overload\""));
+        for name in ["shed", "coalesce", "block"] {
+            assert!(json.contains(&format!("\"policy\": \"{name}\"")), "{name} missing");
+        }
+    }
+}

@@ -22,4 +22,5 @@ pub mod e13_multilevel;
 pub mod e14_crypto;
 pub mod e15_multihop;
 pub mod e16_quiesce;
+pub mod e17_overload;
 pub mod table;

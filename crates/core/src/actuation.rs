@@ -17,15 +17,24 @@ use garnet_wire::{AckStatus, ActuationTarget, RequestId, SensorCommand, StreamUp
 /// Actuation Service tuning.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ActuationConfig {
-    /// How long to wait for an acknowledgement before retransmitting.
+    /// How long to wait for the first acknowledgement. Each
+    /// retransmission doubles the wait (`ack_timeout * 2^attempt`), up
+    /// to [`ActuationConfig::backoff_cap`], so a congested downlink is
+    /// not hammered at a fixed cadence.
     pub ack_timeout: SimDuration,
     /// Retransmissions before giving up (0 = fire and forget).
     pub max_retries: u32,
+    /// Upper bound on the per-attempt wait under exponential backoff.
+    pub backoff_cap: SimDuration,
 }
 
 impl Default for ActuationConfig {
     fn default() -> Self {
-        ActuationConfig { ack_timeout: SimDuration::from_secs(5), max_retries: 2 }
+        ActuationConfig {
+            ack_timeout: SimDuration::from_secs(5),
+            max_retries: 2,
+            backoff_cap: SimDuration::from_secs(60),
+        }
     }
 }
 
@@ -38,12 +47,26 @@ pub enum RequestOutcome {
     TimedOut,
 }
 
+/// The wait before attempt `attempt`'s acknowledgement deadline:
+/// `ack_timeout * 2^attempt`, saturating at
+/// [`ActuationConfig::backoff_cap`].
+fn backoff_delay(config: &ActuationConfig, attempt: u32) -> SimDuration {
+    let scaled = 1u64
+        .checked_shl(attempt)
+        .and_then(|factor| config.ack_timeout.checked_mul(factor))
+        .unwrap_or(config.backoff_cap);
+    scaled.min(config.backoff_cap)
+}
+
 #[derive(Debug)]
 struct Pending {
     request: StreamUpdateRequest,
     submitted_at: SimTime,
     deadline: SimTime,
     retries_left: u32,
+    /// Transmissions already made minus one: 0 after the initial send,
+    /// bumped on every retransmission to widen the next wait.
+    attempt: u32,
 }
 
 /// The Actuation Service.
@@ -55,6 +78,8 @@ struct Pending {
 /// use garnet_simkit::SimTime;
 /// use garnet_wire::{AckStatus, ActuationTarget, SensorCommand, SensorId};
 ///
+/// // Default tuning: 5 s to the first retransmission, then 10 s, then
+/// // 20 s, … capped at 60 s per wait (exponential backoff).
 /// let mut act = ActuationService::new(ActuationConfig::default());
 /// let req = act.submit(
 ///     ActuationTarget::Sensor(SensorId::new(1)?),
@@ -120,8 +145,9 @@ impl ActuationService {
             Pending {
                 request,
                 submitted_at: now,
-                deadline: now.saturating_add(self.config.ack_timeout),
+                deadline: now.saturating_add(backoff_delay(&self.config, 0)),
                 retries_left: self.config.max_retries,
+                attempt: 0,
             },
         );
         self.submitted += 1;
@@ -157,7 +183,9 @@ impl ActuationService {
             let p = self.pending.get_mut(&id).expect("listed above");
             if p.retries_left > 0 {
                 p.retries_left -= 1;
-                p.deadline = now.saturating_add(self.config.ack_timeout);
+                p.attempt += 1;
+                let delay = backoff_delay(&self.config, p.attempt);
+                p.deadline = now.saturating_add(delay);
                 self.retransmissions += 1;
                 retransmit.push(p.request);
             } else {
@@ -217,6 +245,7 @@ mod tests {
         ActuationService::new(ActuationConfig {
             ack_timeout: SimDuration::from_secs(1),
             max_retries: 2,
+            ..ActuationConfig::default()
         })
     }
 
@@ -263,25 +292,70 @@ mod tests {
     }
 
     #[test]
-    fn retransmit_then_expire() {
+    fn retransmit_then_expire_with_exponential_backoff() {
         let mut a = svc();
         let r = a.submit(target(), SensorCommand::Ping, 0, SimTime::ZERO);
-        // First deadline: retry 1.
+        // First deadline at 1 s (timeout * 2^0): retry 1, next wait 2 s.
         let (retry, dead) = a.on_tick(SimTime::from_secs(1));
         assert_eq!(retry.len(), 1);
         assert_eq!(retry[0].request_id, r.request_id);
         assert!(dead.is_empty());
-        // Second deadline: retry 2.
+        assert_eq!(a.next_deadline(), Some(SimTime::from_secs(3)));
+        // Not due before the widened deadline.
         let (retry, dead) = a.on_tick(SimTime::from_secs(2));
+        assert!(retry.is_empty() && dead.is_empty());
+        // Second deadline at 3 s: retry 2, next wait 4 s.
+        let (retry, dead) = a.on_tick(SimTime::from_secs(3));
         assert_eq!(retry.len(), 1);
         assert!(dead.is_empty());
-        // Third: out of retries.
-        let (retry, dead) = a.on_tick(SimTime::from_secs(3));
+        assert_eq!(a.next_deadline(), Some(SimTime::from_secs(7)));
+        // Third deadline at 7 s: out of retries.
+        let (retry, dead) = a.on_tick(SimTime::from_secs(7));
         assert!(retry.is_empty());
         assert_eq!(dead.len(), 1);
         assert_eq!(a.timeout_count(), 1);
         assert_eq!(a.retransmission_count(), 2);
         assert_eq!(a.in_flight(), 0);
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_cap() {
+        let mut a = ActuationService::new(ActuationConfig {
+            ack_timeout: SimDuration::from_secs(1),
+            max_retries: 4,
+            backoff_cap: SimDuration::from_secs(3),
+        });
+        a.submit(target(), SensorCommand::Ping, 0, SimTime::ZERO);
+        // Waits: 1 s, 2 s, then pinned at the 3 s cap.
+        for (tick, next) in [(1, 3), (3, 6), (6, 9), (9, 12)] {
+            let (retry, dead) = a.on_tick(SimTime::from_secs(tick));
+            assert_eq!(retry.len(), 1, "tick at {tick} s should retransmit");
+            assert!(dead.is_empty());
+            assert_eq!(a.next_deadline(), Some(SimTime::from_secs(next)));
+        }
+        let (retry, dead) = a.on_tick(SimTime::from_secs(12));
+        assert!(retry.is_empty());
+        assert_eq!(dead.len(), 1);
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow_the_backoff() {
+        let mut a = ActuationService::new(ActuationConfig {
+            ack_timeout: SimDuration::from_secs(1),
+            max_retries: 200,
+            backoff_cap: SimDuration::from_secs(3),
+        });
+        a.submit(target(), SensorCommand::Ping, 0, SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        for _ in 0..150 {
+            now = a.next_deadline().expect("still pending");
+            let (retry, dead) = a.on_tick(now);
+            assert_eq!(retry.len(), 1);
+            assert!(dead.is_empty());
+        }
+        // Attempt 150 would shift 1 << 150 without the checked math;
+        // the wait just sits at the cap instead.
+        assert_eq!(a.next_deadline(), Some(now.saturating_add(SimDuration::from_secs(3))));
     }
 
     #[test]
@@ -309,6 +383,7 @@ mod tests {
         let mut a = ActuationService::new(ActuationConfig {
             ack_timeout: SimDuration::from_secs(1),
             max_retries: 0,
+            ..ActuationConfig::default()
         });
         a.submit(target(), SensorCommand::Ping, 0, SimTime::ZERO);
         let (retry, dead) = a.on_tick(SimTime::from_secs(1));

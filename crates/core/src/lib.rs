@@ -63,7 +63,10 @@ pub mod stream;
 
 pub use consumer::{Consumer, ConsumerCtx};
 pub use filtering::{Delivery, FilterConfig, FilteringService, Observation};
-pub use middleware::{Garnet, GarnetConfig};
+pub use middleware::{Garnet, GarnetConfig, OverloadStats, StepOutput};
 pub use pipeline::{PipelineConfig, PipelineSim};
-pub use router::{DispatchStage, Router, Services, ShardedIngest, ThreadedIngest};
+pub use router::{
+    DispatchStage, FrameAdmission, IngestBatch, IngestReport, OverloadConfig, OverloadPolicy,
+    OverloadTotals, Router, Services, ShardedIngest, ThreadedIngest,
+};
 pub use service::{GarnetService, ServiceEvent, ServiceOutput};

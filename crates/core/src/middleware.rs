@@ -35,7 +35,7 @@ use std::collections::HashMap;
 use core::fmt;
 use garnet_net::{
     AuthService, Capability, CapabilitySet, Principal, ServiceDescriptor, ServiceKind,
-    ServiceRegistry, SubscriberId, Token, TopicFilter,
+    ServiceRegistry, ShardFailure, SubscriberId, Token, TopicFilter,
 };
 use garnet_radio::geometry::Point;
 use garnet_radio::{Receiver, ReceiverId, Transmitter};
@@ -54,7 +54,9 @@ use crate::location::{LocationConfig, LocationEstimate, LocationService};
 use crate::orphanage::{Orphanage, OrphanageConfig};
 use crate::replicator::{MessageReplicator, ReplicationPlan};
 use crate::resource::{DenyReason, MediationPolicy, ResourceManager, SensorProfile};
-use crate::router::{DispatchStage, Router, Services, ShardedIngest};
+use crate::router::{
+    DispatchStage, FrameAdmission, OverloadConfig, OverloadTotals, Router, Services, ShardedIngest,
+};
 use crate::service::{ActuationOrigin, ServiceEvent, ServiceOutput};
 use crate::stream::StreamRegistry;
 
@@ -106,6 +108,9 @@ pub struct GarnetConfig {
     pub transmitters: Vec<Transmitter>,
     /// Demand-driven quiescence of unclaimed streams; `None` disables.
     pub quiesce: Option<QuiesceConfig>,
+    /// Bounded-queue admission control for the frame intake; `None`
+    /// keeps the legacy unbounded queue (admission never sheds).
+    pub overload: Option<OverloadConfig>,
 }
 
 impl Default for GarnetConfig {
@@ -123,6 +128,7 @@ impl Default for GarnetConfig {
             receivers: Vec::new(),
             transmitters: Vec::new(),
             quiesce: None,
+            overload: None,
         }
     }
 }
@@ -141,6 +147,10 @@ pub enum GarnetError {
     UnknownConsumer(SubscriberId),
     /// The 24-bit virtual sensor space for derived streams is exhausted.
     VirtualSensorSpaceExhausted,
+    /// An `Api` actuation chain drained without reaching a terminal
+    /// `Planned` or `Denied` outcome — the request was lost inside the
+    /// event graph instead of being resolved.
+    ActuationUnresolved,
 }
 
 impl fmt::Display for GarnetError {
@@ -153,20 +163,61 @@ impl fmt::Display for GarnetError {
             GarnetError::VirtualSensorSpaceExhausted => {
                 write!(f, "no virtual sensor ids remain for derived streams")
             }
+            GarnetError::ActuationUnresolved => {
+                write!(f, "actuation request drained without a Planned or Denied outcome")
+            }
         }
     }
 }
 
 impl std::error::Error for GarnetError {}
 
+/// Frame-admission accounting carried on a [`StepOutput`]: what the
+/// overload policy did during the call. At quiescence the ledger is
+/// exact: `offered == shed + delivered`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Frames accepted into admission during this call.
+    pub offered: u64,
+    /// Frames dropped by the overload policy before filtering
+    /// (includes the coalesced subset).
+    pub shed: u64,
+    /// The subset of `shed` dropped in favour of a newer same-stream
+    /// sequence.
+    pub coalesced: u64,
+    /// Frames popped off the queue and routed into filtering.
+    pub delivered: u64,
+    /// High-water mark of the frame queue since the facade started
+    /// (merged by maximum, so it stays a high-water mark).
+    pub peak_queue_depth: u64,
+}
+
+impl OverloadStats {
+    fn absorb(&mut self, other: OverloadStats) {
+        self.offered += other.offered;
+        self.shed += other.shed;
+        self.coalesced += other.coalesced;
+        self.delivered += other.delivered;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+    }
+}
+
 /// Effects the caller must carry out after a facade call: control
-/// messages to transmit, and requests that exhausted their retries.
+/// messages to transmit, and requests that exhausted their retries —
+/// plus the overload and failure accounting for the call.
 #[derive(Debug, Default)]
 pub struct StepOutput {
     /// Replication plans to broadcast through the transmitter array.
     pub control: Vec<ReplicationPlan>,
     /// Requests abandoned after all retries.
     pub expired_requests: Vec<StreamUpdateRequest>,
+    /// Frame-admission accounting for this call (zero when the queue is
+    /// unbounded or the call took no frames).
+    pub overload: OverloadStats,
+    /// Worker failures surfaced by a threaded driver during this step
+    /// (always empty under the simulation driver, which has no
+    /// threads to lose).
+    pub shard_failures: Vec<ShardFailure>,
 }
 
 impl StepOutput {
@@ -179,12 +230,17 @@ impl StepOutput {
     /// **order-independent**: merging shard or partial outputs in any
     /// order yields the same final sequence, which is what lets sharded
     /// drivers combine per-shard effects without re-introducing
-    /// nondeterminism.
+    /// nondeterminism. Overload counters add (peak depth takes the
+    /// maximum) and shard failures sort by `(shard, seq)` — all
+    /// order-independent too.
     pub fn merge(&mut self, mut other: StepOutput) {
         self.control.append(&mut other.control);
         self.expired_requests.append(&mut other.expired_requests);
         self.control.sort_by_key(|p| p.request.request_id.as_u32());
         self.expired_requests.sort_by_key(|r| r.request_id.as_u32());
+        self.overload.absorb(other.overload);
+        self.shard_failures.append(&mut other.shard_failures);
+        self.shard_failures.sort_by_key(|f| (f.shard, f.seq));
     }
 }
 
@@ -280,7 +336,7 @@ impl Garnet {
         };
         Garnet {
             max_derived_depth: config.max_derived_depth,
-            router: Router::new(services),
+            router: Router::with_overload(services, config.overload),
             auth: AuthService::new(config.auth_key),
             registry,
             consumers: HashMap::new(),
@@ -338,8 +394,8 @@ impl Garnet {
         if self.next_virtual_sensor == 0 {
             return Err(GarnetError::VirtualSensorSpaceExhausted);
         }
-        let virtual_sensor =
-            SensorId::new(self.next_virtual_sensor).expect("counter stays in 24-bit range");
+        let virtual_sensor = SensorId::new(self.next_virtual_sensor)
+            .map_err(|_| GarnetError::VirtualSensorSpaceExhausted)?;
         self.next_virtual_sensor -= 1;
         let id = self.router.services_mut().dispatch.dispatching.register_subscriber();
         self.registry.advertise(ServiceDescriptor {
@@ -459,6 +515,12 @@ impl Garnet {
     }
 
     /// Feeds one raw frame from a receiver into the pipeline.
+    ///
+    /// The frame passes admission control first, but since the facade
+    /// pumps to quiescence after every call, a frame-at-a-time driver
+    /// never fills the bounded queue — bursts only become visible to
+    /// the [`crate::router::OverloadPolicy`] through
+    /// [`Garnet::on_frames`].
     pub fn on_frame(
         &mut self,
         receiver: ReceiverId,
@@ -466,10 +528,56 @@ impl Garnet {
         frame: &[u8],
         now: SimTime,
     ) -> StepOutput {
+        self.on_frames(vec![(receiver, rssi_dbm, frame.to_vec())], now)
+    }
+
+    /// Feeds a burst of raw frames through admission control before a
+    /// single pump — the batch intake that makes the bounded queue and
+    /// its overload policy observable (and spares per-frame pump
+    /// overhead when a receiver hands over several frames at once).
+    ///
+    /// The returned [`StepOutput::overload`] is this call's ledger:
+    /// with the queue drained, `offered == shed + delivered`.
+    pub fn on_frames(
+        &mut self,
+        frames: Vec<(ReceiverId, f64, Vec<u8>)>,
+        now: SimTime,
+    ) -> StepOutput {
         let mut out = StepOutput::default();
-        self.router.enqueue(ServiceEvent::Frame { receiver, rssi_dbm, frame: frame.to_vec() });
+        let base = self.router.overload_totals();
+        for (receiver, rssi_dbm, frame) in frames {
+            let mut pending = frame;
+            // A blocked admission drains one event to make room, then
+            // retries. The queue is non-empty whenever admission blocks
+            // (capacity ≥ 1 and we are at capacity), so the inner step
+            // always makes progress.
+            while let FrameAdmission::Blocked(frame) =
+                self.router.admit_frame(receiver, rssi_dbm, pending)
+            {
+                pending = frame;
+                let Some(outputs) = self.router.step(now) else {
+                    break; // defensive: cannot happen
+                };
+                for o in outputs {
+                    self.apply(o, now, &mut out);
+                }
+            }
+        }
         self.pump(now, &mut out);
+        self.note_overload_delta(base, &mut out);
         out
+    }
+
+    /// Folds the admission-counter movement since `base` into `out`.
+    fn note_overload_delta(&self, base: OverloadTotals, out: &mut StepOutput) {
+        let t = self.router.overload_totals();
+        out.overload.absorb(OverloadStats {
+            offered: t.offered - base.offered,
+            shed: t.shed - base.shed,
+            coalesced: t.coalesced - base.coalesced,
+            delivered: t.delivered - base.delivered,
+            peak_queue_depth: self.router.peak_queue_depth(),
+        });
     }
 
     /// Ingests a standalone acknowledgement (from sensors whose data
@@ -586,10 +694,10 @@ impl Garnet {
         });
         let mut scratch = StepOutput::default();
         self.pump(now, &mut scratch);
-        Ok(self
-            .api_outcome
-            .take()
-            .expect("an Api actuation chain always terminates in Planned or Denied"))
+        // Every current service routes an Api chain to a terminal
+        // Planned or Denied; a future mis-wired service must surface as
+        // a typed error on this recoverable path, not a panic.
+        self.api_outcome.take().ok_or(GarnetError::ActuationUnresolved)
     }
 
     /// Supplies a location hint (token must grant
@@ -870,6 +978,13 @@ impl Garnet {
     /// [`garnet_simkit::MetricsRegistry::report`] for the text form.
     /// Counter names and values are independent of
     /// [`GarnetConfig::ingest_shards`].
+    /// p99 of queue-depth-at-admission samples. The unbounded queue
+    /// records no samples, so this is 0 unless an
+    /// [`crate::router::OverloadConfig`] is set.
+    pub fn queue_depth_p99(&self) -> u64 {
+        self.router.depth_histogram().p99()
+    }
+
     pub fn metrics(&self) -> garnet_simkit::MetricsRegistry {
         let s = self.router.services();
         let mut m = garnet_simkit::MetricsRegistry::new();
@@ -908,6 +1023,12 @@ impl Garnet {
         m.counter("consumers.denied_actions").add(self.denied_actions);
         m.counter("consumers.depth_drops").add(self.depth_drops);
         m.counter("streams.catalogued").add(s.dispatch.streams.len() as u64);
+        let t = self.router.overload_totals();
+        m.counter("overload.offered").add(t.offered);
+        m.counter("overload.shed").add(t.shed);
+        m.counter("overload.coalesced").add(t.coalesced);
+        m.counter("overload.delivered").add(t.delivered);
+        m.counter("overload.peak_queue_depth").add(self.router.peak_queue_depth());
         m.histogram("actuation.ack_latency_us").merge(s.actuation.ack_latency());
         m
     }
@@ -1220,12 +1341,13 @@ mod tests {
                 SimTime::ZERO,
             )
             .unwrap();
-        // Default: 5s timeout, 2 retries.
+        // Default: 5s timeout, 2 retries, exponential backoff
+        // (deadlines at 5 s, then +10 s, then +20 s).
         let out = g.on_tick(SimTime::from_secs(5));
         assert_eq!(out.control.len(), 1, "first retry");
-        let out = g.on_tick(SimTime::from_secs(10));
-        assert_eq!(out.control.len(), 1, "second retry");
         let out = g.on_tick(SimTime::from_secs(15));
+        assert_eq!(out.control.len(), 1, "second retry");
+        let out = g.on_tick(SimTime::from_secs(35));
         assert!(out.control.is_empty());
         assert_eq!(out.expired_requests.len(), 1);
     }
@@ -1476,14 +1598,28 @@ mod tests {
                     priority: 0,
                 })
                 .collect(),
+            ..StepOutput::default()
+        };
+        let accounted = |ids: &[u32], shard: usize| {
+            let mut out = make(ids);
+            out.overload = OverloadStats {
+                offered: ids.len() as u64,
+                shed: 1,
+                coalesced: 0,
+                delivered: ids.len() as u64 - 1,
+                peak_queue_depth: shard as u64 + 3,
+            };
+            out.shard_failures =
+                vec![ShardFailure { shard, seq: ids[0] as u64, reason: "boom".into() }];
+            out
         };
 
         // Shard A produced {1, 4}, shard B produced {2, 3}. Merging in
         // either order yields the canonical ascending sequence.
-        let mut ab = make(&[1, 4]);
-        ab.merge(make(&[2, 3]));
-        let mut ba = make(&[2, 3]);
-        ba.merge(make(&[1, 4]));
+        let mut ab = accounted(&[1, 4], 0);
+        ab.merge(accounted(&[2, 3], 1));
+        let mut ba = accounted(&[2, 3], 1);
+        ba.merge(accounted(&[1, 4], 0));
         let ids = |o: &StepOutput| -> Vec<u32> {
             o.control.iter().map(|p| p.request.request_id.as_u32()).collect()
         };
@@ -1494,5 +1630,16 @@ mod tests {
         };
         assert_eq!(exp(&ab), vec![1, 2, 3, 4]);
         assert_eq!(exp(&ab), exp(&ba));
+        // Overload counters sum; peak depth takes the max, not the sum.
+        assert_eq!(
+            ab.overload,
+            OverloadStats { offered: 4, shed: 2, coalesced: 0, delivered: 2, peak_queue_depth: 4 }
+        );
+        assert_eq!(ab.overload, ba.overload);
+        // Shard failures land in (shard, seq) order either way.
+        let shards =
+            |o: &StepOutput| -> Vec<usize> { o.shard_failures.iter().map(|f| f.shard).collect() };
+        assert_eq!(shards(&ab), vec![0, 1]);
+        assert_eq!(shards(&ab), shards(&ba));
     }
 }

@@ -469,7 +469,7 @@ mod tests {
             crate::middleware::ActuationOutcome::Granted { plan, .. } => plan,
             other => panic!("expected grant: {other:?}"),
         };
-        sim.carry_out(StepOutput { control: vec![plan], expired_requests: vec![] });
+        sim.carry_out(StepOutput { control: vec![plan], ..StepOutput::default() });
         sim.run_until(SimTime::from_secs(15));
         let after = count.load(Ordering::Relaxed) - baseline;
         assert!(after >= 30, "rate change should ~4x deliveries in 10s, got {after}");

@@ -21,10 +21,10 @@
 
 use std::collections::VecDeque;
 
-use garnet_net::{ShardPool, SubscriptionTable};
+use garnet_net::{RefusedJob, ShardFailure, ShardPool, SubscriptionTable};
 use garnet_radio::ReceiverId;
-use garnet_simkit::SimTime;
-use garnet_wire::{peek_stream, ActuationTarget};
+use garnet_simkit::{Histogram, SimTime};
+use garnet_wire::{peek_seq, peek_stream, ActuationTarget};
 
 use crate::actuation::ActuationService;
 use crate::coordinator::SuperCoordinator;
@@ -271,17 +271,99 @@ pub struct Services {
     pub coordinator: SuperCoordinator,
 }
 
+/// How frame admission responds when the router's bounded queue is at
+/// capacity. Only [`ServiceEvent::Frame`] events are ever governed —
+/// control events (acks, actuations, flushes) are never dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Drop the oldest queued frame to admit the newest — the arrivals
+    /// most likely to still matter survive.
+    Shed,
+    /// Replace a queued frame of the arriving frame's stream with
+    /// whichever carries the newer sequence number (per-stream
+    /// freshness, as a GSN-style drop policy); falls back to shedding
+    /// the oldest queued frame when the stream has nothing queued.
+    CoalesceFrames,
+    /// Admit nothing over capacity: the driver must drain first. The
+    /// simulation driver pumps the queue to make room; a threaded
+    /// driver genuinely blocks, pushing backpressure to the radio edge.
+    Block,
+}
+
+/// Bounded-queue admission control for the router's frame intake.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverloadConfig {
+    /// Maximum number of `Frame` events queued at once (0 is treated
+    /// as 1).
+    pub capacity: usize,
+    /// What to do with a frame arriving at capacity.
+    pub policy: OverloadPolicy,
+}
+
+/// What [`Router::admit_frame`] did with a frame.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameAdmission {
+    /// Queued; the queue was below capacity.
+    Admitted,
+    /// Queued; the oldest queued frame was shed to make room.
+    AdmittedAfterShed,
+    /// Resolved against a queued frame of the same stream: the older
+    /// sequence (either side) was dropped, the newer one is queued.
+    Coalesced,
+    /// Queue at capacity under [`OverloadPolicy::Block`]: the frame is
+    /// handed back untouched; drain the queue and retry. Nothing is
+    /// counted for a blocked attempt, so retries don't inflate totals.
+    Blocked(Vec<u8>),
+}
+
+/// Monotonic frame-admission totals, for metrics deltas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OverloadTotals {
+    /// Frames accepted into admission (everything except blocked
+    /// attempts, which retry and count once on success).
+    pub offered: u64,
+    /// Frames dropped by the overload policy before filtering.
+    pub shed: u64,
+    /// The subset of `shed` dropped in favour of a newer same-stream
+    /// sequence.
+    pub coalesced: u64,
+    /// Frames popped off the queue and routed into filtering.
+    pub delivered: u64,
+}
+
 /// The FIFO event router over [`Services`].
 #[derive(Debug)]
 pub struct Router {
     services: Services,
     queue: VecDeque<ServiceEvent>,
+    overload: Option<OverloadConfig>,
+    /// `Frame` events currently in `queue` (control events excluded).
+    queued_frames: usize,
+    totals: OverloadTotals,
+    peak_queued: u64,
+    /// Queue depth sampled at each admission (only when bounded).
+    depth_hist: Histogram,
 }
 
 impl Router {
-    /// Creates a router over the given services with an empty queue.
+    /// Creates a router over the given services with an empty,
+    /// unbounded queue (the legacy behaviour: admission never sheds).
     pub fn new(services: Services) -> Self {
-        Router { services, queue: VecDeque::new() }
+        Self::with_overload(services, None)
+    }
+
+    /// Creates a router whose frame intake is governed by `overload`
+    /// (`None` = unbounded).
+    pub fn with_overload(services: Services, overload: Option<OverloadConfig>) -> Self {
+        Router {
+            services,
+            queue: VecDeque::new(),
+            overload,
+            queued_frames: 0,
+            totals: OverloadTotals::default(),
+            peak_queued: 0,
+            depth_hist: Histogram::new(),
+        }
     }
 
     /// Shared view of the services.
@@ -294,9 +376,115 @@ impl Router {
         &mut self.services
     }
 
-    /// Enqueues an event at the back of the queue.
+    /// Enqueues an event at the back of the queue, bypassing admission
+    /// control — the control path: acks, actuations, flushes and other
+    /// non-`Frame` events must never be shed. Frames entering here are
+    /// still counted against the queue depth so admission stays exact.
     pub fn enqueue(&mut self, ev: ServiceEvent) {
+        if matches!(ev, ServiceEvent::Frame { .. }) {
+            self.queued_frames += 1;
+            self.note_depth();
+        }
         self.queue.push_back(ev);
+    }
+
+    /// Offers a frame to admission control. Without an
+    /// [`OverloadConfig`] the frame is always queued; with one, the
+    /// configured [`OverloadPolicy`] decides what happens at capacity.
+    /// This is the only entry point that maintains shed/coalesce
+    /// accounting, so drivers should route all radio frames through it.
+    pub fn admit_frame(
+        &mut self,
+        receiver: ReceiverId,
+        rssi_dbm: f64,
+        frame: Vec<u8>,
+    ) -> FrameAdmission {
+        let Some(cfg) = self.overload else {
+            self.totals.offered += 1;
+            self.enqueue(ServiceEvent::Frame { receiver, rssi_dbm, frame });
+            return FrameAdmission::Admitted;
+        };
+        let capacity = cfg.capacity.max(1);
+        if self.queued_frames < capacity {
+            self.totals.offered += 1;
+            self.enqueue(ServiceEvent::Frame { receiver, rssi_dbm, frame });
+            return FrameAdmission::Admitted;
+        }
+        match cfg.policy {
+            OverloadPolicy::Block => FrameAdmission::Blocked(frame),
+            OverloadPolicy::Shed => {
+                self.shed_oldest_frame();
+                self.totals.offered += 1;
+                self.enqueue(ServiceEvent::Frame { receiver, rssi_dbm, frame });
+                FrameAdmission::AdmittedAfterShed
+            }
+            OverloadPolicy::CoalesceFrames => self.coalesce_frame(receiver, rssi_dbm, frame),
+        }
+    }
+
+    /// Removes the oldest queued `Frame` event. Callers guarantee one
+    /// exists (`queued_frames > 0`).
+    fn shed_oldest_frame(&mut self) {
+        if let Some(idx) = self.queue.iter().position(|ev| matches!(ev, ServiceEvent::Frame { .. }))
+        {
+            self.queue.remove(idx);
+            self.queued_frames -= 1;
+            self.totals.shed += 1;
+        }
+    }
+
+    /// At capacity under `CoalesceFrames`: resolve the arriving frame
+    /// against the queued frame of the same stream, keeping whichever
+    /// claims the newer sequence number (wraparound-aware). Streams with
+    /// nothing queued fall back to shedding the oldest frame overall.
+    fn coalesce_frame(
+        &mut self,
+        receiver: ReceiverId,
+        rssi_dbm: f64,
+        frame: Vec<u8>,
+    ) -> FrameAdmission {
+        let stream = peek_stream(&frame);
+        let same_stream = stream.and_then(|s| {
+            self.queue.iter().position(|ev| {
+                matches!(ev, ServiceEvent::Frame { frame: q, .. } if peek_stream(q) == Some(s))
+            })
+        });
+        let Some(idx) = same_stream else {
+            self.shed_oldest_frame();
+            self.totals.offered += 1;
+            self.enqueue(ServiceEvent::Frame { receiver, rssi_dbm, frame });
+            return FrameAdmission::AdmittedAfterShed;
+        };
+        let queued_seq = match &self.queue[idx] {
+            ServiceEvent::Frame { frame: q, .. } => peek_seq(q),
+            _ => None,
+        };
+        // Undecodable sequences lose to decodable ones; two
+        // undecodables keep the queued copy. Deterministic either way —
+        // a corrupt frame fails CRC downstream regardless.
+        let arriving_wins = match (peek_seq(&frame), queued_seq) {
+            (Some(a), Some(q)) => a.is_after(q),
+            (Some(_), None) => true,
+            _ => false,
+        };
+        self.totals.offered += 1;
+        self.totals.shed += 1;
+        self.totals.coalesced += 1;
+        if arriving_wins {
+            // Replace in place: the survivor keeps the queued frame's
+            // position (and thus its place in the delivery order).
+            self.queue[idx] = ServiceEvent::Frame { receiver, rssi_dbm, frame };
+            self.note_depth();
+        }
+        FrameAdmission::Coalesced
+    }
+
+    fn note_depth(&mut self) {
+        let depth = self.queued_frames as u64;
+        self.peak_queued = self.peak_queued.max(depth);
+        if self.overload.is_some() {
+            self.depth_hist.record(depth);
+        }
     }
 
     /// Pops and routes one event. `Emit` outputs go to the back of the
@@ -304,11 +492,15 @@ impl Router {
     /// Returns `None` when the queue is empty (quiescence).
     pub fn step(&mut self, now: SimTime) -> Option<Vec<ServiceOutput>> {
         let ev = self.queue.pop_front()?;
+        if matches!(ev, ServiceEvent::Frame { .. }) {
+            self.queued_frames -= 1;
+            self.totals.delivered += 1;
+        }
         let outputs = self.route(ev, now);
         let mut external = Vec::new();
         for o in outputs {
             match o {
-                ServiceOutput::Emit(ev) => self.queue.push_back(ev),
+                ServiceOutput::Emit(ev) => self.enqueue(ev),
                 other => external.push(other),
             }
         }
@@ -345,6 +537,28 @@ impl Router {
         }
     }
 
+    /// Monotonic admission totals (offered / shed / coalesced /
+    /// delivered). At quiescence `offered == shed + delivered`.
+    pub fn overload_totals(&self) -> OverloadTotals {
+        self.totals
+    }
+
+    /// `Frame` events currently queued.
+    pub fn queued_frame_count(&self) -> usize {
+        self.queued_frames
+    }
+
+    /// High-water mark of the frame queue.
+    pub fn peak_queue_depth(&self) -> u64 {
+        self.peak_queued
+    }
+
+    /// Queue depth sampled at each admission (empty when unbounded —
+    /// the unbounded hot path pays no sampling cost).
+    pub fn depth_histogram(&self) -> &Histogram {
+        &self.depth_hist
+    }
+
     /// The earliest time-driven deadline across routed services.
     pub fn next_deadline(&self) -> Option<SimTime> {
         [
@@ -379,12 +593,44 @@ pub struct IngestBatch {
     pub deliveries: Vec<Delivery>,
     /// Total subscriber matches across those deliveries.
     pub matched: u64,
+    /// Input frames this job consumed (0 for reorder flushes) — the
+    /// processed side of the shed-accounting ledger.
+    pub frames: u64,
+}
+
+/// Terminal accounting for a threaded ingest run: every offered frame
+/// is either in a batch, shed at the pool edge, or attributed to a
+/// shard failure — `offered == processed + shed + lost` exactly.
+#[derive(Debug, Default)]
+pub struct IngestReport {
+    /// Result batches completing the submission-order sequence.
+    pub batches: Vec<IngestBatch>,
+    /// Worker failures (panics, stranded jobs) recorded over the run.
+    pub failures: Vec<ShardFailure>,
+    /// Frames offered to [`ThreadedIngest::push`].
+    pub offered_frames: u64,
+    /// Frames dropped by backpressure shedding at the pool edge.
+    pub shed_frames: u64,
+    /// Frames lost to shard failures (attributed via the failure list).
+    pub lost_frames: u64,
 }
 
 /// The ingest hot path on OS threads: one [`FilteringService`] per
 /// worker, frames batched per shard through a [`ShardPool`], outputs
 /// merged in submission order. Each worker also resolves subscriber
 /// matches against a snapshot of the [`SubscriptionTable`].
+///
+/// The pool's job channels are bounded, so a stalled shard propagates
+/// backpressure here. [`OverloadPolicy::Block`] (the default) makes
+/// [`ThreadedIngest::push`] block — pressure reaches the radio edge;
+/// [`OverloadPolicy::Shed`] and [`OverloadPolicy::CoalesceFrames`] drop
+/// work instead, with every dropped frame counted (`shed_frame_count`)
+/// so `offered == processed + shed + lost` holds exactly whatever the
+/// thread interleaving. A panicking worker poisons only its own shard:
+/// the loss surfaces via [`ThreadedIngest::take_shard_failures`], other
+/// shards keep delivering, and [`ThreadedIngest::restart_shard`]
+/// rebuilds the failed one with fresh filter state (its streams re-key
+/// as restarts downstream).
 ///
 /// This driver trades the simulator's bit-exact event interleaving for
 /// wall-clock parallelism; per-stream delivery order is still exact
@@ -394,27 +640,52 @@ pub struct ThreadedIngest {
     pool: ShardPool<IngestJob, IngestBatch>,
     shards: usize,
     batch_size: usize,
+    policy: OverloadPolicy,
     pending: Vec<Vec<PendingFrame>>,
+    /// Frame count per in-flight job seq, pruned below the pool's
+    /// merged watermark; failures look up their lost-frame cost here.
+    frames_per_seq: std::collections::BTreeMap<u64, u64>,
+    failures: Vec<ShardFailure>,
+    offered_frames: u64,
+    shed_frames: u64,
+    lost_frames: u64,
 }
 
 impl ThreadedIngest {
-    /// Spawns `shards` workers. `batch_size` frames accumulate per
-    /// shard before a job is submitted (batching amortises channel
-    /// overhead); `subscriptions` is snapshotted per worker.
+    /// Spawns `shards` workers with blocking backpressure
+    /// ([`OverloadPolicy::Block`]) and a 4-job queue per shard.
+    /// `batch_size` frames accumulate per shard before a job is
+    /// submitted (batching amortises channel overhead); `subscriptions`
+    /// is snapshotted per worker.
     pub fn new(
         config: FilterConfig,
         shards: usize,
         batch_size: usize,
         subscriptions: &SubscriptionTable,
     ) -> Self {
+        Self::with_backpressure(config, shards, batch_size, subscriptions, OverloadPolicy::Block, 4)
+    }
+
+    /// [`ThreadedIngest::new`] with an explicit edge policy and
+    /// per-shard job-queue bound.
+    pub fn with_backpressure(
+        config: FilterConfig,
+        shards: usize,
+        batch_size: usize,
+        subscriptions: &SubscriptionTable,
+        policy: OverloadPolicy,
+        queue_capacity: usize,
+    ) -> Self {
         let n = shards.max(1);
-        let pool = ShardPool::new(n, 4, |_shard| {
+        let subs_master = subscriptions.clone();
+        let pool = ShardPool::new(n, queue_capacity.max(1), move |_shard| {
             let mut filter = FilteringService::new(config);
-            let subs = subscriptions.clone();
+            let subs = subs_master.clone();
             Box::new(move |job: IngestJob| {
                 let mut batch = IngestBatch::default();
                 match job {
                     IngestJob::Frames(frames) => {
+                        batch.frames = frames.len() as u64;
                         for (receiver, rssi_dbm, frame, at) in frames {
                             let result = filter.on_frame(receiver, rssi_dbm, &frame, at);
                             for d in result.deliveries {
@@ -438,7 +709,13 @@ impl ThreadedIngest {
             pool,
             shards: n,
             batch_size: batch_size.max(1),
+            policy,
             pending: (0..n).map(|_| Vec::new()).collect(),
+            frames_per_seq: std::collections::BTreeMap::new(),
+            failures: Vec::new(),
+            offered_frames: 0,
+            shed_frames: 0,
+            lost_frames: 0,
         }
     }
 
@@ -447,9 +724,82 @@ impl ThreadedIngest {
         self.shards
     }
 
+    /// Hands a ready batch to the pool under the edge policy.
+    fn submit_batch(&mut self, shard: usize, frames: Vec<PendingFrame>) {
+        let count = frames.len() as u64;
+        match self.policy {
+            OverloadPolicy::Block => {
+                let seq = self.pool.submit(shard, IngestJob::Frames(frames));
+                self.frames_per_seq.insert(seq, count);
+            }
+            OverloadPolicy::Shed | OverloadPolicy::CoalesceFrames => {
+                let frames = if self.policy == OverloadPolicy::CoalesceFrames {
+                    self.compact_batch(frames)
+                } else {
+                    frames
+                };
+                let count = frames.len() as u64;
+                match self.pool.try_submit(shard, IngestJob::Frames(frames)) {
+                    Ok(seq) => {
+                        self.frames_per_seq.insert(seq, count);
+                    }
+                    Err(RefusedJob::Full(_)) => self.shed_frames += count,
+                    Err(RefusedJob::Poisoned(_)) => self.lost_frames += count,
+                }
+            }
+        }
+    }
+
+    /// Keeps only the newest sequence per stream within a batch
+    /// (streams are pinned to one shard, so within-batch coalescing is
+    /// the threaded analogue of the router's queue coalescing).
+    fn compact_batch(&mut self, frames: Vec<PendingFrame>) -> Vec<PendingFrame> {
+        let mut newest: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        let mut keep: Vec<Option<PendingFrame>> = Vec::with_capacity(frames.len());
+        for (i, pf) in frames.into_iter().enumerate() {
+            let key = peek_stream(&pf.2).map(|s| s.to_raw());
+            keep.push(Some(pf));
+            let Some(key) = key else { continue };
+            if let Some(&prev) = newest.get(&key) {
+                let newer = match (
+                    keep[i].as_ref().and_then(|p| peek_seq(&p.2)),
+                    keep[prev].as_ref().and_then(|p| peek_seq(&p.2)),
+                ) {
+                    (Some(a), Some(q)) => a.is_after(q),
+                    (Some(_), None) => true,
+                    _ => false,
+                };
+                let drop_at = if newer { prev } else { i };
+                keep[drop_at] = None;
+                self.shed_frames += 1;
+                if newer {
+                    newest.insert(key, i);
+                }
+            } else {
+                newest.insert(key, i);
+            }
+        }
+        keep.into_iter().flatten().collect()
+    }
+
+    /// Absorbs newly recorded shard failures, attributing their
+    /// lost-frame cost, and prunes the per-job ledger below the pool's
+    /// merge watermark.
+    fn absorb_failures(&mut self) {
+        for f in self.pool.take_failures() {
+            self.lost_frames += self.frames_per_seq.remove(&f.seq).unwrap_or(0);
+            self.failures.push(f);
+        }
+        let watermark = self.pool.merged_watermark();
+        self.frames_per_seq = self.frames_per_seq.split_off(&watermark);
+    }
+
     /// Queues one frame, submitting its shard's batch when full.
     /// Returns any result batches that have become ready, in submission
-    /// order.
+    /// order. Under [`OverloadPolicy::Block`] this call blocks while
+    /// the shard's job queue is full (backpressure reaches the caller);
+    /// under the shedding policies it never blocks and the drop is
+    /// counted instead.
     pub fn push(
         &mut self,
         receiver: ReceiverId,
@@ -461,12 +811,15 @@ impl ThreadedIngest {
             Some(stream) => shard_of_sensor(stream.sensor().as_u32(), self.shards),
             None => 0,
         };
+        self.offered_frames += 1;
         self.pending[shard].push((receiver, rssi_dbm, frame, at));
         if self.pending[shard].len() >= self.batch_size {
             let frames = std::mem::take(&mut self.pending[shard]);
-            self.pool.submit(shard, IngestJob::Frames(frames));
+            self.submit_batch(shard, frames);
         }
-        self.pool.drain()
+        let out = self.pool.drain();
+        self.absorb_failures();
+        out
     }
 
     /// Submits all partial batches and a reorder flush on every shard.
@@ -474,17 +827,82 @@ impl ThreadedIngest {
         for shard in 0..self.shards {
             if !self.pending[shard].is_empty() {
                 let frames = std::mem::take(&mut self.pending[shard]);
-                self.pool.submit(shard, IngestJob::Frames(frames));
+                self.submit_batch(shard, frames);
             }
-            self.pool.submit(shard, IngestJob::Flush(now));
+            let seq = self.pool.submit(shard, IngestJob::Flush(now));
+            self.frames_per_seq.insert(seq, 0);
         }
-        self.pool.drain()
+        let out = self.pool.drain();
+        self.absorb_failures();
+        out
     }
 
-    /// Drains remaining work and joins the workers. Returned batches
-    /// complete the submission-order sequence.
-    pub fn finish(self) -> Vec<IngestBatch> {
-        self.pool.finish()
+    /// Frames offered to `push` so far.
+    pub fn offered_frame_count(&self) -> u64 {
+        self.offered_frames
+    }
+
+    /// Frames dropped by backpressure shedding at the pool edge.
+    pub fn shed_frame_count(&self) -> u64 {
+        self.shed_frames
+    }
+
+    /// Frames lost to shard failures observed so far.
+    pub fn lost_frame_count(&self) -> u64 {
+        self.lost_frames
+    }
+
+    /// Takes the shard failures observed so far (their lost-frame cost
+    /// is already folded into [`ThreadedIngest::lost_frame_count`]).
+    pub fn take_shard_failures(&mut self) -> Vec<ShardFailure> {
+        self.absorb_failures();
+        std::mem::take(&mut self.failures)
+    }
+
+    /// Shards whose worker has died and not been restarted.
+    pub fn poisoned_shards(&mut self) -> Vec<usize> {
+        self.pool.poisoned_shards()
+    }
+
+    /// Rebuilds a shard's worker with a fresh [`FilteringService`].
+    /// Its streams lose their sequence windows and re-key as stream
+    /// restarts — visible, not silent.
+    pub fn restart_shard(&mut self, shard: usize) {
+        self.pool.restart_shard(shard);
+        self.absorb_failures();
+    }
+
+    /// Drains remaining work and joins the workers. The report's
+    /// batches complete the submission-order sequence, and its ledger
+    /// satisfies `offered == processed + shed + lost` (any frames still
+    /// pending unsubmitted are folded into `shed`).
+    pub fn finish(mut self) -> IngestReport {
+        // Unsubmitted pending frames would dodge the ledger: submit
+        // them (blocking is fine at shutdown — the queues drain).
+        for shard in 0..self.shards {
+            if !self.pending[shard].is_empty() {
+                let frames = std::mem::take(&mut self.pending[shard]);
+                let count = frames.len() as u64;
+                let seq = self.pool.submit(shard, IngestJob::Frames(frames));
+                self.frames_per_seq.insert(seq, count);
+            }
+        }
+        self.absorb_failures();
+        let mut failures = std::mem::take(&mut self.failures);
+        let mut lost = self.lost_frames;
+        let frames_per_seq = std::mem::take(&mut self.frames_per_seq);
+        let (batches, late) = self.pool.finish();
+        for f in late {
+            lost += frames_per_seq.get(&f.seq).copied().unwrap_or(0);
+            failures.push(f);
+        }
+        IngestReport {
+            batches,
+            failures,
+            offered_frames: self.offered_frames,
+            shed_frames: self.shed_frames,
+            lost_frames: lost,
+        }
     }
 }
 
@@ -579,7 +997,9 @@ mod tests {
             }
         }
         batches.extend(threaded.flush(SimTime::from_secs(10)));
-        batches.extend(threaded.finish());
+        let report = threaded.finish();
+        assert!(report.failures.is_empty(), "no worker should fail here");
+        batches.extend(report.batches);
         let mut threaded_delivered: Vec<(u32, u16)> = Vec::new();
         let mut matched = 0u64;
         for b in batches {

@@ -153,7 +153,51 @@ impl<M> fmt::Debug for ThreadedBus<M> {
     }
 }
 
-/// A fixed pool of shard workers with a deterministic output merge.
+/// A shard worker died or refused a job: the loss is recorded here
+/// instead of silently vanishing (or hanging the submission-order
+/// merge on a sequence number that will never arrive).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// The shard that lost the job.
+    pub shard: usize,
+    /// The submission sequence number of the lost job.
+    pub seq: u64,
+    /// The panic payload, or a synthetic reason for jobs dropped on a
+    /// shard that was already poisoned.
+    pub reason: String,
+}
+
+impl fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard {} lost job #{}: {}", self.shard, self.seq, self.reason)
+    }
+}
+
+/// A job handed back by [`ShardPool::try_submit`].
+#[derive(Debug)]
+pub enum RefusedJob<I> {
+    /// The shard's bounded job queue is at capacity (backpressure).
+    Full(I),
+    /// The shard worker has died; restart it before resubmitting.
+    Poisoned(I),
+}
+
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_owned()
+    }
+}
+
+type Stage<I, O> = Box<dyn FnMut(I) -> O + Send>;
+type StageFactory<I, O> = Box<dyn FnMut(usize) -> Stage<I, O>>;
+type ShardResult<O> = (u64, usize, Result<O, String>);
+
+/// A fixed pool of shard workers with a deterministic output merge and
+/// worker-failure supervision.
 ///
 /// Each shard runs one stateful stage function on its own thread; jobs
 /// are tagged with a global submission sequence number and the pool
@@ -163,6 +207,14 @@ impl<M> fmt::Debug for ThreadedBus<M> {
 /// partitions work (e.g. by sensor id) and the pool guarantees that
 /// whatever interleaving the OS produces, downstream observers see the
 /// submission order.
+///
+/// A panicking stage does not wedge the pool: the panic is caught, the
+/// shard is marked **poisoned** (its state may be corrupt), and the
+/// panicked job — plus anything queued behind it on that shard — is
+/// surfaced as a typed [`ShardFailure`] via [`ShardPool::take_failures`]
+/// while the merge skips the lost sequence numbers instead of waiting
+/// forever. Other shards keep delivering; a poisoned shard can be
+/// rebuilt with fresh state via [`ShardPool::restart_shard`].
 ///
 /// Result channels are unbounded so a worker can never block on a slow
 /// collector while the submitter blocks on a full job queue (the classic
@@ -184,59 +236,97 @@ impl<M> fmt::Debug for ThreadedBus<M> {
 /// for i in 0..8u64 {
 ///     pool.submit((i % 4) as usize, i);
 /// }
-/// let out = pool.finish();
+/// let (out, failures) = pool.finish();
+/// assert!(failures.is_empty(), "no worker died");
 /// assert_eq!(out.len(), 8, "submission-order merge, nothing lost");
 /// assert_eq!(out[0], 1, "job 0 was shard 0's first job");
 /// assert_eq!(out[4], 42, "job 4 was shard 0's second job");
 /// ```
 pub struct ShardPool<I: Send + 'static, O: Send + 'static> {
     jobs: Vec<Sender<(u64, I)>>,
-    results: Receiver<(u64, O)>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    results: Receiver<ShardResult<O>>,
+    result_tx: Sender<ShardResult<O>>,
+    workers: Vec<Option<std::thread::JoinHandle<()>>>,
+    factory: StageFactory<I, O>,
+    capacity: usize,
     next_seq: u64,
     collected: std::collections::BTreeMap<u64, O>,
     next_out: u64,
+    /// Seqs submitted per shard and not yet returned (FIFO per shard):
+    /// the set a panic takes down with it.
+    in_flight: Vec<Vec<u64>>,
+    /// Seqs that will never produce an output; the merge skips them.
+    failed_seqs: std::collections::BTreeSet<u64>,
+    poisoned: Vec<bool>,
+    failures: Vec<ShardFailure>,
 }
 
 impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
     /// Spawns `shards` workers (at least one). `factory` is called once
     /// per shard to build that shard's stage function, which owns any
-    /// per-shard state. `capacity` bounds each shard's job queue;
-    /// submission blocks when the target shard is that far behind.
+    /// per-shard state; the factory is retained so
+    /// [`ShardPool::restart_shard`] can rebuild a poisoned shard with
+    /// fresh state. `capacity` bounds each shard's job queue;
+    /// [`ShardPool::submit`] blocks when the target shard is that far
+    /// behind, [`ShardPool::try_submit`] hands the job back instead.
     pub fn new<F>(shards: usize, capacity: usize, mut factory: F) -> Self
     where
-        F: FnMut(usize) -> Box<dyn FnMut(I) -> O + Send>,
+        F: FnMut(usize) -> Stage<I, O> + 'static,
     {
         let shards = shards.max(1);
-        let (result_tx, results) = channel::unbounded::<(u64, O)>();
+        let capacity = capacity.max(1);
+        let (result_tx, results) = channel::unbounded::<ShardResult<O>>();
         let mut jobs = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
-            let (tx, rx) = channel::bounded::<(u64, I)>(capacity.max(1));
-            let out = result_tx.clone();
-            let mut stage = factory(shard);
+            let (tx, rx) = channel::bounded::<(u64, I)>(capacity);
             jobs.push(tx);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("garnet-shard-{shard}"))
-                    .spawn(move || {
-                        while let Ok((seq, job)) = rx.recv() {
-                            if out.send((seq, stage(job))).is_err() {
-                                break; // collector gone; shutting down
-                            }
-                        }
-                    })
-                    .expect("spawn shard worker"),
-            );
+            workers.push(Some(Self::spawn_worker(shard, rx, result_tx.clone(), factory(shard))));
         }
         ShardPool {
             jobs,
             results,
+            result_tx,
             workers,
+            factory: Box::new(factory),
+            capacity,
             next_seq: 0,
             collected: std::collections::BTreeMap::new(),
             next_out: 0,
+            in_flight: (0..shards).map(|_| Vec::new()).collect(),
+            failed_seqs: std::collections::BTreeSet::new(),
+            poisoned: vec![false; shards],
+            failures: Vec::new(),
         }
+    }
+
+    fn spawn_worker(
+        shard: usize,
+        rx: Receiver<(u64, I)>,
+        out: Sender<ShardResult<O>>,
+        mut stage: Stage<I, O>,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::Builder::new()
+            .name(format!("garnet-shard-{shard}"))
+            .spawn(move || {
+                while let Ok((seq, job)) = rx.recv() {
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| stage(job))) {
+                        Ok(o) => {
+                            if out.send((seq, shard, Ok(o))).is_err() {
+                                break; // collector gone; shutting down
+                            }
+                        }
+                        Err(payload) => {
+                            // The stage's state may be half-mutated:
+                            // report the loss and exit so the shard is
+                            // poisoned rather than corrupt.
+                            let _ = out.send((seq, shard, Err(panic_reason(payload.as_ref()))));
+                            break;
+                        }
+                    }
+                }
+            })
+            .expect("spawn shard worker")
     }
 
     /// Number of shard workers.
@@ -246,44 +336,164 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
 
     /// Submits a job to `shard` (modulo the shard count), blocking while
     /// that shard's queue is full. Jobs submitted to the same shard are
-    /// processed in submission order.
-    pub fn submit(&mut self, shard: usize, job: I) {
+    /// processed in submission order. A job submitted to a dead shard is
+    /// not silently lost: it is recorded as a [`ShardFailure`] and the
+    /// merge skips its slot. Returns the job's sequence number.
+    pub fn submit(&mut self, shard: usize, job: I) -> u64 {
         self.absorb_ready();
         let idx = shard % self.jobs.len();
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.jobs[idx].send((seq, job)).expect("shard worker exited while pool is live");
+        if self.jobs[idx].send((seq, job)).is_ok() {
+            self.in_flight[idx].push(seq);
+        } else {
+            self.note_lost(idx, seq, "submitted to a poisoned shard".to_owned());
+        }
+        seq
+    }
+
+    /// Non-blocking submission for callers that shed instead of stall:
+    /// at capacity (or on a dead shard) the job is handed back in a
+    /// [`RefusedJob`] and **no sequence number is consumed**, so refused
+    /// jobs leave no gap in the merge.
+    pub fn try_submit(&mut self, shard: usize, job: I) -> Result<u64, RefusedJob<I>> {
+        self.absorb_ready();
+        let idx = shard % self.jobs.len();
+        if self.poisoned[idx] {
+            return Err(RefusedJob::Poisoned(job));
+        }
+        let seq = self.next_seq;
+        match self.jobs[idx].try_send((seq, job)) {
+            Ok(()) => {
+                self.next_seq += 1;
+                self.in_flight[idx].push(seq);
+                Ok(seq)
+            }
+            Err(TrySendError::Full((_, job))) => Err(RefusedJob::Full(job)),
+            Err(TrySendError::Disconnected((_, job))) => {
+                self.poisoned[idx] = true;
+                Err(RefusedJob::Poisoned(job))
+            }
+        }
+    }
+
+    fn note_lost(&mut self, shard: usize, seq: u64, reason: String) {
+        self.poisoned[shard] = true;
+        self.failed_seqs.insert(seq);
+        self.failures.push(ShardFailure { shard, seq, reason });
     }
 
     fn absorb_ready(&mut self) {
-        while let Ok((seq, out)) = self.results.try_recv() {
-            self.collected.insert(seq, out);
+        while let Ok((seq, shard, res)) = self.results.try_recv() {
+            if let Some(pos) = self.in_flight[shard].iter().position(|&s| s == seq) {
+                self.in_flight[shard].remove(pos);
+            }
+            match res {
+                Ok(o) => {
+                    self.collected.insert(seq, o);
+                }
+                Err(reason) => {
+                    // The worker exited after this panic, taking every
+                    // job still queued behind it on this shard.
+                    let stranded = std::mem::take(&mut self.in_flight[shard]);
+                    self.note_lost(shard, seq, reason);
+                    for s in stranded {
+                        self.note_lost(shard, s, "stranded behind a shard panic".to_owned());
+                    }
+                }
+            }
         }
     }
 
     /// Returns the outputs that are ready *and* form a gap-free prefix of
-    /// the submission order. Outputs held back here are released by a
-    /// later `drain` or by [`ShardPool::finish`].
+    /// the submission order (sequence numbers lost to a shard failure
+    /// are skipped, not waited on). Outputs held back here are released
+    /// by a later `drain` or by [`ShardPool::finish`].
     pub fn drain(&mut self) -> Vec<O> {
         self.absorb_ready();
         let mut out = Vec::new();
-        while let Some(o) = self.collected.remove(&self.next_out) {
-            out.push(o);
+        loop {
+            if let Some(o) = self.collected.remove(&self.next_out) {
+                out.push(o);
+            } else if !self.failed_seqs.remove(&self.next_out) {
+                break;
+            }
             self.next_out += 1;
         }
         out
     }
 
-    /// Closes the job queues, waits for every worker to finish, and
-    /// returns all remaining outputs in submission order.
-    pub fn finish(mut self) -> Vec<O> {
-        self.jobs.clear(); // drop senders: workers drain and exit
-        for w in self.workers.drain(..) {
+    /// The submission sequence number up to which outputs have been
+    /// merged and released (exclusive): everything below it is fully
+    /// accounted for — delivered, or recorded as a [`ShardFailure`].
+    /// Callers keeping per-job side tables can prune below this mark.
+    pub fn merged_watermark(&self) -> u64 {
+        self.next_out
+    }
+
+    /// Takes the failures recorded so far (panicked jobs, jobs stranded
+    /// behind a panic, jobs submitted to a dead shard), oldest first.
+    pub fn take_failures(&mut self) -> Vec<ShardFailure> {
+        self.absorb_ready();
+        std::mem::take(&mut self.failures)
+    }
+
+    /// Shards whose worker has died and not been restarted.
+    pub fn poisoned_shards(&mut self) -> Vec<usize> {
+        self.absorb_ready();
+        (0..self.poisoned.len()).filter(|&s| self.poisoned[s]).collect()
+    }
+
+    /// Tears down `shard`'s worker (dead or alive) and rebuilds it with
+    /// fresh state from the retained factory. Jobs still unaccounted
+    /// for on that shard are recorded as [`ShardFailure`]s — a restart
+    /// never silently loses work it can't finish.
+    pub fn restart_shard(&mut self, shard: usize) {
+        let idx = shard % self.jobs.len();
+        let (tx, rx) = channel::bounded::<(u64, I)>(self.capacity);
+        // Dropping the old sender makes a live worker drain its queue
+        // and exit; a panicked worker is already gone.
+        drop(std::mem::replace(&mut self.jobs[idx], tx));
+        if let Some(w) = self.workers[idx].take() {
             let _ = w.join();
         }
         self.absorb_ready();
+        for seq in std::mem::take(&mut self.in_flight[idx]) {
+            self.failed_seqs.insert(seq);
+            self.failures.push(ShardFailure {
+                shard: idx,
+                seq,
+                reason: "dropped during shard restart".to_owned(),
+            });
+        }
+        self.workers[idx] =
+            Some(Self::spawn_worker(idx, rx, self.result_tx.clone(), (self.factory)(idx)));
+        self.poisoned[idx] = false;
+    }
+
+    /// Closes the job queues, waits for every worker to finish, and
+    /// returns all remaining outputs in submission order together with
+    /// every recorded [`ShardFailure`] — a panicked shard neither hangs
+    /// the join nor goes unaccounted.
+    pub fn finish(mut self) -> (Vec<O>, Vec<ShardFailure>) {
+        self.jobs.clear(); // drop senders: workers drain and exit
+        for w in self.workers.drain(..).flatten() {
+            let _ = w.join();
+        }
+        self.absorb_ready();
+        // Anything still in flight at this point can only be a job a
+        // worker dropped on its way out; account for it.
+        for shard in 0..self.in_flight.len() {
+            for seq in std::mem::take(&mut self.in_flight[shard]) {
+                self.failures.push(ShardFailure {
+                    shard,
+                    seq,
+                    reason: "dropped at pool shutdown".to_owned(),
+                });
+            }
+        }
         let collected = std::mem::take(&mut self.collected);
-        collected.into_values().collect()
+        (collected.into_values().collect(), std::mem::take(&mut self.failures))
     }
 }
 
@@ -410,8 +620,9 @@ mod tests {
         for i in 0..30u32 {
             pool.submit((i % 3) as usize, i);
         }
-        let out = pool.finish();
+        let (out, failures) = pool.finish();
         assert_eq!(out, (0..30).collect::<Vec<u32>>());
+        assert!(failures.is_empty());
     }
 
     #[test]
@@ -427,7 +638,7 @@ mod tests {
             pool.submit(i % 2, ());
         }
         // Each shard saw 3 jobs: counters run 1..=3 independently.
-        assert_eq!(pool.finish(), vec![1, 1, 2, 2, 3, 3]);
+        assert_eq!(pool.finish().0, vec![1, 1, 2, 2, 3, 3]);
     }
 
     #[test]
@@ -441,7 +652,106 @@ mod tests {
             got.extend(pool.drain());
         }
         assert_eq!(got, vec![0, 1, 2, 3]);
-        assert!(pool.finish().is_empty());
+        assert!(pool.finish().0.is_empty());
+    }
+
+    /// Runs `f` with the default panic hook silenced, so tests that
+    /// deliberately panic a shard worker don't spray backtraces.
+    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = f();
+        std::panic::set_hook(prev);
+        r
+    }
+
+    #[test]
+    fn shard_pool_survives_worker_panic() {
+        quiet_panics(|| {
+            let mut pool: ShardPool<u32, u32> = ShardPool::new(2, 8, |_| {
+                Box::new(|x| {
+                    if x == 13 {
+                        panic!("unlucky job");
+                    }
+                    x
+                })
+            });
+            // Shard 1 gets the poison pill between two good jobs.
+            pool.submit(0, 1);
+            pool.submit(1, 13);
+            pool.submit(0, 2);
+            let mut got = Vec::new();
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            while got.len() < 2 {
+                got.extend(pool.drain());
+                assert!(std::time::Instant::now() < deadline, "merge hung on the lost seq");
+            }
+            assert_eq!(got, vec![1, 2], "healthy shard kept delivering across the gap");
+            let failures = pool.take_failures();
+            assert_eq!(failures.len(), 1);
+            assert_eq!(failures[0].shard, 1);
+            assert_eq!(failures[0].seq, 1);
+            assert_eq!(failures[0].reason, "unlucky job");
+            assert_eq!(pool.poisoned_shards(), vec![1]);
+            let (rest, more) = pool.finish();
+            assert!(rest.is_empty() && more.is_empty());
+        });
+    }
+
+    #[test]
+    fn restart_revives_a_poisoned_shard_with_fresh_state() {
+        quiet_panics(|| {
+            let mut pool: ShardPool<u32, u32> = ShardPool::new(1, 8, |_| {
+                let mut count = 0u32;
+                Box::new(move |x| {
+                    if x == 99 {
+                        panic!("boom");
+                    }
+                    count += 1;
+                    count * 100 + x
+                })
+            });
+            pool.submit(0, 1);
+            pool.submit(0, 99);
+            while pool.poisoned_shards().is_empty() {
+                std::thread::yield_now();
+            }
+            pool.restart_shard(0);
+            assert!(pool.poisoned_shards().is_empty());
+            pool.submit(0, 2);
+            let (out, failures) = pool.finish();
+            // The restarted stage counts from zero again.
+            assert_eq!(out, vec![101, 102]);
+            assert_eq!(failures.len(), 1);
+            assert_eq!(failures[0].reason, "boom");
+        });
+    }
+
+    #[test]
+    fn try_submit_sheds_on_full_and_poisoned() {
+        let mut pool: ShardPool<u32, u32> = ShardPool::new(1, 1, |_| {
+            Box::new(|x| {
+                thread::sleep(std::time::Duration::from_millis(50));
+                x
+            })
+        });
+        pool.submit(0, 0); // worker picks this up and sleeps
+                           // Fill the single-slot queue, then overflow it.
+        let mut refused = 0;
+        for i in 1..20u32 {
+            match pool.try_submit(0, i) {
+                Ok(_) => {}
+                Err(RefusedJob::Full(job)) => {
+                    assert_eq!(job, i, "refused job handed back");
+                    refused += 1;
+                }
+                Err(RefusedJob::Poisoned(_)) => panic!("worker is healthy"),
+            }
+        }
+        assert!(refused > 0, "a 1-deep queue must refuse some of 19 rapid submissions");
+        let (out, failures) = pool.finish();
+        assert_eq!(out.len(), 19 - refused + 1, "accepted jobs all completed, no gaps");
+        assert!(failures.is_empty());
     }
 
     #[test]

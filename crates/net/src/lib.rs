@@ -30,7 +30,7 @@ pub mod registry;
 pub mod rpc;
 
 pub use auth::{AuthService, Capability, CapabilitySet, Principal, Token};
-pub use bus::{BusError, ShardPool, ThreadedBus};
+pub use bus::{BusError, RefusedJob, ShardFailure, ShardPool, ThreadedBus};
 pub use pubsub::{SubscriberId, SubscriptionTable, TopicFilter};
 pub use registry::{ServiceDescriptor, ServiceKind, ServiceRegistry};
 pub use rpc::{CallId, RpcTable};

@@ -93,7 +93,7 @@ fn main() {
     if let ActuationOutcome::Granted { plan, .. } = outcome {
         sim.carry_out(garnet::core::middleware::StepOutput {
             control: vec![plan],
-            expired_requests: vec![],
+            ..Default::default()
         });
         println!("acquisition rate granted and transmitted to the sensor\n");
     }

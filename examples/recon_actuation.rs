@@ -79,7 +79,7 @@ fn main() {
             granted += 1;
             sim.carry_out(garnet::core::middleware::StepOutput {
                 control: vec![plan],
-                expired_requests: vec![],
+                ..Default::default()
             });
         }
     }

@@ -89,7 +89,7 @@ fn actuation_round_trip_with_acknowledgement() {
     let ActuationOutcome::Granted { plan, .. } = outcome else {
         panic!("resource manager should grant an unconflicted request");
     };
-    sim.carry_out(StepOutput { control: vec![plan], expired_requests: vec![] });
+    sim.carry_out(StepOutput { control: vec![plan], ..StepOutput::default() });
 
     sim.run_until(SimTime::from_secs(30));
     let after = count.load(Ordering::Relaxed) - before;
@@ -159,7 +159,7 @@ fn encrypted_stream_is_opaque_to_middleware_but_readable_by_key_holder() {
     let ActuationOutcome::Granted { plan, .. } = outcome else {
         panic!("encryption toggle should be granted");
     };
-    sim.carry_out(StepOutput { control: vec![plan], expired_requests: vec![] });
+    sim.carry_out(StepOutput { control: vec![plan], ..StepOutput::default() });
 
     sim.run_until(SimTime::from_secs(20));
     let _ = sensor_idx;

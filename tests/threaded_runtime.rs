@@ -8,7 +8,8 @@ use std::time::Duration;
 
 use garnet::core::middleware::{Garnet, GarnetConfig};
 use garnet::core::pipeline::SharedCountConsumer;
-use garnet::net::{ThreadedBus, TopicFilter};
+use garnet::core::router::ThreadedIngest;
+use garnet::net::{ShardPool, SubscriptionTable, ThreadedBus, TopicFilter};
 use garnet::radio::ReceiverId;
 use garnet::simkit::SimTime;
 use garnet::wire::{DataMessage, SensorId, SequenceNumber, StreamId, StreamIndex};
@@ -91,6 +92,78 @@ fn middleware_runs_behind_the_threaded_bus() {
     // duplicates (arrival interleaving varies, the *sum* must not).
     assert_eq!(delivered.load(Ordering::Relaxed) + duplicates, 1_000);
     assert_eq!(delivered.load(Ordering::Relaxed), 500);
+}
+
+/// Runs `f` with the default panic hook silenced, so an *injected*
+/// worker panic doesn't spray a backtrace into the test output.
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(hook);
+    out
+}
+
+#[test]
+fn shard_pool_worker_panic_is_supervised_not_hung() {
+    let (out, failures) = with_quiet_panics(|| {
+        let mut pool: ShardPool<u32, u32> = ShardPool::new(3, 64, |_shard| {
+            Box::new(|x: u32| {
+                if x == 13 {
+                    panic!("injected fault");
+                }
+                x * 2
+            })
+        });
+        // Shard 1 gets the poison pill mid-stream; shards 0 and 2 keep
+        // working before and after the crash.
+        for x in [1u32, 2, 13, 3, 5] {
+            pool.submit((x % 3) as usize, x);
+        }
+        pool.finish()
+    });
+    // Jobs on healthy shards are delivered in submission order; the
+    // panicked job's slot is skipped, not waited on forever.
+    assert_eq!(out, vec![2, 4, 6, 10]);
+    assert_eq!(failures.len(), 1, "exactly the injected fault surfaces");
+    assert_eq!(failures[0].shard, 1);
+    assert_eq!(failures[0].reason, "injected fault");
+}
+
+#[test]
+fn threaded_ingest_ledger_balances_end_to_end() {
+    let mut subs = SubscriptionTable::new();
+    subs.subscribe(garnet::net::SubscriberId::new(1), TopicFilter::All);
+    let mut ingest = ThreadedIngest::new(garnet::core::FilterConfig::default(), 2, 4, &subs);
+    let frame = |sensor: u32, seq: u16| {
+        DataMessage::builder(StreamId::new(SensorId::new(sensor).unwrap(), StreamIndex::new(0)))
+            .seq(SequenceNumber::new(seq))
+            .payload(vec![seq as u8])
+            .build()
+            .unwrap()
+            .encode_to_vec()
+    };
+    let mut batches = Vec::new();
+    for seq in 0..10u16 {
+        for sensor in 1..=2u32 {
+            batches.extend(ingest.push(
+                ReceiverId::new(0),
+                -40.0,
+                frame(sensor, seq),
+                SimTime::ZERO,
+            ));
+        }
+    }
+    let report = ingest.finish();
+    batches.extend(report.batches);
+    let delivered: u64 = batches.iter().map(|b| b.deliveries.len() as u64).sum();
+    // offered == processed + shed + lost — and on a healthy pool the
+    // last two are zero, so every offered frame comes out the far end.
+    assert_eq!(report.offered_frames, 20);
+    assert_eq!(report.shed_frames, 0);
+    assert_eq!(report.lost_frames, 0);
+    assert_eq!(delivered, 20);
+    assert!(report.failures.is_empty());
 }
 
 #[test]
