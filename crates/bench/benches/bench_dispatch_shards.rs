@@ -1,0 +1,48 @@
+//! E18: the dispatch shard sweep on the full threaded service graph
+//! (writes `BENCH_dispatch_shards.json` next to the bench's working
+//! directory, same schema as `BENCH_pipeline_shards.json`).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use garnet_bench::e03_pipeline::{expected_min_speedup, host_cores, shard_workload, sweep_json};
+use garnet_bench::e18_dispatch_shards::run_dispatch_point;
+
+fn bench(c: &mut Criterion) {
+    let frames = 20_000u32;
+    let workload = shard_workload(frames, 64);
+    let mut group = c.benchmark_group("e18_dispatch_shards");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(u64::from(frames)));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &s| {
+            b.iter(|| std::hint::black_box(run_dispatch_point(&workload, s)));
+        });
+    }
+    group.finish();
+
+    let cores = host_cores();
+    let points: Vec<_> =
+        [1usize, 2, 4, 8].iter().map(|&s| run_dispatch_point(&workload, s)).collect();
+    let base = points[0].throughput_fps;
+    for p in &points {
+        // Speedup is only claimed where the host can deliver one; a
+        // single-core runner records the sweep without the gate.
+        if let Some(min) = expected_min_speedup(p.shards, cores) {
+            let speedup = p.throughput_fps / base;
+            assert!(
+                speedup >= min,
+                "{} dispatch shards on {} cores: speedup {:.3} below expected {:.2}",
+                p.shards,
+                cores,
+                speedup,
+                min
+            );
+        }
+    }
+    let json = sweep_json("e18_dispatch_shards", "ThreadedRouter", cores, &points);
+    if let Err(e) = std::fs::write("BENCH_dispatch_shards.json", &json) {
+        eprintln!("could not write BENCH_dispatch_shards.json: {e}");
+    }
+    println!("{json}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -2,7 +2,9 @@
 //! shard sweep (writes `BENCH_pipeline_shards.json` next to the bench's
 //! working directory).
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use garnet_bench::e03_pipeline::{run_point, run_shard_point, shard_sweep_json, shard_workload};
+use garnet_bench::e03_pipeline::{
+    expected_min_speedup, host_cores, run_point, run_shard_point, shard_workload, sweep_json,
+};
 use garnet_simkit::{SimDuration, SimTime};
 
 fn bench(c: &mut Criterion) {
@@ -29,7 +31,25 @@ fn bench(c: &mut Criterion) {
     }
     group.finish();
 
-    let json = shard_sweep_json(frames, 64, &[1, 2, 4, 8]);
+    let cores = host_cores();
+    let points: Vec<_> = [1usize, 2, 4, 8].iter().map(|&s| run_shard_point(&workload, s)).collect();
+    let base = points[0].throughput_fps;
+    for p in &points {
+        // Only claim a speedup where the host can actually deliver one;
+        // a single-core runner records the sweep without the gate.
+        if let Some(min) = expected_min_speedup(p.shards, cores) {
+            let speedup = p.throughput_fps / base;
+            assert!(
+                speedup >= min,
+                "{} shards on {} cores: speedup {:.3} below expected {:.2}",
+                p.shards,
+                cores,
+                speedup,
+                min
+            );
+        }
+    }
+    let json = sweep_json("e03_pipeline_shards", "ThreadedIngest", cores, &points);
     if let Err(e) = std::fs::write("BENCH_pipeline_shards.json", &json) {
         eprintln!("could not write BENCH_pipeline_shards.json: {e}");
     }

@@ -92,4 +92,8 @@ fn main() {
         let (_, t) = e17_overload::run();
         println!("{}", t.render());
     }
+    if want("e18") {
+        let (_, t) = e18_dispatch_shards::run();
+        println!("{}", t.render());
+    }
 }

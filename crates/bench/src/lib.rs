@@ -23,4 +23,5 @@ pub mod e14_crypto;
 pub mod e15_multihop;
 pub mod e16_quiesce;
 pub mod e17_overload;
+pub mod e18_dispatch_shards;
 pub mod table;

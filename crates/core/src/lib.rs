@@ -18,11 +18,16 @@
 //! typed events between them over a FIFO queue, and
 //! [`middleware::Garnet`] is a thin facade that drives the router (and
 //! hosts the consumers). The filtering hot path is partitioned by
-//! sensor id into [`router::ShardedIngest`] shards with a deterministic
-//! merge, so any shard count produces bit-identical outputs under the
-//! simulation driver while [`router::ThreadedIngest`] runs the shards
-//! on real threads. [`pipeline::PipelineSim`] closes the loop with the
-//! simulated radio field for experiments.
+//! sensor id into [`router::ShardedIngest`] shards, and the dispatch
+//! stage into [`router::ShardedDispatch`] shards by the same hash, each
+//! with a deterministic merge — so any shard count produces
+//! bit-identical outputs under the simulation driver, while
+//! [`router::ThreadedIngest`] runs the ingest shards on real threads
+//! and [`router::ThreadedRouter`] runs the *entire* service graph
+//! (filtering → dispatch → control) on per-stage workers with
+//! sequence-merged, equally deterministic output.
+//! [`pipeline::PipelineSim`] closes the loop with the simulated radio
+//! field for experiments.
 //!
 //! # Quickstart
 //!
@@ -66,7 +71,8 @@ pub use filtering::{Delivery, FilterConfig, FilteringService, Observation};
 pub use middleware::{Garnet, GarnetConfig, OverloadStats, StepOutput};
 pub use pipeline::{PipelineConfig, PipelineSim};
 pub use router::{
-    DispatchStage, FrameAdmission, IngestBatch, IngestReport, OverloadConfig, OverloadPolicy,
-    OverloadTotals, Router, Services, ShardedIngest, ThreadedIngest,
+    ControlGraph, DispatchStage, FrameAdmission, IngestBatch, IngestReport, OverloadConfig,
+    OverloadPolicy, OverloadTotals, RootOutput, Router, Services, ShardedDispatch, ShardedIngest,
+    ThreadedIngest, ThreadedRouter, ThreadedRouterReport,
 };
 pub use service::{GarnetService, ServiceEvent, ServiceOutput};

@@ -26,9 +26,10 @@
 //! `Filtered` events with a bounded depth, forming the "essentially
 //! arbitrary graph of consumer processes and data streams" of §6.
 //!
-//! The queue is strictly FIFO and the ingest stage merges its shards
-//! deterministically, so a facade configured with any
-//! [`GarnetConfig::ingest_shards`] produces bit-identical outputs.
+//! The queue is strictly FIFO and both the ingest and dispatch stages
+//! merge their shards deterministically, so a facade configured with
+//! any [`GarnetConfig::ingest_shards`] / [`GarnetConfig::dispatch_shards`]
+//! combination produces bit-identical outputs.
 
 use std::collections::HashMap;
 
@@ -48,17 +49,17 @@ use garnet_wire::{
 use crate::actuation::{ActuationConfig, ActuationService};
 use crate::consumer::{Consumer, ConsumerAction, ConsumerCtx};
 use crate::coordinator::{CoordinationMode, PolicyAction, SuperCoordinator};
-use crate::dispatching::DispatchingService;
 use crate::filtering::{Delivery, FilterConfig};
 use crate::location::{LocationConfig, LocationEstimate, LocationService};
 use crate::orphanage::{Orphanage, OrphanageConfig};
 use crate::replicator::{MessageReplicator, ReplicationPlan};
 use crate::resource::{DenyReason, MediationPolicy, ResourceManager, SensorProfile};
 use crate::router::{
-    DispatchStage, FrameAdmission, OverloadConfig, OverloadTotals, Router, Services, ShardedIngest,
+    ControlGraph, FrameAdmission, OverloadConfig, OverloadTotals, Router, Services,
+    ShardedDispatch, ShardedIngest,
 };
 use crate::service::{ActuationOrigin, ServiceEvent, ServiceOutput};
-use crate::stream::StreamRegistry;
+use crate::stream::ShardedStreamRegistry;
 
 pub use crate::service::SYSTEM_SUBSCRIBER;
 
@@ -88,6 +89,12 @@ pub struct GarnetConfig {
     /// under the simulation driver; values above 1 let threaded drivers
     /// run filtering in parallel. 0 is treated as 1.
     pub ingest_shards: usize,
+    /// Number of dispatch shards the delivery stage is partitioned into
+    /// (by sensor id, same hash as the ingest shards). Any value
+    /// produces bit-identical outputs under the simulation driver;
+    /// values above 1 let threaded drivers run subscription matching in
+    /// parallel. 0 is treated as 1.
+    pub dispatch_shards: usize,
     /// Orphanage tuning.
     pub orphanage: OrphanageConfig,
     /// Location Service tuning.
@@ -118,6 +125,7 @@ impl Default for GarnetConfig {
         GarnetConfig {
             filter: FilterConfig::default(),
             ingest_shards: 1,
+            dispatch_shards: 1,
             orphanage: OrphanageConfig::default(),
             location: LocationConfig::default(),
             actuation: ActuationConfig::default(),
@@ -190,6 +198,12 @@ pub struct OverloadStats {
     /// High-water mark of the frame queue since the facade started
     /// (merged by maximum, so it stays a high-water mark).
     pub peak_queue_depth: u64,
+    /// Shard restarts performed by the supervision policy during this
+    /// call. Always zero under the simulation driver (nothing panics,
+    /// nothing restarts); threaded drivers surface their
+    /// [`crate::router::ThreadedRouterReport::shard_restarts`] here
+    /// when their reports are folded into a `StepOutput`.
+    pub shard_restarts: u64,
 }
 
 impl OverloadStats {
@@ -199,6 +213,7 @@ impl OverloadStats {
         self.coalesced += other.coalesced;
         self.delivered += other.delivered;
         self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.shard_restarts += other.shard_restarts;
     }
 }
 
@@ -326,13 +341,15 @@ impl Garnet {
         }
         let services = Services {
             ingest: ShardedIngest::new(config.filter, config.ingest_shards),
-            dispatch: DispatchStage::new(),
-            orphanage: Orphanage::new(config.orphanage),
-            location: LocationService::new(config.location, &config.receivers),
-            resource: ResourceManager::new(config.mediation),
-            actuation: ActuationService::new(config.actuation),
-            replicator: MessageReplicator::new(config.transmitters),
-            coordinator: SuperCoordinator::new(config.coordination),
+            dispatch: ShardedDispatch::new(config.dispatch_shards),
+            control: ControlGraph {
+                orphanage: Orphanage::new(config.orphanage),
+                location: LocationService::new(config.location, &config.receivers),
+                resource: ResourceManager::new(config.mediation),
+                actuation: ActuationService::new(config.actuation),
+                replicator: MessageReplicator::new(config.transmitters),
+                coordinator: SuperCoordinator::new(config.coordination),
+            },
         };
         Garnet {
             max_derived_depth: config.max_derived_depth,
@@ -397,7 +414,7 @@ impl Garnet {
         let virtual_sensor = SensorId::new(self.next_virtual_sensor)
             .map_err(|_| GarnetError::VirtualSensorSpaceExhausted)?;
         self.next_virtual_sensor -= 1;
-        let id = self.router.services_mut().dispatch.dispatching.register_subscriber();
+        let id = self.router.services_mut().dispatch.register_subscriber();
         self.registry.advertise(ServiceDescriptor {
             name: format!("consumer/{}", consumer.name()),
             kind: ServiceKind::Consumer,
@@ -423,8 +440,8 @@ impl Garnet {
     pub fn deregister_consumer(&mut self, id: SubscriberId) -> Result<(), GarnetError> {
         let entry = self.consumers.remove(&id).ok_or(GarnetError::UnknownConsumer(id))?;
         let services = self.router.services_mut();
-        services.dispatch.dispatching.unsubscribe_all(id);
-        services.resource.release_consumer(id);
+        services.dispatch.unsubscribe_all(id);
+        services.control.resource.release_consumer(id);
         if let Some(c) = &entry.consumer {
             self.registry.withdraw(&format!("consumer/{}", c.name()));
         }
@@ -468,7 +485,7 @@ impl Garnet {
         if !self.consumers.contains_key(&id) {
             return Err(GarnetError::UnknownConsumer(id));
         }
-        self.router.services_mut().dispatch.dispatching.subscribe(id, filter);
+        self.router.services_mut().dispatch.subscribe(id, filter);
 
         // Claim matching orphanage backlog. Claims are synchronous
         // request/response, not dataflow, so they stay direct calls.
@@ -477,6 +494,7 @@ impl Garnet {
             TopicFilter::Sensor(sensor) => self
                 .router
                 .services()
+                .control
                 .orphanage
                 .unclaimed_streams()
                 .into_iter()
@@ -490,7 +508,7 @@ impl Garnet {
         let mut out = StepOutput::default();
         for s in claimable {
             let services = self.router.services_mut();
-            backlog.extend(services.orphanage.claim(s));
+            backlog.extend(services.control.orphanage.claim(s));
             services.dispatch.streams.set_claimed(s, true);
             self.restore_if_quiesced(s, now, &mut out);
         }
@@ -506,9 +524,9 @@ impl Garnet {
     /// Removes one subscription.
     pub fn unsubscribe(&mut self, id: SubscriberId, filter: TopicFilter) {
         let services = self.router.services_mut();
-        services.dispatch.dispatching.unsubscribe(id, filter);
+        services.dispatch.unsubscribe(id, filter);
         if let TopicFilter::Stream(s) = filter {
-            if !services.dispatch.dispatching.would_deliver(s) {
+            if !services.dispatch.would_deliver(s) {
                 services.dispatch.streams.set_claimed(s, false);
             }
         }
@@ -577,6 +595,7 @@ impl Garnet {
             coalesced: t.coalesced - base.coalesced,
             delivered: t.delivered - base.delivered,
             peak_queue_depth: self.router.peak_queue_depth(),
+            shard_restarts: 0,
         });
     }
 
@@ -643,7 +662,7 @@ impl Garnet {
         }
         // Withdraw the system's slow-rate demand so consumer demands
         // mediate freshly, then restore the working rate.
-        self.router.services_mut().resource.release_consumer(SYSTEM_SUBSCRIBER);
+        self.router.services_mut().control.resource.release_consumer(SYSTEM_SUBSCRIBER);
         self.router.enqueue(ServiceEvent::ActuationRequested {
             origin: ActuationOrigin::Restore,
             requester: SYSTEM_SUBSCRIBER,
@@ -726,7 +745,7 @@ impl Garnet {
         now: SimTime,
     ) -> Result<Option<LocationEstimate>, GarnetError> {
         self.authorize(token, Capability::ReadLocation, now)?;
-        Ok(self.router.services().location.estimate(sensor, now))
+        Ok(self.router.services().control.location.estimate(sensor, now))
     }
 
     /// A consumer reports a state change out-of-band. Coordinator policy
@@ -751,13 +770,13 @@ impl Garnet {
 
     /// Registers a policy action with the Super Coordinator.
     pub fn register_coordinator_policy(&mut self, state: u32, action: PolicyAction) {
-        self.router.services_mut().coordinator.register_policy(state, action);
+        self.router.services_mut().control.coordinator.register_policy(state, action);
     }
 
     /// Registers a sensor's constraint profile with the Resource
     /// Manager.
     pub fn register_sensor_profile(&mut self, sensor: SensorId, profile: SensorProfile) {
-        self.router.services_mut().resource.register_profile(sensor, profile);
+        self.router.services_mut().control.resource.register_profile(sensor, profile);
     }
 
     /// Drains the router queue, applying every escaped output.
@@ -908,39 +927,39 @@ impl Garnet {
         &self.router.services().ingest
     }
 
-    /// The Dispatching Service (statistics).
-    pub fn dispatching(&self) -> &DispatchingService {
-        &self.router.services().dispatch.dispatching
+    /// The dispatch stage — sharded subscription matching (statistics).
+    pub fn dispatching(&self) -> &ShardedDispatch {
+        &self.router.services().dispatch
     }
 
     /// The Orphanage.
     pub fn orphanage(&self) -> &Orphanage {
-        &self.router.services().orphanage
+        &self.router.services().control.orphanage
     }
 
     /// The Location Service.
     pub fn location(&self) -> &LocationService {
-        &self.router.services().location
+        &self.router.services().control.location
     }
 
     /// The Resource Manager.
     pub fn resource(&self) -> &ResourceManager {
-        &self.router.services().resource
+        &self.router.services().control.resource
     }
 
     /// The Actuation Service.
     pub fn actuation(&self) -> &ActuationService {
-        &self.router.services().actuation
+        &self.router.services().control.actuation
     }
 
     /// The Message Replicator.
     pub fn replicator(&self) -> &MessageReplicator {
-        &self.router.services().replicator
+        &self.router.services().control.replicator
     }
 
     /// The Super Coordinator.
     pub fn coordinator(&self) -> &SuperCoordinator {
-        &self.router.services().coordinator
+        &self.router.services().control.coordinator
     }
 
     /// The service registry.
@@ -948,8 +967,8 @@ impl Garnet {
         &self.registry
     }
 
-    /// The stream catalogue.
-    pub fn streams(&self) -> &StreamRegistry {
+    /// The stream catalogue (sharded alongside the dispatch stage).
+    pub fn streams(&self) -> &ShardedStreamRegistry {
         &self.router.services().dispatch.streams
     }
 
@@ -977,7 +996,8 @@ impl Garnet {
     /// one-call health view. Deterministic name order; see
     /// [`garnet_simkit::MetricsRegistry::report`] for the text form.
     /// Counter names and values are independent of
-    /// [`GarnetConfig::ingest_shards`].
+    /// [`GarnetConfig::ingest_shards`] and
+    /// [`GarnetConfig::dispatch_shards`].
     /// p99 of queue-depth-at-admission samples. The unbounded queue
     /// records no samples, so this is 0 unless an
     /// [`crate::router::OverloadConfig`] is set.
@@ -995,30 +1015,31 @@ impl Garnet {
         m.counter("filtering.gaps_accepted").add(s.ingest.gap_count());
         m.counter("filtering.restarts").add(s.ingest.restart_count());
         m.counter("filtering.streams").add(s.ingest.stream_count() as u64);
-        m.counter("dispatching.messages").add(s.dispatch.dispatching.dispatched_count());
-        m.counter("dispatching.deliveries").add(s.dispatch.dispatching.delivery_count());
-        m.counter("dispatching.unclaimed").add(s.dispatch.dispatching.unclaimed_count());
-        m.counter("dispatching.subscribers").add(s.dispatch.dispatching.subscriber_count() as u64);
-        m.counter("orphanage.taken").add(s.orphanage.total_taken());
-        m.counter("orphanage.evicted").add(s.orphanage.total_evicted());
-        m.counter("orphanage.streams").add(s.orphanage.stream_count() as u64);
-        m.counter("location.observations").add(s.location.observation_count());
-        m.counter("location.hints").add(s.location.hint_count());
-        m.counter("location.tracked_sensors").add(s.location.tracked_sensors() as u64);
-        m.counter("resource.approved").add(s.resource.approved_count());
-        m.counter("resource.denied").add(s.resource.denied_count());
-        m.counter("actuation.submitted").add(s.actuation.submitted_count());
-        m.counter("actuation.acknowledged").add(s.actuation.acknowledged_count());
-        m.counter("actuation.timed_out").add(s.actuation.timeout_count());
-        m.counter("actuation.retransmissions").add(s.actuation.retransmission_count());
-        m.counter("actuation.in_flight").add(s.actuation.in_flight() as u64);
-        m.counter("replicator.targeted").add(s.replicator.targeted_count());
-        m.counter("replicator.flooded").add(s.replicator.flooded_count());
-        m.counter("replicator.broadcasts").add(s.replicator.broadcast_count());
-        m.counter("coordinator.reports").add(s.coordinator.report_count());
-        m.counter("coordinator.reactive_actions").add(s.coordinator.reactive_action_count());
+        m.counter("dispatching.messages").add(s.dispatch.dispatched_count());
+        m.counter("dispatching.deliveries").add(s.dispatch.delivery_count());
+        m.counter("dispatching.unclaimed").add(s.dispatch.unclaimed_count());
+        m.counter("dispatching.subscribers").add(s.dispatch.subscriber_count() as u64);
+        m.counter("orphanage.taken").add(s.control.orphanage.total_taken());
+        m.counter("orphanage.evicted").add(s.control.orphanage.total_evicted());
+        m.counter("orphanage.streams").add(s.control.orphanage.stream_count() as u64);
+        m.counter("location.observations").add(s.control.location.observation_count());
+        m.counter("location.hints").add(s.control.location.hint_count());
+        m.counter("location.tracked_sensors").add(s.control.location.tracked_sensors() as u64);
+        m.counter("resource.approved").add(s.control.resource.approved_count());
+        m.counter("resource.denied").add(s.control.resource.denied_count());
+        m.counter("actuation.submitted").add(s.control.actuation.submitted_count());
+        m.counter("actuation.acknowledged").add(s.control.actuation.acknowledged_count());
+        m.counter("actuation.timed_out").add(s.control.actuation.timeout_count());
+        m.counter("actuation.retransmissions").add(s.control.actuation.retransmission_count());
+        m.counter("actuation.in_flight").add(s.control.actuation.in_flight() as u64);
+        m.counter("replicator.targeted").add(s.control.replicator.targeted_count());
+        m.counter("replicator.flooded").add(s.control.replicator.flooded_count());
+        m.counter("replicator.broadcasts").add(s.control.replicator.broadcast_count());
+        m.counter("coordinator.reports").add(s.control.coordinator.report_count());
+        m.counter("coordinator.reactive_actions")
+            .add(s.control.coordinator.reactive_action_count());
         m.counter("coordinator.anticipatory_actions")
-            .add(s.coordinator.anticipatory_action_count());
+            .add(s.control.coordinator.anticipatory_action_count());
         m.counter("consumers.registered").add(self.consumers.len() as u64);
         m.counter("consumers.denied_actions").add(self.denied_actions);
         m.counter("consumers.depth_drops").add(self.depth_drops);
@@ -1029,7 +1050,11 @@ impl Garnet {
         m.counter("overload.coalesced").add(t.coalesced);
         m.counter("overload.delivered").add(t.delivered);
         m.counter("overload.peak_queue_depth").add(self.router.peak_queue_depth());
-        m.histogram("actuation.ack_latency_us").merge(s.actuation.ack_latency());
+        // The simulation driver never panics a shard, so this stays 0
+        // here; threaded drivers report supervision restarts through
+        // their run reports.
+        m.counter("overload.shard_restarts").add(0);
+        m.histogram("actuation.ack_latency_us").merge(s.control.actuation.ack_latency());
         m
     }
 
@@ -1608,6 +1633,7 @@ mod tests {
                 coalesced: 0,
                 delivered: ids.len() as u64 - 1,
                 peak_queue_depth: shard as u64 + 3,
+                shard_restarts: 0,
             };
             out.shard_failures =
                 vec![ShardFailure { shard, seq: ids[0] as u64, reason: "boom".into() }];
@@ -1633,7 +1659,14 @@ mod tests {
         // Overload counters sum; peak depth takes the max, not the sum.
         assert_eq!(
             ab.overload,
-            OverloadStats { offered: 4, shed: 2, coalesced: 0, delivered: 2, peak_queue_depth: 4 }
+            OverloadStats {
+                offered: 4,
+                shed: 2,
+                coalesced: 0,
+                delivered: 2,
+                peak_queue_depth: 4,
+                shard_restarts: 0,
+            }
         );
         assert_eq!(ab.overload, ba.overload);
         // Shard failures land in (shard, seq) order either way.

@@ -19,29 +19,26 @@
 //! have produced. [`ThreadedIngest`] runs the same shards on OS threads
 //! via [`garnet_net::ShardPool`] for live deployments.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
-use garnet_net::{RefusedJob, ShardFailure, ShardPool, SubscriptionTable};
+use garnet_net::{
+    RefusedJob, RootFailure, ShardFailure, ShardPool, StageEdge, SubscriptionTable,
+    SupervisionConfig,
+};
 use garnet_radio::ReceiverId;
 use garnet_simkit::{Histogram, SimTime};
 use garnet_wire::{peek_seq, peek_stream, ActuationTarget};
 
-use crate::actuation::ActuationService;
-use crate::coordinator::SuperCoordinator;
-use crate::dispatching::DispatchingService;
+use crate::actuation::{ActuationConfig, ActuationService};
+use crate::coordinator::{CoordinationMode, SuperCoordinator};
+use crate::dispatching::{DispatchOutcome, DispatchingService};
 use crate::filtering::{Delivery, FilterConfig, FilterResult, FilteringService};
-use crate::location::LocationService;
-use crate::orphanage::Orphanage;
+use crate::location::{LocationConfig, LocationService};
+use crate::orphanage::{Orphanage, OrphanageConfig};
 use crate::replicator::MessageReplicator;
-use crate::resource::ResourceManager;
+use crate::resource::{MediationPolicy, ResourceManager};
 use crate::service::{GarnetService, ServiceEvent, ServiceOutput};
-use crate::stream::StreamRegistry;
-
-/// Spreads a 24-bit sensor id across `shards` buckets (Fibonacci
-/// hashing: dense sensor ids from grid deployments stay balanced).
-fn shard_of_sensor(sensor: u32, shards: usize) -> usize {
-    (sensor.wrapping_mul(0x9E37_79B1) >> 16) as usize % shards.max(1)
-}
+use crate::stream::{shard_of_sensor, ShardedStreamRegistry, StreamRegistry};
 
 /// The ingest stage: N filtering shards partitioned by sensor id.
 ///
@@ -113,7 +110,7 @@ impl ShardedIngest {
         self.shards.iter().filter_map(FilteringService::next_deadline).min()
     }
 
-    fn frame_outputs(result: FilterResult) -> Vec<ServiceOutput> {
+    pub(crate) fn frame_outputs(result: FilterResult) -> Vec<ServiceOutput> {
         let mut out = Vec::new();
         if let Some(obs) = result.observation {
             out.push(ServiceOutput::Emit(ServiceEvent::Observed(obs)));
@@ -207,6 +204,17 @@ impl DispatchStage {
     pub fn new() -> Self {
         DispatchStage { dispatching: DispatchingService::new(), streams: StreamRegistry::new() }
     }
+
+    /// Builds a stage over a frozen subscription-table snapshot — the
+    /// per-worker unit of the threaded dispatch edge, which routes
+    /// against its own copy of the table instead of sharing the live
+    /// one.
+    pub fn with_table(table: SubscriptionTable) -> Self {
+        DispatchStage {
+            dispatching: DispatchingService::with_table(table),
+            streams: StreamRegistry::new(),
+        }
+    }
 }
 
 impl Default for DispatchStage {
@@ -246,17 +254,170 @@ impl GarnetService for DispatchStage {
     }
 }
 
-/// Every routed service, owned together so the router can borrow them
-/// independently. Fields are public: the facade reaches in for direct
-/// reads (statistics) and the rare synchronous call (subscription
-/// changes, orphanage claims) that is request/response rather than
-/// dataflow.
+/// The dispatch stage partitioned by sensor id — the same
+/// [`shard_of_sensor`] hash as [`ShardedIngest`], so all of a sensor's
+/// streams route on one dispatch shard and the per-shard
+/// [`StreamRegistry`] partitions never overlap.
+///
+/// Subscription state is *broadcast*: every shard holds the full
+/// subscription table (tables are small and change rarely; routing is
+/// the hot path), so any shard can match any of its streams without
+/// cross-shard reads. Message-path calls (`route`, registry updates) go
+/// to the owning shard only; counters sum across shards and the
+/// catalogue merges in ascending stream-id order — with the sim driver
+/// pumping events in FIFO order, every observable is bit-identical for
+/// any shard count.
 #[derive(Debug)]
-pub struct Services {
-    /// Sharded filtering (the ingest hot path).
-    pub ingest: ShardedIngest,
-    /// Subscription routing + stream catalogue.
-    pub dispatch: DispatchStage,
+pub struct ShardedDispatch {
+    dispatchers: Vec<DispatchingService>,
+    /// The stream catalogue, partitioned with the dispatchers.
+    pub streams: ShardedStreamRegistry,
+    next_subscriber: u32,
+}
+
+impl ShardedDispatch {
+    /// Creates a dispatch stage with `shards` partitions (0 is treated
+    /// as 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1);
+        ShardedDispatch {
+            dispatchers: (0..n).map(|_| DispatchingService::new()).collect(),
+            streams: ShardedStreamRegistry::new(n),
+            next_subscriber: 0,
+        }
+    }
+
+    /// Number of dispatch shards.
+    pub fn shard_count(&self) -> usize {
+        self.dispatchers.len()
+    }
+
+    fn shard_of(&self, stream: garnet_wire::StreamId) -> usize {
+        shard_of_sensor(stream.sensor().as_u32(), self.dispatchers.len())
+    }
+
+    /// Allocates a fresh subscriber identity. Allocation is global —
+    /// one counter across all shards — so ids never collide however the
+    /// stage is sharded.
+    pub fn register_subscriber(&mut self) -> garnet_net::SubscriberId {
+        let id = garnet_net::SubscriberId::new(self.next_subscriber);
+        self.next_subscriber += 1;
+        id
+    }
+
+    /// Adds a subscription on every shard. Returns true if new.
+    pub fn subscribe(
+        &mut self,
+        subscriber: garnet_net::SubscriberId,
+        filter: garnet_net::TopicFilter,
+    ) -> bool {
+        self.dispatchers
+            .iter_mut()
+            .map(|d| d.subscribe(subscriber, filter))
+            .fold(false, |a, b| a | b)
+    }
+
+    /// Removes one subscription from every shard.
+    pub fn unsubscribe(
+        &mut self,
+        subscriber: garnet_net::SubscriberId,
+        filter: garnet_net::TopicFilter,
+    ) -> bool {
+        self.dispatchers
+            .iter_mut()
+            .map(|d| d.unsubscribe(subscriber, filter))
+            .fold(false, |a, b| a | b)
+    }
+
+    /// Removes every subscription of a departing consumer, on every
+    /// shard. Returns the per-shard count (tables are replicas, so any
+    /// shard's count is the consumer's subscription count).
+    pub fn unsubscribe_all(&mut self, subscriber: garnet_net::SubscriberId) -> usize {
+        self.dispatchers.iter_mut().map(|d| d.unsubscribe_all(subscriber)).max().unwrap_or(0)
+    }
+
+    /// Routes one message on its owning shard.
+    pub fn route(&mut self, stream: garnet_wire::StreamId) -> DispatchOutcome {
+        let shard = self.shard_of(stream);
+        self.dispatchers[shard].route(stream)
+    }
+
+    /// Peeks the match set without accounting (owning shard).
+    pub fn would_deliver(&self, stream: garnet_wire::StreamId) -> bool {
+        self.dispatchers[self.shard_of(stream)].would_deliver(stream)
+    }
+
+    /// Messages routed (all shards).
+    pub fn dispatched_count(&self) -> u64 {
+        self.dispatchers.iter().map(DispatchingService::dispatched_count).sum()
+    }
+
+    /// Total (message, subscriber) deliveries (all shards).
+    pub fn delivery_count(&self) -> u64 {
+        self.dispatchers.iter().map(DispatchingService::delivery_count).sum()
+    }
+
+    /// Messages that matched nobody (all shards).
+    pub fn unclaimed_count(&self) -> u64 {
+        self.dispatchers.iter().map(DispatchingService::unclaimed_count).sum()
+    }
+
+    /// Distribution of per-message fan-out, merged across shards.
+    pub fn fanout(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for d in &self.dispatchers {
+            h.merge(d.fanout());
+        }
+        h
+    }
+
+    /// Distinct subscribers with live subscriptions (tables are
+    /// replicas, so shard 0 speaks for all).
+    pub fn subscriber_count(&self) -> usize {
+        self.dispatchers[0].subscriber_count()
+    }
+}
+
+impl GarnetService for ShardedDispatch {
+    fn handle(&mut self, ev: ServiceEvent, _now: SimTime) -> Vec<ServiceOutput> {
+        let ServiceEvent::Filtered { delivery, depth } = ev else {
+            return Vec::new();
+        };
+        self.streams.note_message(
+            delivery.msg.stream(),
+            delivery.msg.payload().len(),
+            delivery.delivered_at,
+            depth > 0,
+        );
+        let outcome = self.route(delivery.msg.stream());
+        self.streams.set_claimed(delivery.msg.stream(), !outcome.unclaimed);
+        if outcome.unclaimed {
+            return vec![ServiceOutput::Emit(ServiceEvent::Orphaned(delivery))];
+        }
+        outcome
+            .recipients
+            .into_iter()
+            .map(|recipient| ServiceOutput::Deliver {
+                recipient,
+                delivery: delivery.clone(),
+                depth,
+            })
+            .collect()
+    }
+}
+
+/// The control-plane services downstream of dispatch, owned together
+/// with their routing: the orphanage, location, resource, actuation,
+/// replicator and coordinator boxes of Figure 1.
+///
+/// These services form a *closed* cascade — no control service ever
+/// emits a `Frame` or `Filtered` event back into the data plane — so a
+/// threaded driver can run the whole group as one worker: feed it the
+/// control events of one boundary event and [`ControlGraph::pump`] runs
+/// the internal FIFO to quiescence exactly as the single-threaded
+/// [`Router`] would.
+#[derive(Debug)]
+pub struct ControlGraph {
     /// Unclaimed-message retention.
     pub orphanage: Orphanage,
     /// Sensor location inference.
@@ -269,6 +430,97 @@ pub struct Services {
     pub replicator: MessageReplicator,
     /// State-triggered policy actions.
     pub coordinator: SuperCoordinator,
+}
+
+impl Default for ControlGraph {
+    /// A control graph with every service at its default configuration
+    /// and no receiver/transmitter arrays — the shape tests and
+    /// threaded-driver factories want when the run exercises the data
+    /// path rather than radio geometry.
+    fn default() -> Self {
+        ControlGraph {
+            orphanage: Orphanage::new(OrphanageConfig::default()),
+            location: LocationService::new(LocationConfig::default(), &[]),
+            resource: ResourceManager::new(MediationPolicy::MergeMax),
+            actuation: ActuationService::new(ActuationConfig::default()),
+            replicator: MessageReplicator::new(Vec::new()),
+            coordinator: SuperCoordinator::new(CoordinationMode::Predictive {
+                min_confidence: 0.6,
+            }),
+        }
+    }
+}
+
+impl ControlGraph {
+    fn route(&mut self, ev: ServiceEvent, now: SimTime) -> Vec<ServiceOutput> {
+        use ServiceEvent::*;
+        match ev {
+            Orphaned(_) => self.orphanage.handle(ev, now),
+            Observed(_) | Hint { .. } => self.location.handle(ev, now),
+            ActuationRequested { .. } => self.resource.handle(ev, now),
+            Submit { .. } | AckReceived { .. } | ActuationTick => self.actuation.handle(ev, now),
+            Replicate { origin, requester, request, estimate } => {
+                // The replicator's read-dependency on the Location
+                // Service is resolved here, at routing time, so the
+                // replicator itself stays free of service references.
+                let estimate = estimate.or_else(|| match request.target {
+                    ActuationTarget::Sensor(s) => self.location.estimate(s, now),
+                    ActuationTarget::Stream(st) => self.location.estimate(st.sensor(), now),
+                    ActuationTarget::Area(_) => None,
+                });
+                self.replicator.handle(Replicate { origin, requester, request, estimate }, now)
+            }
+            StateReported { .. } => self.coordinator.handle(ev, now),
+            // Data-plane events are not ours; ignoring them keeps the
+            // contract total.
+            Frame { .. } | FlushReorder | Filtered { .. } => Vec::new(),
+        }
+    }
+
+    /// Runs `events` (and everything they cascade into) to quiescence
+    /// over an internal FIFO, returning the outputs that escape the
+    /// graph. This is exactly the [`Router`]'s pump restricted to the
+    /// control plane, which is what makes a one-worker threaded control
+    /// stage bit-identical to the single-threaded router.
+    pub fn pump(&mut self, events: Vec<ServiceEvent>, now: SimTime) -> Vec<ServiceOutput> {
+        let mut queue: VecDeque<ServiceEvent> = events.into();
+        let mut external = Vec::new();
+        while let Some(ev) = queue.pop_front() {
+            for o in self.route(ev, now) {
+                match o {
+                    ServiceOutput::Emit(ev) => queue.push_back(ev),
+                    other => external.push(other),
+                }
+            }
+        }
+        external
+    }
+}
+
+impl GarnetService for ControlGraph {
+    fn handle(&mut self, ev: ServiceEvent, now: SimTime) -> Vec<ServiceOutput> {
+        self.route(ev, now)
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        GarnetService::next_deadline(&self.actuation)
+    }
+}
+
+/// Every routed service, owned together so the router can borrow them
+/// independently — grouped by stage: the sharded data plane (ingest,
+/// dispatch) and the control plane behind it. Fields are public: the
+/// facade reaches in for direct reads (statistics) and the rare
+/// synchronous call (subscription changes, orphanage claims) that is
+/// request/response rather than dataflow.
+#[derive(Debug)]
+pub struct Services {
+    /// Sharded filtering (the ingest hot path).
+    pub ingest: ShardedIngest,
+    /// Sharded subscription routing + stream catalogue.
+    pub dispatch: ShardedDispatch,
+    /// Everything downstream of dispatch.
+    pub control: ControlGraph,
 }
 
 /// How frame admission responds when the router's bounded queue is at
@@ -512,28 +764,7 @@ impl Router {
         match ev {
             Frame { .. } | FlushReorder => self.services.ingest.handle(ev, now),
             Filtered { .. } => self.services.dispatch.handle(ev, now),
-            Orphaned(_) => self.services.orphanage.handle(ev, now),
-            Observed(_) | Hint { .. } => self.services.location.handle(ev, now),
-            ActuationRequested { .. } => self.services.resource.handle(ev, now),
-            Submit { .. } | AckReceived { .. } | ActuationTick => {
-                self.services.actuation.handle(ev, now)
-            }
-            Replicate { origin, requester, request, estimate } => {
-                // The replicator's read-dependency on the Location
-                // Service is resolved here, at routing time, so the
-                // replicator itself stays free of service references.
-                let estimate = estimate.or_else(|| match request.target {
-                    ActuationTarget::Sensor(s) => self.services.location.estimate(s, now),
-                    ActuationTarget::Stream(st) => {
-                        self.services.location.estimate(st.sensor(), now)
-                    }
-                    ActuationTarget::Area(_) => None,
-                });
-                self.services
-                    .replicator
-                    .handle(Replicate { origin, requester, request, estimate }, now)
-            }
-            StateReported { .. } => self.services.coordinator.handle(ev, now),
+            other => self.services.control.handle(other, now),
         }
     }
 
@@ -563,7 +794,7 @@ impl Router {
     pub fn next_deadline(&self) -> Option<SimTime> {
         [
             GarnetService::next_deadline(&self.services.ingest),
-            GarnetService::next_deadline(&self.services.actuation),
+            GarnetService::next_deadline(&self.services.control),
         ]
         .into_iter()
         .flatten()
@@ -676,35 +907,63 @@ impl ThreadedIngest {
         policy: OverloadPolicy,
         queue_capacity: usize,
     ) -> Self {
+        Self::with_supervision(
+            config,
+            shards,
+            batch_size,
+            subscriptions,
+            policy,
+            queue_capacity,
+            None,
+        )
+    }
+
+    /// [`ThreadedIngest::with_backpressure`] with an automatic shard
+    /// restart policy: a poisoned shard is rebuilt from fresh filter
+    /// state within the [`SupervisionConfig`] budget instead of waiting
+    /// for the caller to notice and call
+    /// [`ThreadedIngest::restart_shard`]. Restarts are counted in
+    /// [`ThreadedIngest::supervised_restart_count`].
+    pub fn with_supervision(
+        config: FilterConfig,
+        shards: usize,
+        batch_size: usize,
+        subscriptions: &SubscriptionTable,
+        policy: OverloadPolicy,
+        queue_capacity: usize,
+        supervision: Option<SupervisionConfig>,
+    ) -> Self {
         let n = shards.max(1);
         let subs_master = subscriptions.clone();
-        let pool = ShardPool::new(n, queue_capacity.max(1), move |_shard| {
-            let mut filter = FilteringService::new(config);
-            let subs = subs_master.clone();
-            Box::new(move |job: IngestJob| {
-                let mut batch = IngestBatch::default();
-                match job {
-                    IngestJob::Frames(frames) => {
-                        batch.frames = frames.len() as u64;
-                        for (receiver, rssi_dbm, frame, at) in frames {
-                            let result = filter.on_frame(receiver, rssi_dbm, &frame, at);
-                            for d in result.deliveries {
+        let pool =
+            ShardPool::with_supervision(n, queue_capacity.max(1), supervision, move |_shard| {
+                let mut filter = FilteringService::new(config);
+                let subs = subs_master.clone();
+                Box::new(move |job: IngestJob| {
+                    let mut batch = IngestBatch::default();
+                    match job {
+                        IngestJob::Frames(frames) => {
+                            batch.frames = frames.len() as u64;
+                            for (receiver, rssi_dbm, frame, at) in frames {
+                                let result = filter.on_frame(receiver, rssi_dbm, &frame, at);
+                                for d in result.deliveries {
+                                    batch.matched +=
+                                        subs.match_subscribers(d.msg.stream()).len() as u64;
+                                    batch.deliveries.push(d);
+                                }
+                            }
+                        }
+                        IngestJob::Flush(now) => {
+                            for d in filter.on_tick(now) {
                                 batch.matched +=
                                     subs.match_subscribers(d.msg.stream()).len() as u64;
                                 batch.deliveries.push(d);
                             }
                         }
                     }
-                    IngestJob::Flush(now) => {
-                        for d in filter.on_tick(now) {
-                            batch.matched += subs.match_subscribers(d.msg.stream()).len() as u64;
-                            batch.deliveries.push(d);
-                        }
-                    }
-                }
-                batch
-            })
-        });
+                    batch
+                })
+            });
         ThreadedIngest {
             pool,
             shards: n,
@@ -864,6 +1123,13 @@ impl ThreadedIngest {
         self.pool.poisoned_shards()
     }
 
+    /// Shard restarts performed by the automatic supervision policy
+    /// (manual [`ThreadedIngest::restart_shard`] calls are not
+    /// counted).
+    pub fn supervised_restart_count(&self) -> u64 {
+        self.pool.restart_count()
+    }
+
     /// Rebuilds a shard's worker with a fresh [`FilteringService`].
     /// Its streams lose their sequence windows and re-key as stream
     /// restarts — visible, not silent.
@@ -911,6 +1177,545 @@ impl std::fmt::Debug for ThreadedIngest {
         f.debug_struct("ThreadedIngest")
             .field("shards", &self.shards)
             .field("batch_size", &self.batch_size)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A job for one threaded filtering shard (the A edge).
+enum FilterJob {
+    /// One boundary frame.
+    Frame(PendingFrame),
+    /// Flush reorder buffers up to the given instant.
+    Flush(SimTime),
+}
+
+/// What a filtering shard produced for one job.
+enum FilterOut {
+    /// The frame's service outputs (Observed / AckReceived / Filtered
+    /// emissions, in the order a single-threaded ingest would emit
+    /// them).
+    Frame(Vec<ServiceOutput>),
+    /// The shard's flush releases, in its own stream-id order.
+    Flush(Vec<Delivery>),
+}
+
+/// A job for one threaded dispatch shard (the B edge).
+struct DispatchJob {
+    delivery: Delivery,
+    depth: u32,
+    now: SimTime,
+}
+
+/// A job for the control worker (the C edge): one boundary event's
+/// control events, pumped to quiescence.
+struct ControlJob {
+    events: Vec<ServiceEvent>,
+    now: SimTime,
+}
+
+/// Everything a [`ThreadedRouter`] tracks about one boundary event
+/// while its work is spread across the three edges.
+struct RootState {
+    now: SimTime,
+    a_expected: usize,
+    a_done: usize,
+    is_flush: bool,
+    flush_submitted: bool,
+    flush_deliveries: Vec<Delivery>,
+    b_expected: usize,
+    b_done: usize,
+    c_events: Vec<ServiceEvent>,
+    c_submitted: bool,
+    c_done: bool,
+    outputs: Vec<ServiceOutput>,
+}
+
+impl RootState {
+    fn new(now: SimTime) -> Self {
+        RootState {
+            now,
+            a_expected: 0,
+            a_done: 0,
+            is_flush: false,
+            flush_submitted: false,
+            flush_deliveries: Vec::new(),
+            b_expected: 0,
+            b_done: 0,
+            c_events: Vec::new(),
+            c_submitted: false,
+            c_done: false,
+            outputs: Vec::new(),
+        }
+    }
+
+    /// All filtering and dispatch work has landed (completed or been
+    /// attributed to a failure): the root's control events are final.
+    fn data_done(&self) -> bool {
+        self.a_done == self.a_expected && self.b_done == self.b_expected
+    }
+
+    fn complete(&self) -> bool {
+        self.data_done() && self.c_submitted && self.c_done
+    }
+}
+
+/// The effects of one boundary event, released in boundary order.
+#[derive(Debug)]
+pub struct RootOutput {
+    /// The boundary event's sequence number (the order
+    /// [`ThreadedRouter`] releases outputs in).
+    pub root: u64,
+    /// Everything that escaped the service graph for this event:
+    /// [`ServiceOutput::Deliver`]s in dispatch order, then the control
+    /// cascade's terminals, exactly as the single-threaded [`Router`]
+    /// would surface them.
+    pub outputs: Vec<ServiceOutput>,
+}
+
+/// Terminal accounting for a threaded router run.
+#[derive(Debug, Default)]
+pub struct ThreadedRouterReport {
+    /// Outputs still unreleased when [`ThreadedRouter::finish`] ran
+    /// (normally empty — finish drains first).
+    pub outputs: Vec<RootOutput>,
+    /// Worker failures over the run, attributed to their boundary
+    /// events.
+    pub failures: Vec<RootFailure>,
+    /// Frames offered to [`ThreadedRouter::push_frame`].
+    pub offered_frames: u64,
+    /// Frames dropped by backpressure shedding at the filtering edge.
+    pub shed_frames: u64,
+    /// Jobs lost to shard failures across all edges.
+    pub lost_jobs: u64,
+    /// Shard restarts performed by the supervision policy.
+    pub shard_restarts: u64,
+}
+
+/// The full service graph on OS threads: one worker (or shard pool) per
+/// stage, FIFO per edge, deterministic output.
+///
+/// Three [`StageEdge`]s over `garnet-net`'s [`ShardPool`]:
+///
+/// * **A — filtering**: one [`FilteringService`] per ingest shard,
+///   partitioned by [`shard_of_sensor`];
+/// * **B — dispatch**: one [`DispatchStage`] per dispatch shard over a
+///   frozen subscription-table snapshot, same hash;
+/// * **C — control**: a single [`ControlGraph`] worker running each
+///   boundary event's control cascade to quiescence.
+///
+/// Every boundary event (frame, flush, tick) is stamped with a **root**
+/// sequence number at entry. Edges merge their outputs in submission
+/// order (the [`StageEdge`] contract), the driver forwards each root's
+/// work through B and C in root order, and finished roots are released
+/// strictly in root order — so the output sequence is bit-identical to
+/// the single-threaded [`Router`] pumping the same boundary events,
+/// regardless of thread scheduling. Within one root, control events are
+/// ordered exactly as the FIFO router would queue them: ingest-origin
+/// events (Observed, AckReceived) first, then dispatch-origin Orphaned
+/// events in dispatch order.
+///
+/// Determinism holds while subscriptions are static over the run (the B
+/// workers route against snapshots) — the same contract as
+/// [`ThreadedIngest`]'s `matched` accounting.
+///
+/// Admission: the frame edge honours the configured
+/// [`OverloadPolicy`] — `Block` propagates backpressure to the caller,
+/// `Shed` drops at capacity with the drop counted.
+/// [`OverloadPolicy::CoalesceFrames`] degrades to `Shed` here: a
+/// channel edge has no queue to resolve same-stream pairs against.
+/// Interior edges always block — control events are never dropped,
+/// matching the router's doctrine. Worker panics are caught by the
+/// pool, attributed to their root (which completes rather than hanging
+/// the release order), and — with a [`SupervisionConfig`] — the shard
+/// is rebuilt within the restart budget.
+pub struct ThreadedRouter {
+    a: StageEdge<FilterJob, FilterOut>,
+    b: StageEdge<DispatchJob, Vec<ServiceOutput>>,
+    c: StageEdge<ControlJob, Vec<ServiceOutput>>,
+    ingest_shards: usize,
+    dispatch_shards: usize,
+    policy: OverloadPolicy,
+    roots: BTreeMap<u64, RootState>,
+    next_root: u64,
+    /// Next root whose control job may be submitted (C is FIFO in root
+    /// order).
+    next_c_submit: u64,
+    /// Next root to release (outputs leave in root order).
+    next_release: u64,
+    offered_frames: u64,
+    shed_frames: u64,
+    lost_jobs: u64,
+    failures: Vec<RootFailure>,
+}
+
+impl ThreadedRouter {
+    /// Spawns the graph with blocking backpressure, a 4-job queue per
+    /// shard and no supervision. `control_factory` builds the control
+    /// worker's [`ControlGraph`] (and rebuilds it on a supervised
+    /// restart); `subscriptions` is snapshotted per dispatch worker.
+    pub fn new(
+        config: FilterConfig,
+        ingest_shards: usize,
+        dispatch_shards: usize,
+        subscriptions: &SubscriptionTable,
+        control_factory: impl FnMut() -> ControlGraph + 'static,
+    ) -> Self {
+        Self::with_options(
+            config,
+            ingest_shards,
+            dispatch_shards,
+            subscriptions,
+            control_factory,
+            OverloadPolicy::Block,
+            4,
+            None,
+        )
+    }
+
+    /// [`ThreadedRouter::new`] with an explicit frame-edge policy,
+    /// per-shard queue bound and supervision policy.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_options(
+        config: FilterConfig,
+        ingest_shards: usize,
+        dispatch_shards: usize,
+        subscriptions: &SubscriptionTable,
+        mut control_factory: impl FnMut() -> ControlGraph + 'static,
+        policy: OverloadPolicy,
+        queue_capacity: usize,
+        supervision: Option<SupervisionConfig>,
+    ) -> Self {
+        let ingest_shards = ingest_shards.max(1);
+        let dispatch_shards = dispatch_shards.max(1);
+        let capacity = queue_capacity.max(1);
+        let a = StageEdge::new(ingest_shards, capacity, supervision, move |_shard| {
+            let mut filter = FilteringService::new(config);
+            Box::new(move |job: FilterJob| match job {
+                FilterJob::Frame((receiver, rssi_dbm, frame, at)) => {
+                    let result = filter.on_frame(receiver, rssi_dbm, &frame, at);
+                    FilterOut::Frame(ShardedIngest::frame_outputs(result))
+                }
+                FilterJob::Flush(now) => FilterOut::Flush(filter.on_tick(now)),
+            })
+        });
+        let subs_master = subscriptions.clone();
+        let b = StageEdge::new(dispatch_shards, capacity, supervision, move |_shard| {
+            let mut stage = DispatchStage::with_table(subs_master.clone());
+            Box::new(move |job: DispatchJob| {
+                stage.handle(
+                    ServiceEvent::Filtered { delivery: job.delivery, depth: job.depth },
+                    job.now,
+                )
+            })
+        });
+        let c = StageEdge::new(1, capacity, supervision, move |_shard| {
+            let mut control = control_factory();
+            Box::new(move |job: ControlJob| control.pump(job.events, job.now))
+        });
+        ThreadedRouter {
+            a,
+            b,
+            c,
+            ingest_shards,
+            dispatch_shards,
+            policy,
+            roots: BTreeMap::new(),
+            next_root: 0,
+            next_c_submit: 0,
+            next_release: 0,
+            offered_frames: 0,
+            shed_frames: 0,
+            lost_jobs: 0,
+            failures: Vec::new(),
+        }
+    }
+
+    /// Number of filtering shards.
+    pub fn ingest_shard_count(&self) -> usize {
+        self.ingest_shards
+    }
+
+    /// Number of dispatch shards.
+    pub fn dispatch_shard_count(&self) -> usize {
+        self.dispatch_shards
+    }
+
+    fn new_root(&mut self, now: SimTime) -> u64 {
+        let root = self.next_root;
+        self.next_root += 1;
+        self.roots.insert(root, RootState::new(now));
+        root
+    }
+
+    /// Offers one boundary frame to the graph, returning any roots that
+    /// completed. Under [`OverloadPolicy::Block`] this blocks while the
+    /// frame's filtering shard is at capacity; the shedding policies
+    /// drop instead (counted in `shed_frames`), and the shed root
+    /// completes empty so release order is unbroken.
+    pub fn push_frame(
+        &mut self,
+        receiver: ReceiverId,
+        rssi_dbm: f64,
+        frame: Vec<u8>,
+        at: SimTime,
+    ) -> Vec<RootOutput> {
+        self.offered_frames += 1;
+        let shard = match peek_stream(&frame) {
+            Some(stream) => shard_of_sensor(stream.sensor().as_u32(), self.ingest_shards),
+            None => 0,
+        };
+        let root = self.new_root(at);
+        let job = FilterJob::Frame((receiver, rssi_dbm, frame, at));
+        match self.policy {
+            OverloadPolicy::Block => {
+                self.roots.get_mut(&root).expect("just inserted").a_expected = 1;
+                self.a.submit(shard, root, job);
+            }
+            OverloadPolicy::Shed | OverloadPolicy::CoalesceFrames => {
+                match self.a.try_submit(shard, root, job) {
+                    Ok(()) => self.roots.get_mut(&root).expect("just inserted").a_expected = 1,
+                    Err(RefusedJob::Full(_)) => self.shed_frames += 1,
+                    Err(RefusedJob::Poisoned(_)) => self.lost_jobs += 1,
+                }
+            }
+        }
+        self.poll()
+    }
+
+    /// Flushes every filtering shard's reorder buffers as one boundary
+    /// event; releases merge across shards into ascending stream-id
+    /// order before dispatch, matching [`ShardedIngest::on_tick`].
+    /// Control path: always blocks, never sheds.
+    pub fn push_flush(&mut self, now: SimTime) -> Vec<RootOutput> {
+        let root = self.new_root(now);
+        {
+            let state = self.roots.get_mut(&root).expect("just inserted");
+            state.is_flush = true;
+            state.a_expected = self.ingest_shards;
+        }
+        for shard in 0..self.ingest_shards {
+            self.a.submit(shard, root, FilterJob::Flush(now));
+        }
+        self.poll()
+    }
+
+    /// Runs the actuation service's retry/expiry sweep as one boundary
+    /// event on the control worker.
+    pub fn push_tick(&mut self, now: SimTime) -> Vec<RootOutput> {
+        let root = self.new_root(now);
+        self.roots
+            .get_mut(&root)
+            .expect("just inserted")
+            .c_events
+            .push(ServiceEvent::ActuationTick);
+        self.poll()
+    }
+
+    /// A sealed flush root's dispatch jobs: the per-shard releases
+    /// merged into ascending stream-id order (each shard released in
+    /// its own stream order and streams are partitioned, so the sort is
+    /// the exact merge).
+    fn flush_jobs(state: &mut RootState, dispatch_shards: usize) -> Vec<(usize, DispatchJob)> {
+        if !state.is_flush || state.a_done != state.a_expected || state.flush_submitted {
+            return Vec::new();
+        }
+        state.flush_submitted = true;
+        let mut deliveries = std::mem::take(&mut state.flush_deliveries);
+        deliveries.sort_by_key(|d| d.msg.stream().to_raw());
+        let mut jobs = Vec::with_capacity(deliveries.len());
+        for delivery in deliveries {
+            state.b_expected += 1;
+            let shard = shard_of_sensor(delivery.msg.stream().sensor().as_u32(), dispatch_shards);
+            jobs.push((shard, DispatchJob { delivery, depth: 0, now: state.now }));
+        }
+        jobs
+    }
+
+    /// Drives every edge forward without blocking on results, returning
+    /// the roots that completed (in root order).
+    pub fn poll(&mut self) -> Vec<RootOutput> {
+        // A outputs arrive in submission order == root order, so B jobs
+        // are submitted in (root, within-root stream) order with no
+        // reorder buffer: this loop is the B edge's sequencer.
+        for (root, out) in self.a.drain() {
+            let mut b_jobs: Vec<(usize, DispatchJob)> = Vec::new();
+            if let Some(state) = self.roots.get_mut(&root) {
+                state.a_done += 1;
+                match out {
+                    FilterOut::Frame(outputs) => {
+                        for o in outputs {
+                            match o {
+                                ServiceOutput::Emit(ServiceEvent::Filtered { delivery, depth }) => {
+                                    state.b_expected += 1;
+                                    let shard = shard_of_sensor(
+                                        delivery.msg.stream().sensor().as_u32(),
+                                        self.dispatch_shards,
+                                    );
+                                    b_jobs.push((
+                                        shard,
+                                        DispatchJob { delivery, depth, now: state.now },
+                                    ));
+                                }
+                                // Observed / AckReceived: control events
+                                // the FIFO router would queue before the
+                                // Filtered ones — same order here.
+                                ServiceOutput::Emit(ev) => state.c_events.push(ev),
+                                other => state.outputs.push(other),
+                            }
+                        }
+                    }
+                    FilterOut::Flush(deliveries) => {
+                        state.flush_deliveries.extend(deliveries);
+                        b_jobs = Self::flush_jobs(state, self.dispatch_shards);
+                    }
+                }
+            }
+            for (shard, job) in b_jobs {
+                self.b.submit(shard, root, job);
+            }
+        }
+        for f in self.a.take_failures() {
+            self.lost_jobs += 1;
+            let mut b_jobs = Vec::new();
+            if let Some(state) = self.roots.get_mut(&f.root) {
+                // The lost job still closes its root: sealing must
+                // never hang on work that will not arrive.
+                state.a_done += 1;
+                b_jobs = Self::flush_jobs(state, self.dispatch_shards);
+            }
+            for (shard, job) in b_jobs {
+                self.b.submit(shard, f.root, job);
+            }
+            self.failures.push(f);
+        }
+
+        for (root, outputs) in self.b.drain() {
+            if let Some(state) = self.roots.get_mut(&root) {
+                state.b_done += 1;
+                for o in outputs {
+                    match o {
+                        // Orphaned: a control event the FIFO router
+                        // would queue behind the frame's other control
+                        // events.
+                        ServiceOutput::Emit(ev) => state.c_events.push(ev),
+                        other => state.outputs.push(other),
+                    }
+                }
+            }
+        }
+        for f in self.b.take_failures() {
+            self.lost_jobs += 1;
+            if let Some(state) = self.roots.get_mut(&f.root) {
+                state.b_done += 1;
+            }
+            self.failures.push(f);
+        }
+
+        // Control jobs go out strictly in root order: the C worker is
+        // the one stateful stage shared by every root, so its FIFO *is*
+        // the determinism argument.
+        loop {
+            let root = self.next_c_submit;
+            let job = match self.roots.get_mut(&root) {
+                Some(state) if state.data_done() && !state.c_submitted => {
+                    state.c_submitted = true;
+                    let events = std::mem::take(&mut state.c_events);
+                    if events.is_empty() {
+                        state.c_done = true;
+                        self.next_c_submit += 1;
+                        continue;
+                    }
+                    ControlJob { events, now: state.now }
+                }
+                _ => break,
+            };
+            self.next_c_submit += 1;
+            self.c.submit(0, root, job);
+        }
+
+        for (root, outputs) in self.c.drain() {
+            if let Some(state) = self.roots.get_mut(&root) {
+                state.outputs.extend(outputs);
+                state.c_done = true;
+            }
+        }
+        for f in self.c.take_failures() {
+            self.lost_jobs += 1;
+            if let Some(state) = self.roots.get_mut(&f.root) {
+                state.c_done = true;
+            }
+            self.failures.push(f);
+        }
+
+        let mut released = Vec::new();
+        while let Some(state) = self.roots.get(&self.next_release) {
+            if !state.complete() {
+                break;
+            }
+            let state = self.roots.remove(&self.next_release).expect("checked above");
+            released.push(RootOutput { root: self.next_release, outputs: state.outputs });
+            self.next_release += 1;
+        }
+        released
+    }
+
+    /// Frames offered to [`ThreadedRouter::push_frame`] so far.
+    pub fn offered_frame_count(&self) -> u64 {
+        self.offered_frames
+    }
+
+    /// Frames dropped by backpressure shedding at the filtering edge.
+    pub fn shed_frame_count(&self) -> u64 {
+        self.shed_frames
+    }
+
+    /// Shard restarts performed by supervision across all edges.
+    pub fn restart_count(&self) -> u64 {
+        self.a.restart_count() + self.b.restart_count() + self.c.restart_count()
+    }
+
+    /// Drains every in-flight root, joins all workers, and returns the
+    /// run's terminal accounting (any roots not yet handed out by
+    /// [`ThreadedRouter::poll`] ride in `outputs`, in root order).
+    pub fn finish(mut self) -> ThreadedRouterReport {
+        let mut outputs = Vec::new();
+        while self.next_release < self.next_root {
+            let released = self.poll();
+            if released.is_empty() {
+                std::thread::yield_now();
+            }
+            outputs.extend(released);
+        }
+        let shard_restarts = self.restart_count();
+        let mut failures = std::mem::take(&mut self.failures);
+        let (a_rest, a_fail) = self.a.finish();
+        let (b_rest, b_fail) = self.b.finish();
+        let (c_rest, c_fail) = self.c.finish();
+        debug_assert!(
+            a_rest.is_empty() && b_rest.is_empty() && c_rest.is_empty(),
+            "all roots were drained before the edges were joined"
+        );
+        let late = a_fail.len() + b_fail.len() + c_fail.len();
+        failures.extend(a_fail);
+        failures.extend(b_fail);
+        failures.extend(c_fail);
+        ThreadedRouterReport {
+            outputs,
+            failures,
+            offered_frames: self.offered_frames,
+            shed_frames: self.shed_frames,
+            lost_jobs: self.lost_jobs + late as u64,
+            shard_restarts,
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadedRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedRouter")
+            .field("ingest_shards", &self.ingest_shards)
+            .field("dispatch_shards", &self.dispatch_shards)
+            .field("in_flight_roots", &self.roots.len())
             .finish_non_exhaustive()
     }
 }

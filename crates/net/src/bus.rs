@@ -182,6 +182,30 @@ pub enum RefusedJob<I> {
     Poisoned(I),
 }
 
+/// Automatic shard-restart policy: a poisoned shard is rebuilt from the
+/// retained factory as long as the shard has been restarted fewer than
+/// `max_restarts` times inside the sliding `window`. Beyond that budget
+/// the shard stays poisoned (a crash-looping stage should surface, not
+/// flap), and restart returns to the caller via
+/// [`ShardPool::restart_shard`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SupervisionConfig {
+    /// Restarts allowed per shard inside the window (0 disables
+    /// automatic restart).
+    pub max_restarts: u32,
+    /// Sliding wall-clock window the budget applies to.
+    pub window: std::time::Duration,
+}
+
+impl Default for SupervisionConfig {
+    /// Three restarts per shard per minute — generous enough for a
+    /// transient poison pill, tight enough that a deterministic crash
+    /// loop parks the shard within seconds.
+    fn default() -> Self {
+        SupervisionConfig { max_restarts: 3, window: std::time::Duration::from_secs(60) }
+    }
+}
+
 fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
@@ -192,7 +216,9 @@ fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-type Stage<I, O> = Box<dyn FnMut(I) -> O + Send>;
+/// One shard's stage function: owns the shard's state, runs on the
+/// shard's worker thread.
+pub type Stage<I, O> = Box<dyn FnMut(I) -> O + Send>;
 type StageFactory<I, O> = Box<dyn FnMut(usize) -> Stage<I, O>>;
 type ShardResult<O> = (u64, usize, Result<O, String>);
 
@@ -259,6 +285,10 @@ pub struct ShardPool<I: Send + 'static, O: Send + 'static> {
     failed_seqs: std::collections::BTreeSet<u64>,
     poisoned: Vec<bool>,
     failures: Vec<ShardFailure>,
+    supervision: Option<SupervisionConfig>,
+    /// Recent restart instants per shard, pruned to the sliding window.
+    restart_times: Vec<std::collections::VecDeque<std::time::Instant>>,
+    restarts: u64,
 }
 
 impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
@@ -269,7 +299,26 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
     /// fresh state. `capacity` bounds each shard's job queue;
     /// [`ShardPool::submit`] blocks when the target shard is that far
     /// behind, [`ShardPool::try_submit`] hands the job back instead.
-    pub fn new<F>(shards: usize, capacity: usize, mut factory: F) -> Self
+    pub fn new<F>(shards: usize, capacity: usize, factory: F) -> Self
+    where
+        F: FnMut(usize) -> Stage<I, O> + 'static,
+    {
+        Self::with_supervision(shards, capacity, None, factory)
+    }
+
+    /// [`ShardPool::new`] with an automatic restart policy: with a
+    /// [`SupervisionConfig`], a poisoned shard is rebuilt from the
+    /// factory on the next pool interaction instead of waiting for the
+    /// caller to notice and call [`ShardPool::restart_shard`]. Jobs
+    /// in flight on the dying shard are still surfaced as
+    /// [`ShardFailure`]s — supervision bounds the blast radius, it does
+    /// not hide the blast.
+    pub fn with_supervision<F>(
+        shards: usize,
+        capacity: usize,
+        supervision: Option<SupervisionConfig>,
+        mut factory: F,
+    ) -> Self
     where
         F: FnMut(usize) -> Stage<I, O> + 'static,
     {
@@ -297,7 +346,44 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
             failed_seqs: std::collections::BTreeSet::new(),
             poisoned: vec![false; shards],
             failures: Vec::new(),
+            supervision,
+            restart_times: (0..shards).map(|_| std::collections::VecDeque::new()).collect(),
+            restarts: 0,
         }
+    }
+
+    /// Applies the automatic restart policy to every poisoned shard.
+    /// Called from the public entry points (never from inside
+    /// `absorb_ready`, which [`ShardPool::restart_shard`] itself calls).
+    fn supervise(&mut self) {
+        let Some(cfg) = self.supervision else { return };
+        if cfg.max_restarts == 0 {
+            return;
+        }
+        for shard in 0..self.poisoned.len() {
+            if !self.poisoned[shard] {
+                continue;
+            }
+            let now = std::time::Instant::now();
+            while self.restart_times[shard]
+                .front()
+                .is_some_and(|&t| now.duration_since(t) > cfg.window)
+            {
+                self.restart_times[shard].pop_front();
+            }
+            if self.restart_times[shard].len() >= cfg.max_restarts as usize {
+                continue; // budget exhausted: stay poisoned, stay loud
+            }
+            self.restart_times[shard].push_back(now);
+            self.restarts += 1;
+            self.restart_shard(shard);
+        }
+    }
+
+    /// Shard restarts performed by the automatic supervision policy
+    /// (manual [`ShardPool::restart_shard`] calls are not counted).
+    pub fn restart_count(&self) -> u64 {
+        self.restarts
     }
 
     fn spawn_worker(
@@ -341,6 +427,7 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
     /// merge skips its slot. Returns the job's sequence number.
     pub fn submit(&mut self, shard: usize, job: I) -> u64 {
         self.absorb_ready();
+        self.supervise();
         let idx = shard % self.jobs.len();
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -358,6 +445,7 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
     /// jobs leave no gap in the merge.
     pub fn try_submit(&mut self, shard: usize, job: I) -> Result<u64, RefusedJob<I>> {
         self.absorb_ready();
+        self.supervise();
         let idx = shard % self.jobs.len();
         if self.poisoned[idx] {
             return Err(RefusedJob::Poisoned(job));
@@ -411,6 +499,7 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
     /// by a later `drain` or by [`ShardPool::finish`].
     pub fn drain(&mut self) -> Vec<O> {
         self.absorb_ready();
+        self.supervise();
         let mut out = Vec::new();
         loop {
             if let Some(o) = self.collected.remove(&self.next_out) {
@@ -752,6 +841,68 @@ mod tests {
         let (out, failures) = pool.finish();
         assert_eq!(out.len(), 19 - refused + 1, "accepted jobs all completed, no gaps");
         assert!(failures.is_empty());
+    }
+
+    #[test]
+    fn supervision_restarts_a_poisoned_shard_automatically() {
+        quiet_panics(|| {
+            let mut pool: ShardPool<u32, u32> =
+                ShardPool::with_supervision(1, 8, Some(SupervisionConfig::default()), |_| {
+                    Box::new(|x| {
+                        if x == 99 {
+                            panic!("boom");
+                        }
+                        x + 1
+                    })
+                });
+            pool.submit(0, 1);
+            pool.submit(0, 99);
+            // Wait for the panic to land, then let the next interaction
+            // trigger the supervised restart.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            while pool.take_failures().is_empty() {
+                std::thread::yield_now();
+                assert!(std::time::Instant::now() < deadline, "panic never surfaced");
+            }
+            pool.submit(0, 2); // supervise() runs here: shard is rebuilt
+            assert!(pool.poisoned_shards().is_empty(), "shard restarted automatically");
+            assert_eq!(pool.restart_count(), 1);
+            let (out, failures) = pool.finish();
+            assert_eq!(out, vec![2, 3]);
+            assert!(failures.is_empty(), "failure was already taken");
+        });
+    }
+
+    #[test]
+    fn supervision_budget_exhausts_and_shard_stays_poisoned() {
+        quiet_panics(|| {
+            let cfg =
+                SupervisionConfig { max_restarts: 1, window: std::time::Duration::from_secs(3600) };
+            let mut pool: ShardPool<u32, u32> =
+                ShardPool::with_supervision(1, 8, Some(cfg), |_| {
+                    Box::new(|x| {
+                        if x == 99 {
+                            panic!("boom");
+                        }
+                        x
+                    })
+                });
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            let crash = |pool: &mut ShardPool<u32, u32>| {
+                pool.submit(0, 99);
+                while pool.poisoned_shards().is_empty() {
+                    std::thread::yield_now();
+                    assert!(std::time::Instant::now() < deadline, "panic never surfaced");
+                }
+            };
+            crash(&mut pool);
+            pool.submit(0, 1); // first crash: restarted under budget
+            assert_eq!(pool.restart_count(), 1);
+            crash(&mut pool);
+            pool.drain(); // second crash: budget spent, stays poisoned
+            assert_eq!(pool.restart_count(), 1);
+            assert_eq!(pool.poisoned_shards(), vec![0]);
+        });
     }
 
     #[test]

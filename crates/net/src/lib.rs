@@ -18,7 +18,9 @@
 //!   crossbeam-channel threaded driver for live deployments (experiments
 //!   use the deterministic `garnet-simkit` event queue instead);
 //! * [`rpc`] — request/response correlation over the bus (the "Remote
-//!   Procedure Call" arrows of Figure 1).
+//!   Procedure Call" arrows of Figure 1);
+//! * [`threaded_router`] — root-attributed stage edges over [`bus`]'s
+//!   `ShardPool`, the plumbing under the full threaded service graph.
 //!
 //! No async runtime is used: the paper's asynchrony is plain message
 //! passing, which channels model directly and deterministically.
@@ -28,9 +30,13 @@ pub mod bus;
 pub mod pubsub;
 pub mod registry;
 pub mod rpc;
+pub mod threaded_router;
 
 pub use auth::{AuthService, Capability, CapabilitySet, Principal, Token};
-pub use bus::{BusError, RefusedJob, ShardFailure, ShardPool, ThreadedBus};
+pub use bus::{
+    BusError, RefusedJob, ShardFailure, ShardPool, Stage, SupervisionConfig, ThreadedBus,
+};
 pub use pubsub::{SubscriberId, SubscriptionTable, TopicFilter};
 pub use registry::{ServiceDescriptor, ServiceKind, ServiceRegistry};
 pub use rpc::{CallId, RpcTable};
+pub use threaded_router::{RootFailure, StageEdge};

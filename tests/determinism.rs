@@ -29,10 +29,10 @@ struct RunFingerprint {
 }
 
 fn run(seed: u64) -> RunFingerprint {
-    run_sharded(seed, 1)
+    run_sharded(seed, 1, 1)
 }
 
-fn run_sharded(seed: u64, shards: usize) -> RunFingerprint {
+fn run_sharded(seed: u64, ingest_shards: usize, dispatch_shards: usize) -> RunFingerprint {
     let receivers = Receiver::grid(Point::ORIGIN, 3, 3, 100.0, 180.0);
     let transmitters = Transmitter::grid(Point::ORIGIN, 3, 3, 100.0, 180.0);
     let mut medium = Medium::wifi_outdoor();
@@ -43,7 +43,8 @@ fn run_sharded(seed: u64, shards: usize) -> RunFingerprint {
         garnet: GarnetConfig {
             receivers,
             transmitters,
-            ingest_shards: shards,
+            ingest_shards,
+            dispatch_shards,
             ..GarnetConfig::default()
         },
         peer_range_m: None,
@@ -110,12 +111,17 @@ fn same_seed_same_world() {
 
 #[test]
 fn shard_count_does_not_change_the_world() {
-    // Partitioning the ingest hot path must be observably invisible
-    // under the simulation driver: every counter and the full metrics
-    // report are bit-identical for 1 and 4 shards.
-    let unsharded = run_sharded(1234, 1);
-    let sharded = run_sharded(1234, 4);
-    assert_eq!(unsharded, sharded);
+    // Partitioning the ingest and dispatch hot paths must be observably
+    // invisible under the simulation driver: every counter and the full
+    // metrics report are bit-identical across shard combinations.
+    let unsharded = run_sharded(1234, 1, 1);
+    for (ingest, dispatch) in [(4, 1), (1, 4), (4, 4), (3, 7)] {
+        let sharded = run_sharded(1234, ingest, dispatch);
+        assert_eq!(
+            unsharded, sharded,
+            "ingest_shards={ingest} dispatch_shards={dispatch} diverged"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,199 @@
+//! ThreadedRouter ≡ Router: running the full service graph on per-stage
+//! OS workers with sequence-merged edges must produce exactly the output
+//! stream of the single-threaded FIFO router, at every shard count, on
+//! every run. This is the threaded analogue of `determinism.rs`.
+
+use garnet::core::actuation::{ActuationConfig, ActuationService};
+use garnet::core::coordinator::{CoordinationMode, SuperCoordinator};
+use garnet::core::filtering::FilterConfig;
+use garnet::core::location::{LocationConfig, LocationService};
+use garnet::core::orphanage::{Orphanage, OrphanageConfig};
+use garnet::core::replicator::MessageReplicator;
+use garnet::core::resource::{MediationPolicy, ResourceManager};
+use garnet::core::router::{
+    ControlGraph, Router, Services, ShardedDispatch, ShardedIngest, ThreadedRouter,
+};
+use garnet::core::service::{ServiceEvent, ServiceOutput};
+use garnet::net::{SubscriberId, SubscriptionTable, TopicFilter};
+use garnet::radio::ReceiverId;
+use garnet::simkit::SimTime;
+use garnet::wire::{DataMessage, SensorId, SequenceNumber, StreamId, StreamIndex};
+
+fn frame(sensor: u32, index: u8, seq: u16) -> Vec<u8> {
+    let stream = StreamId::new(SensorId::new(sensor).unwrap(), StreamIndex::new(index));
+    DataMessage::builder(stream)
+        .seq(SequenceNumber::new(seq))
+        .payload(vec![seq as u8, sensor as u8])
+        .build()
+        .unwrap()
+        .encode_to_vec()
+}
+
+/// One facade-boundary event, with its arrival time.
+enum Boundary {
+    Frame(Vec<u8>, SimTime),
+    Flush(SimTime),
+    Tick(SimTime),
+}
+
+/// A messy multi-sensor schedule: drops (→ reorder gaps), duplicates,
+/// periodic flushes, and a terminal flush + actuation tick.
+fn schedule() -> Vec<Boundary> {
+    let mut sched = Vec::new();
+    let mut t = 0u64;
+    for seq in 0..40u16 {
+        for sensor in 1..=6u32 {
+            if (u32::from(seq) + sensor) % 7 == 0 {
+                continue; // dropped in flight
+            }
+            sched.push(Boundary::Frame(frame(sensor, 0, seq), SimTime::from_millis(t)));
+            t += 3;
+            if (u32::from(seq) + sensor) % 5 == 0 {
+                sched.push(Boundary::Frame(frame(sensor, 0, seq), SimTime::from_millis(t)));
+                t += 1;
+            }
+        }
+        if seq % 10 == 9 {
+            t += 700;
+            sched.push(Boundary::Flush(SimTime::from_millis(t)));
+        }
+    }
+    t += 60_000;
+    sched.push(Boundary::Flush(SimTime::from_millis(t)));
+    sched.push(Boundary::Tick(SimTime::from_millis(t)));
+    sched
+}
+
+fn control_graph() -> ControlGraph {
+    ControlGraph {
+        orphanage: Orphanage::new(OrphanageConfig::default()),
+        location: LocationService::new(LocationConfig::default(), &[]),
+        resource: ResourceManager::new(MediationPolicy::MergeMax),
+        actuation: ActuationService::new(ActuationConfig::default()),
+        replicator: MessageReplicator::new(Vec::new()),
+        coordinator: SuperCoordinator::new(CoordinationMode::Predictive { min_confidence: 0.6 }),
+    }
+}
+
+/// Even sensors are claimed (sensor 6 by stream filter), odd orphan.
+fn filters() -> Vec<(u32, TopicFilter)> {
+    vec![
+        (0, TopicFilter::Sensor(SensorId::new(2).unwrap())),
+        (1, TopicFilter::Sensor(SensorId::new(4).unwrap())),
+        (1, TopicFilter::Stream(StreamId::new(SensorId::new(6).unwrap(), StreamIndex::new(0)))),
+    ]
+}
+
+fn subscriptions() -> SubscriptionTable {
+    let mut table = SubscriptionTable::default();
+    for (id, filter) in filters() {
+        table.subscribe(SubscriberId::new(id), filter);
+    }
+    table
+}
+
+/// Pumps the schedule through the single-threaded FIFO router, one
+/// boundary event to quiescence at a time (exactly the facade's drive
+/// loop), and fingerprints every escaped output in order.
+fn reference_outputs(sched: &[Boundary]) -> Vec<String> {
+    let mut dispatch = ShardedDispatch::new(1);
+    // Allocate ids 0 and 1 — matching the raw ids `subscriptions()`
+    // builds the threaded snapshot table from.
+    dispatch.register_subscriber();
+    dispatch.register_subscriber();
+    for (id, filter) in filters() {
+        dispatch.subscribe(SubscriberId::new(id), filter);
+    }
+    let services = Services {
+        ingest: ShardedIngest::new(FilterConfig::default(), 1),
+        dispatch,
+        control: control_graph(),
+    };
+    let mut router = Router::new(services);
+    let mut escaped = Vec::new();
+    for b in sched {
+        let (ev, now) = match b {
+            Boundary::Frame(bytes, at) => (
+                ServiceEvent::Frame {
+                    receiver: ReceiverId::new(0),
+                    rssi_dbm: -40.0,
+                    frame: bytes.clone(),
+                },
+                *at,
+            ),
+            Boundary::Flush(at) => (ServiceEvent::FlushReorder, *at),
+            Boundary::Tick(at) => (ServiceEvent::ActuationTick, *at),
+        };
+        router.enqueue(ev);
+        while let Some(outs) = router.step(now) {
+            for o in outs {
+                match o {
+                    ServiceOutput::Emit(ev) => router.enqueue(ev),
+                    other => escaped.push(format!("{other:?}")),
+                }
+            }
+        }
+    }
+    escaped
+}
+
+/// The same schedule through the threaded graph, outputs flattened in
+/// root order.
+fn threaded_outputs(sched: &[Boundary], ingest: usize, dispatch: usize) -> Vec<String> {
+    let table = subscriptions();
+    let mut tr =
+        ThreadedRouter::new(FilterConfig::default(), ingest, dispatch, &table, control_graph);
+    let mut roots = Vec::new();
+    for b in sched {
+        let released = match b {
+            Boundary::Frame(bytes, at) => {
+                tr.push_frame(ReceiverId::new(0), -40.0, bytes.clone(), *at)
+            }
+            Boundary::Flush(at) => tr.push_flush(*at),
+            Boundary::Tick(at) => tr.push_tick(*at),
+        };
+        roots.extend(released);
+    }
+    let offered = tr.offered_frame_count();
+    let report = tr.finish();
+    assert!(report.failures.is_empty(), "no worker should fail: {:?}", report.failures);
+    assert_eq!(report.shed_frames, 0, "Block admission never sheds");
+    assert_eq!(report.shard_restarts, 0);
+    assert_eq!(report.offered_frames, offered);
+    roots.extend(report.outputs);
+    // Roots come back strictly in boundary order, gap-free.
+    for (i, r) in roots.iter().enumerate() {
+        assert_eq!(r.root, i as u64, "root release order broke");
+    }
+    roots.into_iter().flat_map(|r| r.outputs).map(|o| format!("{o:?}")).collect()
+}
+
+#[test]
+fn threaded_router_matches_single_threaded_router() {
+    let sched = schedule();
+    let want = reference_outputs(&sched);
+    assert!(
+        want.iter().any(|o| o.starts_with("Deliver")),
+        "schedule must exercise deliveries, got {want:?}"
+    );
+    let got = threaded_outputs(&sched, 1, 1);
+    assert_eq!(got, want, "1×1 threaded graph diverged from the FIFO router");
+}
+
+#[test]
+fn threaded_router_output_is_shard_count_invariant() {
+    let sched = schedule();
+    let base = threaded_outputs(&sched, 1, 1);
+    for (ingest, dispatch) in [(4, 1), (1, 4), (4, 3)] {
+        let got = threaded_outputs(&sched, ingest, dispatch);
+        assert_eq!(got, base, "{ingest}×{dispatch} shards diverged");
+    }
+}
+
+#[test]
+fn threaded_router_is_deterministic_across_runs() {
+    let sched = schedule();
+    let a = threaded_outputs(&sched, 4, 3);
+    let b = threaded_outputs(&sched, 4, 3);
+    assert_eq!(a, b);
+}
