@@ -13,4 +13,14 @@ echo "==> tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+# The flight recorder (ISSUE 4) is feature-gated; build and test the
+# root package with it on as well so both configurations stay green.
+# No --workspace here: the feature only exists on the root package and
+# the crates it forwards to (garnet-core, garnet-simkit, garnet-bench).
+echo "==> trace-feature verify: cargo build --release --features trace && cargo test -q --features trace"
+cargo clippy --all-targets --features trace -- -D warnings
+cargo build --release --features trace
+cargo test -q --features trace
+cargo test -q -p garnet-bench --features trace
+
 echo "==> CI green"

@@ -1,0 +1,41 @@
+//! E19: flight-recorder overhead on the full service graph (writes
+//! `BENCH_trace_overhead.json` next to the bench's working directory).
+//!
+//! Run once per feature configuration and compare the two documents:
+//!
+//! ```text
+//! cargo bench -p garnet-bench --bench bench_trace_overhead
+//! cargo bench -p garnet-bench --bench bench_trace_overhead --features trace
+//! ```
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use garnet_bench::e03_pipeline::shard_workload;
+use garnet_bench::e19_trace_overhead::{driver, run_fifo_point, run_trace_point, trace_sweep_json};
+
+fn bench(c: &mut Criterion) {
+    let workload = shard_workload(10_000, 64);
+    let mut group = c.benchmark_group("e19_trace_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(workload.len() as u64));
+    group.bench_function(BenchmarkId::from_parameter(format!("fifo_{}", driver())), |b| {
+        b.iter(|| std::hint::black_box(run_fifo_point(&workload)));
+    });
+    for shards in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}x{shards}", driver())),
+            &shards,
+            |b, &s| {
+                b.iter(|| std::hint::black_box(run_trace_point(&workload, s)));
+            },
+        );
+    }
+    group.finish();
+
+    let json = trace_sweep_json(20_000, 64, &[1, 2, 4]);
+    if let Err(e) = std::fs::write("BENCH_trace_overhead.json", &json) {
+        eprintln!("could not write BENCH_trace_overhead.json: {e}");
+    }
+    println!("{json}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

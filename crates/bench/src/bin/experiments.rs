@@ -96,4 +96,8 @@ fn main() {
         let (_, t) = e18_dispatch_shards::run();
         println!("{}", t.render());
     }
+    if want("e19") {
+        let (_, t) = e19_trace_overhead::run();
+        println!("{}", t.render());
+    }
 }

@@ -24,4 +24,5 @@ pub mod e15_multihop;
 pub mod e16_quiesce;
 pub mod e17_overload;
 pub mod e18_dispatch_shards;
+pub mod e19_trace_overhead;
 pub mod table;

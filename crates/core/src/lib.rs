@@ -65,6 +65,7 @@ pub mod resource;
 pub mod router;
 pub mod service;
 pub mod stream;
+mod trace;
 
 pub use consumer::{Consumer, ConsumerCtx};
 pub use filtering::{Delivery, FilterConfig, FilteringService, Observation};

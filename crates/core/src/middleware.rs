@@ -40,7 +40,8 @@ use garnet_net::{
 };
 use garnet_radio::geometry::Point;
 use garnet_radio::{Receiver, ReceiverId, Transmitter};
-use garnet_simkit::SimTime;
+use garnet_simkit::trace::TraceSnapshot;
+use garnet_simkit::{stage_key, SimTime};
 use garnet_wire::{
     AckStatus, ActuationTarget, DataMessage, RequestId, SensorCommand, SensorId, SequenceNumber,
     StreamId, StreamUpdateRequest,
@@ -118,6 +119,10 @@ pub struct GarnetConfig {
     /// Bounded-queue admission control for the frame intake; `None`
     /// keeps the legacy unbounded queue (admission never sheds).
     pub overload: Option<OverloadConfig>,
+    /// Flight-recorder ring capacity in records. Only meaningful when
+    /// the `trace` cargo feature is compiled in; without it the tracer
+    /// is a zero-sized no-op regardless of this value.
+    pub trace_capacity: usize,
 }
 
 impl Default for GarnetConfig {
@@ -137,6 +142,7 @@ impl Default for GarnetConfig {
             transmitters: Vec::new(),
             quiesce: None,
             overload: None,
+            trace_capacity: garnet_simkit::trace::TraceConfig::default().capacity,
         }
     }
 }
@@ -351,9 +357,12 @@ impl Garnet {
                 coordinator: SuperCoordinator::new(config.coordination),
             },
         };
+        let mut router = Router::with_overload(services, config.overload);
+        router
+            .configure_trace(garnet_simkit::trace::TraceConfig { capacity: config.trace_capacity });
         Garnet {
             max_derived_depth: config.max_derived_depth,
-            router: Router::with_overload(services, config.overload),
+            router,
             auth: AuthService::new(config.auth_key),
             registry,
             consumers: HashMap::new(),
@@ -570,7 +579,7 @@ impl Garnet {
             // (capacity ≥ 1 and we are at capacity), so the inner step
             // always makes progress.
             while let FrameAdmission::Blocked(frame) =
-                self.router.admit_frame(receiver, rssi_dbm, pending)
+                self.router.admit_frame(receiver, rssi_dbm, pending, now)
             {
                 pending = frame;
                 let Some(outputs) = self.router.step(now) else {
@@ -992,12 +1001,6 @@ impl Garnet {
         self.denied_actions
     }
 
-    /// Builds a metrics snapshot of every service — the operator's
-    /// one-call health view. Deterministic name order; see
-    /// [`garnet_simkit::MetricsRegistry::report`] for the text form.
-    /// Counter names and values are independent of
-    /// [`GarnetConfig::ingest_shards`] and
-    /// [`GarnetConfig::dispatch_shards`].
     /// p99 of queue-depth-at-admission samples. The unbounded queue
     /// records no samples, so this is 0 unless an
     /// [`crate::router::OverloadConfig`] is set.
@@ -1005,57 +1008,119 @@ impl Garnet {
         self.router.depth_histogram().p99()
     }
 
+    /// Builds a metrics snapshot of every service — the operator's
+    /// one-call health view. Deterministic name order; see
+    /// [`garnet_simkit::MetricsRegistry::report`] for the text form.
+    /// Counter names and values are independent of
+    /// [`GarnetConfig::ingest_shards`] and
+    /// [`GarnetConfig::dispatch_shards`].
+    ///
+    /// Every name follows the `stage.metric` convention and is built by
+    /// [`garnet_simkit::metrics::stage_key`]: a lowercase stage
+    /// (service or subsystem) and a snake_case metric within it.
     pub fn metrics(&self) -> garnet_simkit::MetricsRegistry {
         let s = self.router.services();
         let mut m = garnet_simkit::MetricsRegistry::new();
-        m.counter("filtering.delivered").add(s.ingest.delivered_count());
-        m.counter("filtering.duplicates").add(s.ingest.duplicate_count());
-        m.counter("filtering.crc_failures").add(s.ingest.crc_failure_count());
-        m.counter("filtering.reordered").add(s.ingest.reordered_count());
-        m.counter("filtering.gaps_accepted").add(s.ingest.gap_count());
-        m.counter("filtering.restarts").add(s.ingest.restart_count());
-        m.counter("filtering.streams").add(s.ingest.stream_count() as u64);
-        m.counter("dispatching.messages").add(s.dispatch.dispatched_count());
-        m.counter("dispatching.deliveries").add(s.dispatch.delivery_count());
-        m.counter("dispatching.unclaimed").add(s.dispatch.unclaimed_count());
-        m.counter("dispatching.subscribers").add(s.dispatch.subscriber_count() as u64);
-        m.counter("orphanage.taken").add(s.control.orphanage.total_taken());
-        m.counter("orphanage.evicted").add(s.control.orphanage.total_evicted());
-        m.counter("orphanage.streams").add(s.control.orphanage.stream_count() as u64);
-        m.counter("location.observations").add(s.control.location.observation_count());
-        m.counter("location.hints").add(s.control.location.hint_count());
-        m.counter("location.tracked_sensors").add(s.control.location.tracked_sensors() as u64);
-        m.counter("resource.approved").add(s.control.resource.approved_count());
-        m.counter("resource.denied").add(s.control.resource.denied_count());
-        m.counter("actuation.submitted").add(s.control.actuation.submitted_count());
-        m.counter("actuation.acknowledged").add(s.control.actuation.acknowledged_count());
-        m.counter("actuation.timed_out").add(s.control.actuation.timeout_count());
-        m.counter("actuation.retransmissions").add(s.control.actuation.retransmission_count());
-        m.counter("actuation.in_flight").add(s.control.actuation.in_flight() as u64);
-        m.counter("replicator.targeted").add(s.control.replicator.targeted_count());
-        m.counter("replicator.flooded").add(s.control.replicator.flooded_count());
-        m.counter("replicator.broadcasts").add(s.control.replicator.broadcast_count());
-        m.counter("coordinator.reports").add(s.control.coordinator.report_count());
-        m.counter("coordinator.reactive_actions")
-            .add(s.control.coordinator.reactive_action_count());
-        m.counter("coordinator.anticipatory_actions")
-            .add(s.control.coordinator.anticipatory_action_count());
-        m.counter("consumers.registered").add(self.consumers.len() as u64);
-        m.counter("consumers.denied_actions").add(self.denied_actions);
-        m.counter("consumers.depth_drops").add(self.depth_drops);
-        m.counter("streams.catalogued").add(s.dispatch.streams.len() as u64);
+        let filtering: &[(&str, u64)] = &[
+            ("delivered", s.ingest.delivered_count()),
+            ("duplicates", s.ingest.duplicate_count()),
+            ("crc_failures", s.ingest.crc_failure_count()),
+            ("reordered", s.ingest.reordered_count()),
+            ("gaps_accepted", s.ingest.gap_count()),
+            ("restarts", s.ingest.restart_count()),
+            ("streams", s.ingest.stream_count() as u64),
+        ];
+        let dispatching: &[(&str, u64)] = &[
+            ("messages", s.dispatch.dispatched_count()),
+            ("deliveries", s.dispatch.delivery_count()),
+            ("unclaimed", s.dispatch.unclaimed_count()),
+            ("subscribers", s.dispatch.subscriber_count() as u64),
+        ];
+        let orphanage: &[(&str, u64)] = &[
+            ("taken", s.control.orphanage.total_taken()),
+            ("evicted", s.control.orphanage.total_evicted()),
+            ("streams", s.control.orphanage.stream_count() as u64),
+        ];
+        let location: &[(&str, u64)] = &[
+            ("observations", s.control.location.observation_count()),
+            ("hints", s.control.location.hint_count()),
+            ("tracked_sensors", s.control.location.tracked_sensors() as u64),
+        ];
+        let resource: &[(&str, u64)] = &[
+            ("approved", s.control.resource.approved_count()),
+            ("denied", s.control.resource.denied_count()),
+        ];
+        let actuation: &[(&str, u64)] = &[
+            ("submitted", s.control.actuation.submitted_count()),
+            ("acknowledged", s.control.actuation.acknowledged_count()),
+            ("timed_out", s.control.actuation.timeout_count()),
+            ("retransmissions", s.control.actuation.retransmission_count()),
+            ("in_flight", s.control.actuation.in_flight() as u64),
+        ];
+        let replicator: &[(&str, u64)] = &[
+            ("targeted", s.control.replicator.targeted_count()),
+            ("flooded", s.control.replicator.flooded_count()),
+            ("broadcasts", s.control.replicator.broadcast_count()),
+        ];
+        let coordinator: &[(&str, u64)] = &[
+            ("reports", s.control.coordinator.report_count()),
+            ("reactive_actions", s.control.coordinator.reactive_action_count()),
+            ("anticipatory_actions", s.control.coordinator.anticipatory_action_count()),
+        ];
+        let consumers: &[(&str, u64)] = &[
+            ("registered", self.consumers.len() as u64),
+            ("denied_actions", self.denied_actions),
+            ("depth_drops", self.depth_drops),
+        ];
+        let streams: &[(&str, u64)] = &[("catalogued", s.dispatch.streams.len() as u64)];
         let t = self.router.overload_totals();
-        m.counter("overload.offered").add(t.offered);
-        m.counter("overload.shed").add(t.shed);
-        m.counter("overload.coalesced").add(t.coalesced);
-        m.counter("overload.delivered").add(t.delivered);
-        m.counter("overload.peak_queue_depth").add(self.router.peak_queue_depth());
-        // The simulation driver never panics a shard, so this stays 0
-        // here; threaded drivers report supervision restarts through
-        // their run reports.
-        m.counter("overload.shard_restarts").add(0);
-        m.histogram("actuation.ack_latency_us").merge(s.control.actuation.ack_latency());
+        let overload: &[(&str, u64)] = &[
+            ("offered", t.offered),
+            ("shed", t.shed),
+            ("coalesced", t.coalesced),
+            ("delivered", t.delivered),
+            ("peak_queue_depth", self.router.peak_queue_depth()),
+            // The simulation driver never panics a shard, so restarts
+            // stay 0 here; threaded drivers report supervision restarts
+            // through their run reports.
+            ("shard_restarts", 0),
+        ];
+        for (stage, metrics) in [
+            ("filtering", filtering),
+            ("dispatching", dispatching),
+            ("orphanage", orphanage),
+            ("location", location),
+            ("resource", resource),
+            ("actuation", actuation),
+            ("replicator", replicator),
+            ("coordinator", coordinator),
+            ("consumers", consumers),
+            ("streams", streams),
+            ("overload", overload),
+        ] {
+            for (metric, value) in metrics {
+                m.counter(&stage_key(stage, metric)).add(*value);
+            }
+        }
+        m.histogram(&stage_key("actuation", "ack_latency_us"))
+            .merge(s.control.actuation.ack_latency());
         m
+    }
+
+    /// The flight recorder's current contents: one record per event hop
+    /// the router has traced, chronological, plus per-stage hop/latency
+    /// statistics. Empty unless the `trace` cargo feature is compiled
+    /// in. See `DESIGN.md`'s Observability section for the schema.
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.router.trace_snapshot()
+    }
+
+    /// The flight recorder's contents as JSONL (one record per line, in
+    /// trace order) — the dump format; diffable across runs and, modulo
+    /// shard ids, across shard layouts. Empty unless the `trace` cargo
+    /// feature is compiled in.
+    pub fn trace_jsonl(&self) -> String {
+        self.router.trace_snapshot().to_jsonl()
     }
 
     /// Runs a closure against a registered consumer (to read

@@ -26,6 +26,7 @@ use garnet_net::{
     SupervisionConfig,
 };
 use garnet_radio::ReceiverId;
+use garnet_simkit::trace::{TraceConfig, TraceOutcome, TraceRecord, TraceSnapshot, Tracer};
 use garnet_simkit::{Histogram, SimTime};
 use garnet_wire::{peek_seq, peek_stream, ActuationTarget};
 
@@ -39,6 +40,11 @@ use crate::replicator::MessageReplicator;
 use crate::resource::{MediationPolicy, ResourceManager};
 use crate::service::{GarnetService, ServiceEvent, ServiceOutput};
 use crate::stream::{shard_of_sensor, ShardedStreamRegistry, StreamRegistry};
+use crate::trace::RootTag;
+#[cfg(feature = "trace")]
+use crate::trace::{event_record, RootTrace};
+#[cfg(feature = "trace")]
+use garnet_simkit::trace::{TraceEventKind, TraceStage};
 
 /// The ingest stage: N filtering shards partitioned by sensor id.
 ///
@@ -483,9 +489,25 @@ impl ControlGraph {
     /// control plane, which is what makes a one-worker threaded control
     /// stage bit-identical to the single-threaded router.
     pub fn pump(&mut self, events: Vec<ServiceEvent>, now: SimTime) -> Vec<ServiceOutput> {
+        self.pump_traced(events, now).0
+    }
+
+    /// [`ControlGraph::pump`] plus one [`TraceRecord`] per event hop, in
+    /// the FIFO order the hops were routed (always empty with the
+    /// `trace` feature off). Records carry no root sequence — the driver
+    /// owns that and stamps it when the trace is merged.
+    pub fn pump_traced(
+        &mut self,
+        events: Vec<ServiceEvent>,
+        now: SimTime,
+    ) -> (Vec<ServiceOutput>, Vec<TraceRecord>) {
         let mut queue: VecDeque<ServiceEvent> = events.into();
         let mut external = Vec::new();
+        #[cfg_attr(not(feature = "trace"), allow(unused_mut))]
+        let mut trace: Vec<TraceRecord> = Vec::new();
         while let Some(ev) = queue.pop_front() {
+            #[cfg(feature = "trace")]
+            trace.push(event_record(&ev, now, None));
             for o in self.route(ev, now) {
                 match o {
                     ServiceOutput::Emit(ev) => queue.push_back(ev),
@@ -493,7 +515,7 @@ impl ControlGraph {
                 }
             }
         }
-        external
+        (external, trace)
     }
 }
 
@@ -583,11 +605,21 @@ pub struct OverloadTotals {
     pub delivered: u64,
 }
 
+/// Which admission-control outcome dropped a frame (trace labelling
+/// only — counters live in [`OverloadTotals`]).
+enum DropKind {
+    Shed,
+    Coalesced,
+}
+
 /// The FIFO event router over [`Services`].
 #[derive(Debug)]
 pub struct Router {
     services: Services,
-    queue: VecDeque<ServiceEvent>,
+    /// Each queued event carries the root-sequence tag of the boundary
+    /// event it descends from (a zero-sized unit unless the `trace`
+    /// feature is on).
+    queue: VecDeque<(RootTag, ServiceEvent)>,
     overload: Option<OverloadConfig>,
     /// `Frame` events currently in `queue` (control events excluded).
     queued_frames: usize,
@@ -595,6 +627,12 @@ pub struct Router {
     peak_queued: u64,
     /// Queue depth sampled at each admission (only when bounded).
     depth_hist: Histogram,
+    /// The flight recorder (a zero-sized no-op unless the `trace`
+    /// feature is on).
+    tracer: Tracer,
+    /// Next root sequence number for a boundary enqueue.
+    #[cfg(feature = "trace")]
+    next_root: u64,
 }
 
 impl Router {
@@ -615,7 +653,23 @@ impl Router {
             totals: OverloadTotals::default(),
             peak_queued: 0,
             depth_hist: Histogram::new(),
+            tracer: Tracer::new(TraceConfig::default()),
+            #[cfg(feature = "trace")]
+            next_root: 0,
         }
+    }
+
+    /// Replaces the flight recorder with one of the given capacity
+    /// (any records already buffered are discarded). A no-op without
+    /// the `trace` feature.
+    pub fn configure_trace(&mut self, config: TraceConfig) {
+        self.tracer = Tracer::new(config);
+    }
+
+    /// The flight recorder's current contents (chronological) plus
+    /// per-stage statistics. Empty without the `trace` feature.
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.tracer.snapshot()
     }
 
     /// Shared view of the services.
@@ -632,12 +686,33 @@ impl Router {
     /// control — the control path: acks, actuations, flushes and other
     /// non-`Frame` events must never be shed. Frames entering here are
     /// still counted against the queue depth so admission stays exact.
+    #[cfg_attr(not(feature = "trace"), allow(clippy::let_unit_value))]
     pub fn enqueue(&mut self, ev: ServiceEvent) {
+        let tag = self.alloc_root();
+        self.enqueue_tagged(tag, ev);
+    }
+
+    /// Allocates a fresh root-sequence tag for a boundary enqueue.
+    #[cfg(feature = "trace")]
+    fn alloc_root(&mut self) -> RootTag {
+        let root = self.next_root;
+        self.next_root += 1;
+        root
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn alloc_root(&mut self) -> RootTag {}
+
+    /// Enqueues under an existing root tag — the cascade path: events a
+    /// service emitted while handling `tag`'s work stay attributed to
+    /// that boundary event.
+    fn enqueue_tagged(&mut self, tag: RootTag, ev: ServiceEvent) {
         if matches!(ev, ServiceEvent::Frame { .. }) {
             self.queued_frames += 1;
             self.note_depth();
         }
-        self.queue.push_back(ev);
+        self.queue.push_back((tag, ev));
     }
 
     /// Offers a frame to admission control. Without an
@@ -645,11 +720,15 @@ impl Router {
     /// configured [`OverloadPolicy`] decides what happens at capacity.
     /// This is the only entry point that maintains shed/coalesce
     /// accounting, so drivers should route all radio frames through it.
+    /// `now` is the admission instant, used only to timestamp trace
+    /// records for frames dropped here (shed or coalesced away) —
+    /// admitted frames are traced when they are popped and routed.
     pub fn admit_frame(
         &mut self,
         receiver: ReceiverId,
         rssi_dbm: f64,
         frame: Vec<u8>,
+        now: SimTime,
     ) -> FrameAdmission {
         let Some(cfg) = self.overload else {
             self.totals.offered += 1;
@@ -665,49 +744,70 @@ impl Router {
         match cfg.policy {
             OverloadPolicy::Block => FrameAdmission::Blocked(frame),
             OverloadPolicy::Shed => {
-                self.shed_oldest_frame();
+                self.shed_oldest_frame(now);
                 self.totals.offered += 1;
                 self.enqueue(ServiceEvent::Frame { receiver, rssi_dbm, frame });
                 FrameAdmission::AdmittedAfterShed
             }
-            OverloadPolicy::CoalesceFrames => self.coalesce_frame(receiver, rssi_dbm, frame),
+            OverloadPolicy::CoalesceFrames => self.coalesce_frame(receiver, rssi_dbm, frame, now),
         }
     }
 
     /// Removes the oldest queued `Frame` event. Callers guarantee one
     /// exists (`queued_frames > 0`).
-    fn shed_oldest_frame(&mut self) {
-        if let Some(idx) = self.queue.iter().position(|ev| matches!(ev, ServiceEvent::Frame { .. }))
+    fn shed_oldest_frame(&mut self, now: SimTime) {
+        if let Some(idx) =
+            self.queue.iter().position(|(_, ev)| matches!(ev, ServiceEvent::Frame { .. }))
         {
-            self.queue.remove(idx);
+            let (tag, ev) = self.queue.remove(idx).expect("position is in range");
             self.queued_frames -= 1;
             self.totals.shed += 1;
+            self.trace_dropped(tag, &ev, now, DropKind::Shed);
         }
+    }
+
+    /// Records a frame that admission control dropped (never routed, so
+    /// [`Router::step`] will never trace it).
+    #[cfg(feature = "trace")]
+    fn trace_dropped(&mut self, tag: RootTag, ev: &ServiceEvent, now: SimTime, kind: DropKind) {
+        let mut rec = event_record(ev, now, Some(tag));
+        rec.outcome = match kind {
+            DropKind::Shed => TraceOutcome::Shed,
+            DropKind::Coalesced => TraceOutcome::Coalesced,
+        };
+        self.tracer.record(|| rec);
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn trace_dropped(&mut self, _tag: RootTag, _ev: &ServiceEvent, _now: SimTime, _kind: DropKind) {
     }
 
     /// At capacity under `CoalesceFrames`: resolve the arriving frame
     /// against the queued frame of the same stream, keeping whichever
     /// claims the newer sequence number (wraparound-aware). Streams with
     /// nothing queued fall back to shedding the oldest frame overall.
+    #[cfg_attr(not(feature = "trace"), allow(clippy::let_unit_value))]
     fn coalesce_frame(
         &mut self,
         receiver: ReceiverId,
         rssi_dbm: f64,
         frame: Vec<u8>,
+        now: SimTime,
     ) -> FrameAdmission {
         let stream = peek_stream(&frame);
         let same_stream = stream.and_then(|s| {
-            self.queue.iter().position(|ev| {
+            self.queue.iter().position(|(_, ev)| {
                 matches!(ev, ServiceEvent::Frame { frame: q, .. } if peek_stream(q) == Some(s))
             })
         });
         let Some(idx) = same_stream else {
-            self.shed_oldest_frame();
+            self.shed_oldest_frame(now);
             self.totals.offered += 1;
             self.enqueue(ServiceEvent::Frame { receiver, rssi_dbm, frame });
             return FrameAdmission::AdmittedAfterShed;
         };
-        let queued_seq = match &self.queue[idx] {
+        let queued_seq = match &self.queue[idx].1 {
             ServiceEvent::Frame { frame: q, .. } => peek_seq(q),
             _ => None,
         };
@@ -722,11 +822,19 @@ impl Router {
         self.totals.offered += 1;
         self.totals.shed += 1;
         self.totals.coalesced += 1;
+        let tag = self.alloc_root();
         if arriving_wins {
             // Replace in place: the survivor keeps the queued frame's
             // position (and thus its place in the delivery order).
-            self.queue[idx] = ServiceEvent::Frame { receiver, rssi_dbm, frame };
+            let (old_tag, old_ev) = std::mem::replace(
+                &mut self.queue[idx],
+                (tag, ServiceEvent::Frame { receiver, rssi_dbm, frame }),
+            );
+            self.trace_dropped(old_tag, &old_ev, now, DropKind::Coalesced);
             self.note_depth();
+        } else {
+            let ev = ServiceEvent::Frame { receiver, rssi_dbm, frame };
+            self.trace_dropped(tag, &ev, now, DropKind::Coalesced);
         }
         FrameAdmission::Coalesced
     }
@@ -743,16 +851,22 @@ impl Router {
     /// queue; everything else is returned for the driver to apply.
     /// Returns `None` when the queue is empty (quiescence).
     pub fn step(&mut self, now: SimTime) -> Option<Vec<ServiceOutput>> {
-        let ev = self.queue.pop_front()?;
+        let (tag, ev) = self.queue.pop_front()?;
         if matches!(ev, ServiceEvent::Frame { .. }) {
             self.queued_frames -= 1;
             self.totals.delivered += 1;
+        }
+        #[cfg(feature = "trace")]
+        {
+            let rec = event_record(&ev, now, Some(tag));
+            self.tracer.note_occupancy(rec.stage, self.queue.len() as u64);
+            self.tracer.record(|| rec);
         }
         let outputs = self.route(ev, now);
         let mut external = Vec::new();
         for o in outputs {
             match o {
-                ServiceOutput::Emit(ev) => self.enqueue(ev),
+                ServiceOutput::Emit(ev) => self.enqueue_tagged(tag, ev),
                 other => external.push(other),
             }
         }
@@ -1213,6 +1327,25 @@ struct ControlJob {
     now: SimTime,
 }
 
+/// The trace record for one `Filtered` hop handed to a dispatch shard,
+/// field-identical to the single-threaded router's record for the same
+/// delivery (the shard id is the only extra).
+#[cfg(feature = "trace")]
+fn dispatch_record(delivery: &Delivery, now: SimTime, shard: usize) -> TraceRecord {
+    TraceRecord {
+        stream: Some(delivery.msg.stream().to_raw()),
+        sensor: Some(delivery.msg.stream().sensor().as_u32()),
+        age_us: now.saturating_since(delivery.first_received_at).as_micros(),
+        shard: Some(shard as u32),
+        ..TraceRecord::new(
+            now.as_micros(),
+            TraceStage::Dispatch,
+            TraceEventKind::Filtered,
+            TraceOutcome::Delivered,
+        )
+    }
+}
+
 /// Everything a [`ThreadedRouter`] tracks about one boundary event
 /// while its work is spread across the three edges.
 struct RootState {
@@ -1228,6 +1361,10 @@ struct RootState {
     c_submitted: bool,
     c_done: bool,
     outputs: Vec<ServiceOutput>,
+    /// Per-root trace buffer, merged into the recorder in canonical
+    /// order when the root is released.
+    #[cfg(feature = "trace")]
+    trace: RootTrace,
 }
 
 impl RootState {
@@ -1245,6 +1382,8 @@ impl RootState {
             c_submitted: false,
             c_done: false,
             outputs: Vec::new(),
+            #[cfg(feature = "trace")]
+            trace: RootTrace::default(),
         }
     }
 
@@ -1289,6 +1428,9 @@ pub struct ThreadedRouterReport {
     pub lost_jobs: u64,
     /// Shard restarts performed by the supervision policy.
     pub shard_restarts: u64,
+    /// The run's flight-recorder contents (empty without the `trace`
+    /// feature).
+    pub trace: TraceSnapshot,
 }
 
 /// The full service graph on OS threads: one worker (or shard pool) per
@@ -1331,7 +1473,7 @@ pub struct ThreadedRouterReport {
 pub struct ThreadedRouter {
     a: StageEdge<FilterJob, FilterOut>,
     b: StageEdge<DispatchJob, Vec<ServiceOutput>>,
-    c: StageEdge<ControlJob, Vec<ServiceOutput>>,
+    c: StageEdge<ControlJob, (Vec<ServiceOutput>, Vec<TraceRecord>)>,
     ingest_shards: usize,
     dispatch_shards: usize,
     policy: OverloadPolicy,
@@ -1346,6 +1488,10 @@ pub struct ThreadedRouter {
     shed_frames: u64,
     lost_jobs: u64,
     failures: Vec<RootFailure>,
+    /// The flight recorder (a zero-sized no-op unless the `trace`
+    /// feature is on). Per-root buffers merge into it at release, so
+    /// its record order matches the single-threaded router's.
+    tracer: Tracer,
 }
 
 impl ThreadedRouter {
@@ -1410,7 +1556,7 @@ impl ThreadedRouter {
         });
         let c = StageEdge::new(1, capacity, supervision, move |_shard| {
             let mut control = control_factory();
-            Box::new(move |job: ControlJob| control.pump(job.events, job.now))
+            Box::new(move |job: ControlJob| control.pump_traced(job.events, job.now))
         });
         ThreadedRouter {
             a,
@@ -1427,7 +1573,22 @@ impl ThreadedRouter {
             shed_frames: 0,
             lost_jobs: 0,
             failures: Vec::new(),
+            tracer: Tracer::new(TraceConfig::default()),
         }
+    }
+
+    /// Replaces the flight recorder with one of the given capacity. A
+    /// no-op without the `trace` feature.
+    pub fn configure_trace(&mut self, config: TraceConfig) {
+        self.tracer = Tracer::new(config);
+    }
+
+    /// The flight recorder's current contents: records for every root
+    /// released so far, in release (== root) order, each root's hops in
+    /// the canonical single-threaded order. Empty without the `trace`
+    /// feature.
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.tracer.snapshot()
     }
 
     /// Number of filtering shards.
@@ -1460,25 +1621,54 @@ impl ThreadedRouter {
         at: SimTime,
     ) -> Vec<RootOutput> {
         self.offered_frames += 1;
-        let shard = match peek_stream(&frame) {
+        let stream = peek_stream(&frame);
+        let shard = match stream {
             Some(stream) => shard_of_sensor(stream.sensor().as_u32(), self.ingest_shards),
             None => 0,
         };
         let root = self.new_root(at);
+        #[cfg(feature = "trace")]
+        let base = TraceRecord {
+            stream: stream.map(|s| s.to_raw()),
+            sensor: stream.map(|s| s.sensor().as_u32()),
+            shard: Some(shard as u32),
+            ..TraceRecord::new(
+                at.as_micros(),
+                TraceStage::Filtering,
+                TraceEventKind::Frame,
+                TraceOutcome::Delivered,
+            )
+        };
         let job = FilterJob::Frame((receiver, rssi_dbm, frame, at));
-        match self.policy {
+        let _outcome = match self.policy {
             OverloadPolicy::Block => {
                 self.roots.get_mut(&root).expect("just inserted").a_expected = 1;
                 self.a.submit(shard, root, job);
+                TraceOutcome::Delivered
             }
             OverloadPolicy::Shed | OverloadPolicy::CoalesceFrames => {
                 match self.a.try_submit(shard, root, job) {
-                    Ok(()) => self.roots.get_mut(&root).expect("just inserted").a_expected = 1,
-                    Err(RefusedJob::Full(_)) => self.shed_frames += 1,
-                    Err(RefusedJob::Poisoned(_)) => self.lost_jobs += 1,
+                    Ok(()) => {
+                        self.roots.get_mut(&root).expect("just inserted").a_expected = 1;
+                        TraceOutcome::Delivered
+                    }
+                    Err(RefusedJob::Full(_)) => {
+                        self.shed_frames += 1;
+                        TraceOutcome::Shed
+                    }
+                    Err(RefusedJob::Poisoned(_)) => {
+                        self.lost_jobs += 1;
+                        TraceOutcome::Failed
+                    }
                 }
             }
-        }
+        };
+        #[cfg(feature = "trace")]
+        self.roots
+            .get_mut(&root)
+            .expect("just inserted")
+            .trace
+            .push_pre(TraceRecord { outcome: _outcome, ..base });
         self.poll()
     }
 
@@ -1492,6 +1682,13 @@ impl ThreadedRouter {
             let state = self.roots.get_mut(&root).expect("just inserted");
             state.is_flush = true;
             state.a_expected = self.ingest_shards;
+            #[cfg(feature = "trace")]
+            state.trace.push_pre(TraceRecord::new(
+                now.as_micros(),
+                TraceStage::Filtering,
+                TraceEventKind::FlushReorder,
+                TraceOutcome::Delivered,
+            ));
         }
         for shard in 0..self.ingest_shards {
             self.a.submit(shard, root, FilterJob::Flush(now));
@@ -1526,6 +1723,8 @@ impl ThreadedRouter {
         for delivery in deliveries {
             state.b_expected += 1;
             let shard = shard_of_sensor(delivery.msg.stream().sensor().as_u32(), dispatch_shards);
+            #[cfg(feature = "trace")]
+            state.trace.push_dispatch(dispatch_record(&delivery, state.now, shard));
             jobs.push((shard, DispatchJob { delivery, depth: 0, now: state.now }));
         }
         jobs
@@ -1551,6 +1750,10 @@ impl ThreadedRouter {
                                         delivery.msg.stream().sensor().as_u32(),
                                         self.dispatch_shards,
                                     );
+                                    #[cfg(feature = "trace")]
+                                    state.trace.push_dispatch(dispatch_record(
+                                        &delivery, state.now, shard,
+                                    ));
                                     b_jobs.push((
                                         shard,
                                         DispatchJob { delivery, depth, now: state.now },
@@ -1569,6 +1772,12 @@ impl ThreadedRouter {
                         b_jobs = Self::flush_jobs(state, self.dispatch_shards);
                     }
                 }
+                // Filtering has fully landed: everything in c_events so
+                // far precedes dispatch in the canonical FIFO order.
+                #[cfg(feature = "trace")]
+                if state.a_done == state.a_expected {
+                    state.trace.set_pre_c(state.c_events.len());
+                }
             }
             for (shard, job) in b_jobs {
                 self.b.submit(shard, root, job);
@@ -1581,6 +1790,13 @@ impl ThreadedRouter {
                 // The lost job still closes its root: sealing must
                 // never hang on work that will not arrive.
                 state.a_done += 1;
+                #[cfg(feature = "trace")]
+                {
+                    state.trace.fail_pre();
+                    if state.a_done == state.a_expected {
+                        state.trace.set_pre_c(state.c_events.len());
+                    }
+                }
                 b_jobs = Self::flush_jobs(state, self.dispatch_shards);
             }
             for (shard, job) in b_jobs {
@@ -1592,6 +1808,8 @@ impl ThreadedRouter {
         for (root, outputs) in self.b.drain() {
             if let Some(state) = self.roots.get_mut(&root) {
                 state.b_done += 1;
+                #[cfg(feature = "trace")]
+                state.trace.complete_dispatch(true);
                 for o in outputs {
                     match o {
                         // Orphaned: a control event the FIFO router
@@ -1607,6 +1825,8 @@ impl ThreadedRouter {
             self.lost_jobs += 1;
             if let Some(state) = self.roots.get_mut(&f.root) {
                 state.b_done += 1;
+                #[cfg(feature = "trace")]
+                state.trace.complete_dispatch(false);
             }
             self.failures.push(f);
         }
@@ -1633,19 +1853,28 @@ impl ThreadedRouter {
             self.c.submit(0, root, job);
         }
 
-        for (root, outputs) in self.c.drain() {
+        for (root, (outputs, c_trace)) in self.c.drain() {
             if let Some(state) = self.roots.get_mut(&root) {
                 state.outputs.extend(outputs);
                 state.c_done = true;
+                #[cfg(feature = "trace")]
+                state.trace.set_control(c_trace);
+                #[cfg(not(feature = "trace"))]
+                let _ = c_trace;
             }
         }
         for f in self.c.take_failures() {
             self.lost_jobs += 1;
             if let Some(state) = self.roots.get_mut(&f.root) {
+                // The pumped events were consumed by the lost worker, so
+                // there are no control hops to trace; the failure itself
+                // is surfaced via `failures` / `lost_jobs`.
                 state.c_done = true;
             }
             self.failures.push(f);
         }
+
+        self.trace_restarts();
 
         let mut released = Vec::new();
         while let Some(state) = self.roots.get(&self.next_release) {
@@ -1653,11 +1882,49 @@ impl ThreadedRouter {
                 break;
             }
             let state = self.roots.remove(&self.next_release).expect("checked above");
+            #[cfg(feature = "trace")]
+            {
+                // Occupancy here is the number of roots still in flight
+                // when this one released — a concurrency measure, and
+                // (unlike the records) timing-dependent.
+                let in_flight = self.roots.len() as u64;
+                state.trace.emit(self.next_release, in_flight, &mut self.tracer);
+            }
             released.push(RootOutput { root: self.next_release, outputs: state.outputs });
             self.next_release += 1;
         }
         released
     }
+
+    /// Folds supervision restarts from every edge into the trace, each
+    /// with the backoff delay the policy chose. Restart timing is
+    /// wall-clock, not simulated, so the records carry `at_us: 0` and
+    /// are keyed by stage + shard + backoff only.
+    #[cfg(feature = "trace")]
+    fn trace_restarts(&mut self) {
+        for (stage, events) in [
+            (TraceStage::Filtering, self.a.take_restart_events()),
+            (TraceStage::Dispatch, self.b.take_restart_events()),
+            (TraceStage::Control, self.c.take_restart_events()),
+        ] {
+            for e in events {
+                self.tracer.record(|| TraceRecord {
+                    shard: Some(e.shard as u32),
+                    backoff_us: Some(e.delay.as_micros() as u64),
+                    ..TraceRecord::new(
+                        0,
+                        stage,
+                        TraceEventKind::ShardRestart,
+                        TraceOutcome::Delivered,
+                    )
+                });
+            }
+        }
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn trace_restarts(&mut self) {}
 
     /// Frames offered to [`ThreadedRouter::push_frame`] so far.
     pub fn offered_frame_count(&self) -> u64 {
@@ -1706,6 +1973,7 @@ impl ThreadedRouter {
             shed_frames: self.shed_frames,
             lost_jobs: self.lost_jobs + late as u64,
             shard_restarts,
+            trace: self.tracer.snapshot(),
         }
     }
 }

@@ -188,6 +188,13 @@ pub enum RefusedJob<I> {
 /// the shard stays poisoned (a crash-looping stage should surface, not
 /// flap), and restart returns to the caller via
 /// [`ShardPool::restart_shard`].
+///
+/// Restarts are separated by **exponential backoff**: the n-th restart
+/// inside the window waits `base_backoff * 2^n` (capped at
+/// `backoff_cap`) after the worker died before rebuilding it. Without
+/// backoff a deterministic poison pill burns the whole `max_restarts`
+/// budget in microseconds; with it, the budget spans real time and a
+/// transient fault gets room to clear.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SupervisionConfig {
     /// Restarts allowed per shard inside the window (0 disables
@@ -195,15 +202,57 @@ pub struct SupervisionConfig {
     pub max_restarts: u32,
     /// Sliding wall-clock window the budget applies to.
     pub window: std::time::Duration,
+    /// Delay before the first restart in a window; doubles per restart.
+    /// `Duration::ZERO` restarts as soon as the poisoning is observed.
+    pub base_backoff: std::time::Duration,
+    /// Upper bound on the doubled backoff delay.
+    pub backoff_cap: std::time::Duration,
 }
 
 impl Default for SupervisionConfig {
-    /// Three restarts per shard per minute — generous enough for a
-    /// transient poison pill, tight enough that a deterministic crash
-    /// loop parks the shard within seconds.
+    /// Three restarts per shard per minute, 10 ms first backoff capped
+    /// at 5 s — generous enough for a transient poison pill, tight
+    /// enough that a deterministic crash loop parks the shard within
+    /// seconds instead of exhausting its budget in microseconds.
     fn default() -> Self {
-        SupervisionConfig { max_restarts: 3, window: std::time::Duration::from_secs(60) }
+        SupervisionConfig {
+            max_restarts: 3,
+            window: std::time::Duration::from_secs(60),
+            base_backoff: std::time::Duration::from_millis(10),
+            backoff_cap: std::time::Duration::from_secs(5),
+        }
     }
+}
+
+impl SupervisionConfig {
+    /// A policy that restarts immediately (no backoff) — the pre-backoff
+    /// behaviour, useful in tests that crash shards deterministically.
+    pub fn immediate(max_restarts: u32, window: std::time::Duration) -> Self {
+        SupervisionConfig {
+            max_restarts,
+            window,
+            base_backoff: std::time::Duration::ZERO,
+            backoff_cap: std::time::Duration::ZERO,
+        }
+    }
+
+    /// The backoff delay applied before the restart that follows
+    /// `prior_restarts` earlier restarts inside the current window.
+    pub fn restart_delay(&self, prior_restarts: u32) -> std::time::Duration {
+        let factor = 1u32 << prior_restarts.min(20);
+        self.base_backoff.saturating_mul(factor).min(self.backoff_cap)
+    }
+}
+
+/// One automatic shard restart performed by the supervision policy,
+/// with the backoff delay that was applied before it — surfaced so a
+/// driver can put the delay in the restart's trace record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestartEvent {
+    /// The shard that was rebuilt.
+    pub shard: usize,
+    /// The exponential-backoff delay this restart waited out.
+    pub delay: std::time::Duration,
 }
 
 fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
@@ -288,7 +337,10 @@ pub struct ShardPool<I: Send + 'static, O: Send + 'static> {
     supervision: Option<SupervisionConfig>,
     /// Recent restart instants per shard, pruned to the sliding window.
     restart_times: Vec<std::collections::VecDeque<std::time::Instant>>,
+    /// When each shard's poisoning was first observed (backoff clock).
+    poisoned_at: Vec<Option<std::time::Instant>>,
     restarts: u64,
+    restart_events: Vec<RestartEvent>,
 }
 
 impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
@@ -348,7 +400,9 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
             failures: Vec::new(),
             supervision,
             restart_times: (0..shards).map(|_| std::collections::VecDeque::new()).collect(),
+            poisoned_at: vec![None; shards],
             restarts: 0,
+            restart_events: Vec::new(),
         }
     }
 
@@ -374,8 +428,16 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
             if self.restart_times[shard].len() >= cfg.max_restarts as usize {
                 continue; // budget exhausted: stay poisoned, stay loud
             }
+            // Exponential backoff from the moment the poisoning was
+            // observed: the shard stays down until the delay elapses.
+            let since_death = *self.poisoned_at[shard].get_or_insert(now);
+            let delay = cfg.restart_delay(self.restart_times[shard].len() as u32);
+            if now.duration_since(since_death) < delay {
+                continue; // too soon: let the backoff clock run
+            }
             self.restart_times[shard].push_back(now);
             self.restarts += 1;
+            self.restart_events.push(RestartEvent { shard, delay });
             self.restart_shard(shard);
         }
     }
@@ -384,6 +446,12 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
     /// (manual [`ShardPool::restart_shard`] calls are not counted).
     pub fn restart_count(&self) -> u64 {
         self.restarts
+    }
+
+    /// Takes the automatic restarts performed since the last call,
+    /// oldest first, each with the backoff delay it waited out.
+    pub fn take_restart_events(&mut self) -> Vec<RestartEvent> {
+        std::mem::take(&mut self.restart_events)
     }
 
     fn spawn_worker(
@@ -459,6 +527,9 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
             }
             Err(TrySendError::Full((_, job))) => Err(RefusedJob::Full(job)),
             Err(TrySendError::Disconnected((_, job))) => {
+                if !self.poisoned[idx] {
+                    self.poisoned_at[idx] = Some(std::time::Instant::now());
+                }
                 self.poisoned[idx] = true;
                 Err(RefusedJob::Poisoned(job))
             }
@@ -466,6 +537,9 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
     }
 
     fn note_lost(&mut self, shard: usize, seq: u64, reason: String) {
+        if !self.poisoned[shard] {
+            self.poisoned_at[shard] = Some(std::time::Instant::now());
+        }
         self.poisoned[shard] = true;
         self.failed_seqs.insert(seq);
         self.failures.push(ShardFailure { shard, seq, reason });
@@ -558,6 +632,7 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
         self.workers[idx] =
             Some(Self::spawn_worker(idx, rx, self.result_tx.clone(), (self.factory)(idx)));
         self.poisoned[idx] = false;
+        self.poisoned_at[idx] = None;
     }
 
     /// Closes the job queues, waits for every worker to finish, and
@@ -857,18 +932,29 @@ mod tests {
                 });
             pool.submit(0, 1);
             pool.submit(0, 99);
-            // Wait for the panic to land, then let the next interaction
-            // trigger the supervised restart.
+            // Wait for the panic to land, then keep interacting until
+            // the supervised restart fires (the default policy backs
+            // off 10 ms after the worker's death before rebuilding).
             let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
             while pool.take_failures().is_empty() {
                 std::thread::yield_now();
                 assert!(std::time::Instant::now() < deadline, "panic never surfaced");
             }
-            pool.submit(0, 2); // supervise() runs here: shard is rebuilt
-            assert!(pool.poisoned_shards().is_empty(), "shard restarted automatically");
+            let mut got = Vec::new();
+            while !pool.poisoned_shards().is_empty() {
+                got.extend(pool.drain()); // supervise() runs here
+                std::thread::yield_now();
+                assert!(std::time::Instant::now() < deadline, "shard never restarted");
+            }
             assert_eq!(pool.restart_count(), 1);
-            let (out, failures) = pool.finish();
-            assert_eq!(out, vec![2, 3]);
+            let events = pool.take_restart_events();
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].shard, 0);
+            assert_eq!(events[0].delay, SupervisionConfig::default().base_backoff);
+            pool.submit(0, 2);
+            let (rest, failures) = pool.finish();
+            got.extend(rest);
+            assert_eq!(got, vec![2, 3]);
             assert!(failures.is_empty(), "failure was already taken");
         });
     }
@@ -876,8 +962,7 @@ mod tests {
     #[test]
     fn supervision_budget_exhausts_and_shard_stays_poisoned() {
         quiet_panics(|| {
-            let cfg =
-                SupervisionConfig { max_restarts: 1, window: std::time::Duration::from_secs(3600) };
+            let cfg = SupervisionConfig::immediate(1, std::time::Duration::from_secs(3600));
             let mut pool: ShardPool<u32, u32> =
                 ShardPool::with_supervision(1, 8, Some(cfg), |_| {
                     Box::new(|x| {
@@ -903,6 +988,82 @@ mod tests {
             assert_eq!(pool.restart_count(), 1);
             assert_eq!(pool.poisoned_shards(), vec![0]);
         });
+    }
+
+    #[test]
+    fn supervision_backoff_delays_restarts_and_doubles() {
+        quiet_panics(|| {
+            let cfg = SupervisionConfig {
+                max_restarts: 3,
+                window: std::time::Duration::from_secs(3600),
+                base_backoff: std::time::Duration::from_millis(100),
+                backoff_cap: std::time::Duration::from_secs(5),
+            };
+            let mut pool: ShardPool<u32, u32> =
+                ShardPool::with_supervision(1, 8, Some(cfg), |_| {
+                    Box::new(|x| {
+                        if x == 99 {
+                            panic!("boom");
+                        }
+                        x
+                    })
+                });
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            let crash = |pool: &mut ShardPool<u32, u32>| {
+                pool.submit(0, 99);
+                while pool.poisoned_shards().is_empty() {
+                    std::thread::yield_now();
+                    assert!(std::time::Instant::now() < deadline, "panic never surfaced");
+                }
+            };
+
+            crash(&mut pool);
+            // Interacting right after the death must NOT restart: the
+            // pre-backoff behaviour burned the whole budget here.
+            pool.drain();
+            assert_eq!(pool.restart_count(), 0, "restart fired before the backoff elapsed");
+            while pool.restart_count() == 0 {
+                pool.drain();
+                std::thread::yield_now();
+                assert!(std::time::Instant::now() < deadline, "first restart never fired");
+            }
+
+            crash(&mut pool);
+            pool.drain();
+            assert_eq!(pool.restart_count(), 1, "second restart skipped its longer backoff");
+            while pool.restart_count() == 1 {
+                pool.drain();
+                std::thread::yield_now();
+                assert!(std::time::Instant::now() < deadline, "second restart never fired");
+            }
+
+            let events = pool.take_restart_events();
+            let delays: Vec<_> = events.iter().map(|e| e.delay).collect();
+            assert_eq!(
+                delays,
+                vec![std::time::Duration::from_millis(100), std::time::Duration::from_millis(200)],
+                "backoff doubles per restart in the window"
+            );
+            let _ = pool.take_failures();
+            drop(pool.finish());
+        });
+    }
+
+    #[test]
+    fn restart_delay_doubles_and_caps() {
+        let cfg = SupervisionConfig {
+            max_restarts: 10,
+            window: std::time::Duration::from_secs(3600),
+            base_backoff: std::time::Duration::from_millis(10),
+            backoff_cap: std::time::Duration::from_millis(45),
+        };
+        let ms = |n: u64| std::time::Duration::from_millis(n);
+        assert_eq!(cfg.restart_delay(0), ms(10));
+        assert_eq!(cfg.restart_delay(1), ms(20));
+        assert_eq!(cfg.restart_delay(2), ms(40));
+        assert_eq!(cfg.restart_delay(3), ms(45), "capped");
+        assert_eq!(cfg.restart_delay(63), ms(45), "huge exponents stay capped");
+        assert_eq!(SupervisionConfig::immediate(3, ms(1000)).restart_delay(5), ms(0));
     }
 
     #[test]

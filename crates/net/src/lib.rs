@@ -34,7 +34,8 @@ pub mod threaded_router;
 
 pub use auth::{AuthService, Capability, CapabilitySet, Principal, Token};
 pub use bus::{
-    BusError, RefusedJob, ShardFailure, ShardPool, Stage, SupervisionConfig, ThreadedBus,
+    BusError, RefusedJob, RestartEvent, ShardFailure, ShardPool, Stage, SupervisionConfig,
+    ThreadedBus,
 };
 pub use pubsub::{SubscriberId, SubscriptionTable, TopicFilter};
 pub use registry::{ServiceDescriptor, ServiceKind, ServiceRegistry};

@@ -144,6 +144,12 @@ impl<I: Send + 'static, O: Send + 'static> StageEdge<I, O> {
         self.pool.restart_count()
     }
 
+    /// Takes the supervision restarts performed since the last call,
+    /// each with its backoff delay (see [`crate::bus::RestartEvent`]).
+    pub fn take_restart_events(&mut self) -> Vec<crate::bus::RestartEvent> {
+        self.pool.take_restart_events()
+    }
+
     /// Drains remaining work, joins the workers, and returns every
     /// outstanding `(root, output)` in submission order plus every
     /// remaining failure.

@@ -12,6 +12,9 @@
 //!   random consumer does not perturb existing draws.
 //! * [`metrics`] — counters and log-bucketed histograms used by all
 //!   experiments to report latency and throughput percentiles.
+//! * [`trace`] — a feature-gated flight recorder ([`Tracer`]) capturing
+//!   one compact record per service-event hop; compiles to no-ops
+//!   unless the `trace` cargo feature is enabled.
 //!
 //! # Example
 //!
@@ -32,8 +35,13 @@ pub mod event;
 pub mod metrics;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
 pub use event::{EventQueue, Simulation};
-pub use metrics::{Counter, Histogram, MetricsRegistry};
+pub use metrics::{stage_key, Counter, Histogram, MetricsRegistry};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    StageStats, TraceConfig, TraceEventKind, TraceOutcome, TraceRecord, TraceSnapshot, TraceStage,
+    Tracer,
+};

@@ -13,6 +13,28 @@ use std::fmt;
 
 use crate::time::SimDuration;
 
+/// Builds a metric name under the `stage.metric` convention: a
+/// lowercase stage (the emitting service or subsystem — `filtering`,
+/// `dispatching`, `orphanage`, `location`, `resource`, `actuation`,
+/// `replicator`, `coordinator`, `consumers`, `streams`, `overload`) and
+/// a snake_case metric within it. Every Garnet metric name is emitted
+/// through this one helper so the convention can't drift per call site.
+///
+/// # Example
+///
+/// ```
+/// use garnet_simkit::metrics::stage_key;
+///
+/// assert_eq!(stage_key("filtering", "delivered"), "filtering.delivered");
+/// ```
+pub fn stage_key(stage: &str, metric: &str) -> String {
+    debug_assert!(
+        !stage.is_empty() && !metric.is_empty() && !stage.contains('.'),
+        "stage/metric must be non-empty and the stage un-dotted: {stage:?}.{metric:?}"
+    );
+    format!("{stage}.{metric}")
+}
+
 /// A monotonically increasing event counter.
 ///
 /// # Example

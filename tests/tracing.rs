@@ -1,0 +1,328 @@
+//! Flight-recorder contract tests (`--features trace`).
+//!
+//! The recorder's promise is that a trace is *evidence*: on a fixed
+//! workload the single-threaded `Router` and the `ThreadedRouter`
+//! produce the same JSONL dump (modulo shard ids), identical across
+//! runs and across shard layouts — so a trace diff localises a real
+//! behavioural difference, never scheduler noise. With the feature off,
+//! the tracer must vanish entirely.
+
+#[cfg(feature = "trace")]
+mod traced {
+    use garnet::core::actuation::{ActuationConfig, ActuationService};
+    use garnet::core::coordinator::{CoordinationMode, SuperCoordinator};
+    use garnet::core::filtering::FilterConfig;
+    use garnet::core::location::{LocationConfig, LocationService};
+    use garnet::core::orphanage::{Orphanage, OrphanageConfig};
+    use garnet::core::replicator::MessageReplicator;
+    use garnet::core::resource::{MediationPolicy, ResourceManager};
+    use garnet::core::router::{
+        ControlGraph, OverloadConfig, OverloadPolicy, Router, Services, ShardedDispatch,
+        ShardedIngest, ThreadedRouter,
+    };
+    use garnet::core::service::ServiceEvent;
+    use garnet::net::{SubscriberId, SubscriptionTable, TopicFilter};
+    use garnet::radio::ReceiverId;
+    use garnet::simkit::trace::{TraceConfig, TraceEventKind, TraceOutcome, TraceSnapshot};
+    use garnet::simkit::SimTime;
+    use garnet::wire::{DataMessage, SensorId, SequenceNumber, StreamId, StreamIndex};
+
+    fn frame(sensor: u32, index: u8, seq: u16) -> Vec<u8> {
+        let stream = StreamId::new(SensorId::new(sensor).unwrap(), StreamIndex::new(index));
+        DataMessage::builder(stream)
+            .seq(SequenceNumber::new(seq))
+            .payload(vec![seq as u8, sensor as u8])
+            .build()
+            .unwrap()
+            .encode_to_vec()
+    }
+
+    /// One facade-boundary event, with its arrival time.
+    enum Boundary {
+        Frame(Vec<u8>, SimTime),
+        Flush(SimTime),
+        Tick(SimTime),
+    }
+
+    /// A messy multi-sensor schedule: drops (→ reorder gaps),
+    /// duplicates, periodic flushes, and a terminal flush + actuation
+    /// tick. Frame-at-a-time (each boundary pumped to quiescence), which
+    /// is the regime the trace-parity contract covers.
+    fn schedule() -> Vec<Boundary> {
+        let mut sched = Vec::new();
+        let mut t = 0u64;
+        for seq in 0..25u16 {
+            for sensor in 1..=6u32 {
+                if (u32::from(seq) + sensor) % 7 == 0 {
+                    continue; // dropped in flight
+                }
+                sched.push(Boundary::Frame(frame(sensor, 0, seq), SimTime::from_millis(t)));
+                t += 3;
+                if (u32::from(seq) + sensor) % 5 == 0 {
+                    sched.push(Boundary::Frame(frame(sensor, 0, seq), SimTime::from_millis(t)));
+                    t += 1;
+                }
+            }
+            if seq % 10 == 9 {
+                t += 700;
+                sched.push(Boundary::Flush(SimTime::from_millis(t)));
+            }
+        }
+        t += 60_000;
+        sched.push(Boundary::Flush(SimTime::from_millis(t)));
+        sched.push(Boundary::Tick(SimTime::from_millis(t)));
+        sched
+    }
+
+    fn control_graph() -> ControlGraph {
+        ControlGraph {
+            orphanage: Orphanage::new(OrphanageConfig::default()),
+            location: LocationService::new(LocationConfig::default(), &[]),
+            resource: ResourceManager::new(MediationPolicy::MergeMax),
+            actuation: ActuationService::new(ActuationConfig::default()),
+            replicator: MessageReplicator::new(Vec::new()),
+            coordinator: SuperCoordinator::new(CoordinationMode::Predictive {
+                min_confidence: 0.6,
+            }),
+        }
+    }
+
+    /// Even sensors are claimed (sensor 6 by stream filter), odd orphan.
+    fn filters() -> Vec<(u32, TopicFilter)> {
+        vec![
+            (0, TopicFilter::Sensor(SensorId::new(2).unwrap())),
+            (1, TopicFilter::Sensor(SensorId::new(4).unwrap())),
+            (1, TopicFilter::Stream(StreamId::new(SensorId::new(6).unwrap(), StreamIndex::new(0)))),
+        ]
+    }
+
+    fn subscriptions() -> SubscriptionTable {
+        let mut table = SubscriptionTable::default();
+        for (id, filter) in filters() {
+            table.subscribe(SubscriberId::new(id), filter);
+        }
+        table
+    }
+
+    fn single_threaded_router() -> Router {
+        let mut dispatch = ShardedDispatch::new(1);
+        dispatch.register_subscriber();
+        dispatch.register_subscriber();
+        for (id, filter) in filters() {
+            dispatch.subscribe(SubscriberId::new(id), filter);
+        }
+        Router::new(Services {
+            ingest: ShardedIngest::new(FilterConfig::default(), 1),
+            dispatch,
+            control: control_graph(),
+        })
+    }
+
+    /// Pumps the schedule through the single-threaded FIFO router, one
+    /// boundary event to quiescence at a time, and returns the trace.
+    fn reference_trace(sched: &[Boundary], capacity: usize) -> TraceSnapshot {
+        let mut router = single_threaded_router();
+        router.configure_trace(TraceConfig { capacity });
+        for b in sched {
+            let (ev, now) = match b {
+                Boundary::Frame(bytes, at) => (
+                    ServiceEvent::Frame {
+                        receiver: ReceiverId::new(0),
+                        rssi_dbm: -40.0,
+                        frame: bytes.clone(),
+                    },
+                    *at,
+                ),
+                Boundary::Flush(at) => (ServiceEvent::FlushReorder, *at),
+                Boundary::Tick(at) => (ServiceEvent::ActuationTick, *at),
+            };
+            router.enqueue(ev);
+            while router.step(now).is_some() {}
+        }
+        router.trace_snapshot()
+    }
+
+    /// The same schedule through the threaded graph; the trace rides on
+    /// the terminal report.
+    fn threaded_trace(sched: &[Boundary], ingest: usize, dispatch: usize) -> TraceSnapshot {
+        let table = subscriptions();
+        let mut tr =
+            ThreadedRouter::new(FilterConfig::default(), ingest, dispatch, &table, control_graph);
+        for b in sched {
+            match b {
+                Boundary::Frame(bytes, at) => {
+                    tr.push_frame(ReceiverId::new(0), -40.0, bytes.clone(), *at);
+                }
+                Boundary::Flush(at) => {
+                    tr.push_flush(*at);
+                }
+                Boundary::Tick(at) => {
+                    tr.push_tick(*at);
+                }
+            }
+        }
+        let report = tr.finish();
+        assert!(report.failures.is_empty(), "no worker should fail: {:?}", report.failures);
+        assert_eq!(report.shed_frames, 0, "Block admission never sheds");
+        report.trace
+    }
+
+    #[test]
+    fn threaded_trace_matches_single_threaded_modulo_shards() {
+        let sched = schedule();
+        let want = reference_trace(&sched, TraceConfig::default().capacity);
+        assert_eq!(want.dropped, 0, "default ring must hold the whole workload");
+        // The workload exercises every data-plane stage.
+        for kind in ["\"kind\":\"frame\"", "\"kind\":\"filtered\"", "\"kind\":\"orphaned\""] {
+            assert!(want.to_jsonl().contains(kind), "reference trace lacks {kind}");
+        }
+        let got = threaded_trace(&sched, 1, 1);
+        assert_eq!(
+            got.to_jsonl_modulo_shards(),
+            want.to_jsonl_modulo_shards(),
+            "threaded 1×1 trace diverged from the FIFO router's"
+        );
+    }
+
+    #[test]
+    fn threaded_trace_is_identical_across_runs_and_layouts() {
+        let sched = schedule();
+        let base = threaded_trace(&sched, 1, 1).to_jsonl_modulo_shards();
+        for (ingest, dispatch) in [(1, 1), (1, 4), (4, 1), (4, 4)] {
+            let a = threaded_trace(&sched, ingest, dispatch);
+            let b = threaded_trace(&sched, ingest, dispatch);
+            // Bit-identical across runs, including shard ids.
+            assert_eq!(a.to_jsonl(), b.to_jsonl(), "{ingest}×{dispatch} differed across runs");
+            // And layout-invariant once shard ids are dropped.
+            assert_eq!(
+                a.to_jsonl_modulo_shards(),
+                base,
+                "{ingest}×{dispatch} diverged from 1×1 modulo shards"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_wraps_with_exact_drop_accounting_end_to_end() {
+        let sched = schedule();
+        let full = reference_trace(&sched, TraceConfig::default().capacity);
+        let total = full.records.len();
+        let capacity = 32usize;
+        assert!(total > capacity, "workload must overflow the small ring");
+        let small = reference_trace(&sched, capacity);
+        assert_eq!(small.records.len(), capacity);
+        assert_eq!(small.dropped, (total - capacity) as u64, "dropped count must be exact");
+        // The ring keeps the newest records, in order.
+        assert_eq!(small.records, full.records[total - capacity..].to_vec());
+        // Stage statistics survive eviction: hops count every record.
+        let full_hops: u64 = full.stages.iter().map(|s| s.hops).sum();
+        let small_hops: u64 = small.stages.iter().map(|s| s.hops).sum();
+        assert_eq!(small_hops, full_hops);
+    }
+
+    #[test]
+    fn shed_frames_are_traced_with_shed_outcome() {
+        let mut router = single_threaded_router();
+        let mut shed_router = {
+            let mut dispatch = ShardedDispatch::new(1);
+            dispatch.register_subscriber();
+            for (id, filter) in filters() {
+                dispatch.subscribe(SubscriberId::new(id), filter);
+            }
+            Router::with_overload(
+                Services {
+                    ingest: ShardedIngest::new(FilterConfig::default(), 1),
+                    dispatch,
+                    control: control_graph(),
+                },
+                Some(OverloadConfig { capacity: 2, policy: OverloadPolicy::Shed }),
+            )
+        };
+        // Queue three frames without draining: the third admission
+        // sheds the oldest (root 0).
+        for seq in 0..3u16 {
+            shed_router.admit_frame(ReceiverId::new(0), -40.0, frame(1, 0, seq), SimTime::ZERO);
+        }
+        let snap = shed_router.trace_snapshot();
+        let shed: Vec<_> =
+            snap.records.iter().filter(|r| r.outcome == TraceOutcome::Shed).collect();
+        assert_eq!(shed.len(), 1, "exactly one frame was shed: {}", snap.to_jsonl());
+        assert_eq!(shed[0].kind, TraceEventKind::Frame);
+        assert_eq!(shed[0].root, Some(0), "the oldest admitted frame is the victim");
+        // The unbounded router never sheds.
+        router.admit_frame(ReceiverId::new(0), -40.0, frame(1, 0, 0), SimTime::ZERO);
+        assert!(router
+            .trace_snapshot()
+            .records
+            .iter()
+            .all(|r| r.outcome == TraceOutcome::Delivered));
+    }
+
+    #[test]
+    fn coalesced_frames_are_traced_with_coalesced_outcome() {
+        let mut dispatch = ShardedDispatch::new(1);
+        dispatch.register_subscriber();
+        let mut router = Router::with_overload(
+            Services {
+                ingest: ShardedIngest::new(FilterConfig::default(), 1),
+                dispatch,
+                control: control_graph(),
+            },
+            Some(OverloadConfig { capacity: 1, policy: OverloadPolicy::CoalesceFrames }),
+        );
+        // seq 0 queued; seq 1 arrives at capacity and wins → the queued
+        // copy (root 0) is traced as coalesced away.
+        router.admit_frame(ReceiverId::new(0), -40.0, frame(1, 0, 0), SimTime::ZERO);
+        router.admit_frame(ReceiverId::new(0), -40.0, frame(1, 0, 1), SimTime::ZERO);
+        // seq 0 arrives again and loses to the queued seq 1 → the
+        // arriving copy is traced as coalesced.
+        router.admit_frame(ReceiverId::new(0), -40.0, frame(1, 0, 0), SimTime::ZERO);
+        let snap = router.trace_snapshot();
+        let coalesced: Vec<_> =
+            snap.records.iter().filter(|r| r.outcome == TraceOutcome::Coalesced).collect();
+        assert_eq!(coalesced.len(), 2, "one loser per coalescing event: {}", snap.to_jsonl());
+        assert!(coalesced.iter().all(|r| r.kind == TraceEventKind::Frame));
+        assert_eq!(coalesced[0].root, Some(0), "first loser: the queued seq-0 copy");
+        assert_eq!(coalesced[1].root, Some(2), "second loser: the arriving seq-0 copy");
+        // Draining delivers the surviving seq-1 frame, traced normally.
+        while router.step(SimTime::ZERO).is_some() {}
+        let totals = router.overload_totals();
+        assert_eq!((totals.delivered, totals.coalesced), (1, 2));
+    }
+
+    #[test]
+    fn facade_exposes_trace_snapshots_and_jsonl() {
+        use garnet::core::middleware::{Garnet, GarnetConfig};
+        let mut g = Garnet::new(GarnetConfig::default());
+        g.on_frame(ReceiverId::new(0), -50.0, &frame(1, 0, 0), SimTime::ZERO);
+        let snap = g.trace_snapshot();
+        assert!(!snap.records.is_empty(), "facade pumping must be traced");
+        let jsonl = g.trace_jsonl();
+        assert_eq!(jsonl.lines().count(), snap.records.len());
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"at_us\":") && l.ends_with('}')));
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod disabled {
+    use garnet::core::middleware::{Garnet, GarnetConfig};
+    use garnet::radio::ReceiverId;
+    use garnet::simkit::{SimTime, Tracer};
+    use garnet::wire::{DataMessage, SensorId, SequenceNumber, StreamId, StreamIndex};
+
+    #[test]
+    fn tracer_is_a_no_op_and_snapshots_are_empty() {
+        assert_eq!(std::mem::size_of::<Tracer>(), 0, "disabled tracer must be zero-sized");
+        let mut g = Garnet::new(GarnetConfig::default());
+        let stream = StreamId::new(SensorId::new(1).unwrap(), StreamIndex::new(0));
+        let frame = DataMessage::builder(stream)
+            .seq(SequenceNumber::new(0))
+            .payload(vec![1])
+            .build()
+            .unwrap()
+            .encode_to_vec();
+        g.on_frame(ReceiverId::new(0), -50.0, &frame, SimTime::ZERO);
+        assert!(g.trace_snapshot().records.is_empty());
+        assert!(g.trace_jsonl().is_empty());
+    }
+}
