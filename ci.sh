@@ -23,4 +23,11 @@ cargo build --release --features trace
 cargo test -q --features trace
 cargo test -q -p garnet-bench --features trace
 
+# Rerun the driver-sensitive suites with the facade hosted on the
+# threaded graph (ISSUE 5): GarnetConfig::default() honours the
+# GARNET_TEST_DRIVER toggle, so the same tests exercise both engines.
+echo "==> threaded-driver verify: GARNET_TEST_DRIVER=threaded determinism + tracing"
+GARNET_TEST_DRIVER=threaded cargo test -q --test determinism --test tracing
+GARNET_TEST_DRIVER=threaded cargo test -q --test determinism --test tracing --features trace
+
 echo "==> CI green"

@@ -100,4 +100,8 @@ fn main() {
         let (_, t) = e19_trace_overhead::run();
         println!("{}", t.render());
     }
+    if want("e20") {
+        let (_, t) = e20_runtime_mode::run();
+        println!("{}", t.render());
+    }
 }

@@ -25,4 +25,5 @@ pub mod e16_quiesce;
 pub mod e17_overload;
 pub mod e18_dispatch_shards;
 pub mod e19_trace_overhead;
+pub mod e20_runtime_mode;
 pub mod table;

@@ -1,0 +1,751 @@
+//! The execution engines behind the [`crate::Garnet`] facade.
+//!
+//! [`RouterDriver`] is the router-facing surface the facade actually
+//! uses: frame admission, pumping to quiescence, subscription changes,
+//! the metrics counters, the overload ledger, shard supervision and the
+//! flight recorder. Two engines implement it:
+//!
+//! * [`FifoDriver`] — the single-threaded FIFO [`Router`], the
+//!   simulation engine with bit-exact event interleaving;
+//! * [`ThreadedDriver`] — a facade-hosted [`ThreadedRouter`]: worker
+//!   pools per stage, a shared live subscription table, and the control
+//!   graph pumped inline so synchronous facade calls can still borrow
+//!   it.
+//!
+//! Both produce identical deliveries, metrics and (modulo shard ids)
+//! trace dumps for the same input schedule; [`GarnetConfig::driver`]
+//! picks between them.
+//!
+//! [`GarnetConfig::driver`]: crate::GarnetConfig::driver
+
+use std::sync::{Arc, RwLock};
+
+use garnet_net::{ShardFailure, SubscriberId, SubscriptionTable, TopicFilter};
+use garnet_radio::ReceiverId;
+use garnet_simkit::trace::{TraceConfig, TraceSnapshot};
+use garnet_simkit::{Histogram, SimTime};
+use garnet_wire::StreamId;
+
+use crate::filtering::{FilterConfig, FilteringService};
+use crate::router::{
+    ControlGraph, FrameAdmission, OverloadConfig, OverloadTotals, Router, Services, ShardedIngest,
+    ThreadedRouter, ThreadedRouterParts,
+};
+use crate::service::{ServiceEvent, ServiceOutput};
+use crate::stream::ShardedStreamRegistry;
+
+/// Which execution engine hosts the service graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriverKind {
+    /// The single-threaded FIFO [`Router`]: one event at a time, the
+    /// reference interleaving. The simulation default.
+    Fifo,
+    /// The [`ThreadedRouter`]: filtering and dispatch on worker pools,
+    /// outputs released in boundary order so every observable matches
+    /// the FIFO engine.
+    Threaded,
+}
+
+impl Default for DriverKind {
+    /// [`DriverKind::Fifo`], unless the `GARNET_TEST_DRIVER`
+    /// environment variable says `threaded` — the hook CI uses to run
+    /// default-config test suites against both engines without
+    /// editing them.
+    fn default() -> Self {
+        match std::env::var("GARNET_TEST_DRIVER") {
+            Ok(v) if v.eq_ignore_ascii_case("threaded") => DriverKind::Threaded,
+            _ => DriverKind::Fifo,
+        }
+    }
+}
+
+/// Ingest-stage counters, snapshotted by value through the driver
+/// surface. (By value because the threaded engine aggregates per-shard
+/// snapshots on demand — there is no single struct to borrow.)
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FilterStats {
+    pub(crate) delivered: u64,
+    pub(crate) duplicates: u64,
+    pub(crate) crc_failures: u64,
+    pub(crate) reordered: u64,
+    pub(crate) gaps: u64,
+    pub(crate) restarts: u64,
+    pub(crate) streams: usize,
+}
+
+impl FilterStats {
+    /// Snapshot of one filtering shard's counters.
+    pub(crate) fn of(filter: &FilteringService) -> Self {
+        FilterStats {
+            delivered: filter.delivered_count(),
+            duplicates: filter.duplicate_count(),
+            crc_failures: filter.crc_failure_count(),
+            reordered: filter.reordered_count(),
+            gaps: filter.gap_count(),
+            restarts: filter.restart_count(),
+            streams: filter.stream_count(),
+        }
+    }
+
+    /// Snapshot of a whole sharded ingest stage.
+    pub(crate) fn of_sharded(ingest: &ShardedIngest) -> Self {
+        FilterStats {
+            delivered: ingest.delivered_count(),
+            duplicates: ingest.duplicate_count(),
+            crc_failures: ingest.crc_failure_count(),
+            reordered: ingest.reordered_count(),
+            gaps: ingest.gap_count(),
+            restarts: ingest.restart_count(),
+            streams: ingest.stream_count(),
+        }
+    }
+
+    /// Sums two shard snapshots (streams are partitioned across
+    /// shards, so the sums are exact).
+    pub(crate) fn absorb(mut self, other: FilterStats) -> Self {
+        self.delivered += other.delivered;
+        self.duplicates += other.duplicates;
+        self.crc_failures += other.crc_failures;
+        self.reordered += other.reordered;
+        self.gaps += other.gaps;
+        self.restarts += other.restarts;
+        self.streams += other.streams;
+        self
+    }
+
+    /// Messages released downstream.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Duplicate frames eliminated.
+    pub fn duplicate_count(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Frames rejected by CRC/decode.
+    pub fn crc_failure_count(&self) -> u64 {
+        self.crc_failures
+    }
+
+    /// Frames buffered out of order.
+    pub fn reordered_count(&self) -> u64 {
+        self.reordered
+    }
+
+    /// Gaps accepted.
+    pub fn gap_count(&self) -> u64 {
+        self.gaps
+    }
+
+    /// Stream restarts detected.
+    pub fn restart_count(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Streams tracked.
+    pub fn stream_count(&self) -> usize {
+        self.streams
+    }
+}
+
+/// Dispatch-stage counters, snapshotted by value through the driver
+/// surface.
+#[derive(Clone, Debug, Default)]
+pub struct DispatchStats {
+    pub(crate) dispatched: u64,
+    pub(crate) deliveries: u64,
+    pub(crate) unclaimed: u64,
+    pub(crate) fanout: Histogram,
+    pub(crate) subscribers: usize,
+}
+
+impl DispatchStats {
+    /// Messages routed.
+    pub fn dispatched_count(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Total (message, subscriber) deliveries.
+    pub fn delivery_count(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// Messages that matched nobody.
+    pub fn unclaimed_count(&self) -> u64 {
+        self.unclaimed
+    }
+
+    /// Distribution of per-message fan-out.
+    pub fn fanout(&self) -> &Histogram {
+        &self.fanout
+    }
+
+    /// Distinct subscribers with live subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers
+    }
+}
+
+/// The router-facing surface [`crate::Garnet`] drives. Everything the
+/// facade needs — admission, pumping, subscriptions, stream catalogue,
+/// control-plane access, metrics, the overload ledger, shard
+/// supervision and the flight recorder — with both engines behind it.
+///
+/// The contract the facade's determinism guarantees rest on:
+///
+/// * [`RouterDriver::pump`] returns escaped outputs in the exact order
+///   the FIFO router would surface them; an empty batch means the
+///   graph is quiescent.
+/// * Subscription and registry mutations only happen between pumps
+///   (the facade is single-threaded), so engines may serve them from
+///   shared state without locking the hot path.
+/// * [`RouterDriver::shutdown`] drains in-flight work and joins any
+///   worker pools; afterwards reads (metrics, traces, streams) still
+///   work and new events are ignored.
+pub trait RouterDriver: std::fmt::Debug {
+    /// Queues one boundary event — the control path: never shed.
+    fn push_event(&mut self, ev: ServiceEvent, now: SimTime);
+
+    /// Offers one frame to admission control. Returns any outputs that
+    /// escaped the graph while admission made room (only the FIFO
+    /// engine under [`crate::router::OverloadPolicy::Block`] produces
+    /// these; they must be applied before the next pump).
+    fn admit_frame(
+        &mut self,
+        receiver: ReceiverId,
+        rssi_dbm: f64,
+        frame: Vec<u8>,
+        now: SimTime,
+    ) -> Vec<ServiceOutput>;
+
+    /// Advances the graph, returning escaped outputs in canonical
+    /// order. An empty batch means quiescence; the facade loops until
+    /// then, applying outputs (which may push new events) in between.
+    fn pump(&mut self, now: SimTime) -> Vec<ServiceOutput>;
+
+    /// Allocates a fresh subscriber identity.
+    fn register_subscriber(&mut self) -> SubscriberId;
+
+    /// Adds a subscription. Returns true if new.
+    fn subscribe(&mut self, subscriber: SubscriberId, filter: TopicFilter) -> bool;
+
+    /// Removes one subscription.
+    fn unsubscribe(&mut self, subscriber: SubscriberId, filter: TopicFilter) -> bool;
+
+    /// Removes every subscription of a departing subscriber, returning
+    /// how many it held.
+    fn unsubscribe_all(&mut self, subscriber: SubscriberId) -> usize;
+
+    /// True if a message on `stream` would reach at least one
+    /// subscriber.
+    fn would_deliver(&self, stream: StreamId) -> bool;
+
+    /// Overrides the stream catalogue's claimed flag.
+    fn set_claimed(&mut self, stream: StreamId, claimed: bool);
+
+    /// The stream catalogue.
+    fn streams(&self) -> &ShardedStreamRegistry;
+
+    /// The control-plane services (synchronous request/response calls:
+    /// orphanage claims, location reads, profile registration).
+    fn control(&self) -> &ControlGraph;
+
+    /// Mutable control-plane access.
+    fn control_mut(&mut self) -> &mut ControlGraph;
+
+    /// Ingest-stage counters.
+    fn filter_stats(&self) -> FilterStats;
+
+    /// Dispatch-stage counters.
+    fn dispatch_stats(&self) -> DispatchStats;
+
+    /// Monotonic admission totals; at quiescence
+    /// `offered == shed + delivered`.
+    fn overload_totals(&self) -> OverloadTotals;
+
+    /// High-water mark of the frame queue.
+    fn peak_queue_depth(&self) -> u64;
+
+    /// p99 of queue-depth-at-admission samples (0 when unbounded —
+    /// neither engine samples an ungoverned queue).
+    fn queue_depth_p99(&self) -> u64;
+
+    /// Shard restarts performed by a supervision policy (always 0 for
+    /// the FIFO engine — nothing panics, nothing restarts).
+    fn shard_restart_count(&self) -> u64;
+
+    /// Takes worker failures recorded since the last call (always
+    /// empty for the FIFO engine, which has no threads to lose).
+    fn take_shard_failures(&mut self) -> Vec<ShardFailure>;
+
+    /// The earliest time-driven deadline across services.
+    fn next_deadline(&self) -> Option<SimTime>;
+
+    /// Replaces the flight recorder with one of the given capacity.
+    fn configure_trace(&mut self, config: TraceConfig);
+
+    /// The flight recorder's current contents.
+    fn trace_snapshot(&self) -> TraceSnapshot;
+
+    /// Streams the flight recorder's window to `w` as JSONL and clears
+    /// it (see [`garnet_simkit::trace::Tracer::drain_to`]).
+    fn trace_drain_to(&mut self, w: &mut dyn std::io::Write) -> std::io::Result<usize>;
+
+    /// Drains in-flight work and joins any worker pools, returning the
+    /// outputs released on the way out. Reads keep working afterwards;
+    /// new events are ignored.
+    fn shutdown(&mut self, now: SimTime) -> Vec<ServiceOutput>;
+}
+
+/// The FIFO [`Router`] behind the driver surface.
+#[derive(Debug)]
+pub struct FifoDriver {
+    router: Router,
+}
+
+impl FifoDriver {
+    /// Wraps a router over the given services.
+    pub fn new(services: Services, overload: Option<OverloadConfig>) -> Self {
+        FifoDriver { router: Router::with_overload(services, overload) }
+    }
+}
+
+impl RouterDriver for FifoDriver {
+    fn push_event(&mut self, ev: ServiceEvent, _now: SimTime) {
+        self.router.enqueue(ev);
+    }
+
+    fn admit_frame(
+        &mut self,
+        receiver: ReceiverId,
+        rssi_dbm: f64,
+        frame: Vec<u8>,
+        now: SimTime,
+    ) -> Vec<ServiceOutput> {
+        let mut escaped = Vec::new();
+        let mut pending = frame;
+        // A blocked admission drains one event to make room, then
+        // retries. The queue is non-empty whenever admission blocks
+        // (capacity ≥ 1 and we are at capacity), so the inner step
+        // always makes progress.
+        while let FrameAdmission::Blocked(frame) =
+            self.router.admit_frame(receiver, rssi_dbm, pending, now)
+        {
+            pending = frame;
+            let Some(outputs) = self.router.step(now) else {
+                break; // defensive: cannot happen
+            };
+            escaped.extend(outputs);
+        }
+        escaped
+    }
+
+    fn pump(&mut self, now: SimTime) -> Vec<ServiceOutput> {
+        // Steps until the first non-empty output batch: the facade
+        // applies it (possibly pushing new events) and calls again, so
+        // the apply-per-step cadence of driving the router directly is
+        // preserved exactly.
+        while let Some(outputs) = self.router.step(now) {
+            if !outputs.is_empty() {
+                return outputs;
+            }
+        }
+        Vec::new()
+    }
+
+    fn register_subscriber(&mut self) -> SubscriberId {
+        self.router.services_mut().dispatch.register_subscriber()
+    }
+
+    fn subscribe(&mut self, subscriber: SubscriberId, filter: TopicFilter) -> bool {
+        self.router.services_mut().dispatch.subscribe(subscriber, filter)
+    }
+
+    fn unsubscribe(&mut self, subscriber: SubscriberId, filter: TopicFilter) -> bool {
+        self.router.services_mut().dispatch.unsubscribe(subscriber, filter)
+    }
+
+    fn unsubscribe_all(&mut self, subscriber: SubscriberId) -> usize {
+        self.router.services_mut().dispatch.unsubscribe_all(subscriber)
+    }
+
+    fn would_deliver(&self, stream: StreamId) -> bool {
+        self.router.services().dispatch.would_deliver(stream)
+    }
+
+    fn set_claimed(&mut self, stream: StreamId, claimed: bool) {
+        self.router.services_mut().dispatch.streams.set_claimed(stream, claimed);
+    }
+
+    fn streams(&self) -> &ShardedStreamRegistry {
+        &self.router.services().dispatch.streams
+    }
+
+    fn control(&self) -> &ControlGraph {
+        &self.router.services().control
+    }
+
+    fn control_mut(&mut self) -> &mut ControlGraph {
+        &mut self.router.services_mut().control
+    }
+
+    fn filter_stats(&self) -> FilterStats {
+        FilterStats::of_sharded(&self.router.services().ingest)
+    }
+
+    fn dispatch_stats(&self) -> DispatchStats {
+        let d = &self.router.services().dispatch;
+        DispatchStats {
+            dispatched: d.dispatched_count(),
+            deliveries: d.delivery_count(),
+            unclaimed: d.unclaimed_count(),
+            fanout: d.fanout(),
+            subscribers: d.subscriber_count(),
+        }
+    }
+
+    fn overload_totals(&self) -> OverloadTotals {
+        self.router.overload_totals()
+    }
+
+    fn peak_queue_depth(&self) -> u64 {
+        self.router.peak_queue_depth()
+    }
+
+    fn queue_depth_p99(&self) -> u64 {
+        self.router.depth_histogram().p99()
+    }
+
+    fn shard_restart_count(&self) -> u64 {
+        0
+    }
+
+    fn take_shard_failures(&mut self) -> Vec<ShardFailure> {
+        Vec::new()
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.router.next_deadline()
+    }
+
+    fn configure_trace(&mut self, config: TraceConfig) {
+        self.router.configure_trace(config);
+    }
+
+    fn trace_snapshot(&self) -> TraceSnapshot {
+        self.router.trace_snapshot()
+    }
+
+    fn trace_drain_to(&mut self, w: &mut dyn std::io::Write) -> std::io::Result<usize> {
+        self.router.trace_drain_to(w)
+    }
+
+    fn shutdown(&mut self, now: SimTime) -> Vec<ServiceOutput> {
+        // No pools to join: just drain whatever is still queued.
+        let mut out = Vec::new();
+        while let Some(outputs) = self.router.step(now) {
+            out.extend(outputs);
+        }
+        out
+    }
+}
+
+/// The [`ThreadedRouter`] hosted behind the driver surface.
+///
+/// Subscriptions live in one shared [`SubscriptionTable`] the dispatch
+/// workers read per job — no per-worker replicas, so subscription
+/// memory is independent of the shard count. Outputs released during
+/// admission are buffered and handed out at the next
+/// [`RouterDriver::pump`], which preserves the FIFO engine's apply
+/// order (releases are in boundary order; the FIFO queue is too).
+///
+/// Dropping the driver joins all worker pools; [`RouterDriver::shutdown`]
+/// does the same but keeps the terminal state readable.
+pub struct ThreadedDriver {
+    router: Option<ThreadedRouter>,
+    subscriptions: Arc<RwLock<SubscriptionTable>>,
+    next_subscriber: u32,
+    /// Outputs released by the graph while admitting, held until the
+    /// facade pumps.
+    pending: Vec<ServiceOutput>,
+    /// Whether admission is bounded (mirrors the FIFO router's
+    /// "sample depth only when bounded" rule).
+    bounded: bool,
+    /// Frames admitted since the graph last went quiescent — the
+    /// mirror of the FIFO router's queue depth, since the facade pumps
+    /// to quiescence after every admission burst.
+    frames_since_quiescence: u64,
+    peak_depth: u64,
+    depth_hist: Histogram,
+    /// What shutdown left behind; reads are served from here once the
+    /// pools are joined.
+    retired: Option<ThreadedRouterParts>,
+}
+
+impl ThreadedDriver {
+    /// Spawns the hosted graph. `overload` maps onto the frame edge's
+    /// backpressure policy exactly as it governs the FIFO queue
+    /// (`None` = blocking admission that never sheds).
+    pub fn new(
+        config: FilterConfig,
+        ingest_shards: usize,
+        dispatch_shards: usize,
+        control: ControlGraph,
+        overload: Option<OverloadConfig>,
+    ) -> Self {
+        let subscriptions = Arc::new(RwLock::new(SubscriptionTable::new()));
+        let router = ThreadedRouter::hosted(
+            config,
+            ingest_shards,
+            dispatch_shards,
+            subscriptions.clone(),
+            control,
+            overload,
+        );
+        ThreadedDriver {
+            router: Some(router),
+            subscriptions,
+            next_subscriber: 0,
+            pending: Vec::new(),
+            bounded: overload.is_some(),
+            frames_since_quiescence: 0,
+            peak_depth: 0,
+            depth_hist: Histogram::new(),
+            retired: None,
+        }
+    }
+
+    fn retired(&self) -> &ThreadedRouterParts {
+        self.retired.as_ref().expect("a ThreadedDriver is live or retired, never neither")
+    }
+}
+
+impl RouterDriver for ThreadedDriver {
+    fn push_event(&mut self, ev: ServiceEvent, now: SimTime) {
+        let Some(router) = self.router.as_mut() else { return };
+        for released in router.push_event(ev, now) {
+            self.pending.extend(released.outputs);
+        }
+    }
+
+    fn admit_frame(
+        &mut self,
+        receiver: ReceiverId,
+        rssi_dbm: f64,
+        frame: Vec<u8>,
+        now: SimTime,
+    ) -> Vec<ServiceOutput> {
+        let Some(router) = self.router.as_mut() else { return Vec::new() };
+        self.frames_since_quiescence += 1;
+        self.peak_depth = self.peak_depth.max(self.frames_since_quiescence);
+        if self.bounded {
+            self.depth_hist.record(self.frames_since_quiescence);
+        }
+        for released in router.push_frame(receiver, rssi_dbm, frame, now) {
+            self.pending.extend(released.outputs);
+        }
+        Vec::new()
+    }
+
+    fn pump(&mut self, _now: SimTime) -> Vec<ServiceOutput> {
+        let mut out = std::mem::take(&mut self.pending);
+        if let Some(router) = self.router.as_mut() {
+            while !router.is_quiescent() {
+                let released = router.poll();
+                if released.is_empty() {
+                    std::thread::yield_now();
+                }
+                for r in released {
+                    out.extend(r.outputs);
+                }
+            }
+        }
+        self.frames_since_quiescence = 0;
+        out
+    }
+
+    fn register_subscriber(&mut self) -> SubscriberId {
+        let id = SubscriberId::new(self.next_subscriber);
+        self.next_subscriber += 1;
+        id
+    }
+
+    fn subscribe(&mut self, subscriber: SubscriberId, filter: TopicFilter) -> bool {
+        self.subscriptions.write().unwrap_or_else(|e| e.into_inner()).subscribe(subscriber, filter)
+    }
+
+    fn unsubscribe(&mut self, subscriber: SubscriberId, filter: TopicFilter) -> bool {
+        self.subscriptions
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .unsubscribe(subscriber, filter)
+    }
+
+    fn unsubscribe_all(&mut self, subscriber: SubscriberId) -> usize {
+        self.subscriptions.write().unwrap_or_else(|e| e.into_inner()).unsubscribe_all(subscriber)
+    }
+
+    fn would_deliver(&self, stream: StreamId) -> bool {
+        !self.subscriptions.read().unwrap_or_else(|e| e.into_inner()).is_unclaimed(stream)
+    }
+
+    fn set_claimed(&mut self, stream: StreamId, claimed: bool) {
+        match self.router.as_mut() {
+            Some(r) => r.streams_mut().set_claimed(stream, claimed),
+            None => {
+                if let Some(parts) = self.retired.as_mut() {
+                    parts.streams.set_claimed(stream, claimed);
+                }
+            }
+        }
+    }
+
+    fn streams(&self) -> &ShardedStreamRegistry {
+        match &self.router {
+            Some(r) => r.streams(),
+            None => &self.retired().streams,
+        }
+    }
+
+    fn control(&self) -> &ControlGraph {
+        match &self.router {
+            Some(r) => r.control_graph().expect("hosted routers run control inline"),
+            None => self.retired().control.as_ref().expect("hosted routers run control inline"),
+        }
+    }
+
+    fn control_mut(&mut self) -> &mut ControlGraph {
+        match self.router.as_mut() {
+            Some(r) => r.control_graph_mut().expect("hosted routers run control inline"),
+            None => self
+                .retired
+                .as_mut()
+                .and_then(|p| p.control.as_mut())
+                .expect("hosted routers run control inline"),
+        }
+    }
+
+    fn filter_stats(&self) -> FilterStats {
+        match &self.router {
+            Some(r) => r.filter_stats(),
+            None => self.retired().filter_stats,
+        }
+    }
+
+    fn dispatch_stats(&self) -> DispatchStats {
+        match &self.router {
+            Some(r) => r.dispatch_stats(),
+            None => self.retired().dispatch_stats.clone(),
+        }
+    }
+
+    fn overload_totals(&self) -> OverloadTotals {
+        let (offered, shed) = match &self.router {
+            Some(r) => (r.offered_frame_count(), r.shed_frame_count()),
+            None => {
+                let report = &self.retired().report;
+                (report.offered_frames, report.shed_frames)
+            }
+        };
+        // The frame edge has no queue to coalesce against, so
+        // CoalesceFrames degrades to Shed and `coalesced` stays 0.
+        OverloadTotals { offered, shed, coalesced: 0, delivered: offered - shed }
+    }
+
+    fn peak_queue_depth(&self) -> u64 {
+        self.peak_depth
+    }
+
+    fn queue_depth_p99(&self) -> u64 {
+        self.depth_hist.p99()
+    }
+
+    fn shard_restart_count(&self) -> u64 {
+        match &self.router {
+            Some(r) => r.restart_count(),
+            None => self.retired().report.shard_restarts,
+        }
+    }
+
+    fn take_shard_failures(&mut self) -> Vec<ShardFailure> {
+        match self.router.as_mut() {
+            Some(r) => r.take_root_failures().into_iter().map(|f| f.failure).collect(),
+            None => match self.retired.as_mut() {
+                Some(parts) => std::mem::take(&mut parts.report.failures)
+                    .into_iter()
+                    .map(|f| f.failure)
+                    .collect(),
+                None => Vec::new(),
+            },
+        }
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.router.as_ref().and_then(ThreadedRouter::next_deadline)
+    }
+
+    fn configure_trace(&mut self, config: TraceConfig) {
+        if let Some(r) = self.router.as_mut() {
+            r.configure_trace(config);
+        }
+    }
+
+    fn trace_snapshot(&self) -> TraceSnapshot {
+        match &self.router {
+            Some(r) => r.trace_snapshot(),
+            None => self.retired().report.trace.clone(),
+        }
+    }
+
+    fn trace_drain_to(&mut self, w: &mut dyn std::io::Write) -> std::io::Result<usize> {
+        match self.router.as_mut() {
+            Some(r) => r.trace_drain_to(w),
+            None => {
+                // The recorder died with the worker pools; drain the
+                // snapshot the shutdown report kept instead.
+                let Some(parts) = self.retired.as_mut() else { return Ok(0) };
+                let mut written = 0;
+                for rec in parts.report.trace.records.drain(..) {
+                    writeln!(w, "{}", rec.jsonl_line())?;
+                    written += 1;
+                }
+                Ok(written)
+            }
+        }
+    }
+
+    fn shutdown(&mut self, _now: SimTime) -> Vec<ServiceOutput> {
+        let mut out = std::mem::take(&mut self.pending);
+        if let Some(router) = self.router.take() {
+            let mut parts = router.into_parts();
+            for released in std::mem::take(&mut parts.report.outputs) {
+                out.extend(released.outputs);
+            }
+            self.retired = Some(parts);
+        }
+        self.frames_since_quiescence = 0;
+        out
+    }
+}
+
+impl Drop for ThreadedDriver {
+    /// Joins the worker pools if [`RouterDriver::shutdown`] was never
+    /// called ([`ThreadedRouter::into_parts`] drains every in-flight
+    /// root before joining, so nothing is lost and nothing deadlocks).
+    fn drop(&mut self) {
+        if let Some(router) = self.router.take() {
+            let _ = router.into_parts();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadedDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedDriver")
+            .field("router", &self.router)
+            .field("pending", &self.pending.len())
+            .field("retired", &self.retired.is_some())
+            .finish_non_exhaustive()
+    }
+}

@@ -16,8 +16,11 @@
 //! All services are sans-io state machines implementing the
 //! [`service::GarnetService`] trait; the [`router::Router`] threads
 //! typed events between them over a FIFO queue, and
-//! [`middleware::Garnet`] is a thin facade that drives the router (and
-//! hosts the consumers). The filtering hot path is partitioned by
+//! [`middleware::Garnet`] is a thin facade that drives a pluggable
+//! execution engine (the [`driver::RouterDriver`] axis: the FIFO
+//! router, or the threaded graph, selected by
+//! [`driver::DriverKind`]) and hosts the consumers. The filtering hot
+//! path is partitioned by
 //! sensor id into [`router::ShardedIngest`] shards, and the dispatch
 //! stage into [`router::ShardedDispatch`] shards by the same hash, each
 //! with a deterministic merge — so any shard count produces
@@ -55,6 +58,7 @@ pub mod constraints;
 pub mod consumer;
 pub mod coordinator;
 pub mod dispatching;
+pub mod driver;
 pub mod filtering;
 pub mod location;
 pub mod middleware;
@@ -68,12 +72,15 @@ pub mod stream;
 mod trace;
 
 pub use consumer::{Consumer, ConsumerCtx};
+pub use driver::{
+    DispatchStats, DriverKind, FifoDriver, FilterStats, RouterDriver, ThreadedDriver,
+};
 pub use filtering::{Delivery, FilterConfig, FilteringService, Observation};
 pub use middleware::{Garnet, GarnetConfig, OverloadStats, StepOutput};
 pub use pipeline::{PipelineConfig, PipelineSim};
 pub use router::{
     ControlGraph, DispatchStage, FrameAdmission, IngestBatch, IngestReport, OverloadConfig,
     OverloadPolicy, OverloadTotals, RootOutput, Router, Services, ShardedDispatch, ShardedIngest,
-    ThreadedIngest, ThreadedRouter, ThreadedRouterReport,
+    ThreadedIngest, ThreadedRouter, ThreadedRouterParts, ThreadedRouterReport,
 };
 pub use service::{GarnetService, ServiceEvent, ServiceOutput};

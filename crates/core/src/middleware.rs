@@ -1,11 +1,15 @@
 //! The Garnet middleware facade: Figure 1 assembled into one deployable
 //! unit.
 //!
-//! [`Garnet`] is a thin driver over the event [`Router`]: every external
-//! input becomes a [`ServiceEvent`] on the router's FIFO queue, and the
-//! facade pumps the queue to quiescence, applying the outputs that
-//! escape the service graph (consumer callbacks, control plans,
-//! denials, expiries):
+//! [`Garnet`] speaks to the service graph only through the
+//! [`RouterDriver`] surface: every external input becomes a
+//! [`ServiceEvent`] handed to the driver, and the facade pumps the
+//! driver to quiescence, applying the outputs that escape the service
+//! graph (consumer callbacks, control plans, denials, expiries).
+//! [`GarnetConfig::driver`] picks the engine — the FIFO
+//! [`crate::router::Router`] (the simulation reference) or the hosted
+//! [`crate::router::ThreadedRouter`] (worker pools per stage) — and
+//! every public entry point behaves identically on both:
 //!
 //! ```text
 //!   on_frame ─→ ShardedIngest ─→ Dispatching ─→ consumers ─→ actions
@@ -50,14 +54,16 @@ use garnet_wire::{
 use crate::actuation::{ActuationConfig, ActuationService};
 use crate::consumer::{Consumer, ConsumerAction, ConsumerCtx};
 use crate::coordinator::{CoordinationMode, PolicyAction, SuperCoordinator};
+use crate::driver::{
+    DispatchStats, DriverKind, FifoDriver, FilterStats, RouterDriver, ThreadedDriver,
+};
 use crate::filtering::{Delivery, FilterConfig};
 use crate::location::{LocationConfig, LocationEstimate, LocationService};
 use crate::orphanage::{Orphanage, OrphanageConfig};
 use crate::replicator::{MessageReplicator, ReplicationPlan};
 use crate::resource::{DenyReason, MediationPolicy, ResourceManager, SensorProfile};
 use crate::router::{
-    ControlGraph, FrameAdmission, OverloadConfig, OverloadTotals, Router, Services,
-    ShardedDispatch, ShardedIngest,
+    ControlGraph, OverloadConfig, OverloadTotals, Services, ShardedDispatch, ShardedIngest,
 };
 use crate::service::{ActuationOrigin, ServiceEvent, ServiceOutput};
 use crate::stream::ShardedStreamRegistry;
@@ -83,6 +89,11 @@ pub struct QuiesceConfig {
 /// Facade configuration.
 #[derive(Clone, Debug)]
 pub struct GarnetConfig {
+    /// Which execution engine hosts the service graph. Both engines
+    /// produce identical deliveries, metrics and (modulo shard ids)
+    /// traces; [`DriverKind::Threaded`] runs filtering and dispatch on
+    /// worker pools for wall-clock parallelism.
+    pub driver: DriverKind,
     /// Filtering Service tuning.
     pub filter: FilterConfig,
     /// Number of ingest shards the filtering hot path is partitioned
@@ -128,6 +139,7 @@ pub struct GarnetConfig {
 impl Default for GarnetConfig {
     fn default() -> Self {
         GarnetConfig {
+            driver: DriverKind::default(),
             filter: FilterConfig::default(),
             ingest_shards: 1,
             dispatch_shards: 1,
@@ -205,10 +217,9 @@ pub struct OverloadStats {
     /// (merged by maximum, so it stays a high-water mark).
     pub peak_queue_depth: u64,
     /// Shard restarts performed by the supervision policy during this
-    /// call. Always zero under the simulation driver (nothing panics,
-    /// nothing restarts); threaded drivers surface their
-    /// [`crate::router::ThreadedRouterReport::shard_restarts`] here
-    /// when their reports are folded into a `StepOutput`.
+    /// call. Always zero under the FIFO engine (nothing panics,
+    /// nothing restarts); the threaded engine reports its supervision
+    /// restarts here.
     pub shard_restarts: u64,
 }
 
@@ -307,7 +318,8 @@ impl fmt::Debug for ConsumerEntry {
 #[derive(Debug)]
 pub struct Garnet {
     max_derived_depth: u32,
-    router: Router,
+    driver: Box<dyn RouterDriver>,
+    driver_kind: DriverKind,
     auth: AuthService,
     registry: ServiceRegistry,
     consumers: HashMap<SubscriberId, ConsumerEntry>,
@@ -345,24 +357,37 @@ impl Garnet {
                 owner: system.clone(),
             });
         }
-        let services = Services {
-            ingest: ShardedIngest::new(config.filter, config.ingest_shards),
-            dispatch: ShardedDispatch::new(config.dispatch_shards),
-            control: ControlGraph {
-                orphanage: Orphanage::new(config.orphanage),
-                location: LocationService::new(config.location, &config.receivers),
-                resource: ResourceManager::new(config.mediation),
-                actuation: ActuationService::new(config.actuation),
-                replicator: MessageReplicator::new(config.transmitters),
-                coordinator: SuperCoordinator::new(config.coordination),
-            },
+        let control = ControlGraph {
+            orphanage: Orphanage::new(config.orphanage),
+            location: LocationService::new(config.location, &config.receivers),
+            resource: ResourceManager::new(config.mediation),
+            actuation: ActuationService::new(config.actuation),
+            replicator: MessageReplicator::new(config.transmitters),
+            coordinator: SuperCoordinator::new(config.coordination),
         };
-        let mut router = Router::with_overload(services, config.overload);
-        router
+        let mut driver: Box<dyn RouterDriver> = match config.driver {
+            DriverKind::Fifo => {
+                let services = Services {
+                    ingest: ShardedIngest::new(config.filter, config.ingest_shards),
+                    dispatch: ShardedDispatch::new(config.dispatch_shards),
+                    control,
+                };
+                Box::new(FifoDriver::new(services, config.overload))
+            }
+            DriverKind::Threaded => Box::new(ThreadedDriver::new(
+                config.filter,
+                config.ingest_shards,
+                config.dispatch_shards,
+                control,
+                config.overload,
+            )),
+        };
+        driver
             .configure_trace(garnet_simkit::trace::TraceConfig { capacity: config.trace_capacity });
         Garnet {
             max_derived_depth: config.max_derived_depth,
-            router,
+            driver,
+            driver_kind: config.driver,
             auth: AuthService::new(config.auth_key),
             registry,
             consumers: HashMap::new(),
@@ -423,7 +448,7 @@ impl Garnet {
         let virtual_sensor = SensorId::new(self.next_virtual_sensor)
             .map_err(|_| GarnetError::VirtualSensorSpaceExhausted)?;
         self.next_virtual_sensor -= 1;
-        let id = self.router.services_mut().dispatch.register_subscriber();
+        let id = self.driver.register_subscriber();
         self.registry.advertise(ServiceDescriptor {
             name: format!("consumer/{}", consumer.name()),
             kind: ServiceKind::Consumer,
@@ -448,9 +473,8 @@ impl Garnet {
     /// resource demands, withdraws its advertisement.
     pub fn deregister_consumer(&mut self, id: SubscriberId) -> Result<(), GarnetError> {
         let entry = self.consumers.remove(&id).ok_or(GarnetError::UnknownConsumer(id))?;
-        let services = self.router.services_mut();
-        services.dispatch.unsubscribe_all(id);
-        services.control.resource.release_consumer(id);
+        self.driver.unsubscribe_all(id);
+        self.driver.control_mut().resource.release_consumer(id);
         if let Some(c) = &entry.consumer {
             self.registry.withdraw(&format!("consumer/{}", c.name()));
         }
@@ -494,16 +518,15 @@ impl Garnet {
         if !self.consumers.contains_key(&id) {
             return Err(GarnetError::UnknownConsumer(id));
         }
-        self.router.services_mut().dispatch.subscribe(id, filter);
+        self.driver.subscribe(id, filter);
 
         // Claim matching orphanage backlog. Claims are synchronous
         // request/response, not dataflow, so they stay direct calls.
         let claimable: Vec<StreamId> = match filter {
             TopicFilter::Stream(s) => vec![s],
             TopicFilter::Sensor(sensor) => self
-                .router
-                .services()
-                .control
+                .driver
+                .control()
                 .orphanage
                 .unclaimed_streams()
                 .into_iter()
@@ -516,9 +539,8 @@ impl Garnet {
         let mut backlog: Vec<DataMessage> = Vec::new();
         let mut out = StepOutput::default();
         for s in claimable {
-            let services = self.router.services_mut();
-            backlog.extend(services.control.orphanage.claim(s));
-            services.dispatch.streams.set_claimed(s, true);
+            backlog.extend(self.driver.control_mut().orphanage.claim(s));
+            self.driver.set_claimed(s, true);
             self.restore_if_quiesced(s, now, &mut out);
         }
         let replayed = backlog.len();
@@ -532,11 +554,10 @@ impl Garnet {
 
     /// Removes one subscription.
     pub fn unsubscribe(&mut self, id: SubscriberId, filter: TopicFilter) {
-        let services = self.router.services_mut();
-        services.dispatch.unsubscribe(id, filter);
+        self.driver.unsubscribe(id, filter);
         if let TopicFilter::Stream(s) = filter {
-            if !services.dispatch.would_deliver(s) {
-                services.dispatch.streams.set_claimed(s, false);
+            if !self.driver.would_deliver(s) {
+                self.driver.set_claimed(s, false);
             }
         }
     }
@@ -571,47 +592,38 @@ impl Garnet {
         now: SimTime,
     ) -> StepOutput {
         let mut out = StepOutput::default();
-        let base = self.router.overload_totals();
+        let base = self.driver.overload_totals();
+        let base_restarts = self.driver.shard_restart_count();
         for (receiver, rssi_dbm, frame) in frames {
-            let mut pending = frame;
-            // A blocked admission drains one event to make room, then
-            // retries. The queue is non-empty whenever admission blocks
-            // (capacity ≥ 1 and we are at capacity), so the inner step
-            // always makes progress.
-            while let FrameAdmission::Blocked(frame) =
-                self.router.admit_frame(receiver, rssi_dbm, pending, now)
-            {
-                pending = frame;
-                let Some(outputs) = self.router.step(now) else {
-                    break; // defensive: cannot happen
-                };
-                for o in outputs {
-                    self.apply(o, now, &mut out);
-                }
+            // A blocked admission inside the driver drains events to
+            // make room; whatever escaped the queue in the process
+            // comes back here and is applied in order.
+            for o in self.driver.admit_frame(receiver, rssi_dbm, frame, now) {
+                self.apply(o, now, &mut out);
             }
         }
         self.pump(now, &mut out);
-        self.note_overload_delta(base, &mut out);
+        self.note_overload_delta(base, base_restarts, &mut out);
         out
     }
 
     /// Folds the admission-counter movement since `base` into `out`.
-    fn note_overload_delta(&self, base: OverloadTotals, out: &mut StepOutput) {
-        let t = self.router.overload_totals();
+    fn note_overload_delta(&self, base: OverloadTotals, base_restarts: u64, out: &mut StepOutput) {
+        let t = self.driver.overload_totals();
         out.overload.absorb(OverloadStats {
             offered: t.offered - base.offered,
             shed: t.shed - base.shed,
             coalesced: t.coalesced - base.coalesced,
             delivered: t.delivered - base.delivered,
-            peak_queue_depth: self.router.peak_queue_depth(),
-            shard_restarts: 0,
+            peak_queue_depth: self.driver.peak_queue_depth(),
+            shard_restarts: self.driver.shard_restart_count() - base_restarts,
         });
     }
 
     /// Ingests a standalone acknowledgement (from sensors whose data
     /// streams are disabled).
     pub fn on_standalone_ack(&mut self, request_id: RequestId, status: AckStatus, now: SimTime) {
-        self.router.enqueue(ServiceEvent::AckReceived { request_id, status });
+        self.driver.push_event(ServiceEvent::AckReceived { request_id, status }, now);
         let mut scratch = StepOutput::default();
         self.pump(now, &mut scratch);
     }
@@ -620,9 +632,9 @@ impl Garnet {
     /// retries. Call at [`Garnet::next_deadline`].
     pub fn on_tick(&mut self, now: SimTime) -> StepOutput {
         let mut out = StepOutput::default();
-        self.router.enqueue(ServiceEvent::FlushReorder);
+        self.driver.push_event(ServiceEvent::FlushReorder, now);
         self.pump(now, &mut out);
-        self.router.enqueue(ServiceEvent::ActuationTick);
+        self.driver.push_event(ServiceEvent::ActuationTick, now);
         self.pump(now, &mut out);
         self.sweep_quiesce(now, &mut out);
         out
@@ -634,10 +646,8 @@ impl Garnet {
     fn sweep_quiesce(&mut self, now: SimTime, out: &mut StepOutput) {
         let Some(cfg) = self.quiesce else { return };
         let due: Vec<StreamId> = self
-            .router
-            .services()
-            .dispatch
-            .streams
+            .driver
+            .streams()
             .discover_unclaimed()
             .into_iter()
             .filter(|i| {
@@ -648,16 +658,19 @@ impl Garnet {
             .map(|i| i.stream)
             .collect();
         for stream in due {
-            self.router.enqueue(ServiceEvent::ActuationRequested {
-                origin: ActuationOrigin::Quiesce,
-                requester: SYSTEM_SUBSCRIBER,
-                priority: 0, // lowest: any real consumer demand overrides
-                target: ActuationTarget::Stream(stream),
-                command: SensorCommand::SetReportInterval {
-                    stream: stream.index(),
-                    interval_ms: cfg.slow_interval_ms,
+            self.driver.push_event(
+                ServiceEvent::ActuationRequested {
+                    origin: ActuationOrigin::Quiesce,
+                    requester: SYSTEM_SUBSCRIBER,
+                    priority: 0, // lowest: any real consumer demand overrides
+                    target: ActuationTarget::Stream(stream),
+                    command: SensorCommand::SetReportInterval {
+                        stream: stream.index(),
+                        interval_ms: cfg.slow_interval_ms,
+                    },
                 },
-            });
+                now,
+            );
         }
         self.pump(now, out);
     }
@@ -671,34 +684,35 @@ impl Garnet {
         }
         // Withdraw the system's slow-rate demand so consumer demands
         // mediate freshly, then restore the working rate.
-        self.router.services_mut().control.resource.release_consumer(SYSTEM_SUBSCRIBER);
-        self.router.enqueue(ServiceEvent::ActuationRequested {
-            origin: ActuationOrigin::Restore,
-            requester: SYSTEM_SUBSCRIBER,
-            priority: 0,
-            target: ActuationTarget::Stream(stream),
-            command: SensorCommand::SetReportInterval {
-                stream: stream.index(),
-                interval_ms: cfg.restore_interval_ms,
+        self.driver.control_mut().resource.release_consumer(SYSTEM_SUBSCRIBER);
+        self.driver.push_event(
+            ServiceEvent::ActuationRequested {
+                origin: ActuationOrigin::Restore,
+                requester: SYSTEM_SUBSCRIBER,
+                priority: 0,
+                target: ActuationTarget::Stream(stream),
+                command: SensorCommand::SetReportInterval {
+                    stream: stream.index(),
+                    interval_ms: cfg.restore_interval_ms,
+                },
             },
-        });
+            now,
+        );
         self.pump(now, out);
     }
 
     /// The earliest instant at which [`Garnet::on_tick`] has work.
     pub fn next_deadline(&self) -> Option<SimTime> {
         let quiesce_due = self.quiesce.and_then(|cfg| {
-            self.router
-                .services()
-                .dispatch
-                .streams
+            self.driver
+                .streams()
                 .discover_unclaimed()
                 .into_iter()
                 .filter(|i| !i.derived && !self.quiesced.contains(&i.stream.to_raw()))
                 .map(|i| i.first_seen.saturating_add(cfg.idle_after))
                 .min()
         });
-        [self.router.next_deadline(), quiesce_due].into_iter().flatten().min()
+        [self.driver.next_deadline(), quiesce_due].into_iter().flatten().min()
     }
 
     /// A consumer (out-of-band, not during `on_data`) requests an
@@ -713,13 +727,16 @@ impl Garnet {
     ) -> Result<ActuationOutcome, GarnetError> {
         self.authorize(token, Capability::Actuate, now)?;
         let priority = self.consumers.get(&id).ok_or(GarnetError::UnknownConsumer(id))?.priority;
-        self.router.enqueue(ServiceEvent::ActuationRequested {
-            origin: ActuationOrigin::Api,
-            requester: id,
-            priority,
-            target,
-            command,
-        });
+        self.driver.push_event(
+            ServiceEvent::ActuationRequested {
+                origin: ActuationOrigin::Api,
+                requester: id,
+                priority,
+                target,
+                command,
+            },
+            now,
+        );
         let mut scratch = StepOutput::default();
         self.pump(now, &mut scratch);
         // Every current service routes an Api chain to a terminal
@@ -739,7 +756,7 @@ impl Garnet {
         now: SimTime,
     ) -> Result<(), GarnetError> {
         self.authorize(token, Capability::ProvideHints, now)?;
-        self.router.enqueue(ServiceEvent::Hint { sensor, position, confidence });
+        self.driver.push_event(ServiceEvent::Hint { sensor, position, confidence }, now);
         let mut scratch = StepOutput::default();
         self.pump(now, &mut scratch);
         Ok(())
@@ -754,7 +771,7 @@ impl Garnet {
         now: SimTime,
     ) -> Result<Option<LocationEstimate>, GarnetError> {
         self.authorize(token, Capability::ReadLocation, now)?;
-        Ok(self.router.services().control.location.estimate(sensor, now))
+        Ok(self.driver.control().location.estimate(sensor, now))
     }
 
     /// A consumer reports a state change out-of-band. Coordinator policy
@@ -772,29 +789,36 @@ impl Garnet {
             return Err(GarnetError::UnknownConsumer(id));
         }
         let mut out = StepOutput::default();
-        self.router.enqueue(ServiceEvent::StateReported { reporter: id, state });
+        self.driver.push_event(ServiceEvent::StateReported { reporter: id, state }, now);
         self.pump(now, &mut out);
         Ok(out)
     }
 
     /// Registers a policy action with the Super Coordinator.
     pub fn register_coordinator_policy(&mut self, state: u32, action: PolicyAction) {
-        self.router.services_mut().control.coordinator.register_policy(state, action);
+        self.driver.control_mut().coordinator.register_policy(state, action);
     }
 
     /// Registers a sensor's constraint profile with the Resource
     /// Manager.
     pub fn register_sensor_profile(&mut self, sensor: SensorId, profile: SensorProfile) {
-        self.router.services_mut().control.resource.register_profile(sensor, profile);
+        self.driver.control_mut().resource.register_profile(sensor, profile);
     }
 
-    /// Drains the router queue, applying every escaped output.
+    /// Drains the driver to quiescence, applying every escaped output.
     fn pump(&mut self, now: SimTime, out: &mut StepOutput) {
-        while let Some(outputs) = self.router.step(now) {
+        loop {
+            let outputs = self.driver.pump(now);
+            if outputs.is_empty() {
+                break;
+            }
             for o in outputs {
                 self.apply(o, now, out);
             }
         }
+        let mut failures = self.driver.take_shard_failures();
+        failures.sort_by_key(|f| (f.shard, f.seq));
+        out.shard_failures.extend(failures);
     }
 
     /// Applies one service output: runs the consumer callback for a
@@ -802,7 +826,7 @@ impl Garnet {
     /// to its [`ActuationOrigin`].
     fn apply(&mut self, output: ServiceOutput, now: SimTime, out: &mut StepOutput) {
         match output {
-            ServiceOutput::Emit(ev) => self.router.enqueue(ev),
+            ServiceOutput::Emit(ev) => self.driver.push_event(ev, now),
             ServiceOutput::Deliver { recipient, delivery, depth } => {
                 self.deliver_to(recipient, &delivery, depth, now);
             }
@@ -888,10 +912,17 @@ impl Garnet {
                     *seq_slot = seq_slot.next();
                     let stream = StreamId::new(entry.virtual_sensor, index);
                     match DataMessage::builder(stream).seq(seq).payload(payload).build() {
-                        Ok(msg) => self.router.enqueue(ServiceEvent::Filtered {
-                            delivery: Delivery { msg, first_received_at: now, delivered_at: now },
-                            depth: depth + 1,
-                        }),
+                        Ok(msg) => self.driver.push_event(
+                            ServiceEvent::Filtered {
+                                delivery: Delivery {
+                                    msg,
+                                    first_received_at: now,
+                                    delivered_at: now,
+                                },
+                                depth: depth + 1,
+                            },
+                            now,
+                        ),
                         Err(_) => self.denied_actions += 1, // oversize payload
                     }
                 }
@@ -900,75 +931,80 @@ impl Garnet {
                         self.denied_actions += 1;
                         continue;
                     }
-                    self.router.enqueue(ServiceEvent::ActuationRequested {
-                        origin: ActuationOrigin::Consumer,
-                        requester: rid,
-                        priority,
-                        target,
-                        command,
-                    });
+                    self.driver.push_event(
+                        ServiceEvent::ActuationRequested {
+                            origin: ActuationOrigin::Consumer,
+                            requester: rid,
+                            priority,
+                            target,
+                            command,
+                        },
+                        now,
+                    );
                 }
                 ConsumerAction::ReportState(state) => {
                     if !caps.allows(Capability::Coordinate) {
                         self.denied_actions += 1;
                         continue;
                     }
-                    self.router.enqueue(ServiceEvent::StateReported { reporter: rid, state });
+                    self.driver
+                        .push_event(ServiceEvent::StateReported { reporter: rid, state }, now);
                 }
                 ConsumerAction::LocationHint { sensor, position, confidence } => {
                     if !caps.allows(Capability::ProvideHints) {
                         self.denied_actions += 1;
                         continue;
                     }
-                    self.router.enqueue(ServiceEvent::Hint { sensor, position, confidence });
+                    self.driver
+                        .push_event(ServiceEvent::Hint { sensor, position, confidence }, now);
                 }
             }
         }
     }
 
-    /// The event router (topology introspection; the facade drives it).
-    pub fn router(&self) -> &Router {
-        &self.router
+    /// The active execution driver (topology introspection).
+    pub fn driver_kind(&self) -> DriverKind {
+        self.driver_kind
     }
 
-    /// The ingest stage — sharded filtering (statistics).
-    pub fn filtering(&self) -> &ShardedIngest {
-        &self.router.services().ingest
+    /// Ingest-stage (filtering) statistics, aggregated across shards.
+    pub fn filtering(&self) -> FilterStats {
+        self.driver.filter_stats()
     }
 
-    /// The dispatch stage — sharded subscription matching (statistics).
-    pub fn dispatching(&self) -> &ShardedDispatch {
-        &self.router.services().dispatch
+    /// Dispatch-stage statistics, aggregated across shards.
+    pub fn dispatching(&self) -> DispatchStats {
+        self.driver.dispatch_stats()
     }
 
     /// The Orphanage.
     pub fn orphanage(&self) -> &Orphanage {
-        &self.router.services().control.orphanage
+        &self.driver.control().orphanage
     }
 
     /// The Location Service.
     pub fn location(&self) -> &LocationService {
-        &self.router.services().control.location
+        &self.driver.control().location
     }
 
     /// The Resource Manager.
     pub fn resource(&self) -> &ResourceManager {
-        &self.router.services().control.resource
+        &self.driver.control().resource
     }
 
     /// The Actuation Service.
     pub fn actuation(&self) -> &ActuationService {
-        &self.router.services().control.actuation
+        &self.driver.control().actuation
     }
 
     /// The Message Replicator.
     pub fn replicator(&self) -> &MessageReplicator {
-        &self.router.services().control.replicator
+        &self.driver.control().replicator
     }
 
     /// The Super Coordinator.
     pub fn coordinator(&self) -> &SuperCoordinator {
-        &self.router.services().control.coordinator
+        &self.driver.control().coordinator
     }
 
     /// The service registry.
@@ -978,7 +1014,7 @@ impl Garnet {
 
     /// The stream catalogue (sharded alongside the dispatch stage).
     pub fn streams(&self) -> &ShardedStreamRegistry {
-        &self.router.services().dispatch.streams
+        self.driver.streams()
     }
 
     /// Streams slowed by demand-driven quiescence.
@@ -1005,7 +1041,7 @@ impl Garnet {
     /// records no samples, so this is 0 unless an
     /// [`crate::router::OverloadConfig`] is set.
     pub fn queue_depth_p99(&self) -> u64 {
-        self.router.depth_histogram().p99()
+        self.driver.queue_depth_p99()
     }
 
     /// Builds a metrics snapshot of every service — the operator's
@@ -1019,71 +1055,68 @@ impl Garnet {
     /// [`garnet_simkit::metrics::stage_key`]: a lowercase stage
     /// (service or subsystem) and a snake_case metric within it.
     pub fn metrics(&self) -> garnet_simkit::MetricsRegistry {
-        let s = self.router.services();
+        let fs = self.driver.filter_stats();
+        let ds = self.driver.dispatch_stats();
+        let c = self.driver.control();
         let mut m = garnet_simkit::MetricsRegistry::new();
         let filtering: &[(&str, u64)] = &[
-            ("delivered", s.ingest.delivered_count()),
-            ("duplicates", s.ingest.duplicate_count()),
-            ("crc_failures", s.ingest.crc_failure_count()),
-            ("reordered", s.ingest.reordered_count()),
-            ("gaps_accepted", s.ingest.gap_count()),
-            ("restarts", s.ingest.restart_count()),
-            ("streams", s.ingest.stream_count() as u64),
+            ("delivered", fs.delivered_count()),
+            ("duplicates", fs.duplicate_count()),
+            ("crc_failures", fs.crc_failure_count()),
+            ("reordered", fs.reordered_count()),
+            ("gaps_accepted", fs.gap_count()),
+            ("restarts", fs.restart_count()),
+            ("streams", fs.stream_count() as u64),
         ];
         let dispatching: &[(&str, u64)] = &[
-            ("messages", s.dispatch.dispatched_count()),
-            ("deliveries", s.dispatch.delivery_count()),
-            ("unclaimed", s.dispatch.unclaimed_count()),
-            ("subscribers", s.dispatch.subscriber_count() as u64),
+            ("messages", ds.dispatched_count()),
+            ("deliveries", ds.delivery_count()),
+            ("unclaimed", ds.unclaimed_count()),
+            ("subscribers", ds.subscriber_count() as u64),
         ];
         let orphanage: &[(&str, u64)] = &[
-            ("taken", s.control.orphanage.total_taken()),
-            ("evicted", s.control.orphanage.total_evicted()),
-            ("streams", s.control.orphanage.stream_count() as u64),
+            ("taken", c.orphanage.total_taken()),
+            ("evicted", c.orphanage.total_evicted()),
+            ("streams", c.orphanage.stream_count() as u64),
         ];
         let location: &[(&str, u64)] = &[
-            ("observations", s.control.location.observation_count()),
-            ("hints", s.control.location.hint_count()),
-            ("tracked_sensors", s.control.location.tracked_sensors() as u64),
+            ("observations", c.location.observation_count()),
+            ("hints", c.location.hint_count()),
+            ("tracked_sensors", c.location.tracked_sensors() as u64),
         ];
-        let resource: &[(&str, u64)] = &[
-            ("approved", s.control.resource.approved_count()),
-            ("denied", s.control.resource.denied_count()),
-        ];
+        let resource: &[(&str, u64)] =
+            &[("approved", c.resource.approved_count()), ("denied", c.resource.denied_count())];
         let actuation: &[(&str, u64)] = &[
-            ("submitted", s.control.actuation.submitted_count()),
-            ("acknowledged", s.control.actuation.acknowledged_count()),
-            ("timed_out", s.control.actuation.timeout_count()),
-            ("retransmissions", s.control.actuation.retransmission_count()),
-            ("in_flight", s.control.actuation.in_flight() as u64),
+            ("submitted", c.actuation.submitted_count()),
+            ("acknowledged", c.actuation.acknowledged_count()),
+            ("timed_out", c.actuation.timeout_count()),
+            ("retransmissions", c.actuation.retransmission_count()),
+            ("in_flight", c.actuation.in_flight() as u64),
         ];
         let replicator: &[(&str, u64)] = &[
-            ("targeted", s.control.replicator.targeted_count()),
-            ("flooded", s.control.replicator.flooded_count()),
-            ("broadcasts", s.control.replicator.broadcast_count()),
+            ("targeted", c.replicator.targeted_count()),
+            ("flooded", c.replicator.flooded_count()),
+            ("broadcasts", c.replicator.broadcast_count()),
         ];
         let coordinator: &[(&str, u64)] = &[
-            ("reports", s.control.coordinator.report_count()),
-            ("reactive_actions", s.control.coordinator.reactive_action_count()),
-            ("anticipatory_actions", s.control.coordinator.anticipatory_action_count()),
+            ("reports", c.coordinator.report_count()),
+            ("reactive_actions", c.coordinator.reactive_action_count()),
+            ("anticipatory_actions", c.coordinator.anticipatory_action_count()),
         ];
         let consumers: &[(&str, u64)] = &[
             ("registered", self.consumers.len() as u64),
             ("denied_actions", self.denied_actions),
             ("depth_drops", self.depth_drops),
         ];
-        let streams: &[(&str, u64)] = &[("catalogued", s.dispatch.streams.len() as u64)];
-        let t = self.router.overload_totals();
+        let streams: &[(&str, u64)] = &[("catalogued", self.driver.streams().len() as u64)];
+        let t = self.driver.overload_totals();
         let overload: &[(&str, u64)] = &[
             ("offered", t.offered),
             ("shed", t.shed),
             ("coalesced", t.coalesced),
             ("delivered", t.delivered),
-            ("peak_queue_depth", self.router.peak_queue_depth()),
-            // The simulation driver never panics a shard, so restarts
-            // stay 0 here; threaded drivers report supervision restarts
-            // through their run reports.
-            ("shard_restarts", 0),
+            ("peak_queue_depth", self.driver.peak_queue_depth()),
+            ("shard_restarts", self.driver.shard_restart_count()),
         ];
         for (stage, metrics) in [
             ("filtering", filtering),
@@ -1102,8 +1135,7 @@ impl Garnet {
                 m.counter(&stage_key(stage, metric)).add(*value);
             }
         }
-        m.histogram(&stage_key("actuation", "ack_latency_us"))
-            .merge(s.control.actuation.ack_latency());
+        m.histogram(&stage_key("actuation", "ack_latency_us")).merge(c.actuation.ack_latency());
         m
     }
 
@@ -1112,7 +1144,7 @@ impl Garnet {
     /// statistics. Empty unless the `trace` cargo feature is compiled
     /// in. See `DESIGN.md`'s Observability section for the schema.
     pub fn trace_snapshot(&self) -> TraceSnapshot {
-        self.router.trace_snapshot()
+        self.driver.trace_snapshot()
     }
 
     /// The flight recorder's contents as JSONL (one record per line, in
@@ -1120,7 +1152,35 @@ impl Garnet {
     /// shard ids, across shard layouts. Empty unless the `trace` cargo
     /// feature is compiled in.
     pub fn trace_jsonl(&self) -> String {
-        self.router.trace_snapshot().to_jsonl()
+        self.driver.trace_snapshot().to_jsonl()
+    }
+
+    /// Streams the flight recorder's buffered records into `w` as JSONL
+    /// and clears the ring — the incremental alternative to
+    /// [`Garnet::trace_jsonl`] for long-running deployments. Returns the
+    /// number of records written. Always `Ok(0)` unless the `trace`
+    /// cargo feature is compiled in.
+    pub fn trace_drain_to(&mut self, w: &mut impl std::io::Write) -> std::io::Result<usize> {
+        self.driver.trace_drain_to(w)
+    }
+
+    /// Shuts the execution engine down: pumps to quiescence, asks the
+    /// driver to retire its workers (joining any pools), and applies
+    /// whatever the shutdown released. After this call the facade still
+    /// answers reads (statistics, traces, control-plane accessors), but
+    /// new ingest is a no-op under the threaded driver.
+    ///
+    /// Dropping a [`Garnet`] without calling this is safe — the driver's
+    /// `Drop` joins its pools — but discards in-flight outputs.
+    pub fn shutdown(&mut self, now: SimTime) -> StepOutput {
+        let mut out = StepOutput::default();
+        self.pump(now, &mut out);
+        let released = self.driver.shutdown(now);
+        for o in released {
+            self.apply(o, now, &mut out);
+        }
+        self.pump(now, &mut out);
+        out
     }
 
     /// Runs a closure against a registered consumer (to read

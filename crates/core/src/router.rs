@@ -20,6 +20,7 @@
 //! via [`garnet_net::ShardPool`] for live deployments.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, RwLock};
 
 use garnet_net::{
     RefusedJob, RootFailure, ShardFailure, ShardPool, StageEdge, SubscriptionTable,
@@ -33,6 +34,7 @@ use garnet_wire::{peek_seq, peek_stream, ActuationTarget};
 use crate::actuation::{ActuationConfig, ActuationService};
 use crate::coordinator::{CoordinationMode, SuperCoordinator};
 use crate::dispatching::{DispatchOutcome, DispatchingService};
+use crate::driver::{DispatchStats, FilterStats};
 use crate::filtering::{Delivery, FilterConfig, FilterResult, FilteringService};
 use crate::location::{LocationConfig, LocationService};
 use crate::orphanage::{Orphanage, OrphanageConfig};
@@ -265,14 +267,15 @@ impl GarnetService for DispatchStage {
 /// streams route on one dispatch shard and the per-shard
 /// [`StreamRegistry`] partitions never overlap.
 ///
-/// Subscription state is *broadcast*: every shard holds the full
-/// subscription table (tables are small and change rarely; routing is
-/// the hot path), so any shard can match any of its streams without
-/// cross-shard reads. Message-path calls (`route`, registry updates) go
-/// to the owning shard only; counters sum across shards and the
-/// catalogue merges in ascending stream-id order — with the sim driver
-/// pumping events in FIFO order, every observable is bit-identical for
-/// any shard count.
+/// Subscription state is *partitioned* with the streams: a
+/// `Stream`/`Sensor` filter lives only on the shard that owns every
+/// stream it can match, so per-shard table size no longer scales as
+/// `shards × subscribers`. Only [`garnet_net::TopicFilter::All`] — which
+/// matches streams on every shard — is replicated, one copy per shard.
+/// Message-path calls (`route`, registry updates) go to the owning
+/// shard only; counters sum across shards and the catalogue merges in
+/// ascending stream-id order — with the sim driver pumping events in
+/// FIFO order, every observable is bit-identical for any shard count.
 #[derive(Debug)]
 pub struct ShardedDispatch {
     dispatchers: Vec<DispatchingService>,
@@ -311,35 +314,62 @@ impl ShardedDispatch {
         id
     }
 
-    /// Adds a subscription on every shard. Returns true if new.
+    /// The shard that owns every stream `filter` can match (`None` for
+    /// [`garnet_net::TopicFilter::All`], which has no single owner).
+    fn shard_of_filter(&self, filter: garnet_net::TopicFilter) -> Option<usize> {
+        match filter {
+            garnet_net::TopicFilter::Stream(stream) => Some(self.shard_of(stream)),
+            garnet_net::TopicFilter::Sensor(sensor) => {
+                Some(shard_of_sensor(sensor.as_u32(), self.dispatchers.len()))
+            }
+            garnet_net::TopicFilter::All => None,
+        }
+    }
+
+    /// Adds a subscription on the shard that owns the filter's streams
+    /// (`All` is replicated to every shard). Returns true if new.
     pub fn subscribe(
         &mut self,
         subscriber: garnet_net::SubscriberId,
         filter: garnet_net::TopicFilter,
     ) -> bool {
-        self.dispatchers
-            .iter_mut()
-            .map(|d| d.subscribe(subscriber, filter))
-            .fold(false, |a, b| a | b)
+        match self.shard_of_filter(filter) {
+            Some(shard) => self.dispatchers[shard].subscribe(subscriber, filter),
+            None => self
+                .dispatchers
+                .iter_mut()
+                .map(|d| d.subscribe(subscriber, filter))
+                .fold(false, |a, b| a | b),
+        }
     }
 
-    /// Removes one subscription from every shard.
+    /// Removes one subscription from its owning shard (every shard for
+    /// `All`).
     pub fn unsubscribe(
         &mut self,
         subscriber: garnet_net::SubscriberId,
         filter: garnet_net::TopicFilter,
     ) -> bool {
-        self.dispatchers
-            .iter_mut()
-            .map(|d| d.unsubscribe(subscriber, filter))
-            .fold(false, |a, b| a | b)
+        match self.shard_of_filter(filter) {
+            Some(shard) => self.dispatchers[shard].unsubscribe(subscriber, filter),
+            None => self
+                .dispatchers
+                .iter_mut()
+                .map(|d| d.unsubscribe(subscriber, filter))
+                .fold(false, |a, b| a | b),
+        }
     }
 
     /// Removes every subscription of a departing consumer, on every
-    /// shard. Returns the per-shard count (tables are replicas, so any
-    /// shard's count is the consumer's subscription count).
+    /// shard. Returns the consumer's distinct filter count (an `All`
+    /// filter counts once however many shards replicate it).
     pub fn unsubscribe_all(&mut self, subscriber: garnet_net::SubscriberId) -> usize {
-        self.dispatchers.iter_mut().map(|d| d.unsubscribe_all(subscriber)).max().unwrap_or(0)
+        let distinct: std::collections::BTreeSet<garnet_net::TopicFilter> =
+            self.dispatchers.iter().flat_map(|d| d.filters_of(subscriber)).collect();
+        for d in &mut self.dispatchers {
+            d.unsubscribe_all(subscriber);
+        }
+        distinct.len()
     }
 
     /// Routes one message on its owning shard.
@@ -377,10 +407,19 @@ impl ShardedDispatch {
         h
     }
 
-    /// Distinct subscribers with live subscriptions (tables are
-    /// replicas, so shard 0 speaks for all).
+    /// Distinct subscribers with live subscriptions across all shards.
     pub fn subscriber_count(&self) -> usize {
-        self.dispatchers[0].subscriber_count()
+        let ids: std::collections::BTreeSet<garnet_net::SubscriberId> =
+            self.dispatchers.iter().flat_map(|d| d.subscriber_ids()).collect();
+        ids.len()
+    }
+
+    /// Per-shard subscription-table sizes — the partitioning regression
+    /// metric: `Stream`/`Sensor` filters live on exactly one shard, so
+    /// (absent `All` filters) the sum equals an unsharded table holding
+    /// the same subscriptions.
+    pub fn shard_subscription_counts(&self) -> Vec<usize> {
+        self.dispatchers.iter().map(DispatchingService::subscription_count).collect()
     }
 }
 
@@ -670,6 +709,12 @@ impl Router {
     /// per-stage statistics. Empty without the `trace` feature.
     pub fn trace_snapshot(&self) -> TraceSnapshot {
         self.tracer.snapshot()
+    }
+
+    /// Streams the flight recorder's window to `w` as JSONL and clears
+    /// it (see [`Tracer::drain_to`]).
+    pub fn trace_drain_to(&mut self, mut w: &mut dyn std::io::Write) -> std::io::Result<usize> {
+        self.tracer.drain_to(&mut w)
     }
 
     /// Shared view of the services.
@@ -1303,8 +1348,21 @@ enum FilterJob {
     Flush(SimTime),
 }
 
-/// What a filtering shard produced for one job.
-enum FilterOut {
+/// What a filtering shard produced for one job, plus the shard's
+/// counter snapshot (riding on the result keeps the router's metrics
+/// view current without reaching into worker-owned state).
+struct FilterOut {
+    kind: FilterOutKind,
+    /// The producing shard.
+    shard: usize,
+    /// The shard's counters after this job.
+    stats: FilterStats,
+    /// The shard's earliest reorder deadline after this job.
+    next_deadline: Option<SimTime>,
+}
+
+/// The payload of a [`FilterOut`].
+enum FilterOutKind {
     /// The frame's service outputs (Observed / AckReceived / Filtered
     /// emissions, in the order a single-threaded ingest would emit
     /// them).
@@ -1317,7 +1375,50 @@ enum FilterOut {
 struct DispatchJob {
     delivery: Delivery,
     depth: u32,
-    now: SimTime,
+}
+
+/// The bookkeeping one routed delivery owes the router. Dispatch
+/// workers are pure matchers over the shared subscription table; every
+/// state mutation (stream catalogue, counters, claimed flags) rides
+/// back in the note and is applied at the B drain — global submission
+/// order, the exact order the FIFO router handles `Filtered` events.
+struct RouteNote {
+    stream: garnet_wire::StreamId,
+    payload_len: usize,
+    delivered_at: SimTime,
+    depth: u32,
+    /// Subscribers matched (0 = the delivery went to the Orphanage).
+    matched: usize,
+}
+
+/// Routes one delivery against the subscription table — the B worker
+/// body.
+fn route_delivery(
+    table: &SubscriptionTable,
+    delivery: Delivery,
+    depth: u32,
+) -> (Vec<ServiceOutput>, RouteNote) {
+    let recipients = table.match_subscribers(delivery.msg.stream());
+    let note = RouteNote {
+        stream: delivery.msg.stream(),
+        payload_len: delivery.msg.payload().len(),
+        delivered_at: delivery.delivered_at,
+        depth,
+        matched: recipients.len(),
+    };
+    let outputs = if recipients.is_empty() {
+        vec![ServiceOutput::Emit(ServiceEvent::Orphaned(delivery))]
+    } else {
+        recipients
+            .into_iter()
+            .map(|recipient| ServiceOutput::Deliver {
+                recipient,
+                delivery: delivery.clone(),
+                depth,
+            })
+            .collect()
+    };
+    (outputs, note)
 }
 
 /// A job for the control worker (the C edge): one boundary event's
@@ -1433,6 +1534,38 @@ pub struct ThreadedRouterReport {
     pub trace: TraceSnapshot,
 }
 
+/// Everything [`ThreadedRouter::into_parts`] leaves behind once the
+/// worker pools are joined: the run report plus the state a hosting
+/// facade keeps serving reads from after shutdown.
+#[derive(Debug)]
+pub struct ThreadedRouterParts {
+    /// Terminal accounting (unreleased outputs, failures, ledger,
+    /// trace).
+    pub report: ThreadedRouterReport,
+    /// The stream catalogue at shutdown.
+    pub streams: ShardedStreamRegistry,
+    /// The control graph, when it ran inline ([`ThreadedRouter::hosted`]).
+    pub control: Option<ControlGraph>,
+    /// Final ingest counters.
+    pub filter_stats: FilterStats,
+    /// Final dispatch counters.
+    pub dispatch_stats: DispatchStats,
+}
+
+/// How a [`ThreadedRouter`] runs its control plane.
+// One instance per router, so the Worker/Inline size gap costs nothing.
+#[allow(clippy::large_enum_variant)]
+enum ControlStage {
+    /// A dedicated worker pumping each root's cascade — the
+    /// [`ThreadedRouter::new`] shape: everything off-thread.
+    Worker(StageEdge<ControlJob, (Vec<ServiceOutput>, Vec<TraceRecord>)>),
+    /// The graph pumped inline at the submission point — the
+    /// facade-hosted shape, so the facade's synchronous control calls
+    /// (orphanage claims, location reads, profile registration) can
+    /// borrow the graph between pumps.
+    Inline(Box<ControlGraph>),
+}
+
 /// The full service graph on OS threads: one worker (or shard pool) per
 /// stage, FIFO per edge, deterministic output.
 ///
@@ -1472,11 +1605,26 @@ pub struct ThreadedRouterReport {
 /// is rebuilt within the restart budget.
 pub struct ThreadedRouter {
     a: StageEdge<FilterJob, FilterOut>,
-    b: StageEdge<DispatchJob, Vec<ServiceOutput>>,
-    c: StageEdge<ControlJob, (Vec<ServiceOutput>, Vec<TraceRecord>)>,
+    b: StageEdge<DispatchJob, (Vec<ServiceOutput>, RouteNote)>,
+    c: ControlStage,
     ingest_shards: usize,
     dispatch_shards: usize,
     policy: OverloadPolicy,
+    /// The live subscription table every dispatch worker reads. The
+    /// determinism contract: mutations only happen while the graph is
+    /// quiescent (the hosting facade is single-threaded), so every job
+    /// of a run sees the same table.
+    subscriptions: Arc<RwLock<SubscriptionTable>>,
+    /// The stream catalogue, updated at the B drain in global
+    /// submission order.
+    streams: ShardedStreamRegistry,
+    /// Latest per-ingest-shard (counters, reorder deadline) snapshot,
+    /// refreshed at the A drain.
+    a_stats: Vec<(FilterStats, Option<SimTime>)>,
+    dispatched: u64,
+    deliveries: u64,
+    unclaimed: u64,
+    fanout: Histogram,
     roots: BTreeMap<u64, RootState>,
     next_root: u64,
     /// Next root whose control job may be submitted (C is FIFO in root
@@ -1534,30 +1682,94 @@ impl ThreadedRouter {
         let ingest_shards = ingest_shards.max(1);
         let dispatch_shards = dispatch_shards.max(1);
         let capacity = queue_capacity.max(1);
-        let a = StageEdge::new(ingest_shards, capacity, supervision, move |_shard| {
-            let mut filter = FilteringService::new(config);
-            Box::new(move |job: FilterJob| match job {
-                FilterJob::Frame((receiver, rssi_dbm, frame, at)) => {
-                    let result = filter.on_frame(receiver, rssi_dbm, &frame, at);
-                    FilterOut::Frame(ShardedIngest::frame_outputs(result))
-                }
-                FilterJob::Flush(now) => FilterOut::Flush(filter.on_tick(now)),
-            })
-        });
-        let subs_master = subscriptions.clone();
-        let b = StageEdge::new(dispatch_shards, capacity, supervision, move |_shard| {
-            let mut stage = DispatchStage::with_table(subs_master.clone());
-            Box::new(move |job: DispatchJob| {
-                stage.handle(
-                    ServiceEvent::Filtered { delivery: job.delivery, depth: job.depth },
-                    job.now,
-                )
-            })
-        });
-        let c = StageEdge::new(1, capacity, supervision, move |_shard| {
+        let subscriptions = Arc::new(RwLock::new(subscriptions.clone()));
+        let a = Self::filter_edge(config, ingest_shards, capacity, supervision);
+        let b = Self::dispatch_edge(dispatch_shards, capacity, supervision, &subscriptions);
+        let c = ControlStage::Worker(StageEdge::new(1, capacity, supervision, move |_shard| {
             let mut control = control_factory();
             Box::new(move |job: ControlJob| control.pump_traced(job.events, job.now))
-        });
+        }));
+        Self::assemble(a, b, c, ingest_shards, dispatch_shards, policy, subscriptions)
+    }
+
+    /// Spawns the facade-hosted shape: the control graph pumped inline
+    /// (so the facade's synchronous control calls can reach it), the
+    /// live subscription table shared with the dispatch workers, and
+    /// the frame edge governed by `overload` exactly as it governs the
+    /// FIFO router's queue — `None` means blocking admission that never
+    /// sheds, so the overload ledger stays `offered == delivered`.
+    pub fn hosted(
+        config: FilterConfig,
+        ingest_shards: usize,
+        dispatch_shards: usize,
+        subscriptions: Arc<RwLock<SubscriptionTable>>,
+        control: ControlGraph,
+        overload: Option<OverloadConfig>,
+    ) -> Self {
+        let ingest_shards = ingest_shards.max(1);
+        let dispatch_shards = dispatch_shards.max(1);
+        let (policy, capacity) = match overload {
+            None => (OverloadPolicy::Block, 4),
+            Some(cfg) => (cfg.policy, cfg.capacity.max(1)),
+        };
+        let a = Self::filter_edge(config, ingest_shards, capacity, None);
+        let b = Self::dispatch_edge(dispatch_shards, capacity, None, &subscriptions);
+        let c = ControlStage::Inline(Box::new(control));
+        Self::assemble(a, b, c, ingest_shards, dispatch_shards, policy, subscriptions)
+    }
+
+    fn filter_edge(
+        config: FilterConfig,
+        shards: usize,
+        capacity: usize,
+        supervision: Option<SupervisionConfig>,
+    ) -> StageEdge<FilterJob, FilterOut> {
+        StageEdge::new(shards, capacity, supervision, move |shard| {
+            let mut filter = FilteringService::new(config);
+            Box::new(move |job: FilterJob| {
+                let kind = match job {
+                    FilterJob::Frame((receiver, rssi_dbm, frame, at)) => {
+                        let result = filter.on_frame(receiver, rssi_dbm, &frame, at);
+                        FilterOutKind::Frame(ShardedIngest::frame_outputs(result))
+                    }
+                    FilterJob::Flush(now) => FilterOutKind::Flush(filter.on_tick(now)),
+                };
+                FilterOut {
+                    kind,
+                    shard,
+                    stats: FilterStats::of(&filter),
+                    next_deadline: filter.next_deadline(),
+                }
+            })
+        })
+    }
+
+    fn dispatch_edge(
+        shards: usize,
+        capacity: usize,
+        supervision: Option<SupervisionConfig>,
+        subscriptions: &Arc<RwLock<SubscriptionTable>>,
+    ) -> StageEdge<DispatchJob, (Vec<ServiceOutput>, RouteNote)> {
+        let subs = subscriptions.clone();
+        StageEdge::new(shards, capacity, supervision, move |_shard| {
+            let subs = subs.clone();
+            Box::new(move |job: DispatchJob| {
+                let table = subs.read().unwrap_or_else(|e| e.into_inner());
+                route_delivery(&table, job.delivery, job.depth)
+            })
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        a: StageEdge<FilterJob, FilterOut>,
+        b: StageEdge<DispatchJob, (Vec<ServiceOutput>, RouteNote)>,
+        c: ControlStage,
+        ingest_shards: usize,
+        dispatch_shards: usize,
+        policy: OverloadPolicy,
+        subscriptions: Arc<RwLock<SubscriptionTable>>,
+    ) -> Self {
         ThreadedRouter {
             a,
             b,
@@ -1565,6 +1777,13 @@ impl ThreadedRouter {
             ingest_shards,
             dispatch_shards,
             policy,
+            subscriptions,
+            streams: ShardedStreamRegistry::new(dispatch_shards),
+            a_stats: vec![(FilterStats::default(), None); ingest_shards],
+            dispatched: 0,
+            deliveries: 0,
+            unclaimed: 0,
+            fanout: Histogram::new(),
             roots: BTreeMap::new(),
             next_root: 0,
             next_c_submit: 0,
@@ -1697,15 +1916,54 @@ impl ThreadedRouter {
     }
 
     /// Runs the actuation service's retry/expiry sweep as one boundary
-    /// event on the control worker.
+    /// event on the control stage.
     pub fn push_tick(&mut self, now: SimTime) -> Vec<RootOutput> {
+        self.push_control(ServiceEvent::ActuationTick, now)
+    }
+
+    /// Runs one control event (and everything it cascades into) as a
+    /// boundary event. Control path: always admitted, never shed.
+    pub fn push_control(&mut self, ev: ServiceEvent, now: SimTime) -> Vec<RootOutput> {
         let root = self.new_root(now);
-        self.roots
-            .get_mut(&root)
-            .expect("just inserted")
-            .c_events
-            .push(ServiceEvent::ActuationTick);
+        self.roots.get_mut(&root).expect("just inserted").c_events.push(ev);
         self.poll()
+    }
+
+    /// Re-injects a filtered delivery as a boundary event headed
+    /// straight for dispatch — the facade's derived-stream publication
+    /// path ([`crate::ConsumerAction::PublishDerived`]).
+    pub fn push_filtered(
+        &mut self,
+        delivery: Delivery,
+        depth: u32,
+        now: SimTime,
+    ) -> Vec<RootOutput> {
+        let shard = shard_of_sensor(delivery.msg.stream().sensor().as_u32(), self.dispatch_shards);
+        let root = self.new_root(now);
+        let state = self.roots.get_mut(&root).expect("just inserted");
+        state.b_expected = 1;
+        #[cfg(feature = "trace")]
+        state.trace.push_dispatch(dispatch_record(&delivery, now, shard));
+        self.b.submit(shard, root, DispatchJob { delivery, depth });
+        self.poll()
+    }
+
+    /// Routes one boundary event to its owning edge — the hosting
+    /// facade's single typed entry point.
+    pub fn push_event(&mut self, ev: ServiceEvent, now: SimTime) -> Vec<RootOutput> {
+        match ev {
+            ServiceEvent::Frame { receiver, rssi_dbm, frame } => {
+                self.push_frame(receiver, rssi_dbm, frame, now)
+            }
+            ServiceEvent::FlushReorder => self.push_flush(now),
+            ServiceEvent::Filtered { delivery, depth } => self.push_filtered(delivery, depth, now),
+            other => self.push_control(other, now),
+        }
+    }
+
+    /// True when every boundary event pushed so far has been released.
+    pub fn is_quiescent(&self) -> bool {
+        self.next_release == self.next_root
     }
 
     /// A sealed flush root's dispatch jobs: the per-shard releases
@@ -1725,7 +1983,7 @@ impl ThreadedRouter {
             let shard = shard_of_sensor(delivery.msg.stream().sensor().as_u32(), dispatch_shards);
             #[cfg(feature = "trace")]
             state.trace.push_dispatch(dispatch_record(&delivery, state.now, shard));
-            jobs.push((shard, DispatchJob { delivery, depth: 0, now: state.now }));
+            jobs.push((shard, DispatchJob { delivery, depth: 0 }));
         }
         jobs
     }
@@ -1737,11 +1995,12 @@ impl ThreadedRouter {
         // are submitted in (root, within-root stream) order with no
         // reorder buffer: this loop is the B edge's sequencer.
         for (root, out) in self.a.drain() {
+            self.a_stats[out.shard] = (out.stats, out.next_deadline);
             let mut b_jobs: Vec<(usize, DispatchJob)> = Vec::new();
             if let Some(state) = self.roots.get_mut(&root) {
                 state.a_done += 1;
-                match out {
-                    FilterOut::Frame(outputs) => {
+                match out.kind {
+                    FilterOutKind::Frame(outputs) => {
                         for o in outputs {
                             match o {
                                 ServiceOutput::Emit(ServiceEvent::Filtered { delivery, depth }) => {
@@ -1754,10 +2013,7 @@ impl ThreadedRouter {
                                     state.trace.push_dispatch(dispatch_record(
                                         &delivery, state.now, shard,
                                     ));
-                                    b_jobs.push((
-                                        shard,
-                                        DispatchJob { delivery, depth, now: state.now },
-                                    ));
+                                    b_jobs.push((shard, DispatchJob { delivery, depth }));
                                 }
                                 // Observed / AckReceived: control events
                                 // the FIFO router would queue before the
@@ -1767,7 +2023,7 @@ impl ThreadedRouter {
                             }
                         }
                     }
-                    FilterOut::Flush(deliveries) => {
+                    FilterOutKind::Flush(deliveries) => {
                         state.flush_deliveries.extend(deliveries);
                         b_jobs = Self::flush_jobs(state, self.dispatch_shards);
                     }
@@ -1805,7 +2061,24 @@ impl ThreadedRouter {
             self.failures.push(f);
         }
 
-        for (root, outputs) in self.b.drain() {
+        for (root, (outputs, note)) in self.b.drain() {
+            // The note lands here, in the edge's global submission
+            // order — the exact order the FIFO router handles
+            // `Filtered` events — so the catalogue and counters are
+            // bit-identical to the single-threaded dispatch stage.
+            self.streams.note_message(
+                note.stream,
+                note.payload_len,
+                note.delivered_at,
+                note.depth > 0,
+            );
+            self.dispatched += 1;
+            self.deliveries += note.matched as u64;
+            self.fanout.record(note.matched as u64);
+            if note.matched == 0 {
+                self.unclaimed += 1;
+            }
+            self.streams.set_claimed(note.stream, note.matched > 0);
             if let Some(state) = self.roots.get_mut(&root) {
                 state.b_done += 1;
                 #[cfg(feature = "trace")]
@@ -1831,12 +2104,13 @@ impl ThreadedRouter {
             self.failures.push(f);
         }
 
-        // Control jobs go out strictly in root order: the C worker is
-        // the one stateful stage shared by every root, so its FIFO *is*
-        // the determinism argument.
+        // Control events run strictly in root order: the control graph
+        // is the one stateful stage shared by every root, so its FIFO
+        // *is* the determinism argument — whether it lives on a worker
+        // or is pumped inline right here.
         loop {
             let root = self.next_c_submit;
-            let job = match self.roots.get_mut(&root) {
+            let (events, now) = match self.roots.get_mut(&root) {
                 Some(state) if state.data_done() && !state.c_submitted => {
                     state.c_submitted = true;
                     let events = std::mem::take(&mut state.c_events);
@@ -1845,33 +2119,48 @@ impl ThreadedRouter {
                         self.next_c_submit += 1;
                         continue;
                     }
-                    ControlJob { events, now: state.now }
+                    (events, state.now)
                 }
                 _ => break,
             };
             self.next_c_submit += 1;
-            self.c.submit(0, root, job);
+            match &mut self.c {
+                ControlStage::Worker(edge) => edge.submit(0, root, ControlJob { events, now }),
+                ControlStage::Inline(graph) => {
+                    let (outputs, c_trace) = graph.pump_traced(events, now);
+                    let state = self.roots.get_mut(&root).expect("submitted above");
+                    state.outputs.extend(outputs);
+                    state.c_done = true;
+                    #[cfg(feature = "trace")]
+                    state.trace.set_control(c_trace);
+                    #[cfg(not(feature = "trace"))]
+                    let _ = c_trace;
+                }
+            }
         }
 
-        for (root, (outputs, c_trace)) in self.c.drain() {
-            if let Some(state) = self.roots.get_mut(&root) {
-                state.outputs.extend(outputs);
-                state.c_done = true;
-                #[cfg(feature = "trace")]
-                state.trace.set_control(c_trace);
-                #[cfg(not(feature = "trace"))]
-                let _ = c_trace;
+        if let ControlStage::Worker(edge) = &mut self.c {
+            for (root, (outputs, c_trace)) in edge.drain() {
+                if let Some(state) = self.roots.get_mut(&root) {
+                    state.outputs.extend(outputs);
+                    state.c_done = true;
+                    #[cfg(feature = "trace")]
+                    state.trace.set_control(c_trace);
+                    #[cfg(not(feature = "trace"))]
+                    let _ = c_trace;
+                }
             }
-        }
-        for f in self.c.take_failures() {
-            self.lost_jobs += 1;
-            if let Some(state) = self.roots.get_mut(&f.root) {
-                // The pumped events were consumed by the lost worker, so
-                // there are no control hops to trace; the failure itself
-                // is surfaced via `failures` / `lost_jobs`.
-                state.c_done = true;
+            for f in edge.take_failures() {
+                self.lost_jobs += 1;
+                if let Some(state) = self.roots.get_mut(&f.root) {
+                    // The pumped events were consumed by the lost
+                    // worker, so there are no control hops to trace; the
+                    // failure itself is surfaced via `failures` /
+                    // `lost_jobs`.
+                    state.c_done = true;
+                }
+                self.failures.push(f);
             }
-            self.failures.push(f);
         }
 
         self.trace_restarts();
@@ -1902,11 +2191,14 @@ impl ThreadedRouter {
     /// are keyed by stage + shard + backoff only.
     #[cfg(feature = "trace")]
     fn trace_restarts(&mut self) {
-        for (stage, events) in [
+        let mut batches = vec![
             (TraceStage::Filtering, self.a.take_restart_events()),
             (TraceStage::Dispatch, self.b.take_restart_events()),
-            (TraceStage::Control, self.c.take_restart_events()),
-        ] {
+        ];
+        if let ControlStage::Worker(edge) = &mut self.c {
+            batches.push((TraceStage::Control, edge.take_restart_events()));
+        }
+        for (stage, events) in batches {
             for e in events {
                 self.tracer.record(|| TraceRecord {
                     shard: Some(e.shard as u32),
@@ -1938,13 +2230,97 @@ impl ThreadedRouter {
 
     /// Shard restarts performed by supervision across all edges.
     pub fn restart_count(&self) -> u64 {
-        self.a.restart_count() + self.b.restart_count() + self.c.restart_count()
+        let c = match &self.c {
+            ControlStage::Worker(edge) => edge.restart_count(),
+            ControlStage::Inline(_) => 0,
+        };
+        self.a.restart_count() + self.b.restart_count() + c
+    }
+
+    /// Takes the worker failures recorded since the last call.
+    pub fn take_root_failures(&mut self) -> Vec<RootFailure> {
+        std::mem::take(&mut self.failures)
+    }
+
+    /// The stream catalogue.
+    pub fn streams(&self) -> &ShardedStreamRegistry {
+        &self.streams
+    }
+
+    /// Mutable catalogue access (claimed-flag overrides).
+    pub fn streams_mut(&mut self) -> &mut ShardedStreamRegistry {
+        &mut self.streams
+    }
+
+    /// The inline control graph (`None` when control runs on a
+    /// worker).
+    pub fn control_graph(&self) -> Option<&ControlGraph> {
+        match &self.c {
+            ControlStage::Inline(graph) => Some(graph),
+            ControlStage::Worker(_) => None,
+        }
+    }
+
+    /// Mutable inline control graph (`None` when control runs on a
+    /// worker).
+    pub fn control_graph_mut(&mut self) -> Option<&mut ControlGraph> {
+        match &mut self.c {
+            ControlStage::Inline(graph) => Some(graph),
+            ControlStage::Worker(_) => None,
+        }
+    }
+
+    /// Ingest counters summed across shards, as of each shard's last
+    /// completed job (exact at quiescence).
+    pub fn filter_stats(&self) -> FilterStats {
+        self.a_stats.iter().fold(FilterStats::default(), |acc, (stats, _)| acc.absorb(*stats))
+    }
+
+    /// Dispatch counters (applied at the B drain in submission order).
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        DispatchStats {
+            dispatched: self.dispatched,
+            deliveries: self.deliveries,
+            unclaimed: self.unclaimed,
+            fanout: self.fanout.clone(),
+            subscribers: self
+                .subscriptions
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .subscriber_count(),
+        }
+    }
+
+    /// The earliest time-driven deadline: reorder flushes across the
+    /// ingest shards, plus the actuation sweep when control runs
+    /// inline. Exact at quiescence (per-shard deadlines ride on each
+    /// job's result).
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let ingest = self.a_stats.iter().filter_map(|(_, deadline)| *deadline).min();
+        let control = match &self.c {
+            ControlStage::Inline(graph) => GarnetService::next_deadline(&**graph),
+            ControlStage::Worker(_) => None,
+        };
+        [ingest, control].into_iter().flatten().min()
+    }
+
+    /// Streams the flight recorder's window to `w` as JSONL and clears
+    /// it (see [`Tracer::drain_to`]).
+    pub fn trace_drain_to(&mut self, mut w: &mut dyn std::io::Write) -> std::io::Result<usize> {
+        self.tracer.drain_to(&mut w)
     }
 
     /// Drains every in-flight root, joins all workers, and returns the
     /// run's terminal accounting (any roots not yet handed out by
     /// [`ThreadedRouter::poll`] ride in `outputs`, in root order).
-    pub fn finish(mut self) -> ThreadedRouterReport {
+    pub fn finish(self) -> ThreadedRouterReport {
+        self.into_parts().report
+    }
+
+    /// [`ThreadedRouter::finish`], keeping the state a hosting facade
+    /// serves reads from after shutdown: the stream catalogue, the
+    /// inline control graph, and the final counter snapshots.
+    pub fn into_parts(mut self) -> ThreadedRouterParts {
         let mut outputs = Vec::new();
         while self.next_release < self.next_root {
             let released = self.poll();
@@ -1953,27 +2329,41 @@ impl ThreadedRouter {
             }
             outputs.extend(released);
         }
+        let filter_stats = self.filter_stats();
+        let dispatch_stats = self.dispatch_stats();
         let shard_restarts = self.restart_count();
         let mut failures = std::mem::take(&mut self.failures);
         let (a_rest, a_fail) = self.a.finish();
         let (b_rest, b_fail) = self.b.finish();
-        let (c_rest, c_fail) = self.c.finish();
+        let (c_unreleased, c_fail, control) = match self.c {
+            ControlStage::Worker(edge) => {
+                let (rest, fail) = edge.finish();
+                (rest.len(), fail, None)
+            }
+            ControlStage::Inline(graph) => (0, Vec::new(), Some(*graph)),
+        };
         debug_assert!(
-            a_rest.is_empty() && b_rest.is_empty() && c_rest.is_empty(),
+            a_rest.is_empty() && b_rest.is_empty() && c_unreleased == 0,
             "all roots were drained before the edges were joined"
         );
         let late = a_fail.len() + b_fail.len() + c_fail.len();
         failures.extend(a_fail);
         failures.extend(b_fail);
         failures.extend(c_fail);
-        ThreadedRouterReport {
-            outputs,
-            failures,
-            offered_frames: self.offered_frames,
-            shed_frames: self.shed_frames,
-            lost_jobs: self.lost_jobs + late as u64,
-            shard_restarts,
-            trace: self.tracer.snapshot(),
+        ThreadedRouterParts {
+            report: ThreadedRouterReport {
+                outputs,
+                failures,
+                offered_frames: self.offered_frames,
+                shed_frames: self.shed_frames,
+                lost_jobs: self.lost_jobs + late as u64,
+                shard_restarts,
+                trace: self.tracer.snapshot(),
+            },
+            streams: self.streams,
+            control,
+            filter_stats,
+            dispatch_stats,
         }
     }
 }
@@ -2001,6 +2391,58 @@ mod tests {
             .build()
             .unwrap()
             .encode_to_vec()
+    }
+
+    #[test]
+    fn subscription_entries_partition_across_dispatch_shards() {
+        use garnet_net::TopicFilter;
+        // Stream/Sensor filters must live on exactly one shard each, so
+        // the per-shard entry counts sum to what an unsharded table
+        // would hold — subscription memory must not scale with the
+        // shard count.
+        let stream =
+            |sensor: u32| StreamId::new(SensorId::new(sensor).unwrap(), StreamIndex::new(0));
+        let filters: Vec<TopicFilter> = (1..=40u32)
+            .map(|s| {
+                if s % 2 == 0 {
+                    TopicFilter::Sensor(SensorId::new(s).unwrap())
+                } else {
+                    TopicFilter::Stream(stream(s))
+                }
+            })
+            .collect();
+        let mut unsharded = ShardedDispatch::new(1);
+        let sub = unsharded.register_subscriber();
+        for f in &filters {
+            assert!(unsharded.subscribe(sub, *f));
+        }
+        let total: usize = unsharded.shard_subscription_counts().iter().sum();
+        assert_eq!(total, filters.len());
+        for shards in [2usize, 4, 7] {
+            let mut sharded = ShardedDispatch::new(shards);
+            let sub = sharded.register_subscriber();
+            for f in &filters {
+                assert!(sharded.subscribe(sub, *f));
+            }
+            let counts = sharded.shard_subscription_counts();
+            assert_eq!(counts.len(), shards);
+            assert_eq!(
+                counts.iter().sum::<usize>(),
+                total,
+                "shards={shards}: entries duplicated across shards: {counts:?}"
+            );
+            assert!(
+                counts.iter().filter(|c| **c > 0).count() > 1,
+                "shards={shards}: everything landed on one shard: {counts:?}"
+            );
+            // An `All` wiretap is the one filter that must replicate.
+            sharded.subscribe(sub, TopicFilter::All);
+            let with_all = sharded.shard_subscription_counts();
+            assert_eq!(with_all.iter().sum::<usize>(), total + shards);
+            // Departure reports distinct filters, not per-shard copies.
+            assert_eq!(sharded.unsubscribe_all(sub), filters.len() + 1);
+            assert_eq!(sharded.shard_subscription_counts().iter().sum::<usize>(), 0);
+        }
     }
 
     #[test]

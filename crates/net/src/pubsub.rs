@@ -215,6 +215,16 @@ impl SubscriptionTable {
         self.filters.len()
     }
 
+    /// The filters `subscriber` currently holds, ascending.
+    pub fn filters_of(&self, subscriber: SubscriberId) -> impl Iterator<Item = TopicFilter> + '_ {
+        self.filters.get(&subscriber).into_iter().flat_map(|fs| fs.iter().copied())
+    }
+
+    /// Every subscriber with at least one subscription, ascending.
+    pub fn subscriber_ids(&self) -> impl Iterator<Item = SubscriberId> + '_ {
+        self.filters.keys().copied()
+    }
+
     /// Total number of live subscriptions.
     pub fn subscription_count(&self) -> usize {
         self.filters.values().map(|f| f.len()).sum()

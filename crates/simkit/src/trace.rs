@@ -428,6 +428,30 @@ impl Tracer {
         self.occupancy.iter_mut().for_each(Histogram::reset);
         self.latency.iter_mut().for_each(Histogram::reset);
     }
+
+    /// Streams the ring's surviving records to `w` as JSONL (oldest
+    /// first, one [`TraceRecord::jsonl_line`] per line), then clears the
+    /// ring and the drop counter so subsequent hops fill a fresh window.
+    /// Draining periodically turns the bounded ring into an unbounded
+    /// sink: a long run is no longer limited to the last
+    /// [`TraceConfig::capacity`] hops. Per-stage hop/occupancy/latency
+    /// statistics are cumulative and survive the drain.
+    ///
+    /// Returns the number of records written. Records evicted *before*
+    /// this drain (the current [`Tracer::dropped_records`]) are gone —
+    /// the caller's ledger of what the file is missing.
+    pub fn drain_to(&mut self, w: &mut impl std::io::Write) -> std::io::Result<usize> {
+        let (newer, older) = (&self.ring[self.head..], &self.ring[..self.head]);
+        let mut written = 0;
+        for rec in newer.iter().chain(older) {
+            writeln!(w, "{}", rec.jsonl_line())?;
+            written += 1;
+        }
+        self.ring.clear();
+        self.head = 0;
+        self.dropped = 0;
+        Ok(written)
+    }
 }
 
 /// No-op twin of the recorder (the `trace` feature is off).
@@ -484,6 +508,12 @@ impl Tracer {
     /// No-op.
     #[inline(always)]
     pub fn reset(&mut self) {}
+
+    /// Writes nothing (tracing is compiled out).
+    #[inline(always)]
+    pub fn drain_to(&mut self, _w: &mut impl std::io::Write) -> std::io::Result<usize> {
+        Ok(0)
+    }
 }
 
 impl fmt::Debug for Tracer {
@@ -561,6 +591,32 @@ mod tests {
         assert_eq!(snap.stages.len(), 1);
         assert_eq!(snap.stages[0].hops, 10);
         assert_eq!(snap.stages[0].latency.count(), 10);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn drain_to_streams_survivors_after_ring_wrap_and_resets_the_window() {
+        let mut t = Tracer::new(TraceConfig { capacity: 4 });
+        for at in 0..10u64 {
+            t.record(|| rec(at));
+        }
+        let mut sink = Vec::new();
+        assert_eq!(t.drain_to(&mut sink).unwrap(), 4);
+        let text = String::from_utf8(sink).unwrap();
+        let ats: Vec<&str> = text
+            .lines()
+            .map(|l| l.split("\"at_us\":").nth(1).unwrap().split(',').next().unwrap())
+            .collect();
+        assert_eq!(ats, vec!["6", "7", "8", "9"], "drained oldest-first past the wrap point");
+        // The window restarts: ring and drop counter are cleared, but
+        // cumulative per-stage stats survive for the final snapshot.
+        assert!(t.is_empty());
+        assert_eq!(t.dropped_records(), 0);
+        t.record(|| rec(20));
+        let mut sink = Vec::new();
+        assert_eq!(t.drain_to(&mut sink).unwrap(), 1);
+        assert!(String::from_utf8(sink).unwrap().contains("\"at_us\":20"));
+        assert_eq!(t.snapshot().stages[0].hops, 11);
     }
 
     #[cfg(feature = "trace")]

@@ -6,6 +6,7 @@ use std::sync::atomic::Ordering;
 
 use garnet::core::middleware::GarnetConfig;
 use garnet::core::pipeline::{PipelineConfig, PipelineSim, SharedCountConsumer};
+use garnet::core::DriverKind;
 use garnet::net::TopicFilter;
 use garnet::radio::field::GaussianPlume;
 use garnet::radio::geometry::{Point, Rect};
@@ -33,6 +34,25 @@ fn run(seed: u64) -> RunFingerprint {
 }
 
 fn run_sharded(seed: u64, ingest_shards: usize, dispatch_shards: usize) -> RunFingerprint {
+    // `driver` comes from `GarnetConfig::default()`, which honours the
+    // `GARNET_TEST_DRIVER` env toggle — ci.sh reruns this whole suite in
+    // threaded mode through it.
+    run_config(seed, GarnetConfig { ingest_shards, dispatch_shards, ..GarnetConfig::default() })
+}
+
+fn run_driver(
+    seed: u64,
+    driver: DriverKind,
+    ingest_shards: usize,
+    dispatch_shards: usize,
+) -> RunFingerprint {
+    run_config(
+        seed,
+        GarnetConfig { driver, ingest_shards, dispatch_shards, ..GarnetConfig::default() },
+    )
+}
+
+fn run_config(seed: u64, garnet: GarnetConfig) -> RunFingerprint {
     let receivers = Receiver::grid(Point::ORIGIN, 3, 3, 100.0, 180.0);
     let transmitters = Transmitter::grid(Point::ORIGIN, 3, 3, 100.0, 180.0);
     let mut medium = Medium::wifi_outdoor();
@@ -40,13 +60,7 @@ fn run_sharded(seed: u64, ingest_shards: usize, dispatch_shards: usize) -> RunFi
     let config = PipelineConfig {
         seed,
         medium,
-        garnet: GarnetConfig {
-            receivers,
-            transmitters,
-            ingest_shards,
-            dispatch_shards,
-            ..GarnetConfig::default()
-        },
+        garnet: GarnetConfig { receivers, transmitters, ..garnet },
         peer_range_m: None,
     };
     let field = GaussianPlume {
@@ -121,6 +135,29 @@ fn shard_count_does_not_change_the_world() {
             unsharded, sharded,
             "ingest_shards={ingest} dispatch_shards={dispatch} diverged"
         );
+    }
+}
+
+#[test]
+fn driver_kind_does_not_change_the_world() {
+    // The execution engine is a deployment choice, not a semantic one:
+    // the FIFO simulation driver and the hosted threaded graph must
+    // agree on every counter and the full metrics report, across every
+    // shard combination. This is the facade's bit-identity contract.
+    let baseline = run_driver(1234, DriverKind::Fifo, 1, 1);
+    for driver in [DriverKind::Fifo, DriverKind::Threaded] {
+        for ingest in [1usize, 4] {
+            for dispatch in [1usize, 4] {
+                if driver == DriverKind::Fifo && ingest == 1 && dispatch == 1 {
+                    continue;
+                }
+                let f = run_driver(1234, driver, ingest, dispatch);
+                assert_eq!(
+                    baseline, f,
+                    "driver={driver:?} ingest={ingest} dispatch={dispatch} diverged"
+                );
+            }
+        }
     }
 }
 

@@ -301,6 +301,121 @@ mod traced {
         assert_eq!(jsonl.lines().count(), snap.records.len());
         assert!(jsonl.lines().all(|l| l.starts_with("{\"at_us\":") && l.ends_with('}')));
     }
+
+    /// Runs the boundary schedule through the facade under `driver` and
+    /// returns the trace dump with shard ids stripped.
+    fn facade_trace(driver: garnet::core::DriverKind, shards: usize) -> String {
+        use garnet::core::middleware::{Garnet, GarnetConfig};
+        let mut g = Garnet::new(GarnetConfig {
+            driver,
+            ingest_shards: shards,
+            dispatch_shards: shards,
+            ..GarnetConfig::default()
+        });
+        let token = g.issue_default_token("app");
+        let (consumer, _) = garnet::core::pipeline::SharedCountConsumer::new("app");
+        let id = g.register_consumer(Box::new(consumer), &token, 0).unwrap();
+        for (_, filter) in filters() {
+            g.subscribe(id, filter, &token).unwrap();
+        }
+        for b in schedule() {
+            match b {
+                Boundary::Frame(bytes, at) => {
+                    g.on_frame(ReceiverId::new(0), -40.0, &bytes, at);
+                }
+                Boundary::Flush(at) | Boundary::Tick(at) => {
+                    g.on_tick(at);
+                }
+            }
+        }
+        g.trace_snapshot().to_jsonl_modulo_shards()
+    }
+
+    #[test]
+    fn facade_trace_is_driver_invariant_modulo_shards() {
+        use garnet::core::DriverKind;
+        let want = facade_trace(DriverKind::Fifo, 1);
+        assert!(want.contains("\"kind\":\"filtered\""), "workload must reach dispatch");
+        for shards in [1usize, 4] {
+            assert_eq!(
+                facade_trace(DriverKind::Fifo, shards),
+                want,
+                "FIFO {shards}×{shards} diverged"
+            );
+            assert_eq!(
+                facade_trace(DriverKind::Threaded, shards),
+                want,
+                "threaded {shards}×{shards} diverged"
+            );
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use garnet::core::middleware::{Garnet, GarnetConfig};
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The trace is causally complete on the data plane: every
+            /// `Filtered` hop either went to a subscriber (deliveries
+            /// escape the router untraced) or shows up again as an
+            /// `Orphaned` hop for the same root and stream — exactly one
+            /// of the two, never both, never neither.
+            #[test]
+            fn every_filtered_hop_is_claimed_or_orphaned(
+                subscribed_raw in proptest::collection::vec(1u32..=6, 0..=6),
+                frames in proptest::collection::vec((1u32..=6, 0u16..12), 1..40),
+            ) {
+                let subscribed: std::collections::BTreeSet<u32> =
+                    subscribed_raw.into_iter().collect();
+                let mut g = Garnet::new(GarnetConfig::default());
+                let token = g.issue_default_token("app");
+                let (consumer, _) =
+                    garnet::core::pipeline::SharedCountConsumer::new("app");
+                let id = g.register_consumer(Box::new(consumer), &token, 0).unwrap();
+                for s in &subscribed {
+                    g.subscribe(id, TopicFilter::Sensor(SensorId::new(*s).unwrap()), &token)
+                        .unwrap();
+                }
+                let mut t = 0u64;
+                for (sensor, seq) in &frames {
+                    g.on_frame(
+                        ReceiverId::new(0),
+                        -45.0,
+                        &frame(*sensor, 0, *seq),
+                        SimTime::from_millis(t),
+                    );
+                    t += 2;
+                }
+                // A far-future tick flushes every stalled reorder buffer
+                // so gapped messages also make their Filtered hop.
+                g.on_tick(SimTime::from_millis(t + 120_000));
+                let records = g.trace_snapshot().records;
+                for (i, r) in records.iter().enumerate() {
+                    if r.kind != TraceEventKind::Filtered
+                        || r.outcome != TraceOutcome::Delivered
+                    {
+                        continue;
+                    }
+                    let sensor = r.sensor.expect("filtered hops carry a sensor id");
+                    let claimed = subscribed.contains(&sensor);
+                    let orphaned_later = records[i + 1..].iter().any(|o| {
+                        o.kind == TraceEventKind::Orphaned
+                            && o.root == r.root
+                            && o.stream == r.stream
+                    });
+                    prop_assert!(
+                        claimed != orphaned_later,
+                        "filtered hop (root {:?}, stream {:?}): claimed={} orphaned={}",
+                        r.root,
+                        r.stream,
+                        claimed,
+                        orphaned_later,
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[cfg(not(feature = "trace"))]
