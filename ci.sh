@@ -30,4 +30,11 @@ echo "==> threaded-driver verify: GARNET_TEST_DRIVER=threaded determinism + trac
 GARNET_TEST_DRIVER=threaded cargo test -q --test determinism --test tracing
 GARNET_TEST_DRIVER=threaded cargo test -q --test determinism --test tracing --features trace
 
+# Rerun the same suites on the per-frame admission path (ISSUE 6):
+# GarnetConfig::default() honours GARNET_TEST_BATCH, so the batched and
+# per-frame pumps both stay bit-identical in both feature configs.
+echo "==> per-frame admission verify: GARNET_TEST_BATCH=perframe determinism + tracing"
+GARNET_TEST_BATCH=perframe cargo test -q --test determinism --test tracing
+GARNET_TEST_BATCH=perframe cargo test -q --test determinism --test tracing --features trace
+
 echo "==> CI green"

@@ -104,4 +104,8 @@ fn main() {
         let (_, t) = e20_runtime_mode::run();
         println!("{}", t.render());
     }
+    if want("e21") {
+        let (_, t) = e21_batch::run();
+        println!("{}", t.render());
+    }
 }

@@ -75,11 +75,12 @@ pub fn run() -> (Vec<CapacityCheck>, Table) {
     let mut delivered = 0u64;
     for i in 0..64u32 {
         let seq = 65_500u16.wrapping_add(i as u16); // crosses the wrap
-        let frame = DataMessage::builder(stream)
+        let frame: garnet_wire::FrameBytes = DataMessage::builder(stream)
             .seq(SequenceNumber::new(seq))
             .build()
             .unwrap()
-            .encode_to_vec();
+            .encode_to_vec()
+            .into();
         delivered += filter
             .on_frame(ReceiverId::new(0), -40.0, &frame, SimTime::from_millis(u64::from(i)))
             .deliveries
@@ -129,7 +130,8 @@ pub fn id_space_sweep(count: u32) -> u64 {
     for i in 0..count {
         let sensor = SensorId::new((i * stride) % (SensorId::MAX.as_u32() + 1)).unwrap();
         let stream = StreamId::new(sensor, StreamIndex::new(0));
-        let frame = DataMessage::builder(stream).build().unwrap().encode_to_vec();
+        let frame: garnet_wire::FrameBytes =
+            DataMessage::builder(stream).build().unwrap().encode_to_vec().into();
         delivered +=
             filter.on_frame(ReceiverId::new(0), -40.0, &frame, SimTime::ZERO).deliveries.len()
                 as u64;

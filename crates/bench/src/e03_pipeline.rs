@@ -13,7 +13,7 @@ use garnet_core::FilterConfig;
 use garnet_net::{SubscriberId, SubscriptionTable, TopicFilter};
 use garnet_radio::ReceiverId;
 use garnet_simkit::{SimDuration, SimTime};
-use garnet_wire::{DataMessage, SensorId, SequenceNumber, StreamId, StreamIndex};
+use garnet_wire::{DataMessage, FrameBytes, SensorId, SequenceNumber, StreamId, StreamIndex};
 use garnet_workloads::HabitatScenario;
 
 use crate::table::{f2, n, Table};
@@ -105,7 +105,9 @@ pub struct ShardPoint {
 /// Pre-encodes the sweep workload: `frames` data messages round-robined
 /// over `sensors` sensors with monotonic per-stream sequence numbers —
 /// the pure ingest hot path with no radio simulation in front of it.
-pub fn shard_workload(frames: u32, sensors: u32) -> Vec<Vec<u8>> {
+/// Frames are shared-slice handles, so cloning one into the stage is a
+/// refcount bump, not a payload copy.
+pub fn shard_workload(frames: u32, sensors: u32) -> Vec<FrameBytes> {
     (0..frames)
         .map(|i| {
             let sensor = 1 + (i % sensors);
@@ -117,6 +119,7 @@ pub fn shard_workload(frames: u32, sensors: u32) -> Vec<Vec<u8>> {
                 .build()
                 .unwrap()
                 .encode_to_vec()
+                .into()
         })
         .collect()
 }
@@ -124,15 +127,30 @@ pub fn shard_workload(frames: u32, sensors: u32) -> Vec<Vec<u8>> {
 /// Pushes `workload` through a [`ThreadedIngest`] with `shards` workers
 /// and returns the wall-clock sample. Panics if any frame is lost (the
 /// workload is duplicate- and gap-free, so delivered must equal pushed).
-pub fn run_shard_point(workload: &[Vec<u8>], shards: usize) -> ShardPoint {
+/// Batch size 64 is the stage's amortised steady state — the E21 sweep
+/// varies it.
+pub fn run_shard_point(workload: &[FrameBytes], shards: usize) -> ShardPoint {
+    run_shard_point_batched(workload, shards, 64)
+}
+
+/// [`run_shard_point`] with an admission batch size: frames enter the
+/// stage in bursts of `batch` through [`ThreadedIngest::push_frames`],
+/// and the stage submits worker jobs of the same size, so each batch
+/// costs one channel hand-off (and one result hand-off back) instead of
+/// one per frame. `batch == 1` is the honest per-frame baseline: every
+/// frame pays the full enqueue/rendezvous/merge cost alone.
+pub fn run_shard_point_batched(workload: &[FrameBytes], shards: usize, batch: usize) -> ShardPoint {
     let mut subs = SubscriptionTable::new();
     subs.subscribe(SubscriberId::new(1), TopicFilter::All);
     let started = std::time::Instant::now();
-    let mut ingest = ThreadedIngest::new(FilterConfig::default(), shards, 64, &subs);
+    let mut ingest = ThreadedIngest::new(FilterConfig::default(), shards, batch.max(1), &subs);
     let mut delivered = 0u64;
-    for (i, frame) in workload.iter().enumerate() {
-        let at = SimTime::from_micros(i as u64);
-        for b in ingest.push(ReceiverId::new(0), -40.0, frame.clone(), at) {
+    let mut at_base = 0u64;
+    for chunk in workload.chunks(batch.max(1)) {
+        let at = SimTime::from_micros(at_base);
+        at_base += chunk.len() as u64;
+        let staged = chunk.iter().map(|frame| (ReceiverId::new(0), -40.0, frame.clone()));
+        for b in ingest.push_frames(staged, at) {
             delivered += b.deliveries.len() as u64;
         }
     }

@@ -51,7 +51,7 @@ fn subscriptions() -> SubscriptionTable {
 /// `trace` feature on, every hop also lands in the flight recorder, so
 /// the sample prices recording; with it off the tracer calls are inlined
 /// no-ops. Panics if any delivery is lost.
-pub fn run_trace_point(workload: &[Vec<u8>], shards: usize) -> ShardPoint {
+pub fn run_trace_point(workload: &[garnet_wire::FrameBytes], shards: usize) -> ShardPoint {
     let table = subscriptions();
     let started = std::time::Instant::now();
     let mut router =
@@ -97,7 +97,7 @@ pub fn run_trace_point(workload: &[Vec<u8>], shards: usize) -> ShardPoint {
 /// wall-clock sample, with `shards` fixed at 1. The criterion bench runs
 /// this alongside the threaded points so the recorder's cost is priced
 /// on both drivers.
-pub fn run_fifo_point(workload: &[Vec<u8>]) -> ShardPoint {
+pub fn run_fifo_point(workload: &[garnet_wire::FrameBytes]) -> ShardPoint {
     let mut dispatch = ShardedDispatch::new(1);
     for id in 0..SUBSCRIBERS {
         dispatch.register_subscriber();

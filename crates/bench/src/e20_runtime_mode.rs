@@ -38,7 +38,11 @@ pub const THREADED_SHARDS: [usize; 3] = [1, 2, 4];
 /// if any delivery is lost: the workload is duplicate- and gap-free and
 /// one consumer subscribes to everything, so delivered must equal
 /// offered in both modes.
-pub fn run_mode_point(workload: &[Vec<u8>], driver: DriverKind, shards: usize) -> ShardPoint {
+pub fn run_mode_point(
+    workload: &[garnet_wire::FrameBytes],
+    driver: DriverKind,
+    shards: usize,
+) -> ShardPoint {
     let started = std::time::Instant::now();
     let mut garnet = Garnet::new(GarnetConfig {
         driver,
@@ -72,7 +76,7 @@ pub fn run_mode_point(workload: &[Vec<u8>], driver: DriverKind, shards: usize) -
 
 /// Runs the mode sweep: the FIFO baseline first, then the threaded
 /// driver across [`THREADED_SHARDS`].
-pub fn run_mode_sweep(workload: &[Vec<u8>]) -> Vec<ShardPoint> {
+pub fn run_mode_sweep(workload: &[garnet_wire::FrameBytes]) -> Vec<ShardPoint> {
     let mut points = vec![run_mode_point(workload, DriverKind::Fifo, 1)];
     for &shards in &THREADED_SHARDS {
         points.push(run_mode_point(workload, DriverKind::Threaded, shards));

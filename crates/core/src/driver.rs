@@ -24,14 +24,14 @@ use garnet_net::{ShardFailure, SubscriberId, SubscriptionTable, TopicFilter};
 use garnet_radio::ReceiverId;
 use garnet_simkit::trace::{TraceConfig, TraceSnapshot};
 use garnet_simkit::{Histogram, SimTime};
-use garnet_wire::StreamId;
+use garnet_wire::{FrameBytes, StreamId};
 
 use crate::filtering::{FilterConfig, FilteringService};
 use crate::router::{
     ControlGraph, FrameAdmission, OverloadConfig, OverloadTotals, Router, Services, ShardedIngest,
     ThreadedRouter, ThreadedRouterParts,
 };
-use crate::service::{ServiceEvent, ServiceOutput};
+use crate::service::{BatchedFrame, ServiceEvent, ServiceOutput};
 use crate::stream::ShardedStreamRegistry;
 
 /// Which execution engine hosts the service graph.
@@ -215,9 +215,18 @@ pub trait RouterDriver: std::fmt::Debug {
         &mut self,
         receiver: ReceiverId,
         rssi_dbm: f64,
-        frame: Vec<u8>,
+        frame: FrameBytes,
         now: SimTime,
     ) -> Vec<ServiceOutput>;
+
+    /// Offers a burst of frames to admission control as one unit.
+    ///
+    /// Semantically identical to calling [`RouterDriver::admit_frame`]
+    /// once per frame in order — the overload ledger counts every
+    /// individual frame — but engines amortise per-frame costs over
+    /// the burst (one channel hand-off per shard run, one filtering
+    /// pass per batch).
+    fn admit_frames(&mut self, frames: Vec<BatchedFrame>, now: SimTime) -> Vec<ServiceOutput>;
 
     /// Advances the graph, returning escaped outputs in canonical
     /// order. An empty batch means quiescence; the facade loops until
@@ -302,12 +311,17 @@ pub trait RouterDriver: std::fmt::Debug {
 #[derive(Debug)]
 pub struct FifoDriver {
     router: Router,
+    /// Pump with [`Router::step_batch`] (consume consecutive Frame runs
+    /// in one filtering pass) instead of [`Router::step`]. Bit-identical
+    /// either way; `false` is the legacy path CI compares against.
+    batch: bool,
 }
 
 impl FifoDriver {
-    /// Wraps a router over the given services.
-    pub fn new(services: Services, overload: Option<OverloadConfig>) -> Self {
-        FifoDriver { router: Router::with_overload(services, overload) }
+    /// Wraps a router over the given services. `batch` selects batch
+    /// pumping (see [`FifoDriver::batch`]).
+    pub fn new(services: Services, overload: Option<OverloadConfig>, batch: bool) -> Self {
+        FifoDriver { router: Router::with_overload(services, overload), batch }
     }
 }
 
@@ -320,7 +334,7 @@ impl RouterDriver for FifoDriver {
         &mut self,
         receiver: ReceiverId,
         rssi_dbm: f64,
-        frame: Vec<u8>,
+        frame: FrameBytes,
         now: SimTime,
     ) -> Vec<ServiceOutput> {
         let mut escaped = Vec::new();
@@ -341,14 +355,37 @@ impl RouterDriver for FifoDriver {
         escaped
     }
 
+    fn admit_frames(&mut self, frames: Vec<BatchedFrame>, now: SimTime) -> Vec<ServiceOutput> {
+        // Admission stays per-frame (exact ledger, exact queue-depth
+        // samples); the batch win comes from the pump, where
+        // `step_batch` pops the consecutive Frame run and filters it
+        // in one pass.
+        let mut escaped = Vec::new();
+        for f in frames {
+            escaped.extend(self.admit_frame(f.receiver, f.rssi_dbm, f.frame, now));
+        }
+        escaped
+    }
+
     fn pump(&mut self, now: SimTime) -> Vec<ServiceOutput> {
         // Steps until the first non-empty output batch: the facade
         // applies it (possibly pushing new events) and calls again, so
         // the apply-per-step cadence of driving the router directly is
-        // preserved exactly.
-        while let Some(outputs) = self.router.step(now) {
-            if !outputs.is_empty() {
-                return outputs;
+        // preserved exactly. In batch mode `step_batch` consumes runs
+        // of consecutive Frame events in one filtering pass; frame
+        // steps emit no external outputs, so the batch is observably
+        // identical to stepping the run one frame at a time.
+        if self.batch {
+            while let Some(outputs) = self.router.step_batch(now) {
+                if !outputs.is_empty() {
+                    return outputs;
+                }
+            }
+        } else {
+            while let Some(outputs) = self.router.step(now) {
+                if !outputs.is_empty() {
+                    return outputs;
+                }
             }
         }
         Vec::new()
@@ -481,18 +518,24 @@ pub struct ThreadedDriver {
     /// What shutdown left behind; reads are served from here once the
     /// pools are joined.
     retired: Option<ThreadedRouterParts>,
+    /// Submit admission bursts through [`ThreadedRouter::push_frames`]
+    /// (one edge hand-off per consecutive same-shard run) instead of
+    /// frame at a time. Bit-identical either way.
+    batch: bool,
 }
 
 impl ThreadedDriver {
     /// Spawns the hosted graph. `overload` maps onto the frame edge's
     /// backpressure policy exactly as it governs the FIFO queue
-    /// (`None` = blocking admission that never sheds).
+    /// (`None` = blocking admission that never sheds); `batch` selects
+    /// run-merged edge submission for admission bursts.
     pub fn new(
         config: FilterConfig,
         ingest_shards: usize,
         dispatch_shards: usize,
         control: ControlGraph,
         overload: Option<OverloadConfig>,
+        batch: bool,
     ) -> Self {
         let subscriptions = Arc::new(RwLock::new(SubscriptionTable::new()));
         let router = ThreadedRouter::hosted(
@@ -513,6 +556,7 @@ impl ThreadedDriver {
             peak_depth: 0,
             depth_hist: Histogram::new(),
             retired: None,
+            batch,
         }
     }
 
@@ -533,7 +577,7 @@ impl RouterDriver for ThreadedDriver {
         &mut self,
         receiver: ReceiverId,
         rssi_dbm: f64,
-        frame: Vec<u8>,
+        frame: FrameBytes,
         now: SimTime,
     ) -> Vec<ServiceOutput> {
         let Some(router) = self.router.as_mut() else { return Vec::new() };
@@ -543,6 +587,29 @@ impl RouterDriver for ThreadedDriver {
             self.depth_hist.record(self.frames_since_quiescence);
         }
         for released in router.push_frame(receiver, rssi_dbm, frame, now) {
+            self.pending.extend(released.outputs);
+        }
+        Vec::new()
+    }
+
+    fn admit_frames(&mut self, frames: Vec<BatchedFrame>, now: SimTime) -> Vec<ServiceOutput> {
+        if !self.batch {
+            let mut escaped = Vec::new();
+            for f in frames {
+                escaped.extend(self.admit_frame(f.receiver, f.rssi_dbm, f.frame, now));
+            }
+            return escaped;
+        }
+        let Some(router) = self.router.as_mut() else { return Vec::new() };
+        for _ in 0..frames.len() {
+            self.frames_since_quiescence += 1;
+            self.peak_depth = self.peak_depth.max(self.frames_since_quiescence);
+            if self.bounded {
+                self.depth_hist.record(self.frames_since_quiescence);
+            }
+        }
+        let staged = frames.into_iter().map(|f| (f.receiver, f.rssi_dbm, f.frame));
+        for released in router.push_frames(staged, now) {
             self.pending.extend(released.outputs);
         }
         Vec::new()

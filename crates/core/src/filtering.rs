@@ -28,7 +28,7 @@ use std::collections::BTreeMap;
 
 use garnet_radio::ReceiverId;
 use garnet_simkit::{Counter, SimDuration, SimTime};
-use garnet_wire::{DataMessage, SensorId, SequenceNumber, WireError};
+use garnet_wire::{DataMessage, FrameBytes, FrameHeader, SensorId, SequenceNumber, WireError};
 
 /// Tuning of the filtering service.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,6 +74,19 @@ pub struct Observation {
     pub receiver: ReceiverId,
     /// Received signal strength (dBm).
     pub rssi_dbm: f64,
+    /// Arrival instant.
+    pub at: SimTime,
+}
+
+/// One raw frame of a batch handed to [`FilteringService::on_batch`].
+#[derive(Clone, Debug)]
+pub struct FrameArrival {
+    /// The receiver that heard it.
+    pub receiver: ReceiverId,
+    /// Received signal strength (dBm).
+    pub rssi_dbm: f64,
+    /// The encoded frame (shared view of the arrival buffer).
+    pub frame: FrameBytes,
     /// Arrival instant.
     pub at: SimTime,
 }
@@ -175,7 +188,7 @@ impl StreamFilter {
 ///
 /// let mut filter = FilteringService::new(Default::default());
 /// let msg = DataMessage::builder(StreamId::from_raw(0x0100)).build()?;
-/// let frame = msg.encode_to_vec();
+/// let frame: garnet_wire::FrameBytes = msg.encode_to_vec().into();
 ///
 /// // The same frame through two overlapping receivers:
 /// let r1 = filter.on_frame(ReceiverId::new(0), -40.0, &frame, SimTime::ZERO);
@@ -217,12 +230,58 @@ impl FilteringService {
         &mut self,
         receiver: ReceiverId,
         rssi_dbm: f64,
-        frame: &[u8],
+        frame: &FrameBytes,
+        now: SimTime,
+    ) -> FilterResult {
+        match FrameHeader::parse(frame) {
+            Ok(hdr) => self.apply(receiver, rssi_dbm, frame, &hdr, now),
+            Err(e) => {
+                self.crc_failures.incr();
+                FilterResult { error: Some(e), ..FilterResult::default() }
+            }
+        }
+    }
+
+    /// Feeds a burst of frames, each `(receiver, rssi_dbm, frame, at)`.
+    ///
+    /// Equivalent to calling [`FilteringService::on_frame`] once per
+    /// entry in order — same deliveries, same counters — but the fixed
+    /// headers are validated in one struct-of-arrays prepass over the
+    /// whole batch before any stream state is touched, so per-frame
+    /// dynamic dispatch and repeated header re-validation are amortised.
+    pub fn on_batch(&mut self, frames: &[FrameArrival]) -> Vec<FilterResult> {
+        // SoA prepass: parse every fixed header (stream id, seq, payload
+        // bounds) up front. Parsing is pure, so doing it batch-first
+        // cannot change what `apply` observes per frame.
+        let headers: Vec<Result<FrameHeader, WireError>> =
+            frames.iter().map(|f| FrameHeader::parse(&f.frame)).collect();
+        frames
+            .iter()
+            .zip(headers)
+            .map(|(f, hdr)| match hdr {
+                Ok(hdr) => self.apply(f.receiver, f.rssi_dbm, &f.frame, &hdr, f.at),
+                Err(e) => {
+                    self.crc_failures.incr();
+                    FilterResult { error: Some(e), ..FilterResult::default() }
+                }
+            })
+            .collect()
+    }
+
+    /// Feeds one frame whose fixed header was already validated (the
+    /// zero-copy fast path: only the CRC remains to check, and the
+    /// payload is sliced out of `frame` without copying).
+    fn apply(
+        &mut self,
+        receiver: ReceiverId,
+        rssi_dbm: f64,
+        frame: &FrameBytes,
+        hdr: &FrameHeader,
         now: SimTime,
     ) -> FilterResult {
         let mut result = FilterResult::default();
-        let msg = match DataMessage::decode(frame) {
-            Ok((msg, _)) => msg,
+        let msg = match DataMessage::decode_validated(frame, hdr) {
+            Ok(msg) => msg,
             Err(e) => {
                 self.crc_failures.incr();
                 result.error = Some(e);
@@ -362,13 +421,17 @@ mod tests {
         StreamId::new(SensorId::new(7).unwrap(), StreamIndex::new(0))
     }
 
-    fn frame(seq: u16) -> Vec<u8> {
+    fn frame_vec(seq: u16) -> Vec<u8> {
         DataMessage::builder(stream())
             .seq(SequenceNumber::new(seq))
             .payload(vec![seq as u8])
             .build()
             .unwrap()
             .encode_to_vec()
+    }
+
+    fn frame(seq: u16) -> FrameBytes {
+        FrameBytes::from(frame_vec(seq))
     }
 
     fn rx(n: u32) -> ReceiverId {
@@ -404,10 +467,10 @@ mod tests {
     #[test]
     fn corrupted_frame_rejected_without_observation() {
         let mut f = svc();
-        let mut fr = frame(0);
+        let mut fr = frame_vec(0);
         let last = fr.len() - 1;
         fr[last] ^= 0xFF;
-        let r = f.on_frame(rx(0), -40.0, &fr, SimTime::ZERO);
+        let r = f.on_frame(rx(0), -40.0, &fr.into(), SimTime::ZERO);
         assert!(r.deliveries.is_empty());
         assert!(r.observation.is_none());
         assert!(r.error.is_some());
@@ -515,11 +578,12 @@ mod tests {
     fn streams_are_independent() {
         let mut f = svc();
         let other = StreamId::new(SensorId::new(8).unwrap(), StreamIndex::new(0));
-        let m1 = DataMessage::builder(other)
+        let m1: FrameBytes = DataMessage::builder(other)
             .seq(SequenceNumber::new(0))
             .build()
             .unwrap()
-            .encode_to_vec();
+            .encode_to_vec()
+            .into();
         f.on_frame(rx(0), -40.0, &frame(0), SimTime::ZERO);
         let r = f.on_frame(rx(0), -40.0, &m1, SimTime::ZERO);
         assert_eq!(r.deliveries.len(), 1, "same seq on a different stream is not a dup");
@@ -536,6 +600,55 @@ mod tests {
         assert_eq!(obs.rssi_dbm, -62.5);
         assert_eq!(obs.sensor.as_u32(), 7);
         assert_eq!(obs.at, SimTime::from_millis(9));
+    }
+
+    #[test]
+    fn batch_matches_per_frame() {
+        // A messy burst — duplicates, a reorder gap, a corrupt frame —
+        // produces the same per-frame results and the same counters
+        // whether fed through `on_batch` or `on_frame` one at a time.
+        let mut corrupt = frame_vec(9);
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        let arrivals: Vec<FrameArrival> = [frame(0), frame(0), frame(2), corrupt.into(), frame(1)]
+            .into_iter()
+            .enumerate()
+            .map(|(i, fr)| FrameArrival {
+                receiver: rx(i as u32 % 2),
+                rssi_dbm: -40.0 - i as f64,
+                frame: fr,
+                at: SimTime::from_millis(i as u64),
+            })
+            .collect();
+
+        let mut batched = svc();
+        let batch_results = batched.on_batch(&arrivals);
+
+        let mut single = svc();
+        let frame_results: Vec<FilterResult> = arrivals
+            .iter()
+            .map(|a| single.on_frame(a.receiver, a.rssi_dbm, &a.frame, a.at))
+            .collect();
+
+        assert_eq!(batch_results.len(), frame_results.len());
+        for (i, (b, s)) in batch_results.iter().zip(&frame_results).enumerate() {
+            let project = |r: &FilterResult| {
+                (
+                    r.deliveries
+                        .iter()
+                        .map(|d| (d.msg.seq().as_u16(), d.msg.payload().to_vec()))
+                        .collect::<Vec<_>>(),
+                    r.observation.map(|o| (o.receiver, o.sensor.as_u32())),
+                    r.error.is_some(),
+                )
+            };
+            assert_eq!(project(b), project(s), "frame {i} diverged");
+        }
+        assert_eq!(batched.delivered_count(), single.delivered_count());
+        assert_eq!(batched.duplicate_count(), single.duplicate_count());
+        assert_eq!(batched.crc_failure_count(), single.crc_failure_count());
+        assert_eq!(batched.reordered_count(), single.reordered_count());
+        assert_eq!(batched.gap_count(), single.gap_count());
     }
 }
 
@@ -577,11 +690,12 @@ mod proptests {
             let mut delivered: Vec<u16> = Vec::new();
             let mut t = SimTime::ZERO;
             for seq in arrivals {
-                let fr = DataMessage::builder(stream)
+                let fr: FrameBytes = DataMessage::builder(stream)
                     .seq(SequenceNumber::new(seq))
                     .build()
                     .unwrap()
-                    .encode_to_vec();
+                    .encode_to_vec()
+                    .into();
                 t += garnet_simkit::SimDuration::from_micros(100);
                 for d in f.on_frame(ReceiverId::new(0), -40.0, &fr, t).deliveries {
                     delivered.push(d.msg.seq().as_u16());

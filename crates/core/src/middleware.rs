@@ -47,8 +47,8 @@ use garnet_radio::{Receiver, ReceiverId, Transmitter};
 use garnet_simkit::trace::TraceSnapshot;
 use garnet_simkit::{stage_key, SimTime};
 use garnet_wire::{
-    AckStatus, ActuationTarget, DataMessage, RequestId, SensorCommand, SensorId, SequenceNumber,
-    StreamId, StreamUpdateRequest,
+    AckStatus, ActuationTarget, DataMessage, FrameBytes, RequestId, SensorCommand, SensorId,
+    SequenceNumber, StreamId, StreamUpdateRequest,
 };
 
 use crate::actuation::{ActuationConfig, ActuationService};
@@ -65,7 +65,7 @@ use crate::resource::{DenyReason, MediationPolicy, ResourceManager, SensorProfil
 use crate::router::{
     ControlGraph, OverloadConfig, OverloadTotals, Services, ShardedDispatch, ShardedIngest,
 };
-use crate::service::{ActuationOrigin, ServiceEvent, ServiceOutput};
+use crate::service::{ActuationOrigin, BatchedFrame, ServiceEvent, ServiceOutput};
 use crate::stream::ShardedStreamRegistry;
 
 pub use crate::service::SYSTEM_SUBSCRIBER;
@@ -134,6 +134,13 @@ pub struct GarnetConfig {
     /// the `trace` cargo feature is compiled in; without it the tracer
     /// is a zero-sized no-op regardless of this value.
     pub trace_capacity: usize,
+    /// Whether frame bursts move through the engines on the batched
+    /// hot path (batch pumping on the FIFO router, run-merged edge
+    /// submission on the threaded graph). `false` forces the legacy
+    /// frame-at-a-time path. Both settings are bit-identical in every
+    /// observable — this knob exists so CI can prove it, via the
+    /// `GARNET_TEST_BATCH` env toggle the default honours.
+    pub batch_ingest: bool,
 }
 
 impl Default for GarnetConfig {
@@ -155,7 +162,19 @@ impl Default for GarnetConfig {
             quiesce: None,
             overload: None,
             trace_capacity: garnet_simkit::trace::TraceConfig::default().capacity,
+            batch_ingest: default_batch_ingest(),
         }
+    }
+}
+
+/// `true` (the batched hot path), unless the `GARNET_TEST_BATCH`
+/// environment variable says `perframe`/`off`/`0` — the hook CI uses to
+/// rerun default-config test suites on the legacy frame-at-a-time path
+/// without editing them (the twin of `GARNET_TEST_DRIVER`).
+fn default_batch_ingest() -> bool {
+    match std::env::var("GARNET_TEST_BATCH") {
+        Ok(v) => !(v == "0" || v.eq_ignore_ascii_case("perframe") || v.eq_ignore_ascii_case("off")),
+        Err(_) => true,
     }
 }
 
@@ -372,7 +391,7 @@ impl Garnet {
                     dispatch: ShardedDispatch::new(config.dispatch_shards),
                     control,
                 };
-                Box::new(FifoDriver::new(services, config.overload))
+                Box::new(FifoDriver::new(services, config.overload, config.batch_ingest))
             }
             DriverKind::Threaded => Box::new(ThreadedDriver::new(
                 config.filter,
@@ -380,6 +399,7 @@ impl Garnet {
                 config.dispatch_shards,
                 control,
                 config.overload,
+                config.batch_ingest,
             )),
         };
         driver
@@ -580,27 +600,40 @@ impl Garnet {
     }
 
     /// Feeds a burst of raw frames through admission control before a
-    /// single pump — the batch intake that makes the bounded queue and
-    /// its overload policy observable (and spares per-frame pump
-    /// overhead when a receiver hands over several frames at once).
+    /// single pump — the preferred ingest entry. Batching makes the
+    /// bounded queue and its overload policy observable, and the whole
+    /// burst is admitted, handed to the ingest stage and filtered as
+    /// one unit (one channel hand-off per shard run on the threaded
+    /// engine, one decode pass per run on the FIFO engine).
+    ///
+    /// Frames arriving as [`FrameBytes`] handles (e.g. out of receiver
+    /// buffers) enter zero-copy; `Vec<u8>` payloads are absorbed
+    /// without copying.
     ///
     /// The returned [`StepOutput::overload`] is this call's ledger:
-    /// with the queue drained, `offered == shed + delivered`.
-    pub fn on_frames(
+    /// with the queue drained, `offered == shed + delivered`, counting
+    /// every individual frame of the batch.
+    pub fn on_frames<F: Into<FrameBytes>>(
         &mut self,
-        frames: Vec<(ReceiverId, f64, Vec<u8>)>,
+        frames: Vec<(ReceiverId, f64, F)>,
         now: SimTime,
     ) -> StepOutput {
         let mut out = StepOutput::default();
         let base = self.driver.overload_totals();
         let base_restarts = self.driver.shard_restart_count();
-        for (receiver, rssi_dbm, frame) in frames {
-            // A blocked admission inside the driver drains events to
-            // make room; whatever escaped the queue in the process
-            // comes back here and is applied in order.
-            for o in self.driver.admit_frame(receiver, rssi_dbm, frame, now) {
-                self.apply(o, now, &mut out);
-            }
+        let batch: Vec<BatchedFrame> = frames
+            .into_iter()
+            .map(|(receiver, rssi_dbm, frame)| BatchedFrame {
+                receiver,
+                rssi_dbm,
+                frame: frame.into(),
+            })
+            .collect();
+        // A blocked admission inside the driver drains events to make
+        // room; whatever escaped the queue in the process comes back
+        // here and is applied in order.
+        for o in self.driver.admit_frames(batch, now) {
+            self.apply(o, now, &mut out);
         }
         self.pump(now, &mut out);
         self.note_overload_delta(base, base_restarts, &mut out);

@@ -266,7 +266,9 @@ impl PipelineSim {
             }
             PipelineEvent::Reception(rec) => {
                 self.receptions += 1;
-                let out = self.garnet.on_frame(rec.receiver, rec.rssi_dbm, &rec.frame, now);
+                // The reception's frame is already a shared-slice
+                // handle; hand it over without copying the payload.
+                let out = self.garnet.on_frames(vec![(rec.receiver, rec.rssi_dbm, rec.frame)], now);
                 for plan in &out.control {
                     self.transmit_plan(plan, now);
                 }

@@ -29,18 +29,18 @@ use garnet_net::{
 use garnet_radio::ReceiverId;
 use garnet_simkit::trace::{TraceConfig, TraceOutcome, TraceRecord, TraceSnapshot, Tracer};
 use garnet_simkit::{Histogram, SimTime};
-use garnet_wire::{peek_seq, peek_stream, ActuationTarget};
+use garnet_wire::{peek_seq, peek_stream, ActuationTarget, FrameBytes};
 
 use crate::actuation::{ActuationConfig, ActuationService};
 use crate::coordinator::{CoordinationMode, SuperCoordinator};
 use crate::dispatching::{DispatchOutcome, DispatchingService};
 use crate::driver::{DispatchStats, FilterStats};
-use crate::filtering::{Delivery, FilterConfig, FilterResult, FilteringService};
+use crate::filtering::{Delivery, FilterConfig, FilterResult, FilteringService, FrameArrival};
 use crate::location::{LocationConfig, LocationService};
 use crate::orphanage::{Orphanage, OrphanageConfig};
 use crate::replicator::MessageReplicator;
 use crate::resource::{MediationPolicy, ResourceManager};
-use crate::service::{GarnetService, ServiceEvent, ServiceOutput};
+use crate::service::{BatchedFrame, GarnetService, ServiceEvent, ServiceOutput};
 use crate::stream::{shard_of_sensor, ShardedStreamRegistry, StreamRegistry};
 use crate::trace::RootTag;
 #[cfg(feature = "trace")]
@@ -92,11 +92,39 @@ impl ShardedIngest {
         &mut self,
         receiver: ReceiverId,
         rssi_dbm: f64,
-        frame: &[u8],
+        frame: &FrameBytes,
         now: SimTime,
     ) -> FilterResult {
         let shard = self.shard_of(frame);
         self.shards[shard].on_frame(receiver, rssi_dbm, frame, now)
+    }
+
+    /// Feeds a burst of frames, equivalent to [`ShardedIngest::on_frame`]
+    /// per entry in order: results come back in arrival order, and since
+    /// streams are pinned to shards, routing each shard its own
+    /// arrival-ordered sub-batch observes exactly the per-frame state
+    /// evolution. Each shard validates its sub-batch's headers in one
+    /// prepass ([`FilteringService::on_batch`]).
+    pub fn on_batch(&mut self, frames: &[FrameArrival]) -> Vec<FilterResult> {
+        if self.shards.len() == 1 {
+            return self.shards[0].on_batch(frames);
+        }
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, f) in frames.iter().enumerate() {
+            per_shard[self.shard_of(&f.frame)].push(i);
+        }
+        let mut out: Vec<Option<FilterResult>> = frames.iter().map(|_| None).collect();
+        for (shard, idxs) in per_shard.into_iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            // Cloning a FrameArrival only bumps the frame's refcount.
+            let batch: Vec<FrameArrival> = idxs.iter().map(|&i| frames[i].clone()).collect();
+            for (i, r) in idxs.into_iter().zip(self.shards[shard].on_batch(&batch)) {
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter().map(|r| r.expect("every frame lands on exactly one shard")).collect()
     }
 
     /// Flushes expired reorder buffers on every shard and merges the
@@ -182,6 +210,18 @@ impl GarnetService for ShardedIngest {
             ServiceEvent::Frame { receiver, rssi_dbm, frame } => {
                 let result = self.on_frame(receiver, rssi_dbm, &frame, now);
                 Self::frame_outputs(result)
+            }
+            ServiceEvent::FrameBatch(frames) => {
+                let arrivals: Vec<FrameArrival> = frames
+                    .into_iter()
+                    .map(|f| FrameArrival {
+                        receiver: f.receiver,
+                        rssi_dbm: f.rssi_dbm,
+                        frame: f.frame,
+                        at: now,
+                    })
+                    .collect();
+                self.on_batch(&arrivals).into_iter().flat_map(Self::frame_outputs).collect()
             }
             ServiceEvent::FlushReorder => self
                 .on_tick(now)
@@ -518,7 +558,7 @@ impl ControlGraph {
             StateReported { .. } => self.coordinator.handle(ev, now),
             // Data-plane events are not ours; ignoring them keeps the
             // contract total.
-            Frame { .. } | FlushReorder | Filtered { .. } => Vec::new(),
+            Frame { .. } | FrameBatch(_) | FlushReorder | Filtered { .. } => Vec::new(),
         }
     }
 
@@ -626,7 +666,7 @@ pub enum FrameAdmission {
     /// Queue at capacity under [`OverloadPolicy::Block`]: the frame is
     /// handed back untouched; drain the queue and retry. Nothing is
     /// counted for a blocked attempt, so retries don't inflate totals.
-    Blocked(Vec<u8>),
+    Blocked(FrameBytes),
 }
 
 /// Monotonic frame-admission totals, for metrics deltas.
@@ -772,7 +812,7 @@ impl Router {
         &mut self,
         receiver: ReceiverId,
         rssi_dbm: f64,
-        frame: Vec<u8>,
+        frame: FrameBytes,
         now: SimTime,
     ) -> FrameAdmission {
         let Some(cfg) = self.overload else {
@@ -796,6 +836,16 @@ impl Router {
             }
             OverloadPolicy::CoalesceFrames => self.coalesce_frame(receiver, rssi_dbm, frame, now),
         }
+    }
+
+    /// Offers a burst of frames to admission control, one ledger entry
+    /// per frame: each frame goes through [`Router::admit_frame`] in
+    /// order, so `offered == shed + delivered` counts frames — never
+    /// batches — under every policy, and [`OverloadPolicy::Block`] hands
+    /// back exactly the frames that did not fit (in arrival order) for
+    /// the caller to retry after draining.
+    pub fn admit_frames(&mut self, frames: Vec<BatchedFrame>, now: SimTime) -> Vec<FrameAdmission> {
+        frames.into_iter().map(|f| self.admit_frame(f.receiver, f.rssi_dbm, f.frame, now)).collect()
     }
 
     /// Removes the oldest queued `Frame` event. Callers guarantee one
@@ -837,7 +887,7 @@ impl Router {
         &mut self,
         receiver: ReceiverId,
         rssi_dbm: f64,
-        frame: Vec<u8>,
+        frame: FrameBytes,
         now: SimTime,
     ) -> FrameAdmission {
         let stream = peek_stream(&frame);
@@ -918,10 +968,53 @@ impl Router {
         Some(external)
     }
 
+    /// Pops and routes a maximal run of consecutive `Frame` events as
+    /// one filtering batch (falling back to [`Router::step`] when the
+    /// queue head is anything else). Bit-identical to stepping the same
+    /// events one at a time: frames were adjacent in the queue, so their
+    /// cascades would have been enqueued back-to-back in this exact
+    /// order anyway, and each frame keeps its own root tag, trace record
+    /// and ledger entry — only the per-event dispatch and header
+    /// re-validation are amortised.
+    pub fn step_batch(&mut self, now: SimTime) -> Option<Vec<ServiceOutput>> {
+        if !matches!(self.queue.front(), Some((_, ServiceEvent::Frame { .. }))) {
+            return self.step(now);
+        }
+        let mut tags: Vec<RootTag> = Vec::new();
+        let mut arrivals: Vec<FrameArrival> = Vec::new();
+        while matches!(self.queue.front(), Some((_, ServiceEvent::Frame { .. }))) {
+            let (tag, ev) = self.queue.pop_front().expect("front was just matched");
+            self.queued_frames -= 1;
+            self.totals.delivered += 1;
+            #[cfg(feature = "trace")]
+            {
+                let rec = event_record(&ev, now, Some(tag));
+                self.tracer.note_occupancy(rec.stage, self.queue.len() as u64);
+                self.tracer.record(|| rec);
+            }
+            let ServiceEvent::Frame { receiver, rssi_dbm, frame } = ev else {
+                unreachable!("front was matched as a Frame");
+            };
+            tags.push(tag);
+            arrivals.push(FrameArrival { receiver, rssi_dbm, frame, at: now });
+        }
+        let results = self.services.ingest.on_batch(&arrivals);
+        let mut external = Vec::new();
+        for (tag, result) in tags.into_iter().zip(results) {
+            for o in ShardedIngest::frame_outputs(result) {
+                match o {
+                    ServiceOutput::Emit(ev) => self.enqueue_tagged(tag, ev),
+                    other => external.push(other),
+                }
+            }
+        }
+        Some(external)
+    }
+
     fn route(&mut self, ev: ServiceEvent, now: SimTime) -> Vec<ServiceOutput> {
         use ServiceEvent::*;
         match ev {
-            Frame { .. } | FlushReorder => self.services.ingest.handle(ev, now),
+            Frame { .. } | FrameBatch(_) | FlushReorder => self.services.ingest.handle(ev, now),
             Filtered { .. } => self.services.dispatch.handle(ev, now),
             other => self.services.control.handle(other, now),
         }
@@ -963,7 +1056,11 @@ impl Router {
 
 /// One queued frame awaiting its shard batch: (receiver, rssi_dbm,
 /// frame bytes, arrival time).
-type PendingFrame = (ReceiverId, f64, Vec<u8>, SimTime);
+type PendingFrame = (ReceiverId, f64, FrameBytes, SimTime);
+
+fn pending_to_arrival((receiver, rssi_dbm, frame, at): PendingFrame) -> FrameArrival {
+    FrameArrival { receiver, rssi_dbm, frame, at }
+}
 
 /// A job for one threaded ingest shard.
 enum IngestJob {
@@ -1103,19 +1200,18 @@ impl ThreadedIngest {
                     match job {
                         IngestJob::Frames(frames) => {
                             batch.frames = frames.len() as u64;
-                            for (receiver, rssi_dbm, frame, at) in frames {
-                                let result = filter.on_frame(receiver, rssi_dbm, &frame, at);
+                            let arrivals: Vec<FrameArrival> =
+                                frames.into_iter().map(pending_to_arrival).collect();
+                            for result in filter.on_batch(&arrivals) {
                                 for d in result.deliveries {
-                                    batch.matched +=
-                                        subs.match_subscribers(d.msg.stream()).len() as u64;
+                                    batch.matched += subs.match_count(d.msg.stream()) as u64;
                                     batch.deliveries.push(d);
                                 }
                             }
                         }
                         IngestJob::Flush(now) => {
                             for d in filter.on_tick(now) {
-                                batch.matched +=
-                                    subs.match_subscribers(d.msg.stream()).len() as u64;
+                                batch.matched += subs.match_count(d.msg.stream()) as u64;
                                 batch.deliveries.push(d);
                             }
                         }
@@ -1222,9 +1318,34 @@ impl ThreadedIngest {
         &mut self,
         receiver: ReceiverId,
         rssi_dbm: f64,
-        frame: Vec<u8>,
+        frame: FrameBytes,
         at: SimTime,
     ) -> Vec<IngestBatch> {
+        self.stage_frame(receiver, rssi_dbm, frame, at);
+        let out = self.pool.drain();
+        self.absorb_failures();
+        out
+    }
+
+    /// Queues a burst of frames as one call — the batch analogue of
+    /// [`ThreadedIngest::push`], amortising the drain/failure sweep over
+    /// the whole burst. Shard batches still fill and submit at
+    /// `batch_size`, so the job stream is identical to pushing the
+    /// frames one at a time.
+    pub fn push_frames(
+        &mut self,
+        frames: impl IntoIterator<Item = (ReceiverId, f64, FrameBytes)>,
+        at: SimTime,
+    ) -> Vec<IngestBatch> {
+        for (receiver, rssi_dbm, frame) in frames {
+            self.stage_frame(receiver, rssi_dbm, frame, at);
+        }
+        let out = self.pool.drain();
+        self.absorb_failures();
+        out
+    }
+
+    fn stage_frame(&mut self, receiver: ReceiverId, rssi_dbm: f64, frame: FrameBytes, at: SimTime) {
         let shard = match peek_stream(&frame) {
             Some(stream) => shard_of_sensor(stream.sensor().as_u32(), self.shards),
             None => 0,
@@ -1235,9 +1356,6 @@ impl ThreadedIngest {
             let frames = std::mem::take(&mut self.pending[shard]);
             self.submit_batch(shard, frames);
         }
-        let out = self.pool.drain();
-        self.absorb_failures();
-        out
     }
 
     /// Submits all partial batches and a reorder flush on every shard.
@@ -1344,6 +1462,12 @@ impl std::fmt::Debug for ThreadedIngest {
 enum FilterJob {
     /// One boundary frame.
     Frame(PendingFrame),
+    /// A run of consecutive boundary frames bound for this shard. The
+    /// job rides on the run's **first** root; frame `i` belongs to root
+    /// `first + i` (the driver allocates the run's roots consecutively),
+    /// so one job — one queue slot, one result hand-off, one counter
+    /// snapshot — carries the whole run.
+    Frames(Vec<PendingFrame>),
     /// Flush reorder buffers up to the given instant.
     Flush(SimTime),
 }
@@ -1367,6 +1491,10 @@ enum FilterOutKind {
     /// emissions, in the order a single-threaded ingest would emit
     /// them).
     Frame(Vec<ServiceOutput>),
+    /// Per-frame service outputs for a [`FilterJob::Frames`] run: entry
+    /// `i` belongs to root `first + i`, where `first` is the root the
+    /// job was submitted under.
+    Frames(Vec<Vec<ServiceOutput>>),
     /// The shard's flush releases, in its own stream-id order.
     Flush(Vec<Delivery>),
 }
@@ -1621,6 +1749,10 @@ pub struct ThreadedRouter {
     /// Latest per-ingest-shard (counters, reorder deadline) snapshot,
     /// refreshed at the A drain.
     a_stats: Vec<(FilterStats, Option<SimTime>)>,
+    /// Root span of each in-flight [`FilterJob::Frames`] run, keyed by
+    /// the run's first root: a failed run must close every root it
+    /// carried, not just the one the job rode on.
+    a_spans: BTreeMap<u64, usize>,
     dispatched: u64,
     deliveries: u64,
     unclaimed: u64,
@@ -1732,6 +1864,17 @@ impl ThreadedRouter {
                         let result = filter.on_frame(receiver, rssi_dbm, &frame, at);
                         FilterOutKind::Frame(ShardedIngest::frame_outputs(result))
                     }
+                    FilterJob::Frames(frames) => {
+                        let arrivals: Vec<FrameArrival> =
+                            frames.into_iter().map(pending_to_arrival).collect();
+                        FilterOutKind::Frames(
+                            filter
+                                .on_batch(&arrivals)
+                                .into_iter()
+                                .map(ShardedIngest::frame_outputs)
+                                .collect(),
+                        )
+                    }
                     FilterJob::Flush(now) => FilterOutKind::Flush(filter.on_tick(now)),
                 };
                 FilterOut {
@@ -1780,6 +1923,7 @@ impl ThreadedRouter {
             subscriptions,
             streams: ShardedStreamRegistry::new(dispatch_shards),
             a_stats: vec![(FilterStats::default(), None); ingest_shards],
+            a_spans: BTreeMap::new(),
             dispatched: 0,
             deliveries: 0,
             unclaimed: 0,
@@ -1836,7 +1980,7 @@ impl ThreadedRouter {
         &mut self,
         receiver: ReceiverId,
         rssi_dbm: f64,
-        frame: Vec<u8>,
+        frame: FrameBytes,
         at: SimTime,
     ) -> Vec<RootOutput> {
         self.offered_frames += 1;
@@ -1889,6 +2033,85 @@ impl ThreadedRouter {
             .trace
             .push_pre(TraceRecord { outcome: _outcome, ..base });
         self.poll()
+    }
+
+    /// Offers a burst of boundary frames as one call. Every frame still
+    /// gets its own root — release order, tracing and the offered/shed
+    /// ledger are identical to calling [`ThreadedRouter::push_frame`]
+    /// per frame — but each run of consecutive frames bound for the
+    /// same filtering shard travels as **one** multi-frame job
+    /// ([`FilterJob::Frames`] under the run's first root), and the
+    /// edges are polled once for the whole burst. Under the shedding
+    /// policies this degrades to the per-frame path so refusals stay
+    /// per-frame.
+    pub fn push_frames(
+        &mut self,
+        frames: impl IntoIterator<Item = (ReceiverId, f64, FrameBytes)>,
+        at: SimTime,
+    ) -> Vec<RootOutput> {
+        if self.policy != OverloadPolicy::Block {
+            let mut out = Vec::new();
+            for (receiver, rssi_dbm, frame) in frames {
+                out.extend(self.push_frame(receiver, rssi_dbm, frame, at));
+            }
+            return out;
+        }
+        // Root order must equal A-edge submission order (the B
+        // sequencer leans on it), so only consecutive same-shard runs
+        // may share a job.
+        let mut run_shard = 0usize;
+        let mut run_first = 0u64;
+        let mut run: Vec<PendingFrame> = Vec::new();
+        for (receiver, rssi_dbm, frame) in frames {
+            self.offered_frames += 1;
+            let stream = peek_stream(&frame);
+            let shard = match stream {
+                Some(stream) => shard_of_sensor(stream.sensor().as_u32(), self.ingest_shards),
+                None => 0,
+            };
+            let root = self.new_root(at);
+            let state = self.roots.get_mut(&root).expect("just inserted");
+            state.a_expected = 1;
+            #[cfg(feature = "trace")]
+            state.trace.push_pre(TraceRecord {
+                stream: stream.map(|s| s.to_raw()),
+                sensor: stream.map(|s| s.sensor().as_u32()),
+                shard: Some(shard as u32),
+                ..TraceRecord::new(
+                    at.as_micros(),
+                    TraceStage::Filtering,
+                    TraceEventKind::Frame,
+                    TraceOutcome::Delivered,
+                )
+            });
+            if shard != run_shard && !run.is_empty() {
+                let jobs = std::mem::take(&mut run);
+                self.submit_frame_run(run_shard, run_first, jobs);
+            }
+            if run.is_empty() {
+                run_first = root;
+            }
+            run_shard = shard;
+            run.push((receiver, rssi_dbm, frame, at));
+        }
+        if !run.is_empty() {
+            self.submit_frame_run(run_shard, run_first, run);
+        }
+        self.poll()
+    }
+
+    /// Submits one consecutive-root run to the filtering edge: a single
+    /// frame rides as [`FilterJob::Frame`], a longer run as one
+    /// [`FilterJob::Frames`] job under its first root, with the span
+    /// recorded so a failed run still closes every root it carried.
+    fn submit_frame_run(&mut self, shard: usize, first: u64, mut run: Vec<PendingFrame>) {
+        if run.len() == 1 {
+            let frame = run.pop().expect("run of one");
+            self.a.submit(shard, first, FilterJob::Frame(frame));
+        } else {
+            self.a_spans.insert(first, run.len());
+            self.a.submit(shard, first, FilterJob::Frames(run));
+        }
     }
 
     /// Flushes every filtering shard's reorder buffers as one boundary
@@ -1955,6 +2178,9 @@ impl ThreadedRouter {
             ServiceEvent::Frame { receiver, rssi_dbm, frame } => {
                 self.push_frame(receiver, rssi_dbm, frame, now)
             }
+            ServiceEvent::FrameBatch(frames) => {
+                self.push_frames(frames.into_iter().map(|f| (f.receiver, f.rssi_dbm, f.frame)), now)
+            }
             ServiceEvent::FlushReorder => self.push_flush(now),
             ServiceEvent::Filtered { delivery, depth } => self.push_filtered(delivery, depth, now),
             other => self.push_control(other, now),
@@ -1988,77 +2214,119 @@ impl ThreadedRouter {
         jobs
     }
 
+    /// Folds one frame's filtering outputs into its root: Filtered
+    /// emissions become dispatch jobs (appended to `b_pending` in
+    /// submission order — the B edge's sequencing), Observed /
+    /// AckReceived emissions queue as control events ahead of them,
+    /// exactly as the FIFO router would order the same frame.
+    fn absorb_frame_result(
+        &mut self,
+        root: u64,
+        outputs: Vec<ServiceOutput>,
+        b_pending: &mut Vec<(usize, u64, DispatchJob)>,
+    ) {
+        let Some(state) = self.roots.get_mut(&root) else { return };
+        state.a_done += 1;
+        for o in outputs {
+            match o {
+                ServiceOutput::Emit(ServiceEvent::Filtered { delivery, depth }) => {
+                    state.b_expected += 1;
+                    let shard = shard_of_sensor(
+                        delivery.msg.stream().sensor().as_u32(),
+                        self.dispatch_shards,
+                    );
+                    #[cfg(feature = "trace")]
+                    state.trace.push_dispatch(dispatch_record(&delivery, state.now, shard));
+                    b_pending.push((shard, root, DispatchJob { delivery, depth }));
+                }
+                // Observed / AckReceived: control events the FIFO
+                // router would queue before the Filtered ones — same
+                // order here.
+                ServiceOutput::Emit(ev) => state.c_events.push(ev),
+                other => state.outputs.push(other),
+            }
+        }
+        // Filtering has fully landed: everything in c_events so far
+        // precedes dispatch in the canonical FIFO order.
+        #[cfg(feature = "trace")]
+        if state.a_done == state.a_expected {
+            state.trace.set_pre_c(state.c_events.len());
+        }
+    }
+
     /// Drives every edge forward without blocking on results, returning
     /// the roots that completed (in root order).
     pub fn poll(&mut self) -> Vec<RootOutput> {
         // A outputs arrive in submission order == root order, so B jobs
         // are submitted in (root, within-root stream) order with no
-        // reorder buffer: this loop is the B edge's sequencer.
+        // reorder buffer: this loop is the B edge's sequencer. Jobs are
+        // accumulated across the whole A drain and handed to B in
+        // consecutive same-shard runs, preserving that global order
+        // while amortising the channel hand-off over the burst.
+        let mut b_pending: Vec<(usize, u64, DispatchJob)> = Vec::new();
         for (root, out) in self.a.drain() {
             self.a_stats[out.shard] = (out.stats, out.next_deadline);
-            let mut b_jobs: Vec<(usize, DispatchJob)> = Vec::new();
-            if let Some(state) = self.roots.get_mut(&root) {
-                state.a_done += 1;
-                match out.kind {
-                    FilterOutKind::Frame(outputs) => {
-                        for o in outputs {
-                            match o {
-                                ServiceOutput::Emit(ServiceEvent::Filtered { delivery, depth }) => {
-                                    state.b_expected += 1;
-                                    let shard = shard_of_sensor(
-                                        delivery.msg.stream().sensor().as_u32(),
-                                        self.dispatch_shards,
-                                    );
-                                    #[cfg(feature = "trace")]
-                                    state.trace.push_dispatch(dispatch_record(
-                                        &delivery, state.now, shard,
-                                    ));
-                                    b_jobs.push((shard, DispatchJob { delivery, depth }));
-                                }
-                                // Observed / AckReceived: control events
-                                // the FIFO router would queue before the
-                                // Filtered ones — same order here.
-                                ServiceOutput::Emit(ev) => state.c_events.push(ev),
-                                other => state.outputs.push(other),
-                            }
-                        }
+            match out.kind {
+                FilterOutKind::Frame(outputs) => {
+                    self.absorb_frame_result(root, outputs, &mut b_pending);
+                }
+                FilterOutKind::Frames(per_frame) => {
+                    // A run's roots are consecutive from the root the
+                    // job rode on; attributing entry i to root + i is
+                    // exactly the per-frame drain.
+                    self.a_spans.remove(&root);
+                    for (i, outputs) in per_frame.into_iter().enumerate() {
+                        self.absorb_frame_result(root + i as u64, outputs, &mut b_pending);
                     }
-                    FilterOutKind::Flush(deliveries) => {
+                }
+                FilterOutKind::Flush(deliveries) => {
+                    let mut b_jobs = Vec::new();
+                    if let Some(state) = self.roots.get_mut(&root) {
+                        state.a_done += 1;
                         state.flush_deliveries.extend(deliveries);
                         b_jobs = Self::flush_jobs(state, self.dispatch_shards);
+                        // Filtering has fully landed: everything in
+                        // c_events so far precedes dispatch in the
+                        // canonical FIFO order.
+                        #[cfg(feature = "trace")]
+                        if state.a_done == state.a_expected {
+                            state.trace.set_pre_c(state.c_events.len());
+                        }
                     }
+                    b_pending.extend(b_jobs.into_iter().map(|(shard, job)| (shard, root, job)));
                 }
-                // Filtering has fully landed: everything in c_events so
-                // far precedes dispatch in the canonical FIFO order.
-                #[cfg(feature = "trace")]
-                if state.a_done == state.a_expected {
-                    state.trace.set_pre_c(state.c_events.len());
-                }
-            }
-            for (shard, job) in b_jobs {
-                self.b.submit(shard, root, job);
             }
         }
         for f in self.a.take_failures() {
             self.lost_jobs += 1;
-            let mut b_jobs = Vec::new();
-            if let Some(state) = self.roots.get_mut(&f.root) {
-                // The lost job still closes its root: sealing must
-                // never hang on work that will not arrive.
-                state.a_done += 1;
-                #[cfg(feature = "trace")]
-                {
-                    state.trace.fail_pre();
-                    if state.a_done == state.a_expected {
-                        state.trace.set_pre_c(state.c_events.len());
+            // A lost multi-frame run closes every root it carried:
+            // sealing must never hang on work that will not arrive.
+            let span = self.a_spans.remove(&f.root).unwrap_or(1) as u64;
+            for root in f.root..f.root.saturating_add(span) {
+                let mut b_jobs = Vec::new();
+                if let Some(state) = self.roots.get_mut(&root) {
+                    state.a_done += 1;
+                    #[cfg(feature = "trace")]
+                    {
+                        state.trace.fail_pre();
+                        if state.a_done == state.a_expected {
+                            state.trace.set_pre_c(state.c_events.len());
+                        }
                     }
+                    b_jobs = Self::flush_jobs(state, self.dispatch_shards);
                 }
-                b_jobs = Self::flush_jobs(state, self.dispatch_shards);
-            }
-            for (shard, job) in b_jobs {
-                self.b.submit(shard, f.root, job);
+                b_pending.extend(b_jobs.into_iter().map(|(shard, job)| (shard, root, job)));
             }
             self.failures.push(f);
+        }
+        let mut it = b_pending.into_iter().peekable();
+        while let Some((shard, root, job)) = it.next() {
+            let mut jobs = vec![(root, job)];
+            while it.peek().is_some_and(|(s, _, _)| *s == shard) {
+                let (_, r, j) = it.next().expect("peeked");
+                jobs.push((r, j));
+            }
+            self.b.submit_batch(shard, jobs);
         }
 
         for (root, (outputs, note)) in self.b.drain() {
@@ -2108,6 +2376,7 @@ impl ThreadedRouter {
         // is the one stateful stage shared by every root, so its FIFO
         // *is* the determinism argument — whether it lives on a worker
         // or is pumped inline right here.
+        let mut c_batch: Vec<(u64, ControlJob)> = Vec::new();
         loop {
             let root = self.next_c_submit;
             let (events, now) = match self.roots.get_mut(&root) {
@@ -2125,7 +2394,10 @@ impl ThreadedRouter {
             };
             self.next_c_submit += 1;
             match &mut self.c {
-                ControlStage::Worker(edge) => edge.submit(0, root, ControlJob { events, now }),
+                // Consecutive ready roots accumulate and leave as one
+                // hand-off below — the worker pumps them in root order
+                // either way.
+                ControlStage::Worker(_) => c_batch.push((root, ControlJob { events, now })),
                 ControlStage::Inline(graph) => {
                     let (outputs, c_trace) = graph.pump_traced(events, now);
                     let state = self.roots.get_mut(&root).expect("submitted above");
@@ -2136,6 +2408,11 @@ impl ThreadedRouter {
                     #[cfg(not(feature = "trace"))]
                     let _ = c_trace;
                 }
+            }
+        }
+        if !c_batch.is_empty() {
+            if let ControlStage::Worker(edge) = &mut self.c {
+                edge.submit_batch(0, c_batch);
             }
         }
 
@@ -2383,7 +2660,7 @@ mod tests {
     use super::*;
     use garnet_wire::{DataMessage, SensorId, SequenceNumber, StreamId, StreamIndex};
 
-    fn frame(sensor: u32, seq: u16) -> Vec<u8> {
+    fn frame(sensor: u32, seq: u16) -> garnet_wire::FrameBytes {
         let stream = StreamId::new(SensorId::new(sensor).unwrap(), StreamIndex::new(0));
         DataMessage::builder(stream)
             .seq(SequenceNumber::new(seq))
@@ -2391,6 +2668,7 @@ mod tests {
             .build()
             .unwrap()
             .encode_to_vec()
+            .into()
     }
 
     #[test]

@@ -20,7 +20,7 @@ use garnet_radio::geometry::Point;
 use garnet_radio::ReceiverId;
 use garnet_simkit::SimTime;
 use garnet_wire::{
-    AckStatus, ActuationTarget, RequestId, SensorCommand, SensorId, StreamUpdateRequest,
+    AckStatus, ActuationTarget, FrameBytes, RequestId, SensorCommand, SensorId, StreamUpdateRequest,
 };
 
 use crate::actuation::ActuationService;
@@ -70,9 +70,18 @@ pub enum ServiceEvent {
         receiver: ReceiverId,
         /// Received signal strength (dBm).
         rssi_dbm: f64,
-        /// The encoded frame bytes.
-        frame: Vec<u8>,
+        /// The encoded frame bytes — a shared view of the arrival
+        /// buffer; cloning this event never copies the frame.
+        frame: FrameBytes,
     },
+    /// A burst of raw frames admitted as one unit → ingest (filtering).
+    ///
+    /// Semantically identical to the member frames arriving as
+    /// consecutive [`ServiceEvent::Frame`] events in order; the batch
+    /// form exists so the routers can amortise queueing, header
+    /// validation and shard hand-off over the burst. The preferred
+    /// ingest entry (`Garnet::on_frames`) produces these.
+    FrameBatch(Vec<BatchedFrame>),
     /// Flush reorder buffers whose deadline passed → ingest.
     FlushReorder,
     /// A reconstructed message leaving the ingest stage → dispatch.
@@ -152,6 +161,17 @@ pub enum ServiceEvent {
         /// The state entered.
         state: ConsumerStateId,
     },
+}
+
+/// One frame of a [`ServiceEvent::FrameBatch`].
+#[derive(Clone, Debug)]
+pub struct BatchedFrame {
+    /// The receiver that heard it.
+    pub receiver: ReceiverId,
+    /// Received signal strength (dBm).
+    pub rssi_dbm: f64,
+    /// The encoded frame bytes (shared view of the arrival buffer).
+    pub frame: FrameBytes,
 }
 
 /// What a service produced: an event for a sibling, or an effect for

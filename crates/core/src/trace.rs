@@ -89,6 +89,18 @@ mod imp {
                     ..base(TraceStage::Filtering, TraceEventKind::Frame)
                 }
             }
+            // Batches never reach the queue on the hot path (admission
+            // splits them into per-frame entries so each hop gets its
+            // own record); an externally enqueued batch is attributed
+            // to its first frame's stream.
+            FrameBatch(frames) => {
+                let stream = frames.first().and_then(|f| peek_stream(&f.frame));
+                TraceRecord {
+                    stream: stream.map(|s| s.to_raw()),
+                    sensor: stream.map(|s| s.sensor().as_u32()),
+                    ..base(TraceStage::Filtering, TraceEventKind::Frame)
+                }
+            }
             FlushReorder => base(TraceStage::Filtering, TraceEventKind::FlushReorder),
             Filtered { delivery, .. } => {
                 delivery_record(TraceStage::Dispatch, TraceEventKind::Filtered, delivery, now)

@@ -269,7 +269,16 @@ fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
 /// shard's worker thread.
 pub type Stage<I, O> = Box<dyn FnMut(I) -> O + Send>;
 type StageFactory<I, O> = Box<dyn FnMut(usize) -> Stage<I, O>>;
-type ShardResult<O> = (u64, usize, Result<O, String>);
+/// One result hand-off from a shard worker: every job of one
+/// [`JobBatch`] the worker finished, in batch order. Mirroring the job
+/// channel's batching on the way back keeps the result channel's
+/// send/recv cost per *batch*, not per job.
+type ShardResult<O> = (usize, Vec<(u64, Result<O, String>)>);
+/// One channel hand-off to a shard worker: a burst of sequenced jobs.
+/// Single submissions ride as one-element batches, so the bounded job
+/// queue counts hand-offs, and batch submission amortises the channel
+/// rendezvous over the burst.
+type JobBatch<I> = Vec<(u64, I)>;
 
 /// A fixed pool of shard workers with a deterministic output merge and
 /// worker-failure supervision.
@@ -318,7 +327,7 @@ type ShardResult<O> = (u64, usize, Result<O, String>);
 /// assert_eq!(out[4], 42, "job 4 was shard 0's second job");
 /// ```
 pub struct ShardPool<I: Send + 'static, O: Send + 'static> {
-    jobs: Vec<Sender<(u64, I)>>,
+    jobs: Vec<Sender<JobBatch<I>>>,
     results: Receiver<ShardResult<O>>,
     result_tx: Sender<ShardResult<O>>,
     workers: Vec<Option<std::thread::JoinHandle<()>>>,
@@ -380,7 +389,7 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
         let mut jobs = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
-            let (tx, rx) = channel::bounded::<(u64, I)>(capacity);
+            let (tx, rx) = channel::bounded::<JobBatch<I>>(capacity);
             jobs.push(tx);
             workers.push(Some(Self::spawn_worker(shard, rx, result_tx.clone(), factory(shard))));
         }
@@ -456,27 +465,35 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
 
     fn spawn_worker(
         shard: usize,
-        rx: Receiver<(u64, I)>,
+        rx: Receiver<JobBatch<I>>,
         out: Sender<ShardResult<O>>,
         mut stage: Stage<I, O>,
     ) -> std::thread::JoinHandle<()> {
         std::thread::Builder::new()
             .name(format!("garnet-shard-{shard}"))
             .spawn(move || {
-                while let Ok((seq, job)) = rx.recv() {
-                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| stage(job))) {
-                        Ok(o) => {
-                            if out.send((seq, shard, Ok(o))).is_err() {
-                                break; // collector gone; shutting down
+                while let Ok(batch) = rx.recv() {
+                    let mut results: Vec<(u64, Result<O, String>)> =
+                        Vec::with_capacity(batch.len());
+                    let mut poisoned = false;
+                    for (seq, job) in batch {
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| stage(job)))
+                        {
+                            Ok(o) => results.push((seq, Ok(o))),
+                            Err(payload) => {
+                                // The stage's state may be half-mutated:
+                                // report the loss and exit so the shard
+                                // is poisoned rather than corrupt (jobs
+                                // later in this batch strand with the
+                                // queued ones).
+                                results.push((seq, Err(panic_reason(payload.as_ref()))));
+                                poisoned = true;
+                                break;
                             }
                         }
-                        Err(payload) => {
-                            // The stage's state may be half-mutated:
-                            // report the loss and exit so the shard is
-                            // poisoned rather than corrupt.
-                            let _ = out.send((seq, shard, Err(panic_reason(payload.as_ref()))));
-                            break;
-                        }
+                    }
+                    if out.send((shard, results)).is_err() || poisoned {
+                        return; // collector gone, or this shard just died
                     }
                 }
             })
@@ -499,12 +516,38 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
         let idx = shard % self.jobs.len();
         let seq = self.next_seq;
         self.next_seq += 1;
-        if self.jobs[idx].send((seq, job)).is_ok() {
+        if self.jobs[idx].send(vec![(seq, job)]).is_ok() {
             self.in_flight[idx].push(seq);
         } else {
             self.note_lost(idx, seq, "submitted to a poisoned shard".to_owned());
         }
         seq
+    }
+
+    /// Submits a burst of jobs to `shard` as **one** channel hand-off,
+    /// blocking while the shard's queue is full. The jobs take
+    /// consecutive sequence numbers in order (the returned range), so
+    /// the submission-order merge treats them exactly as if each had
+    /// been [`ShardPool::submit`]ted individually — the batch only
+    /// amortises the per-job rendezvous with the worker.
+    pub fn submit_batch(&mut self, shard: usize, jobs: Vec<I>) -> std::ops::Range<u64> {
+        self.absorb_ready();
+        self.supervise();
+        let idx = shard % self.jobs.len();
+        let first = self.next_seq;
+        if jobs.is_empty() {
+            return first..first;
+        }
+        self.next_seq += jobs.len() as u64;
+        let batch: JobBatch<I> = (first..self.next_seq).zip(jobs).collect();
+        if self.jobs[idx].send(batch).is_ok() {
+            self.in_flight[idx].extend(first..self.next_seq);
+        } else {
+            for seq in first..self.next_seq {
+                self.note_lost(idx, seq, "submitted to a poisoned shard".to_owned());
+            }
+        }
+        first..self.next_seq
     }
 
     /// Non-blocking submission for callers that shed instead of stall:
@@ -519,19 +562,21 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
             return Err(RefusedJob::Poisoned(job));
         }
         let seq = self.next_seq;
-        match self.jobs[idx].try_send((seq, job)) {
+        let unwrap_one =
+            |mut batch: JobBatch<I>| batch.pop().expect("refused batch holds the one job").1;
+        match self.jobs[idx].try_send(vec![(seq, job)]) {
             Ok(()) => {
                 self.next_seq += 1;
                 self.in_flight[idx].push(seq);
                 Ok(seq)
             }
-            Err(TrySendError::Full((_, job))) => Err(RefusedJob::Full(job)),
-            Err(TrySendError::Disconnected((_, job))) => {
+            Err(TrySendError::Full(batch)) => Err(RefusedJob::Full(unwrap_one(batch))),
+            Err(TrySendError::Disconnected(batch)) => {
                 if !self.poisoned[idx] {
                     self.poisoned_at[idx] = Some(std::time::Instant::now());
                 }
                 self.poisoned[idx] = true;
-                Err(RefusedJob::Poisoned(job))
+                Err(RefusedJob::Poisoned(unwrap_one(batch)))
             }
         }
     }
@@ -546,21 +591,24 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
     }
 
     fn absorb_ready(&mut self) {
-        while let Ok((seq, shard, res)) = self.results.try_recv() {
-            if let Some(pos) = self.in_flight[shard].iter().position(|&s| s == seq) {
-                self.in_flight[shard].remove(pos);
-            }
-            match res {
-                Ok(o) => {
-                    self.collected.insert(seq, o);
+        while let Ok((shard, results)) = self.results.try_recv() {
+            for (seq, res) in results {
+                if let Some(pos) = self.in_flight[shard].iter().position(|&s| s == seq) {
+                    self.in_flight[shard].remove(pos);
                 }
-                Err(reason) => {
-                    // The worker exited after this panic, taking every
-                    // job still queued behind it on this shard.
-                    let stranded = std::mem::take(&mut self.in_flight[shard]);
-                    self.note_lost(shard, seq, reason);
-                    for s in stranded {
-                        self.note_lost(shard, s, "stranded behind a shard panic".to_owned());
+                match res {
+                    Ok(o) => {
+                        self.collected.insert(seq, o);
+                    }
+                    Err(reason) => {
+                        // The worker exited after this panic, taking
+                        // every job still queued behind it on this
+                        // shard.
+                        let stranded = std::mem::take(&mut self.in_flight[shard]);
+                        self.note_lost(shard, seq, reason);
+                        for s in stranded {
+                            self.note_lost(shard, s, "stranded behind a shard panic".to_owned());
+                        }
                     }
                 }
             }
@@ -613,7 +661,7 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
     /// never silently loses work it can't finish.
     pub fn restart_shard(&mut self, shard: usize) {
         let idx = shard % self.jobs.len();
-        let (tx, rx) = channel::bounded::<(u64, I)>(self.capacity);
+        let (tx, rx) = channel::bounded::<JobBatch<I>>(self.capacity);
         // Dropping the old sender makes a live worker drain its queue
         // and exit; a panicked worker is already gone.
         drop(std::mem::replace(&mut self.jobs[idx], tx));
@@ -786,6 +834,55 @@ mod tests {
         }
         let (out, failures) = pool.finish();
         assert_eq!(out, (0..30).collect::<Vec<u32>>());
+        assert!(failures.is_empty());
+    }
+
+    #[test]
+    fn shard_pool_batch_submission_matches_individual_submission() {
+        // The same jobs through submit_batch must merge in the same
+        // order and with the same per-shard state evolution as
+        // one-at-a-time submission.
+        let factory = |_shard: usize| -> Stage<u32, u64> {
+            let mut n = 0u64;
+            Box::new(move |x| {
+                n += 1;
+                u64::from(x) * 100 + n
+            })
+        };
+        let mut single: ShardPool<u32, u64> = ShardPool::new(2, 8, factory);
+        let mut batched: ShardPool<u32, u64> = ShardPool::new(2, 8, factory);
+        for chunk in (0..24u32).collect::<Vec<_>>().chunks(6) {
+            for &x in chunk {
+                single.submit((x % 2) as usize, x);
+            }
+            // Mirror the interleaving per shard: evens to 0, odds to 1.
+            for shard in 0..2u32 {
+                let jobs: Vec<u32> = chunk.iter().copied().filter(|x| x % 2 == shard).collect();
+                let seqs = batched.submit_batch(shard as usize, jobs);
+                assert_eq!(seqs.end - seqs.start, 3);
+            }
+        }
+        let (a, fa) = single.finish();
+        let (b, fb) = batched.finish();
+        assert!(fa.is_empty() && fb.is_empty());
+        // Per-shard sequences are identical; the global interleave
+        // differs only by the within-chunk submission order we chose.
+        let per_shard = |v: &[u64], shard: u64| -> Vec<u64> {
+            v.iter().copied().filter(|o| (o / 100) % 2 == shard).collect()
+        };
+        for shard in 0..2u64 {
+            assert_eq!(per_shard(&a, shard), per_shard(&b, shard), "shard {shard}");
+        }
+    }
+
+    #[test]
+    fn shard_pool_empty_batch_is_a_no_op() {
+        let mut pool: ShardPool<u32, u32> = ShardPool::new(1, 4, |_| Box::new(|x| x));
+        let seqs = pool.submit_batch(0, Vec::new());
+        assert!(seqs.is_empty());
+        pool.submit(0, 7);
+        let (out, failures) = pool.finish();
+        assert_eq!(out, vec![7], "empty batch consumed no sequence number");
         assert!(failures.is_empty());
     }
 

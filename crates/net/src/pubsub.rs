@@ -198,6 +198,28 @@ impl SubscriptionTable {
         out.into_iter().collect()
     }
 
+    /// How many subscribers [`SubscriptionTable::match_subscribers`]
+    /// would return for `stream`, without materialising the list — the
+    /// allocation-free form for hot paths that only account fan-out.
+    pub fn match_count(&self, stream: StreamId) -> usize {
+        let by_sensor = self.by_sensor.get(&stream.sensor().as_u32());
+        let by_stream = self.by_stream.get(&stream.to_raw());
+        // The three indexes can overlap (one subscriber holding All and
+        // a Sensor filter, say), so the union size counts each narrower
+        // set's members not already claimed by a wider one.
+        let mut count = self.all.len();
+        if let Some(set) = by_sensor {
+            count += set.iter().filter(|s| !self.all.contains(s)).count();
+        }
+        if let Some(set) = by_stream {
+            count += set
+                .iter()
+                .filter(|s| !self.all.contains(s) && by_sensor.is_none_or(|x| !x.contains(s)))
+                .count();
+        }
+        count
+    }
+
     /// True if no subscription matches `stream` — the message is
     /// *unclaimed* and belongs to the Orphanage.
     pub fn is_unclaimed(&self, stream: StreamId) -> bool {
@@ -286,6 +308,27 @@ mod tests {
         }
         let ids: Vec<u32> = t.match_subscribers(stream(1, 0)).iter().map(|s| s.as_u32()).collect();
         assert_eq!(ids, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn match_count_agrees_with_match_subscribers() {
+        let mut t = SubscriptionTable::new();
+        t.subscribe(SubscriberId::new(1), TopicFilter::All);
+        t.subscribe(SubscriberId::new(1), TopicFilter::Sensor(SensorId::new(5).unwrap()));
+        t.subscribe(SubscriberId::new(2), TopicFilter::Sensor(SensorId::new(5).unwrap()));
+        t.subscribe(SubscriberId::new(2), TopicFilter::Stream(stream(5, 0)));
+        t.subscribe(SubscriberId::new(3), TopicFilter::Stream(stream(5, 0)));
+        t.subscribe(SubscriberId::new(4), TopicFilter::Stream(stream(7, 1)));
+        for s in [stream(5, 0), stream(5, 1), stream(7, 1), stream(9, 0)] {
+            assert_eq!(
+                t.match_count(s),
+                t.match_subscribers(s).len(),
+                "count diverged from the materialised match for {s:?}"
+            );
+        }
+        assert_eq!(t.match_count(stream(5, 0)), 3);
+        let empty = SubscriptionTable::new();
+        assert_eq!(empty.match_count(stream(1, 0)), 0);
     }
 
     #[test]

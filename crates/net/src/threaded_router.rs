@@ -89,6 +89,24 @@ impl<I: Send + 'static, O: Send + 'static> StageEdge<I, O> {
         self.roots.insert(seq, root);
     }
 
+    /// Submits a burst of `(root, job)` pairs to `shard` as one channel
+    /// hand-off (see [`ShardPool::submit_batch`]): the jobs take
+    /// consecutive pool sequence numbers in order, so drain order and
+    /// root attribution are exactly as if each pair had been
+    /// [`StageEdge::submit`]ted individually.
+    pub fn submit_batch(&mut self, shard: usize, jobs: Vec<(u64, I)>) {
+        let mut roots = Vec::with_capacity(jobs.len());
+        let mut batch = Vec::with_capacity(jobs.len());
+        for (root, job) in jobs {
+            roots.push(root);
+            batch.push(job);
+        }
+        let seqs = self.pool.submit_batch(shard, batch);
+        for (seq, root) in seqs.zip(roots) {
+            self.roots.insert(seq, root);
+        }
+    }
+
     /// Non-blocking submission: at capacity (or on a dead,
     /// budget-exhausted shard) the job is handed back and nothing is
     /// recorded for the root.
@@ -199,6 +217,21 @@ mod tests {
         for (root, x) in [(7u64, 1u32), (7, 2), (9, 3), (11, 4)] {
             edge.submit(x as usize % 2, root, x);
         }
+        let mut got = Vec::new();
+        while got.len() < 4 {
+            got.extend(edge.drain());
+        }
+        assert_eq!(got, vec![(7, 10), (7, 20), (9, 30), (11, 40)]);
+        let (rest, failures) = edge.finish();
+        assert!(rest.is_empty() && failures.is_empty());
+    }
+
+    #[test]
+    fn batch_submission_preserves_root_labels_and_order() {
+        let mut edge: StageEdge<u32, u32> = StageEdge::new(2, 8, None, |_| Box::new(|x| x * 10));
+        edge.submit(0, 7, 1);
+        edge.submit_batch(1, vec![(7, 2), (9, 3)]);
+        edge.submit_batch(0, vec![(11, 4)]);
         let mut got = Vec::new();
         while got.len() < 4 {
             got.extend(edge.drain());

@@ -59,4 +59,7 @@ pub use crypto::PayloadKey;
 pub use error::WireError;
 pub use header::{HeaderFlags, MsgHeader, WIRE_VERSION};
 pub use ids::{RequestId, SensorId, SequenceNumber, StreamId, StreamIndex};
-pub use message::{peek_seq, peek_stream, DataMessage, DataMessageBuilder, MAX_PAYLOAD_LEN};
+pub use message::{
+    peek_seq, peek_stream, DataMessage, DataMessageBuilder, FrameBytes, FrameHeader,
+    MAX_PAYLOAD_LEN,
+};

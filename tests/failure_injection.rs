@@ -274,6 +274,15 @@ impl Consumer for RecordingConsumer {
 fn burst_run(
     overload: Option<OverloadConfig>,
 ) -> (Vec<DeliveryRecord>, garnet::core::middleware::OverloadStats) {
+    burst_run_batched(overload, usize::MAX)
+}
+
+/// [`burst_run`], with the burst split into `on_frames` batches of
+/// `batch` frames each (`usize::MAX` = the whole burst in one call).
+fn burst_run_batched(
+    overload: Option<OverloadConfig>,
+    batch: usize,
+) -> (Vec<DeliveryRecord>, garnet::core::middleware::OverloadStats) {
     let mut g = Garnet::new(GarnetConfig { overload, ..GarnetConfig::default() });
     let token = g.issue_default_token("recorder");
     let log = Arc::new(Mutex::new(Vec::new()));
@@ -295,12 +304,16 @@ fn burst_run(
             frames.push((ReceiverId::new(0), -50.0, bytes));
         }
     }
-    let out = g.on_frames(frames, SimTime::from_millis(1));
+    let mut total = StepOutput::default();
+    let chunk = batch.min(frames.len()).max(1);
+    for (i, frames) in frames.chunks(chunk).enumerate() {
+        total.merge(g.on_frames(frames.to_vec(), SimTime::from_millis(1 + i as u64)));
+    }
     // Flush the reorder buffer: shedding leaves per-stream gaps that
     // otherwise hold deliveries back past their reorder deadline.
     g.on_tick(SimTime::from_secs(1));
     let recorded = log.lock().unwrap().clone();
-    (recorded, out.overload)
+    (recorded, total.overload)
 }
 
 #[test]
@@ -355,6 +368,50 @@ fn burst_overload_policies_bound_the_queue_and_balance_the_ledger() {
                         recorded.iter().filter(|(s, _, _)| *s == raw).map(|(_, q, _)| *q).max();
                     assert_eq!(newest, Some(19), "stream {sensor} lost its newest frame");
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_admission_ledger_counts_individual_frames_at_batch_boundaries() {
+    // Splitting the burst into `on_frames` batches that straddle the
+    // capacity boundary — sub-capacity (3), exact fit (8), mid-batch
+    // overflow (13) and the whole burst at once — must keep the ledger
+    // in frames, not batches: `offered` counts every frame and
+    // `offered == shed + delivered` balances under every policy.
+    const CAPACITY: usize = 8;
+    for policy in [OverloadPolicy::Shed, OverloadPolicy::CoalesceFrames, OverloadPolicy::Block] {
+        for batch in [3usize, 8, 13, usize::MAX] {
+            let (recorded, stats) =
+                burst_run_batched(Some(OverloadConfig { capacity: CAPACITY, policy }), batch);
+            assert_eq!(stats.offered, 80, "{policy:?} batch={batch}: offered counts frames");
+            assert_eq!(
+                stats.shed + stats.delivered,
+                stats.offered,
+                "{policy:?} batch={batch}: ledger must balance"
+            );
+            assert!(
+                stats.peak_queue_depth <= CAPACITY as u64,
+                "{policy:?} batch={batch}: peak depth {} exceeds capacity",
+                stats.peak_queue_depth
+            );
+            // Every delivery corresponds to a frame the ledger says
+            // survived admission.
+            assert!(
+                (recorded.len() as u64) <= stats.delivered,
+                "{policy:?} batch={batch}: more deliveries than admitted frames"
+            );
+            if policy == OverloadPolicy::Block {
+                // Block never sheds, whatever the batching: admission
+                // drains the queue frame by frame to make room.
+                assert_eq!(stats.shed, 0, "batch={batch}");
+                assert_eq!(recorded.len(), 80, "batch={batch}: the full burst flows through");
+            }
+            // A batch no larger than capacity can never overflow the
+            // queue: the facade pumps to quiescence between calls.
+            if batch <= CAPACITY {
+                assert_eq!(stats.shed, 0, "{policy:?} batch={batch}: sub-capacity batches fit");
             }
         }
     }

@@ -37,7 +37,8 @@ fn replay(schedule: &[(Vec<u8>, SimTime)], shards: usize) -> (DeliveryLog, Count
     let mut log: Vec<(u32, u16)> = Vec::new();
     let mut last = SimTime::ZERO;
     for (bytes, at) in schedule {
-        let result = ingest.on_frame(ReceiverId::new(0), -40.0, bytes, *at);
+        let fr: garnet::wire::FrameBytes = bytes.clone().into();
+        let result = ingest.on_frame(ReceiverId::new(0), -40.0, &fr, *at);
         log.extend(
             result.deliveries.iter().map(|d| (d.msg.stream().to_raw(), d.msg.seq().as_u16())),
         );
@@ -165,6 +166,7 @@ fn corrupt_frames_shard_deterministically() {
     let mut good = frame(3, 0, 0);
     let idx = good.len() - 3;
     good[idx] ^= 0xFF; // corrupt payload, leave stream id intact
+    let good: garnet::wire::FrameBytes = good.into();
     let mut base = None;
     for shards in [1usize, 2, 4, 8] {
         let mut ingest = ShardedIngest::new(FilterConfig::default(), shards);

@@ -19,7 +19,7 @@ use garnet::radio::ReceiverId;
 use garnet::simkit::SimTime;
 use garnet::wire::{DataMessage, SensorId, SequenceNumber, StreamId, StreamIndex};
 
-fn frame(sensor: u32, index: u8, seq: u16) -> Vec<u8> {
+fn frame(sensor: u32, index: u8, seq: u16) -> garnet::wire::FrameBytes {
     let stream = StreamId::new(SensorId::new(sensor).unwrap(), StreamIndex::new(index));
     DataMessage::builder(stream)
         .seq(SequenceNumber::new(seq))
@@ -27,11 +27,12 @@ fn frame(sensor: u32, index: u8, seq: u16) -> Vec<u8> {
         .build()
         .unwrap()
         .encode_to_vec()
+        .into()
 }
 
 /// One facade-boundary event, with its arrival time.
 enum Boundary {
-    Frame(Vec<u8>, SimTime),
+    Frame(garnet::wire::FrameBytes, SimTime),
     Flush(SimTime),
     Tick(SimTime),
 }

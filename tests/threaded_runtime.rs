@@ -162,7 +162,7 @@ fn threaded_ingest_ledger_balances_end_to_end() {
             batches.extend(ingest.push(
                 ReceiverId::new(0),
                 -40.0,
-                frame(sensor, seq),
+                frame(sensor, seq).into(),
                 SimTime::ZERO,
             ));
         }
