@@ -37,4 +37,14 @@ echo "==> per-frame admission verify: GARNET_TEST_BATCH=perframe determinism + t
 GARNET_TEST_BATCH=perframe cargo test -q --test determinism --test tracing
 GARNET_TEST_BATCH=perframe cargo test -q --test determinism --test tracing --features trace
 
+# The durable archive (ISSUE 7): the garnet-store suite in both feature
+# configs, and the replay bit-identity suite re-hosted on the threaded
+# graph — a boundary log written under either engine must rebuild
+# dispatch state identically whatever engine replays it.
+echo "==> archive verify: garnet-store suite + replay bit-identity under the threaded driver"
+cargo test -q -p garnet-store
+cargo test -q -p garnet-store --features garnet-simkit/trace
+GARNET_TEST_DRIVER=threaded cargo test -q --test archive_replay
+GARNET_TEST_BATCH=perframe cargo test -q --test archive_replay
+
 echo "==> CI green"

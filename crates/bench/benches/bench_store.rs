@@ -1,0 +1,40 @@
+//! E22: archive overhead through the facade (writes `BENCH_store.json`,
+//! shared sweep schema — the `shards` field of each point carries the
+//! archive-mode index: 0 off, 1 memory, 2 file).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use garnet_bench::e03_pipeline::shard_workload;
+use garnet_bench::e22_store::{run_archive_point, store_overhead_json, ArchiveMode};
+use garnet_core::DriverKind;
+
+fn bench(c: &mut Criterion) {
+    let frames = 20_000u32;
+    let workload = shard_workload(frames, 64);
+    let mut group = c.benchmark_group("e22_store");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(u64::from(frames)));
+    for mode in ArchiveMode::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    std::hint::black_box(run_archive_point(&workload, DriverKind::Fifo, mode))
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // The acceptance shape: archiving costs something but never frames —
+    // every point of the document processed the full workload (the
+    // sweep's own assertions verify delivery and the archive ledger).
+    let json = store_overhead_json(20_000, 64);
+    if let Err(e) = std::fs::write("BENCH_store.json", &json) {
+        eprintln!("could not write BENCH_store.json: {e}");
+    }
+    println!("{json}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

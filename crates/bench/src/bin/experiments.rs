@@ -108,4 +108,8 @@ fn main() {
         let (_, t) = e21_batch::run();
         println!("{}", t.render());
     }
+    if want("e22") {
+        let (_, t) = e22_store::run();
+        println!("{}", t.render());
+    }
 }

@@ -62,7 +62,7 @@ pub fn run_mode_point(
     let last = SimTime::from_micros(workload.len() as u64);
     garnet.on_frames(frames, last);
     garnet.on_tick(SimTime::from_secs(3_600));
-    garnet.shutdown(SimTime::from_secs(3_600));
+    garnet.shutdown(SimTime::from_secs(3_600)).expect("no archive configured");
     let elapsed = started.elapsed();
     let count = delivered.load(std::sync::atomic::Ordering::Relaxed);
     assert_eq!(count, workload.len() as u64, "{driver:?} lost deliveries");

@@ -1,0 +1,203 @@
+//! E22 — archive overhead: the durable frame tap priced through the
+//! facade.
+//!
+//! The archive-before-admit tap (`GarnetConfig.archive`) logs every
+//! offered frame before the driver sees it, so its cost lands on the
+//! ingest hot path. This sweep prices that decision: the identical
+//! workload through the facade with the archive off, with the
+//! in-memory backend, and with the file backend, on both engines (the
+//! FIFO driver appends inline; the threaded driver hands encoded
+//! records to the `garnet-archiver` worker). Every mode must still
+//! deliver every frame, and every archiving mode must account for
+//! every offered frame in its ledger — the sweep prices durability, it
+//! never trades frames for it.
+//!
+//! Emits `BENCH_store.json` via the shared sweep schema
+//! ([`crate::e03_pipeline::sweep_json`], `host_cores` recorded). One
+//! schema caveat: the `shards` field of each point carries the **mode
+//! index** — the sweep variable — not a worker count; the topology is
+//! fixed at one shard per stage.
+
+use garnet_core::middleware::{Garnet, GarnetConfig};
+use garnet_core::pipeline::SharedCountConsumer;
+use garnet_core::{ArchiveBackend, ArchiveConfig, DriverKind};
+use garnet_net::TopicFilter;
+use garnet_radio::ReceiverId;
+use garnet_simkit::SimTime;
+
+use crate::e03_pipeline::{host_cores, shard_workload, sweep_json, ShardPoint};
+use crate::table::{f2, n, Table};
+
+/// The archive configurations the sweep visits, in point order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArchiveMode {
+    /// No archive configured: the baseline frame path.
+    Off,
+    /// In-memory segment store (durability machinery, no disk).
+    Memory,
+    /// File-backed segment store under a scratch directory.
+    File,
+}
+
+impl ArchiveMode {
+    /// Every mode, in the order the sweep emits points.
+    pub const ALL: [ArchiveMode; 3] = [ArchiveMode::Off, ArchiveMode::Memory, ArchiveMode::File];
+
+    /// The `shards` value the point carries in the JSON document.
+    pub fn index(self) -> usize {
+        match self {
+            ArchiveMode::Off => 0,
+            ArchiveMode::Memory => 1,
+            ArchiveMode::File => 2,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            ArchiveMode::Off => "off",
+            ArchiveMode::Memory => "memory",
+            ArchiveMode::File => "file",
+        }
+    }
+
+    fn config(self, scratch: &std::path::Path) -> Option<ArchiveConfig> {
+        match self {
+            ArchiveMode::Off => None,
+            ArchiveMode::Memory => {
+                Some(ArchiveConfig { backend: ArchiveBackend::Memory, ..ArchiveConfig::default() })
+            }
+            ArchiveMode::File => Some(ArchiveConfig {
+                backend: ArchiveBackend::Directory(scratch.to_path_buf()),
+                ..ArchiveConfig::default()
+            }),
+        }
+    }
+}
+
+/// Pushes `workload` through a facade in `driver` mode with the given
+/// archive configuration, returning the wall-clock sample. Panics if
+/// any delivery is lost or — in archiving modes — if the archive
+/// ledger fails to account for every offered frame as archived.
+pub fn run_archive_point(
+    workload: &[garnet_wire::FrameBytes],
+    driver: DriverKind,
+    mode: ArchiveMode,
+) -> ShardPoint {
+    let scratch = std::env::temp_dir().join(format!(
+        "garnet-e22-{}-{:?}-{}",
+        std::process::id(),
+        driver,
+        mode.label()
+    ));
+    let _ = std::fs::remove_dir_all(&scratch);
+    // The whole workload is offered in one burst, before the threaded
+    // writer gets a chance to drain: size the queue to the burst so
+    // the sweep prices the tap itself, not the refusal path.
+    let archive = mode.config(&scratch).map(|mut c| {
+        c.queue_capacity = workload.len() + 16;
+        c
+    });
+    let started = std::time::Instant::now();
+    let mut garnet = Garnet::new(GarnetConfig { driver, archive, ..GarnetConfig::default() });
+    let token = garnet.issue_default_token("bench");
+    let (consumer, delivered) = SharedCountConsumer::new("bench");
+    let id = garnet.register_consumer(Box::new(consumer), &token, 0).unwrap();
+    garnet.subscribe(id, TopicFilter::All, &token).unwrap();
+    let frames: Vec<_> = workload
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (ReceiverId::new((i % 4) as u32), -40.0, f.clone()))
+        .collect();
+    let last = SimTime::from_micros(workload.len() as u64);
+    garnet.on_frames(frames, last);
+    if let Some(ledger) = garnet.archive_ledger() {
+        assert_eq!(ledger.offered, workload.len() as u64, "{driver:?}/{mode:?} missed the tap");
+    }
+    garnet.on_tick(SimTime::from_secs(3_600));
+    garnet.shutdown(SimTime::from_secs(3_600)).expect("archive must flush at shutdown");
+    let elapsed = started.elapsed();
+    if let Some(ledger) = garnet.archive_ledger() {
+        assert_eq!(ledger.archived, ledger.offered, "{driver:?}/{mode:?} dropped records");
+        assert_eq!(ledger.pending, 0, "{driver:?}/{mode:?} left appends pending");
+    }
+    let count = delivered.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(count, workload.len() as u64, "{driver:?}/{mode:?} lost deliveries");
+    let _ = std::fs::remove_dir_all(&scratch);
+    ShardPoint {
+        shards: mode.index(),
+        frames: count,
+        elapsed_us: elapsed.as_micros() as u64,
+        throughput_fps: count as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+/// Runs the archive-mode sweep on one engine: off, memory, file.
+pub fn run_archive_sweep(
+    workload: &[garnet_wire::FrameBytes],
+    driver: DriverKind,
+) -> Vec<ShardPoint> {
+    ArchiveMode::ALL.iter().map(|&mode| run_archive_point(workload, driver, mode)).collect()
+}
+
+/// Runs the FIFO-engine sweep and renders the JSON document for
+/// `BENCH_store.json` (the `shards` field of each point carries the
+/// archive-mode index: 0 off, 1 memory, 2 file).
+pub fn store_overhead_json(frames: u32, sensors: u32) -> String {
+    let workload = shard_workload(frames, sensors);
+    let points = run_archive_sweep(&workload, DriverKind::Fifo);
+    sweep_json("e22_store", "Garnet(Fifo)+archive", host_cores(), &points)
+}
+
+/// Runs the sweep for the experiments binary: both engines, so the
+/// table shows the inline append cost (FIFO) against the handoff cost
+/// (threaded worker) side by side.
+pub fn run() -> (Vec<ShardPoint>, Table) {
+    let workload = shard_workload(20_000, 64);
+    let mut table = Table::new(
+        "E22 — archive overhead: durable frame tap priced through the facade",
+        &["engine", "archive", "frames", "elapsed µs", "frames/s", "slowdown vs off"],
+    );
+    let mut all = Vec::new();
+    for driver in [DriverKind::Fifo, DriverKind::Threaded] {
+        let points = run_archive_sweep(&workload, driver);
+        let base = points[0].throughput_fps;
+        for (mode, p) in ArchiveMode::ALL.iter().zip(&points) {
+            table.row(&[
+                format!("{driver:?}").to_lowercase(),
+                mode.label().into(),
+                n(p.frames),
+                n(p.elapsed_us),
+                f2(p.throughput_fps),
+                f2(base / p.throughput_fps),
+            ]);
+        }
+        all.extend(points);
+    }
+    (all, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archive_sweep_is_lossless_on_both_engines() {
+        let workload = shard_workload(1_000, 16);
+        for driver in [DriverKind::Fifo, DriverKind::Threaded] {
+            for p in run_archive_sweep(&workload, driver) {
+                assert_eq!(p.frames, 1_000, "{driver:?} mode {} lost frames", p.shards);
+            }
+        }
+    }
+
+    #[test]
+    fn store_overhead_json_uses_the_shared_sweep_schema() {
+        let json = store_overhead_json(500, 8);
+        assert!(json.contains("\"bench\": \"e22_store\""));
+        assert!(json.contains("\"driver\": \"Garnet(Fifo)+archive\""));
+        assert!(json.contains("\"host_cores\""));
+        assert!(json.contains("\"frames\": 500"));
+        // One point per archive mode; `shards` carries the mode index.
+        assert_eq!(json.matches("{\"shards\":").count(), ArchiveMode::ALL.len());
+    }
+}

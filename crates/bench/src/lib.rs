@@ -27,4 +27,5 @@ pub mod e18_dispatch_shards;
 pub mod e19_trace_overhead;
 pub mod e20_runtime_mode;
 pub mod e21_batch;
+pub mod e22_store;
 pub mod table;

@@ -42,6 +42,13 @@ pub struct FilterConfig {
     /// treated as a stream restart rather than buffered (the sensor
     /// rebooted or we lost half the window).
     pub restart_distance: u16,
+    /// Fault-injection hook: a decoded frame whose payload equals this
+    /// marker panics the filtering worker. Only meaningful under the
+    /// threaded driver, where the panic kills a shard mid-batch and the
+    /// supervision policy restarts it — failure-injection tests use it
+    /// to prove the admission ledger stays exact across a poisoned
+    /// shard. `None` (the default) disables the hook.
+    pub fail_marker: Option<[u8; 4]>,
 }
 
 impl Default for FilterConfig {
@@ -50,6 +57,7 @@ impl Default for FilterConfig {
             reorder_timeout: SimDuration::from_millis(50),
             max_buffered_per_stream: 256,
             restart_distance: 4096,
+            fail_marker: None,
         }
     }
 }
@@ -288,6 +296,11 @@ impl FilteringService {
                 return result;
             }
         };
+        if let Some(marker) = self.config.fail_marker {
+            if msg.payload().as_ref() == marker {
+                panic!("injected filter fault: poison payload {marker:?}");
+            }
+        }
         result.observation =
             Some(Observation { sensor: msg.stream().sensor(), receiver, rssi_dbm, at: now });
 

@@ -54,6 +54,7 @@
 //! ```
 
 pub mod actuation;
+pub mod archive;
 pub mod constraints;
 pub mod consumer;
 pub mod coordinator;
@@ -71,6 +72,7 @@ pub mod service;
 pub mod stream;
 mod trace;
 
+pub use archive::{store_slot, ArchiveBackend, ArchiveConfig, ArchiveLedger, StoreSlot};
 pub use consumer::{Consumer, ConsumerCtx};
 pub use driver::{
     DispatchStats, DriverKind, FifoDriver, FilterStats, RouterDriver, ThreadedDriver,

@@ -52,6 +52,7 @@ use garnet_wire::{
 };
 
 use crate::actuation::{ActuationConfig, ActuationService};
+use crate::archive::{ack_record, frame_record, tick_record, ArchiveConfig, ArchiveService};
 use crate::consumer::{Consumer, ConsumerAction, ConsumerCtx};
 use crate::coordinator::{CoordinationMode, PolicyAction, SuperCoordinator};
 use crate::driver::{
@@ -141,6 +142,9 @@ pub struct GarnetConfig {
     /// observable — this knob exists so CI can prove it, via the
     /// `GARNET_TEST_BATCH` env toggle the default honours.
     pub batch_ingest: bool,
+    /// Durable frame/control-event archive (see [`crate::archive`]);
+    /// `None` disables the tap entirely.
+    pub archive: Option<ArchiveConfig>,
 }
 
 impl Default for GarnetConfig {
@@ -163,6 +167,7 @@ impl Default for GarnetConfig {
             overload: None,
             trace_capacity: garnet_simkit::trace::TraceConfig::default().capacity,
             batch_ingest: default_batch_ingest(),
+            archive: None,
         }
     }
 }
@@ -196,6 +201,11 @@ pub enum GarnetError {
     /// `Planned` or `Denied` outcome — the request was lost inside the
     /// event graph instead of being resolved.
     ActuationUnresolved,
+    /// `Garnet::shutdown` could not drain the archive's pending appends
+    /// within [`ArchiveConfig::flush_timeout`]. The engines are still
+    /// retired cleanly; only the archive tail is in doubt (the
+    /// [`crate::archive::ArchiveLedger`] says how much).
+    ArchiveFlushTimeout,
 }
 
 impl fmt::Display for GarnetError {
@@ -210,6 +220,9 @@ impl fmt::Display for GarnetError {
             }
             GarnetError::ActuationUnresolved => {
                 write!(f, "actuation request drained without a Planned or Denied outcome")
+            }
+            GarnetError::ArchiveFlushTimeout => {
+                write!(f, "archive did not drain pending appends within the flush timeout")
             }
         }
     }
@@ -352,6 +365,14 @@ pub struct Garnet {
     /// Holds the terminal outcome of an in-flight `Api` actuation chain
     /// between enqueueing it and the pump draining it.
     api_outcome: Option<ActuationOutcome>,
+    /// The durable-archive tap (`GarnetConfig.archive`).
+    archive: Option<ArchiveService>,
+    /// Supervision restarts already attributed to a returned
+    /// [`StepOutput`] — restarts happen at the engine's own pace (a
+    /// wall-clock backoff after the poisoning), so each facade call
+    /// reports the movement since the last one rather than a per-call
+    /// snapshot that would miss restarts landing between calls.
+    reported_restarts: u64,
 }
 
 impl Garnet {
@@ -404,6 +425,9 @@ impl Garnet {
         };
         driver
             .configure_trace(garnet_simkit::trace::TraceConfig { capacity: config.trace_capacity });
+        let archive = config
+            .archive
+            .map(|cfg| ArchiveService::new(cfg, config.driver, config.trace_capacity));
         Garnet {
             max_derived_depth: config.max_derived_depth,
             driver,
@@ -419,6 +443,8 @@ impl Garnet {
             quiesce_actions: 0,
             restore_actions: 0,
             api_outcome: None,
+            archive,
+            reported_restarts: 0,
         }
     }
 
@@ -620,7 +646,6 @@ impl Garnet {
     ) -> StepOutput {
         let mut out = StepOutput::default();
         let base = self.driver.overload_totals();
-        let base_restarts = self.driver.shard_restart_count();
         let batch: Vec<BatchedFrame> = frames
             .into_iter()
             .map(|(receiver, rssi_dbm, frame)| BatchedFrame {
@@ -629,6 +654,18 @@ impl Garnet {
                 frame: frame.into(),
             })
             .collect();
+        // Archive-before-admit: the tap logs every offered frame (even
+        // ones the overload policy later sheds), so a replayed log
+        // re-offers the identical boundary input. `FrameBytes` clones
+        // are reference-counted — no payload copy.
+        if let Some(archive) = &mut self.archive {
+            for f in &batch {
+                archive.append(
+                    &frame_record(f.receiver.as_u32(), f.rssi_dbm, f.frame.clone(), now),
+                    now,
+                );
+            }
+        }
         // A blocked admission inside the driver drains events to make
         // room; whatever escaped the queue in the process comes back
         // here and is applied in order.
@@ -636,12 +673,12 @@ impl Garnet {
             self.apply(o, now, &mut out);
         }
         self.pump(now, &mut out);
-        self.note_overload_delta(base, base_restarts, &mut out);
+        self.note_overload_delta(base, &mut out);
         out
     }
 
     /// Folds the admission-counter movement since `base` into `out`.
-    fn note_overload_delta(&self, base: OverloadTotals, base_restarts: u64, out: &mut StepOutput) {
+    fn note_overload_delta(&mut self, base: OverloadTotals, out: &mut StepOutput) {
         let t = self.driver.overload_totals();
         out.overload.absorb(OverloadStats {
             offered: t.offered - base.offered,
@@ -649,13 +686,28 @@ impl Garnet {
             coalesced: t.coalesced - base.coalesced,
             delivered: t.delivered - base.delivered,
             peak_queue_depth: self.driver.peak_queue_depth(),
-            shard_restarts: self.driver.shard_restart_count() - base_restarts,
+            shard_restarts: 0,
         });
+        self.note_restart_delta(out);
+    }
+
+    /// Attributes supervision restarts not yet reported by any earlier
+    /// call to `out`. Restarts are performed inside the engine under a
+    /// wall-clock backoff, so they can land during *any* facade call —
+    /// every reporting entry point folds the movement in, and the
+    /// watermark guarantees each restart is counted exactly once.
+    fn note_restart_delta(&mut self, out: &mut StepOutput) {
+        let count = self.driver.shard_restart_count();
+        out.overload.shard_restarts += count - self.reported_restarts;
+        self.reported_restarts = count;
     }
 
     /// Ingests a standalone acknowledgement (from sensors whose data
     /// streams are disabled).
     pub fn on_standalone_ack(&mut self, request_id: RequestId, status: AckStatus, now: SimTime) {
+        if let Some(archive) = &mut self.archive {
+            archive.append(&ack_record(request_id, status, now), now);
+        }
         self.driver.push_event(ServiceEvent::AckReceived { request_id, status }, now);
         let mut scratch = StepOutput::default();
         self.pump(now, &mut scratch);
@@ -665,11 +717,18 @@ impl Garnet {
     /// retries. Call at [`Garnet::next_deadline`].
     pub fn on_tick(&mut self, now: SimTime) -> StepOutput {
         let mut out = StepOutput::default();
+        if let Some(archive) = &mut self.archive {
+            archive.append(&tick_record(now), now);
+        }
         self.driver.push_event(ServiceEvent::FlushReorder, now);
         self.pump(now, &mut out);
         self.driver.push_event(ServiceEvent::ActuationTick, now);
         self.pump(now, &mut out);
         self.sweep_quiesce(now, &mut out);
+        // A tick's flush reaches every shard, so it is where a poisoned
+        // worker whose supervision backoff has elapsed gets rebuilt —
+        // report those restarts on this call, not the next burst's.
+        self.note_restart_delta(&mut out);
         out
     }
 
@@ -1168,8 +1227,125 @@ impl Garnet {
                 m.counter(&stage_key(stage, metric)).add(*value);
             }
         }
+        if let Some(archive) = &self.archive {
+            let l = archive.ledger();
+            for (metric, value) in [
+                ("offered", l.offered),
+                ("archived", l.archived),
+                ("dropped", l.dropped),
+                ("pending", l.pending),
+                ("flushes", l.flushes),
+                ("flush_failures", l.flush_failures),
+                ("recovered_records", archive.recovery().records),
+            ] {
+                m.counter(&stage_key("archive", metric)).add(value);
+            }
+        }
         m.histogram(&stage_key("actuation", "ack_latency_us")).merge(c.actuation.ack_latency());
         m
+    }
+
+    /// The archive tap's per-record accounting, when
+    /// [`GarnetConfig::archive`] is enabled. At quiescence under the
+    /// FIFO engine `pending` is always 0; the threaded writer drains it
+    /// at [`Garnet::flush_archive`]/[`Garnet::shutdown`].
+    pub fn archive_ledger(&self) -> Option<crate::archive::ArchiveLedger> {
+        self.archive.as_ref().map(ArchiveService::ledger)
+    }
+
+    /// The recovery report from opening the archive backend: surviving
+    /// record counts, the truncation point (if the log had a torn or
+    /// corrupt tail), and per-stream high-water marks.
+    pub fn archive_recovery(&self) -> Option<&garnet_store::RecoveryReport> {
+        self.archive.as_ref().map(ArchiveService::recovery)
+    }
+
+    /// Flushes the archive's pending appends within the configured
+    /// bounded timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`GarnetError::ArchiveFlushTimeout`] when the drain misses the
+    /// deadline or the backend fails the sync; delivery is unaffected.
+    pub fn flush_archive(&mut self, now: SimTime) -> Result<(), GarnetError> {
+        match &mut self.archive {
+            Some(archive) => {
+                if archive.flush(now) {
+                    Ok(())
+                } else {
+                    Err(GarnetError::ArchiveFlushTimeout)
+                }
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// The archive tap's own flight recorder (separate from the router
+    /// tracers so archive hops never perturb engine trace equivalence).
+    /// Empty unless the `trace` cargo feature is compiled in.
+    pub fn archive_trace_snapshot(&self) -> TraceSnapshot {
+        self.archive.as_ref().map(ArchiveService::trace_snapshot).unwrap_or_default()
+    }
+
+    /// Replays recovered archive records through the normal boundary
+    /// entry points, in log order: consecutive frame records stamped at
+    /// the same instant re-enter as one [`Garnet::on_frames`] burst
+    /// (batch size is observably irrelevant — both engines are
+    /// batch-invariant), ticks as [`Garnet::on_tick`], acks as
+    /// [`Garnet::on_standalone_ack`]. Replaying a log into a fresh,
+    /// identically-configured facade rebuilds dispatch state
+    /// bit-identically on either engine.
+    pub fn replay_archive(&mut self, records: &[garnet_store::ArchiveRecord]) -> StepOutput {
+        use garnet_store::ArchiveRecord;
+        let mut out = StepOutput::default();
+        let mut burst: Vec<(ReceiverId, f64, FrameBytes)> = Vec::new();
+        let mut burst_at: u64 = 0;
+        let flush_burst =
+            |burst: &mut Vec<(ReceiverId, f64, FrameBytes)>, at: u64, this: &mut Self| {
+                if !burst.is_empty() {
+                    let output = this.on_frames(std::mem::take(burst), SimTime::from_micros(at));
+                    Some(output)
+                } else {
+                    None
+                }
+            };
+        for record in records {
+            match record {
+                ArchiveRecord::Frame { at_us, receiver, rssi_bits, frame } => {
+                    if !burst.is_empty() && *at_us != burst_at {
+                        if let Some(o) = flush_burst(&mut burst, burst_at, self) {
+                            out.merge(o);
+                        }
+                    }
+                    burst_at = *at_us;
+                    burst.push((
+                        ReceiverId::new(*receiver),
+                        f64::from_bits(*rssi_bits),
+                        frame.clone(),
+                    ));
+                }
+                ArchiveRecord::Tick { at_us } => {
+                    if let Some(o) = flush_burst(&mut burst, burst_at, self) {
+                        out.merge(o);
+                    }
+                    out.merge(self.on_tick(SimTime::from_micros(*at_us)));
+                }
+                ArchiveRecord::Ack { at_us, request_id, status } => {
+                    if let Some(o) = flush_burst(&mut burst, burst_at, self) {
+                        out.merge(o);
+                    }
+                    self.on_standalone_ack(
+                        RequestId::new(*request_id),
+                        *status,
+                        SimTime::from_micros(*at_us),
+                    );
+                }
+            }
+        }
+        if let Some(o) = flush_burst(&mut burst, burst_at, self) {
+            out.merge(o);
+        }
+        out
     }
 
     /// The flight recorder's current contents: one record per event hop
@@ -1197,23 +1373,48 @@ impl Garnet {
         self.driver.trace_drain_to(w)
     }
 
-    /// Shuts the execution engine down: pumps to quiescence, asks the
-    /// driver to retire its workers (joining any pools), and applies
-    /// whatever the shutdown released. After this call the facade still
-    /// answers reads (statistics, traces, control-plane accessors), but
-    /// new ingest is a no-op under the threaded driver.
+    /// Shuts the middleware down: pumps to quiescence, drains and
+    /// retires the archive tap (flushing pending appends within
+    /// [`ArchiveConfig::flush_timeout`], returning a
+    /// [`ArchiveBackend::Custom`](crate::archive::ArchiveBackend) store
+    /// to its slot), then asks the driver to retire its workers
+    /// (joining any pools) and applies whatever the shutdown released.
+    /// After this call the facade still answers reads (statistics,
+    /// traces, control-plane accessors), but new ingest is a no-op
+    /// under the threaded driver.
     ///
     /// Dropping a [`Garnet`] without calling this is safe — the driver's
-    /// `Drop` joins its pools — but discards in-flight outputs.
-    pub fn shutdown(&mut self, now: SimTime) -> StepOutput {
+    /// `Drop` joins its pools — but discards in-flight outputs and the
+    /// archive's pending tail.
+    ///
+    /// # Errors
+    ///
+    /// [`GarnetError::ArchiveFlushTimeout`] when the archive could not
+    /// drain its pending appends in time (a wedged or failing backend).
+    /// The engines are still shut down cleanly and the returned error
+    /// carries no partial output — use [`Garnet::archive_ledger`] to
+    /// see how much of the tail is in doubt.
+    pub fn shutdown(&mut self, now: SimTime) -> Result<StepOutput, GarnetError> {
         let mut out = StepOutput::default();
         self.pump(now, &mut out);
+        // Archive first: its log must capture every input the engines
+        // processed, and a wedged store must not leave worker pools
+        // unjoined (the drain is bounded; the pools are joined either
+        // way below).
+        let archive_ok = match &mut self.archive {
+            Some(archive) => archive.shutdown(now),
+            None => true,
+        };
         let released = self.driver.shutdown(now);
         for o in released {
             self.apply(o, now, &mut out);
         }
         self.pump(now, &mut out);
-        out
+        if archive_ok {
+            Ok(out)
+        } else {
+            Err(GarnetError::ArchiveFlushTimeout)
+        }
     }
 
     /// Runs a closure against a registered consumer (to read

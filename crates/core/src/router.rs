@@ -1844,8 +1844,14 @@ impl ThreadedRouter {
             None => (OverloadPolicy::Block, 4),
             Some(cfg) => (cfg.policy, cfg.capacity.max(1)),
         };
-        let a = Self::filter_edge(config, ingest_shards, capacity, None);
-        let b = Self::dispatch_edge(dispatch_shards, capacity, None, &subscriptions);
+        // The deployable runtime self-heals: a poisoned shard is
+        // rebuilt under the default supervision budget instead of
+        // staying dead for the facade's lifetime. The lost run still
+        // surfaces as `ShardFailure`s — restarts are visible, never
+        // silent.
+        let supervision = Some(SupervisionConfig::default());
+        let a = Self::filter_edge(config, ingest_shards, capacity, supervision);
+        let b = Self::dispatch_edge(dispatch_shards, capacity, supervision, &subscriptions);
         let c = ControlStage::Inline(Box::new(control));
         Self::assemble(a, b, c, ingest_shards, dispatch_shards, policy, subscriptions)
     }

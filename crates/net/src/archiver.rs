@@ -1,0 +1,355 @@
+//! Background archive writer for the threaded deployment.
+//!
+//! The durable archive (`garnet-store`) is deliberately runtime-free;
+//! this module supplies the runtime half for live deployments: a single
+//! worker thread that owns a [`FrameArchive`] and drains a bounded
+//! command channel of pre-encoded record bytes. The facade encodes
+//! records *before* enqueueing, so the bytes that reach the log are
+//! independent of worker timing — archive contents stay deterministic
+//! even though append completion is not.
+//!
+//! Back-pressure is explicit and lossy by design: when the queue is
+//! full, [`Archiver::try_append`] refuses and the caller counts the
+//! record as dropped. Delivery to consumers never waits on storage —
+//! the graceful-degradation contract of `GarnetConfig.archive`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use garnet_store::{FrameArchive, StoreError};
+
+/// Commands drained by the worker, in submission order.
+enum Cmd {
+    /// Append one pre-encoded record.
+    Append(Vec<u8>),
+    /// Sync the backend and publish the flush id as completed.
+    Flush(u64),
+    /// Drain, sync, deposit the archive and retire.
+    Shutdown,
+}
+
+/// Worker-side progress published under the shared mutex.
+#[derive(Debug, Default)]
+struct WorkerState {
+    /// Records durably appended (the caller's `archived` count).
+    appended: u64,
+    /// Append attempts the store refused or corrupted (counted dropped).
+    failed: u64,
+    /// Highest flush id whose sync completed (successfully or not).
+    flushed: u64,
+    /// Flush syncs that returned a store error.
+    flush_failures: u64,
+    /// Worker has drained, synced and deposited the archive.
+    retired: bool,
+    /// The archive, handed back at retirement for store recovery.
+    archive: Option<FrameArchive>,
+    /// Most recent store error, for diagnostics.
+    last_error: Option<StoreError>,
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    state: Mutex<WorkerState>,
+    cond: Condvar,
+}
+
+/// Point-in-time copy of the worker's progress counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArchiverCounters {
+    /// Records durably appended.
+    pub appended: u64,
+    /// Append attempts that errored at the store.
+    pub failed: u64,
+    /// Flush syncs that errored at the store.
+    pub flush_failures: u64,
+}
+
+/// Outcome of a bounded-wait flush.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushOutcome {
+    /// All appends enqueued before the flush are durable.
+    Flushed,
+    /// The sync ran but the backend reported an error.
+    Failed,
+    /// The worker did not complete the flush within the timeout.
+    TimedOut,
+}
+
+/// What `shutdown` managed to salvage.
+#[derive(Debug)]
+pub struct ArchiverShutdown {
+    /// The archive (and its backend store), when the worker retired in
+    /// time; `None` when it was wedged and had to be abandoned.
+    pub archive: Option<FrameArchive>,
+    /// True when the worker missed the shutdown deadline.
+    pub timed_out: bool,
+    /// Final progress counters (best effort when timed out).
+    pub counters: ArchiverCounters,
+}
+
+/// Handle to the background archive writer.
+pub struct Archiver {
+    tx: Sender<Cmd>,
+    shared: Arc<Shared>,
+    next_flush: AtomicU64,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Archiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Archiver").field("counters", &self.counters()).finish()
+    }
+}
+
+impl Archiver {
+    /// Spawns the worker thread around `archive` with a bounded queue
+    /// of `queue_capacity` commands (minimum 1).
+    pub fn spawn(archive: FrameArchive, queue_capacity: usize) -> Archiver {
+        let (tx, rx) = bounded(queue_capacity.max(1));
+        let shared = Arc::new(Shared::default());
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("garnet-archiver".into())
+            .spawn(move || run_worker(archive, rx, worker_shared))
+            .expect("spawn archiver worker");
+        Archiver { tx, shared, next_flush: AtomicU64::new(0), worker: Some(worker) }
+    }
+
+    /// Enqueues one pre-encoded record. Returns `false` — record
+    /// refused, caller counts it dropped — when the queue is full or
+    /// the worker is gone.
+    pub fn try_append(&self, bytes: Vec<u8>) -> bool {
+        match self.tx.try_send(Cmd::Append(bytes)) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => false,
+        }
+    }
+
+    /// Progress counters published by the worker.
+    pub fn counters(&self) -> ArchiverCounters {
+        let st = self.shared.state.lock().expect("archiver state");
+        ArchiverCounters {
+            appended: st.appended,
+            failed: st.failed,
+            flush_failures: st.flush_failures,
+        }
+    }
+
+    /// Most recent store error seen by the worker, if any.
+    pub fn last_error(&self) -> Option<StoreError> {
+        self.shared.state.lock().expect("archiver state").last_error.clone()
+    }
+
+    /// Retries `try_send` until `deadline`; the vendored channel has no
+    /// timed send, and an unbounded `send` could block forever behind a
+    /// wedged worker.
+    fn send_until(&self, mut cmd: Cmd, deadline: std::time::Instant) -> bool {
+        loop {
+            match self.tx.try_send(cmd) {
+                Ok(()) => return true,
+                Err(TrySendError::Disconnected(_)) => return false,
+                Err(TrySendError::Full(back)) => {
+                    if std::time::Instant::now() >= deadline {
+                        return false;
+                    }
+                    cmd = back;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+
+    /// Waits (bounded) until every append enqueued before this call is
+    /// durable, then syncs the backend.
+    pub fn flush(&self, timeout: Duration) -> FlushOutcome {
+        let id = self.next_flush.fetch_add(1, Ordering::Relaxed) + 1;
+        let deadline = std::time::Instant::now() + timeout;
+        // A full queue means the flush marker itself cannot be enqueued
+        // within the contract's bounded time: report a timeout rather
+        // than blocking the caller behind a wedged worker.
+        if !self.send_until(Cmd::Flush(id), deadline) {
+            return FlushOutcome::TimedOut;
+        }
+        let mut st = self.shared.state.lock().expect("archiver state");
+        loop {
+            if st.flushed >= id || st.retired {
+                return if st.flush_failures > 0 || st.last_error.is_some() {
+                    FlushOutcome::Failed
+                } else {
+                    FlushOutcome::Flushed
+                };
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return FlushOutcome::TimedOut;
+            }
+            let (guard, _timeout) =
+                self.shared.cond.wait_timeout(st, deadline - now).expect("archiver state");
+            st = guard;
+        }
+    }
+
+    /// Retires the worker: drains pending appends, syncs, and hands the
+    /// archive back. If the worker misses the deadline (e.g. wedged in
+    /// a stalled store write) it is detached and the archive abandoned.
+    pub fn shutdown(mut self, timeout: Duration) -> ArchiverShutdown {
+        // Best effort: a full queue of a wedged worker must not block
+        // shutdown, so the marker send is bounded too. Dropping `tx`
+        // (when `self` drops) disconnects the channel, which the worker
+        // also treats as shutdown once it unwedges.
+        let deadline = std::time::Instant::now() + timeout;
+        let _ = self.send_until(Cmd::Shutdown, deadline);
+        let (archive, timed_out, counters) = {
+            let mut st = self.shared.state.lock().expect("archiver state");
+            loop {
+                if st.retired {
+                    let counters = ArchiverCounters {
+                        appended: st.appended,
+                        failed: st.failed,
+                        flush_failures: st.flush_failures,
+                    };
+                    break (st.archive.take(), false, counters);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    let counters = ArchiverCounters {
+                        appended: st.appended,
+                        failed: st.failed,
+                        flush_failures: st.flush_failures,
+                    };
+                    break (None, true, counters);
+                }
+                let (guard, _timeout) =
+                    self.shared.cond.wait_timeout(st, deadline - now).expect("archiver state");
+                st = guard;
+            }
+        };
+        if let Some(worker) = self.worker.take() {
+            if timed_out {
+                // Wedged in the store: detach rather than hang the
+                // caller. The thread exits on its own once the store
+                // call returns and it sees the disconnected channel.
+                drop(worker);
+            } else {
+                let _ = worker.join();
+            }
+        }
+        ArchiverShutdown { archive, timed_out, counters }
+    }
+}
+
+fn apply_append(archive: &mut FrameArchive, bytes: &[u8], st: &Mutex<WorkerState>) {
+    let result = archive.append_bytes(bytes);
+    let mut st = st.lock().expect("archiver state");
+    match result {
+        Ok(()) => st.appended += 1,
+        Err(e) => {
+            st.failed += 1;
+            st.last_error = Some(e);
+        }
+    }
+}
+
+fn run_worker(mut archive: FrameArchive, rx: Receiver<Cmd>, shared: Arc<Shared>) {
+    loop {
+        match rx.recv() {
+            Ok(Cmd::Append(bytes)) => {
+                apply_append(&mut archive, &bytes, &shared.state);
+                shared.cond.notify_all();
+            }
+            Ok(Cmd::Flush(id)) => {
+                let result = archive.sync();
+                let mut st = shared.state.lock().expect("archiver state");
+                if let Err(e) = result {
+                    st.flush_failures += 1;
+                    st.last_error = Some(e);
+                }
+                st.flushed = st.flushed.max(id);
+                drop(st);
+                shared.cond.notify_all();
+            }
+            Ok(Cmd::Shutdown) | Err(_) => break,
+        }
+    }
+    // Disconnect path: drain whatever was still queued behind the hangup.
+    while let Ok(cmd) = rx.try_recv() {
+        match cmd {
+            Cmd::Append(bytes) => apply_append(&mut archive, &bytes, &shared.state),
+            Cmd::Flush(id) => {
+                let mut st = shared.state.lock().expect("archiver state");
+                st.flushed = st.flushed.max(id);
+            }
+            Cmd::Shutdown => {}
+        }
+    }
+    let final_sync = archive.sync();
+    let mut st = shared.state.lock().expect("archiver state");
+    if let Err(e) = final_sync {
+        st.flush_failures += 1;
+        st.last_error = Some(e);
+    }
+    st.archive = Some(archive);
+    st.retired = true;
+    drop(st);
+    shared.cond.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use garnet_store::{FaultPlan, FaultyStore, MemStore};
+
+    fn archive() -> FrameArchive {
+        FrameArchive::open(Box::new(MemStore::new()), 1 << 20).unwrap().0
+    }
+
+    #[test]
+    fn appends_flush_and_hand_the_archive_back() {
+        let arch = Archiver::spawn(archive(), 64);
+        assert!(arch.try_append(vec![1, 2, 3]));
+        assert!(arch.try_append(vec![4, 5]));
+        assert_eq!(arch.flush(Duration::from_secs(5)), FlushOutcome::Flushed);
+        assert_eq!(arch.counters().appended, 2);
+        let down = arch.shutdown(Duration::from_secs(5));
+        assert!(!down.timed_out);
+        let got = down.archive.expect("archive returned");
+        assert_eq!(got.appended(), 2);
+        let mut store = got.into_store();
+        assert_eq!(store.read(0).unwrap(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn wedged_store_times_out_flush_and_shutdown() {
+        let plan = FaultPlan {
+            stall_after_appends: Some(0),
+            stall_sleep: Some(Duration::from_millis(400)),
+            ..FaultPlan::default()
+        };
+        let store = FaultyStore::new(MemStore::new(), plan);
+        let (arch, _) = FrameArchive::open(Box::new(store), 1 << 20).unwrap();
+        let arch = Archiver::spawn(arch, 4);
+        // The worker wedges inside the first append's stall sleep.
+        assert!(arch.try_append(vec![0; 8]));
+        assert_eq!(arch.flush(Duration::from_millis(50)), FlushOutcome::TimedOut);
+        let down = arch.shutdown(Duration::from_millis(50));
+        assert!(down.timed_out);
+        assert!(down.archive.is_none());
+    }
+
+    #[test]
+    fn store_errors_are_counted_not_fatal() {
+        let plan = FaultPlan { stall_after_appends: Some(1), ..FaultPlan::default() };
+        let store = FaultyStore::new(MemStore::new(), plan);
+        let (arch, _) = FrameArchive::open(Box::new(store), 1 << 20).unwrap();
+        let arch = Archiver::spawn(arch, 16);
+        assert!(arch.try_append(vec![1]));
+        assert!(arch.try_append(vec![2]));
+        let down = arch.shutdown(Duration::from_secs(5));
+        assert!(!down.timed_out);
+        assert_eq!(down.counters.appended, 1);
+        assert_eq!(down.counters.failed, 1);
+    }
+}

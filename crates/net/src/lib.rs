@@ -20,11 +20,15 @@
 //! * [`rpc`] — request/response correlation over the bus (the "Remote
 //!   Procedure Call" arrows of Figure 1);
 //! * [`threaded_router`] — root-attributed stage edges over [`bus`]'s
-//!   `ShardPool`, the plumbing under the full threaded service graph.
+//!   `ShardPool`, the plumbing under the full threaded service graph;
+//! * [`archiver`] — the background writer that drains pre-encoded
+//!   archive records into a `garnet-store` log without ever blocking
+//!   frame delivery.
 //!
 //! No async runtime is used: the paper's asynchrony is plain message
 //! passing, which channels model directly and deterministically.
 
+pub mod archiver;
 pub mod auth;
 pub mod bus;
 pub mod pubsub;
@@ -32,6 +36,7 @@ pub mod registry;
 pub mod rpc;
 pub mod threaded_router;
 
+pub use archiver::{Archiver, ArchiverCounters, ArchiverShutdown, FlushOutcome};
 pub use auth::{AuthService, Capability, CapabilitySet, Principal, Token};
 pub use bus::{
     BusError, RefusedJob, RestartEvent, ShardFailure, ShardPool, Stage, SupervisionConfig,

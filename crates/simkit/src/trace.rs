@@ -34,16 +34,19 @@ pub enum TraceStage {
     Orphanage,
     /// Command stamping, retransmit and ack tracking.
     Actuation,
+    /// Durable frame/control-event archive (the `garnet-store` tap).
+    Archive,
 }
 
 impl TraceStage {
     /// Every stage, in display order.
-    pub const ALL: [TraceStage; 5] = [
+    pub const ALL: [TraceStage; 6] = [
         TraceStage::Filtering,
         TraceStage::Dispatch,
         TraceStage::Control,
         TraceStage::Orphanage,
         TraceStage::Actuation,
+        TraceStage::Archive,
     ];
 
     /// Stable lowercase name used in JSONL dumps and metric keys.
@@ -54,10 +57,11 @@ impl TraceStage {
             TraceStage::Control => "control",
             TraceStage::Orphanage => "orphanage",
             TraceStage::Actuation => "actuation",
+            TraceStage::Archive => "archive",
         }
     }
 
-    /// Dense index into per-stage arrays (`0..5`).
+    /// Dense index into per-stage arrays (`0..6`).
     pub fn index(self) -> usize {
         match self {
             TraceStage::Filtering => 0,
@@ -65,6 +69,7 @@ impl TraceStage {
             TraceStage::Control => 2,
             TraceStage::Orphanage => 3,
             TraceStage::Actuation => 4,
+            TraceStage::Archive => 5,
         }
     }
 }
@@ -104,6 +109,10 @@ pub enum TraceEventKind {
     StateReported,
     /// A supervised worker shard restart (carries the backoff delay).
     ShardRestart,
+    /// A record appended to the durable archive.
+    ArchiveAppend,
+    /// An archive flush (sync of pending appends to the backend).
+    ArchiveFlush,
 }
 
 impl TraceEventKind {
@@ -123,6 +132,8 @@ impl TraceEventKind {
             TraceEventKind::ActuationTick => "actuation_tick",
             TraceEventKind::StateReported => "state_reported",
             TraceEventKind::ShardRestart => "shard_restart",
+            TraceEventKind::ArchiveAppend => "archive_append",
+            TraceEventKind::ArchiveFlush => "archive_flush",
         }
     }
 }
@@ -323,9 +334,9 @@ pub struct Tracer {
     /// Index of the oldest record once the ring has wrapped.
     head: usize,
     dropped: u64,
-    hops: [u64; 5],
-    occupancy: [Histogram; 5],
-    latency: [Histogram; 5],
+    hops: [u64; 6],
+    occupancy: [Histogram; 6],
+    latency: [Histogram; 6],
 }
 
 #[cfg(feature = "trace")]
@@ -344,7 +355,7 @@ impl Tracer {
             ring: Vec::new(),
             head: 0,
             dropped: 0,
-            hops: [0; 5],
+            hops: [0; 6],
             occupancy: Default::default(),
             latency: Default::default(),
         }
@@ -424,7 +435,7 @@ impl Tracer {
         self.ring.clear();
         self.head = 0;
         self.dropped = 0;
-        self.hops = [0; 5];
+        self.hops = [0; 6];
         self.occupancy.iter_mut().for_each(Histogram::reset);
         self.latency.iter_mut().for_each(Histogram::reset);
     }

@@ -15,6 +15,7 @@
 //! | [`wire`] | `garnet-wire` | Fig. 2 message format, control messages, CRC, crypto |
 //! | [`radio`] | `garnet-radio` | simulated wireless field: mobility, propagation, energy |
 //! | [`net`] | `garnet-net` | fixed-network substrate: bus, registry, auth, pub/sub |
+//! | [`store`] | `garnet-store` | durable frame archive: segmented CRC-checked log, crash recovery, fault injection |
 //! | [`core`] | `garnet-core` | **the middleware**: filtering, dispatching, orphanage, location, resource manager, actuation, replication, coordination |
 //! | [`baselines`] | `garnet-baselines` | §7 comparators: RETRI, Fjords, CORIE |
 //! | [`workloads`] | `garnet-workloads` | habitat / water-course / recon scenarios |
@@ -54,5 +55,6 @@ pub use garnet_core as core;
 pub use garnet_net as net;
 pub use garnet_radio as radio;
 pub use garnet_simkit as simkit;
+pub use garnet_store as store;
 pub use garnet_wire as wire;
 pub use garnet_workloads as workloads;

@@ -59,7 +59,7 @@ fn middleware_runs_behind_the_threaded_bus() {
                 ToMiddleware::Shutdown => break,
             }
         }
-        garnet.shutdown(last);
+        garnet.shutdown(last).expect("no archive configured, shutdown cannot time out");
         (frames, garnet.filtering().duplicate_count())
     });
 
@@ -205,7 +205,7 @@ fn threaded_shutdown_joins_without_losing_in_flight_roots() {
     }
     let now = SimTime::from_micros(1_000);
     garnet.on_frames(frames, now);
-    garnet.shutdown(now);
+    garnet.shutdown(now).expect("no archive configured, shutdown cannot time out");
 
     // Every offered frame made it through filtering and dispatch before
     // the pools retired: nothing in flight was dropped on the floor.
