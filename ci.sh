@@ -47,4 +47,12 @@ cargo test -q -p garnet-store --features garnet-simkit/trace
 GARNET_TEST_DRIVER=threaded cargo test -q --test archive_replay
 GARNET_TEST_BATCH=perframe cargo test -q --test archive_replay
 
+# The dispatch match cache (ISSUE 8): GarnetConfig::default() honours
+# GARNET_TEST_MATCH_CACHE, so the same bit-identity suites rerun with
+# every shard's cache disabled in both feature configs — the cache must
+# be a performance artefact, never a semantic one.
+echo "==> match-cache verify: GARNET_TEST_MATCH_CACHE=off determinism + tracing"
+GARNET_TEST_MATCH_CACHE=off cargo test -q --test determinism --test tracing
+GARNET_TEST_MATCH_CACHE=off cargo test -q --test determinism --test tracing --features trace
+
 echo "==> CI green"

@@ -112,4 +112,8 @@ fn main() {
         let (_, t) = e22_store::run();
         println!("{}", t.render());
     }
+    if want("e23") {
+        let (_, _, t) = e23_match_cache::run();
+        println!("{}", t.render());
+    }
 }

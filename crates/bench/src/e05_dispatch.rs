@@ -6,11 +6,17 @@
 //! (fan-out), not with the total subscriber population — a message on a
 //! quiet stream stays cheap no matter how many consumers watch other
 //! streams.
+//!
+//! The sweep runs with the match cache **disabled** so it prices the
+//! match-set *construction* path (the cost model above is about the
+//! sorted-merge, not the memo). With the cache on, steady-state cost is
+//! flat in fan-out — one hash lookup plus an `Arc` refcount bump —
+//! which E23 prices separately.
 
 use std::time::Instant;
 
 use garnet_core::dispatching::DispatchingService;
-use garnet_net::TopicFilter;
+use garnet_net::{DispatchCacheConfig, TopicFilter};
 use garnet_wire::{SensorId, StreamId, StreamIndex};
 
 use crate::table::{f3, n, Table};
@@ -33,9 +39,10 @@ fn hot_stream() -> StreamId {
 }
 
 /// Builds a dispatch table with `fanout` subscribers on the hot stream
-/// and `bystanders` on other streams.
+/// and `bystanders` on other streams. The match cache is disabled:
+/// E5 prices match-set construction, E23 prices the cache.
 pub fn build_service(fanout: usize, bystanders: usize) -> DispatchingService {
-    let mut d = DispatchingService::new();
+    let mut d = DispatchingService::with_cache(DispatchCacheConfig::disabled());
     for _ in 0..fanout {
         let id = d.register_subscriber();
         d.subscribe(id, TopicFilter::Stream(hot_stream()));

@@ -28,4 +28,5 @@ pub mod e19_trace_overhead;
 pub mod e20_runtime_mode;
 pub mod e21_batch;
 pub mod e22_store;
+pub mod e23_match_cache;
 pub mod table;

@@ -8,19 +8,30 @@
 //!
 //! The service wraps the fixed network's [`SubscriptionTable`] with
 //! subscriber-id allocation and dispatch accounting (fan-out and
-//! unclaimed-rate are the E5 metrics).
+//! unclaimed-rate are the E5 metrics). Match sets come out of a
+//! per-service [`MatchCache`], so steady-state routing of a
+//! cache-resident stream is allocation-free: one hash lookup plus one
+//! `Arc` refcount bump (E23 prices the difference).
 
-use garnet_net::{SubscriberId, SubscriptionTable, TopicFilter};
+use std::sync::Arc;
+
+use garnet_net::{DispatchCacheConfig, MatchCache, MatchCacheStats, SubscriberId};
+use garnet_net::{SubscriptionTable, TopicFilter};
 use garnet_simkit::Histogram;
 use garnet_wire::StreamId;
 
 /// The result of routing one message.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DispatchOutcome {
-    /// Matching subscribers, ascending id order.
-    pub recipients: Vec<SubscriberId>,
+    /// Matching subscribers, ascending id order, shared with the match
+    /// cache (cloning the outcome is a refcount bump).
+    pub recipients: Arc<[SubscriberId]>,
     /// True if nobody matched (→ Orphanage).
     pub unclaimed: bool,
+    /// True if the match cache (re)built this set — a cold stream or a
+    /// subscription mutation since the last route. Always false when
+    /// the cache is disabled.
+    pub rebuilt: bool,
 }
 
 /// The Dispatching Service.
@@ -36,12 +47,13 @@ pub struct DispatchOutcome {
 /// let alice = dispatch.register_subscriber();
 /// dispatch.subscribe(alice, TopicFilter::All);
 /// let outcome = dispatch.route(StreamId::from_raw(0x0100));
-/// assert_eq!(outcome.recipients, vec![alice]);
+/// assert_eq!(&*outcome.recipients, &[alice]);
 /// assert!(!outcome.unclaimed);
 /// ```
 #[derive(Debug, Default)]
 pub struct DispatchingService {
     table: SubscriptionTable,
+    cache: MatchCache,
     next_subscriber: u32,
     dispatched: u64,
     deliveries: u64,
@@ -50,9 +62,14 @@ pub struct DispatchingService {
 }
 
 impl DispatchingService {
-    /// Creates the service.
+    /// Creates the service with the default match-cache configuration.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates the service with an explicit match-cache configuration.
+    pub fn with_cache(cache: DispatchCacheConfig) -> Self {
+        DispatchingService { cache: MatchCache::new(cache), ..Self::default() }
     }
 
     /// Builds the service over a pre-populated subscription table — the
@@ -87,7 +104,7 @@ impl DispatchingService {
 
     /// Routes one message, recording fan-out statistics.
     pub fn route(&mut self, stream: StreamId) -> DispatchOutcome {
-        let recipients = self.table.match_subscribers(stream);
+        let (recipients, rebuilt) = self.cache.resolve(&self.table, stream);
         self.dispatched += 1;
         self.deliveries += recipients.len() as u64;
         self.fanout.record(recipients.len() as u64);
@@ -95,7 +112,7 @@ impl DispatchingService {
         if unclaimed {
             self.unclaimed += 1;
         }
-        DispatchOutcome { recipients, unclaimed }
+        DispatchOutcome { recipients, unclaimed, rebuilt }
     }
 
     /// Peeks the match set without accounting (used by claim logic).
@@ -121,6 +138,11 @@ impl DispatchingService {
     /// Distribution of per-message fan-out.
     pub fn fanout(&self) -> &Histogram {
         &self.fanout
+    }
+
+    /// Counters of this service's match cache.
+    pub fn cache_stats(&self) -> MatchCacheStats {
+        self.cache.stats()
     }
 
     /// Distinct subscribers with live subscriptions.
@@ -169,9 +191,9 @@ mod tests {
         d.subscribe(a, TopicFilter::Sensor(SensorId::new(1).unwrap()));
         d.subscribe(b, TopicFilter::All);
         let out = d.route(stream(1));
-        assert_eq!(out.recipients, vec![a, b]);
+        assert_eq!(&*out.recipients, &[a, b]);
         let out = d.route(stream(2));
-        assert_eq!(out.recipients, vec![b]);
+        assert_eq!(&*out.recipients, &[b]);
     }
 
     #[test]
@@ -217,5 +239,23 @@ mod tests {
         assert!(d.would_deliver(stream(1)));
         assert!(!d.would_deliver(stream(2)));
         assert_eq!(d.dispatched_count(), 0);
+    }
+
+    #[test]
+    fn repeat_routes_hit_the_cache_and_stay_correct() {
+        let mut d = DispatchingService::new();
+        let a = d.register_subscriber();
+        d.subscribe(a, TopicFilter::Stream(stream(1)));
+        assert!(d.route(stream(1)).rebuilt, "first route builds cold");
+        assert!(!d.route(stream(1)).rebuilt, "second route hits");
+        // A mutation stales the entry; the next route rebuilds and sees
+        // the new subscriber.
+        let b = d.register_subscriber();
+        d.subscribe(b, TopicFilter::Sensor(SensorId::new(1).unwrap()));
+        let out = d.route(stream(1));
+        assert!(out.rebuilt);
+        assert_eq!(&*out.recipients, &[a, b]);
+        let s = d.cache_stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 1, 1));
     }
 }

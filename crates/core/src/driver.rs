@@ -158,6 +158,7 @@ pub struct DispatchStats {
     pub(crate) unclaimed: u64,
     pub(crate) fanout: Histogram,
     pub(crate) subscribers: usize,
+    pub(crate) match_cache: garnet_net::MatchCacheStats,
 }
 
 impl DispatchStats {
@@ -184,6 +185,11 @@ impl DispatchStats {
     /// Distinct subscribers with live subscriptions.
     pub fn subscriber_count(&self) -> usize {
         self.subscribers
+    }
+
+    /// Match-cache counters, folded across dispatch shards.
+    pub fn match_cache(&self) -> garnet_net::MatchCacheStats {
+        self.match_cache
     }
 }
 
@@ -439,6 +445,7 @@ impl RouterDriver for FifoDriver {
             unclaimed: d.unclaimed_count(),
             fanout: d.fanout(),
             subscribers: d.subscriber_count(),
+            match_cache: d.cache_stats(),
         }
     }
 
@@ -536,6 +543,7 @@ impl ThreadedDriver {
         control: ControlGraph,
         overload: Option<OverloadConfig>,
         batch: bool,
+        cache: garnet_net::DispatchCacheConfig,
     ) -> Self {
         let subscriptions = Arc::new(RwLock::new(SubscriptionTable::new()));
         let router = ThreadedRouter::hosted(
@@ -545,6 +553,7 @@ impl ThreadedDriver {
             subscriptions.clone(),
             control,
             overload,
+            cache,
         );
         ThreadedDriver {
             router: Some(router),

@@ -39,8 +39,8 @@ use std::collections::HashMap;
 
 use core::fmt;
 use garnet_net::{
-    AuthService, Capability, CapabilitySet, Principal, ServiceDescriptor, ServiceKind,
-    ServiceRegistry, ShardFailure, SubscriberId, Token, TopicFilter,
+    AuthService, Capability, CapabilitySet, DispatchCacheConfig, Principal, ServiceDescriptor,
+    ServiceKind, ServiceRegistry, ShardFailure, SubscriberId, Token, TopicFilter,
 };
 use garnet_radio::geometry::Point;
 use garnet_radio::{Receiver, ReceiverId, Transmitter};
@@ -145,6 +145,12 @@ pub struct GarnetConfig {
     /// Durable frame/control-event archive (see [`crate::archive`]);
     /// `None` disables the tap entirely.
     pub archive: Option<ArchiveConfig>,
+    /// Per-dispatch-shard match-set memoisation (see
+    /// [`garnet_net::MatchCache`]). On by default; the cache changes
+    /// dispatch cost, never output order, which the
+    /// `GARNET_TEST_MATCH_CACHE` env toggle (honoured by the default)
+    /// lets CI prove by rerunning the determinism suites uncached.
+    pub dispatch_cache: DispatchCacheConfig,
 }
 
 impl Default for GarnetConfig {
@@ -168,6 +174,7 @@ impl Default for GarnetConfig {
             trace_capacity: garnet_simkit::trace::TraceConfig::default().capacity,
             batch_ingest: default_batch_ingest(),
             archive: None,
+            dispatch_cache: DispatchCacheConfig::default(),
         }
     }
 }
@@ -409,7 +416,10 @@ impl Garnet {
             DriverKind::Fifo => {
                 let services = Services {
                     ingest: ShardedIngest::new(config.filter, config.ingest_shards),
-                    dispatch: ShardedDispatch::new(config.dispatch_shards),
+                    dispatch: ShardedDispatch::with_cache(
+                        config.dispatch_shards,
+                        config.dispatch_cache,
+                    ),
                     control,
                 };
                 Box::new(FifoDriver::new(services, config.overload, config.batch_ingest))
@@ -421,6 +431,7 @@ impl Garnet {
                 control,
                 config.overload,
                 config.batch_ingest,
+                config.dispatch_cache,
             )),
         };
         driver
@@ -1166,6 +1177,13 @@ impl Garnet {
             ("unclaimed", ds.unclaimed_count()),
             ("subscribers", ds.subscriber_count() as u64),
         ];
+        let mc = ds.match_cache();
+        let dispatch: &[(&str, u64)] = &[
+            ("match_cache.hits", mc.hits),
+            ("match_cache.misses", mc.misses),
+            ("match_cache.invalidations", mc.invalidations),
+            ("match_cache.resident", mc.resident),
+        ];
         let orphanage: &[(&str, u64)] = &[
             ("taken", c.orphanage.total_taken()),
             ("evicted", c.orphanage.total_evicted()),
@@ -1213,6 +1231,7 @@ impl Garnet {
         for (stage, metrics) in [
             ("filtering", filtering),
             ("dispatching", dispatching),
+            ("dispatch", dispatch),
             ("orphanage", orphanage),
             ("location", location),
             ("resource", resource),

@@ -292,8 +292,8 @@ impl GarnetService for DispatchStage {
         }
         outcome
             .recipients
-            .into_iter()
-            .map(|recipient| ServiceOutput::Deliver {
+            .iter()
+            .map(|&recipient| ServiceOutput::Deliver {
                 recipient,
                 delivery: delivery.clone(),
                 depth,
@@ -322,17 +322,28 @@ pub struct ShardedDispatch {
     /// The stream catalogue, partitioned with the dispatchers.
     pub streams: ShardedStreamRegistry,
     next_subscriber: u32,
+    /// Whether the most recent [`ShardedDispatch::route`] (re)built its
+    /// match set — consumed by the tracer via
+    /// [`ShardedDispatch::take_last_rebuild`].
+    last_rebuilt: bool,
 }
 
 impl ShardedDispatch {
     /// Creates a dispatch stage with `shards` partitions (0 is treated
-    /// as 1).
+    /// as 1), under the default match-cache configuration.
     pub fn new(shards: usize) -> Self {
+        Self::with_cache(shards, garnet_net::DispatchCacheConfig::default())
+    }
+
+    /// Creates a dispatch stage whose per-shard match caches run under
+    /// an explicit configuration.
+    pub fn with_cache(shards: usize, cache: garnet_net::DispatchCacheConfig) -> Self {
         let n = shards.max(1);
         ShardedDispatch {
-            dispatchers: (0..n).map(|_| DispatchingService::new()).collect(),
+            dispatchers: (0..n).map(|_| DispatchingService::with_cache(cache)).collect(),
             streams: ShardedStreamRegistry::new(n),
             next_subscriber: 0,
+            last_rebuilt: false,
         }
     }
 
@@ -415,7 +426,25 @@ impl ShardedDispatch {
     /// Routes one message on its owning shard.
     pub fn route(&mut self, stream: garnet_wire::StreamId) -> DispatchOutcome {
         let shard = self.shard_of(stream);
-        self.dispatchers[shard].route(stream)
+        let outcome = self.dispatchers[shard].route(stream);
+        self.last_rebuilt = outcome.rebuilt;
+        outcome
+    }
+
+    /// Whether the most recent route (re)built its match set, clearing
+    /// the flag — the FIFO router reads this right after pumping a
+    /// `Filtered` event to append the `CacheRebuild` trace record.
+    pub fn take_last_rebuild(&mut self) -> bool {
+        std::mem::take(&mut self.last_rebuilt)
+    }
+
+    /// Per-shard match-cache counters folded into one view.
+    pub fn cache_stats(&self) -> garnet_net::MatchCacheStats {
+        let mut stats = garnet_net::MatchCacheStats::default();
+        for d in &self.dispatchers {
+            stats.absorb(d.cache_stats());
+        }
+        stats
     }
 
     /// Peeks the match set without accounting (owning shard).
@@ -481,8 +510,8 @@ impl GarnetService for ShardedDispatch {
         }
         outcome
             .recipients
-            .into_iter()
-            .map(|recipient| ServiceOutput::Deliver {
+            .iter()
+            .map(|&recipient| ServiceOutput::Deliver {
                 recipient,
                 delivery: delivery.clone(),
                 depth,
@@ -952,12 +981,20 @@ impl Router {
             self.totals.delivered += 1;
         }
         #[cfg(feature = "trace")]
-        {
+        let rec = {
             let rec = event_record(&ev, now, Some(tag));
             self.tracer.note_occupancy(rec.stage, self.queue.len() as u64);
             self.tracer.record(|| rec);
-        }
+            rec
+        };
         let outputs = self.route(ev, now);
+        // A dispatch hop that had to (re)build its match set appends a
+        // CacheRebuild record right behind its Filtered one — the same
+        // adjacency the threaded driver reconstructs per root.
+        #[cfg(feature = "trace")]
+        if rec.kind == TraceEventKind::Filtered && self.services.dispatch.take_last_rebuild() {
+            self.tracer.record(|| TraceRecord { kind: TraceEventKind::CacheRebuild, ..rec });
+        }
         let mut external = Vec::new();
         for o in outputs {
             match o {
@@ -1195,6 +1232,11 @@ impl ThreadedIngest {
             ShardPool::with_supervision(n, queue_capacity.max(1), supervision, move |_shard| {
                 let mut filter = FilteringService::new(config);
                 let subs = subs_master.clone();
+                // Fan-out accounting over the frozen snapshot goes
+                // through a worker-local match cache: repeated frames of
+                // one stream count in O(1) instead of re-merging.
+                let mut cache =
+                    garnet_net::MatchCache::new(garnet_net::DispatchCacheConfig::default());
                 Box::new(move |job: IngestJob| {
                     let mut batch = IngestBatch::default();
                     match job {
@@ -1204,14 +1246,15 @@ impl ThreadedIngest {
                                 frames.into_iter().map(pending_to_arrival).collect();
                             for result in filter.on_batch(&arrivals) {
                                 for d in result.deliveries {
-                                    batch.matched += subs.match_count(d.msg.stream()) as u64;
+                                    batch.matched +=
+                                        cache.match_count(&subs, d.msg.stream()) as u64;
                                     batch.deliveries.push(d);
                                 }
                             }
                         }
                         IngestJob::Flush(now) => {
                             for d in filter.on_tick(now) {
-                                batch.matched += subs.match_count(d.msg.stream()) as u64;
+                                batch.matched += cache.match_count(&subs, d.msg.stream()) as u64;
                                 batch.deliveries.push(d);
                             }
                         }
@@ -1517,29 +1560,45 @@ struct RouteNote {
     depth: u32,
     /// Subscribers matched (0 = the delivery went to the Orphanage).
     matched: usize,
+    /// True if the shard's match cache (re)built this set — surfaces as
+    /// a `CacheRebuild` trace record behind the `Filtered` one.
+    #[cfg_attr(not(feature = "trace"), allow(dead_code))]
+    rebuilt: bool,
+    /// Which dispatch shard routed the delivery, so the drain can slot
+    /// the stats snapshot below.
+    cache_shard: usize,
+    /// Cumulative match-cache counters of that shard, snapshotted after
+    /// this route. Riding every note costs four u64 copies and spares
+    /// the worker any shared-state synchronisation.
+    cache_stats: garnet_net::MatchCacheStats,
 }
 
 /// Routes one delivery against the subscription table — the B worker
-/// body.
+/// body. `cache` is the worker's shard-local match cache.
 fn route_delivery(
     table: &SubscriptionTable,
+    cache: &mut garnet_net::MatchCache,
+    shard: usize,
     delivery: Delivery,
     depth: u32,
 ) -> (Vec<ServiceOutput>, RouteNote) {
-    let recipients = table.match_subscribers(delivery.msg.stream());
+    let (recipients, rebuilt) = cache.resolve(table, delivery.msg.stream());
     let note = RouteNote {
         stream: delivery.msg.stream(),
         payload_len: delivery.msg.payload().len(),
         delivered_at: delivery.delivered_at,
         depth,
         matched: recipients.len(),
+        rebuilt,
+        cache_shard: shard,
+        cache_stats: cache.stats(),
     };
     let outputs = if recipients.is_empty() {
         vec![ServiceOutput::Emit(ServiceEvent::Orphaned(delivery))]
     } else {
         recipients
-            .into_iter()
-            .map(|recipient| ServiceOutput::Deliver {
+            .iter()
+            .map(|&recipient| ServiceOutput::Deliver {
                 recipient,
                 delivery: delivery.clone(),
                 depth,
@@ -1749,6 +1808,9 @@ pub struct ThreadedRouter {
     /// Latest per-ingest-shard (counters, reorder deadline) snapshot,
     /// refreshed at the A drain.
     a_stats: Vec<(FilterStats, Option<SimTime>)>,
+    /// Latest per-dispatch-shard match-cache snapshot, refreshed at the
+    /// B drain (each note carries its shard's cumulative counters).
+    b_cache_stats: Vec<garnet_net::MatchCacheStats>,
     /// Root span of each in-flight [`FilterJob::Frames`] run, keyed by
     /// the run's first root: a failed run must close every root it
     /// carried, not just the one the job rode on.
@@ -1795,11 +1857,13 @@ impl ThreadedRouter {
             OverloadPolicy::Block,
             4,
             None,
+            garnet_net::DispatchCacheConfig::default(),
         )
     }
 
     /// [`ThreadedRouter::new`] with an explicit frame-edge policy,
-    /// per-shard queue bound and supervision policy.
+    /// per-shard queue bound, supervision policy and match-cache
+    /// configuration.
     #[allow(clippy::too_many_arguments)]
     pub fn with_options(
         config: FilterConfig,
@@ -1810,13 +1874,14 @@ impl ThreadedRouter {
         policy: OverloadPolicy,
         queue_capacity: usize,
         supervision: Option<SupervisionConfig>,
+        cache: garnet_net::DispatchCacheConfig,
     ) -> Self {
         let ingest_shards = ingest_shards.max(1);
         let dispatch_shards = dispatch_shards.max(1);
         let capacity = queue_capacity.max(1);
         let subscriptions = Arc::new(RwLock::new(subscriptions.clone()));
         let a = Self::filter_edge(config, ingest_shards, capacity, supervision);
-        let b = Self::dispatch_edge(dispatch_shards, capacity, supervision, &subscriptions);
+        let b = Self::dispatch_edge(dispatch_shards, capacity, supervision, &subscriptions, cache);
         let c = ControlStage::Worker(StageEdge::new(1, capacity, supervision, move |_shard| {
             let mut control = control_factory();
             Box::new(move |job: ControlJob| control.pump_traced(job.events, job.now))
@@ -1837,6 +1902,7 @@ impl ThreadedRouter {
         subscriptions: Arc<RwLock<SubscriptionTable>>,
         control: ControlGraph,
         overload: Option<OverloadConfig>,
+        cache: garnet_net::DispatchCacheConfig,
     ) -> Self {
         let ingest_shards = ingest_shards.max(1);
         let dispatch_shards = dispatch_shards.max(1);
@@ -1851,7 +1917,7 @@ impl ThreadedRouter {
         // silent.
         let supervision = Some(SupervisionConfig::default());
         let a = Self::filter_edge(config, ingest_shards, capacity, supervision);
-        let b = Self::dispatch_edge(dispatch_shards, capacity, supervision, &subscriptions);
+        let b = Self::dispatch_edge(dispatch_shards, capacity, supervision, &subscriptions, cache);
         let c = ControlStage::Inline(Box::new(control));
         Self::assemble(a, b, c, ingest_shards, dispatch_shards, policy, subscriptions)
     }
@@ -1898,13 +1964,19 @@ impl ThreadedRouter {
         capacity: usize,
         supervision: Option<SupervisionConfig>,
         subscriptions: &Arc<RwLock<SubscriptionTable>>,
+        cache: garnet_net::DispatchCacheConfig,
     ) -> StageEdge<DispatchJob, (Vec<ServiceOutput>, RouteNote)> {
         let subs = subscriptions.clone();
-        StageEdge::new(shards, capacity, supervision, move |_shard| {
+        StageEdge::new(shards, capacity, supervision, move |shard| {
             let subs = subs.clone();
+            // Shard-local: streams are pinned to shards, so each cache
+            // sees the same stream sequence its FIFO twin would. A
+            // supervised restart starts cold — correct, just slower
+            // until the working set rebuilds.
+            let mut cache = garnet_net::MatchCache::new(cache);
             Box::new(move |job: DispatchJob| {
                 let table = subs.read().unwrap_or_else(|e| e.into_inner());
-                route_delivery(&table, job.delivery, job.depth)
+                route_delivery(&table, &mut cache, shard, job.delivery, job.depth)
             })
         })
     }
@@ -1929,6 +2001,7 @@ impl ThreadedRouter {
             subscriptions,
             streams: ShardedStreamRegistry::new(dispatch_shards),
             a_stats: vec![(FilterStats::default(), None); ingest_shards],
+            b_cache_stats: vec![garnet_net::MatchCacheStats::default(); dispatch_shards],
             a_spans: BTreeMap::new(),
             dispatched: 0,
             deliveries: 0,
@@ -2353,10 +2426,13 @@ impl ThreadedRouter {
                 self.unclaimed += 1;
             }
             self.streams.set_claimed(note.stream, note.matched > 0);
+            if let Some(slot) = self.b_cache_stats.get_mut(note.cache_shard) {
+                *slot = note.cache_stats;
+            }
             if let Some(state) = self.roots.get_mut(&root) {
                 state.b_done += 1;
                 #[cfg(feature = "trace")]
-                state.trace.complete_dispatch(true);
+                state.trace.complete_dispatch(true, note.rebuilt);
                 for o in outputs {
                     match o {
                         // Orphaned: a control event the FIFO router
@@ -2373,7 +2449,7 @@ impl ThreadedRouter {
             if let Some(state) = self.roots.get_mut(&f.root) {
                 state.b_done += 1;
                 #[cfg(feature = "trace")]
-                state.trace.complete_dispatch(false);
+                state.trace.complete_dispatch(false, false);
             }
             self.failures.push(f);
         }
@@ -2561,6 +2637,10 @@ impl ThreadedRouter {
 
     /// Dispatch counters (applied at the B drain in submission order).
     pub fn dispatch_stats(&self) -> DispatchStats {
+        let mut match_cache = garnet_net::MatchCacheStats::default();
+        for s in &self.b_cache_stats {
+            match_cache.absorb(*s);
+        }
         DispatchStats {
             dispatched: self.dispatched,
             deliveries: self.deliveries,
@@ -2571,6 +2651,7 @@ impl ThreadedRouter {
                 .read()
                 .unwrap_or_else(|e| e.into_inner())
                 .subscriber_count(),
+            match_cache,
         }
     }
 

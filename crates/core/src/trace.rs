@@ -194,13 +194,19 @@ mod imp {
         }
 
         /// One dispatch job landed (`ok`) or was lost to a worker
-        /// failure.
-        pub(crate) fn complete_dispatch(&mut self, ok: bool) {
+        /// failure. `rebuilt` marks that the dispatch shard's match
+        /// cache (re)built the hop's match set, which appends a
+        /// `CacheRebuild` record right after the `Filtered` one — the
+        /// same adjacency the single-threaded router produces.
+        pub(crate) fn complete_dispatch(&mut self, ok: bool, rebuilt: bool) {
             if let Some(mut rec) = self.dispatch_pending.pop_front() {
                 if !ok {
                     rec.outcome = TraceOutcome::Failed;
                 }
                 self.dispatch.push(rec);
+                if ok && rebuilt {
+                    self.dispatch.push(TraceRecord { kind: TraceEventKind::CacheRebuild, ..rec });
+                }
             }
         }
 

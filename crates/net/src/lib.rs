@@ -42,7 +42,9 @@ pub use bus::{
     BusError, RefusedJob, RestartEvent, ShardFailure, ShardPool, Stage, SupervisionConfig,
     ThreadedBus,
 };
-pub use pubsub::{SubscriberId, SubscriptionTable, TopicFilter};
+pub use pubsub::{
+    DispatchCacheConfig, MatchCache, MatchCacheStats, SubscriberId, SubscriptionTable, TopicFilter,
+};
 pub use registry::{ServiceDescriptor, ServiceKind, ServiceRegistry};
 pub use rpc::{CallId, RpcTable};
 pub use threaded_router::{RootFailure, StageEdge};

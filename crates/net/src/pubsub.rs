@@ -11,8 +11,18 @@
 //! Matching is O(subscribers-on-topic), not O(all-subscribers), so
 //! dispatch cost scales with fan-out rather than population — the
 //! property experiment E5 measures.
+//!
+//! Subscription tables mutate orders of magnitude less often than
+//! frames arrive, so the table carries a monotonic **epoch** stamped
+//! per key range (one stream, one sensor, the `All` set) on every
+//! actual mutation. A [`MatchCache`] memoises the resolved match set
+//! per stream as a shared `Arc<[SubscriberId]>` slice and revalidates
+//! against those stamps: a steady-state hit is one hash lookup plus one
+//! refcount bump — no allocation, no set union. Experiment E23 prices
+//! the difference.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 use core::fmt;
 use garnet_wire::{SensorId, StreamId};
@@ -69,7 +79,34 @@ impl TopicFilter {
     }
 }
 
+/// Inserts `id` into an ascending-sorted vec; `true` if it was new.
+fn sorted_insert(set: &mut Vec<SubscriberId>, id: SubscriberId) -> bool {
+    match set.binary_search(&id) {
+        Ok(_) => false,
+        Err(pos) => {
+            set.insert(pos, id);
+            true
+        }
+    }
+}
+
+/// Removes `id` from an ascending-sorted vec; `true` if it was present.
+fn sorted_remove(set: &mut Vec<SubscriberId>, id: SubscriberId) -> bool {
+    match set.binary_search(&id) {
+        Ok(pos) => {
+            set.remove(pos);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
 /// The subscription table.
+///
+/// The hot indexes (`by_stream`, `by_sensor`, `all`) are
+/// ascending-sorted vecs behind hash maps: lookups never walk a tree,
+/// and the sorted-on-insert invariant keeps every match set in the
+/// deterministic ascending-id order that dispatch relies on.
 ///
 /// # Example
 ///
@@ -86,11 +123,21 @@ impl TopicFilter {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct SubscriptionTable {
-    by_stream: BTreeMap<u32, BTreeSet<SubscriberId>>,
-    by_sensor: BTreeMap<u32, BTreeSet<SubscriberId>>,
-    all: BTreeSet<SubscriberId>,
+    by_stream: HashMap<u32, Vec<SubscriberId>>,
+    by_sensor: HashMap<u32, Vec<SubscriberId>>,
+    all: Vec<SubscriberId>,
     // Reverse index so unsubscribe-all is O(own subscriptions).
     filters: BTreeMap<SubscriberId, BTreeSet<TopicFilter>>,
+    // Monotonic mutation counter, bumped on every *actual* change
+    // (idempotent re-subscribes and no-op unsubscribes do not count).
+    epoch: u64,
+    // Per-key-range stamps: the epoch of the last mutation touching
+    // that key. A cached match set built at epoch `b` for some stream
+    // is valid iff `b >= mutation_stamp(stream)` — mutations to other
+    // sensors/streams never invalidate it.
+    all_epoch: u64,
+    sensor_epochs: HashMap<u32, u64>,
+    stream_epochs: HashMap<u32, u64>,
 }
 
 impl SubscriptionTable {
@@ -99,18 +146,55 @@ impl SubscriptionTable {
         Self::default()
     }
 
+    /// Records that `filter`'s key range just mutated.
+    fn note_mutation(&mut self, filter: TopicFilter) {
+        self.epoch += 1;
+        match filter {
+            TopicFilter::Stream(s) => {
+                self.stream_epochs.insert(s.to_raw(), self.epoch);
+            }
+            TopicFilter::Sensor(id) => {
+                self.sensor_epochs.insert(id.as_u32(), self.epoch);
+            }
+            TopicFilter::All => self.all_epoch = self.epoch,
+        }
+    }
+
+    /// The monotonic mutation counter. Bumped once per actual
+    /// subscribe/unsubscribe; idempotent calls leave it unchanged.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch of the last mutation that could change the match set
+    /// of `stream`: the max over its three key ranges (exact stream,
+    /// owning sensor, the `All` set). A cached set built at or after
+    /// this stamp is still valid.
+    pub fn mutation_stamp(&self, stream: StreamId) -> u64 {
+        let sensor = self.sensor_epochs.get(&stream.sensor().as_u32()).copied().unwrap_or(0);
+        let exact = self.stream_epochs.get(&stream.to_raw()).copied().unwrap_or(0);
+        self.all_epoch.max(sensor).max(exact)
+    }
+
     /// Adds a subscription. Returns `true` if it was new.
     pub fn subscribe(&mut self, subscriber: SubscriberId, filter: TopicFilter) -> bool {
         let inserted = match filter {
             TopicFilter::Stream(s) => {
-                self.by_stream.entry(s.to_raw()).or_default().insert(subscriber)
+                sorted_insert(self.by_stream.entry(s.to_raw()).or_default(), subscriber)
             }
             TopicFilter::Sensor(id) => {
-                self.by_sensor.entry(id.as_u32()).or_default().insert(subscriber)
+                sorted_insert(self.by_sensor.entry(id.as_u32()).or_default(), subscriber)
             }
-            TopicFilter::All => self.all.insert(subscriber),
+            TopicFilter::All => sorted_insert(&mut self.all, subscriber),
         };
-        self.filters.entry(subscriber).or_default().insert(filter);
+        let reverse_inserted = self.filters.entry(subscriber).or_default().insert(filter);
+        debug_assert_eq!(
+            inserted, reverse_inserted,
+            "forward and reverse indexes disagree on subscribe({subscriber}, {filter:?})"
+        );
+        if inserted {
+            self.note_mutation(filter);
+        }
         inserted
     }
 
@@ -120,7 +204,7 @@ impl SubscriptionTable {
             TopicFilter::Stream(s) => {
                 let raw = s.to_raw();
                 if let Some(set) = self.by_stream.get_mut(&raw) {
-                    let removed = set.remove(&subscriber);
+                    let removed = sorted_remove(set, subscriber);
                     if set.is_empty() {
                         self.by_stream.remove(&raw);
                     }
@@ -132,7 +216,7 @@ impl SubscriptionTable {
             TopicFilter::Sensor(id) => {
                 let raw = id.as_u32();
                 if let Some(set) = self.by_sensor.get_mut(&raw) {
-                    let removed = set.remove(&subscriber);
+                    let removed = sorted_remove(set, subscriber);
                     if set.is_empty() {
                         self.by_sensor.remove(&raw);
                     }
@@ -141,13 +225,21 @@ impl SubscriptionTable {
                     false
                 }
             }
-            TopicFilter::All => self.all.remove(&subscriber),
+            TopicFilter::All => sorted_remove(&mut self.all, subscriber),
         };
+        let mut removed_reverse = false;
         if let Some(fs) = self.filters.get_mut(&subscriber) {
-            fs.remove(&filter);
+            removed_reverse = fs.remove(&filter);
             if fs.is_empty() {
                 self.filters.remove(&subscriber);
             }
+        }
+        debug_assert_eq!(
+            removed, removed_reverse,
+            "forward and reverse indexes disagree on unsubscribe({subscriber}, {filter:?})"
+        );
+        if removed {
+            self.note_mutation(filter);
         }
         removed
     }
@@ -160,63 +252,101 @@ impl SubscriptionTable {
         };
         let n = filters.len();
         for f in filters {
-            match f {
+            let removed = match f {
                 TopicFilter::Stream(s) => {
-                    if let Some(set) = self.by_stream.get_mut(&s.to_raw()) {
-                        set.remove(&subscriber);
+                    let raw = s.to_raw();
+                    if let Some(set) = self.by_stream.get_mut(&raw) {
+                        let removed = sorted_remove(set, subscriber);
                         if set.is_empty() {
-                            self.by_stream.remove(&s.to_raw());
+                            self.by_stream.remove(&raw);
                         }
+                        removed
+                    } else {
+                        false
                     }
                 }
                 TopicFilter::Sensor(id) => {
-                    if let Some(set) = self.by_sensor.get_mut(&id.as_u32()) {
-                        set.remove(&subscriber);
+                    let raw = id.as_u32();
+                    if let Some(set) = self.by_sensor.get_mut(&raw) {
+                        let removed = sorted_remove(set, subscriber);
                         if set.is_empty() {
-                            self.by_sensor.remove(&id.as_u32());
+                            self.by_sensor.remove(&raw);
                         }
+                        removed
+                    } else {
+                        false
                     }
                 }
-                TopicFilter::All => {
-                    self.all.remove(&subscriber);
-                }
-            }
+                TopicFilter::All => sorted_remove(&mut self.all, subscriber),
+            };
+            debug_assert!(
+                removed,
+                "reverse index held {f:?} for {subscriber} but the forward index did not"
+            );
+            self.note_mutation(f);
         }
         n
+    }
+
+    /// Calls `f` once per matching subscriber, deduplicated, in
+    /// ascending id order — a 3-way merge over the sorted `all` /
+    /// sensor / stream slices, allocating nothing.
+    fn for_each_match(&self, stream: StreamId, mut f: impl FnMut(SubscriberId)) {
+        let a = self.all.as_slice();
+        let b =
+            self.by_sensor.get(&stream.sensor().as_u32()).map(Vec::as_slice).unwrap_or_default();
+        let c = self.by_stream.get(&stream.to_raw()).map(Vec::as_slice).unwrap_or_default();
+        let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+        while i < a.len() || j < b.len() || k < c.len() {
+            let mut min = SubscriberId::new(u32::MAX);
+            if i < a.len() {
+                min = min.min(a[i]);
+            }
+            if j < b.len() {
+                min = min.min(b[j]);
+            }
+            if k < c.len() {
+                min = min.min(c[k]);
+            }
+            // Advance every cursor sitting on the minimum: overlapping
+            // filters deduplicate here.
+            if i < a.len() && a[i] == min {
+                i += 1;
+            }
+            if j < b.len() && b[j] == min {
+                j += 1;
+            }
+            if k < c.len() && c[k] == min {
+                k += 1;
+            }
+            f(min);
+        }
+    }
+
+    /// Writes the subscribers that should receive a message on `stream`
+    /// into `out` (cleared first), deduplicated, in ascending id order —
+    /// the scratch-buffer form for cold-path union building.
+    pub fn match_subscribers_into(&self, stream: StreamId, out: &mut Vec<SubscriberId>) {
+        out.clear();
+        self.for_each_match(stream, |s| out.push(s));
     }
 
     /// The subscribers that should receive a message on `stream`,
     /// deduplicated, in ascending id order (deterministic dispatch).
     pub fn match_subscribers(&self, stream: StreamId) -> Vec<SubscriberId> {
-        let mut out: BTreeSet<SubscriberId> = self.all.clone();
-        if let Some(set) = self.by_sensor.get(&stream.sensor().as_u32()) {
-            out.extend(set.iter().copied());
-        }
-        if let Some(set) = self.by_stream.get(&stream.to_raw()) {
-            out.extend(set.iter().copied());
-        }
-        out.into_iter().collect()
+        let mut out = Vec::new();
+        self.match_subscribers_into(stream, &mut out);
+        out
     }
 
     /// How many subscribers [`SubscriptionTable::match_subscribers`]
     /// would return for `stream`, without materialising the list — the
-    /// allocation-free form for hot paths that only account fan-out.
+    /// allocation-free form for paths that only account fan-out. Linear
+    /// in the matched sets; [`MatchCache::match_count`] makes it O(1)
+    /// on a cache hit.
     pub fn match_count(&self, stream: StreamId) -> usize {
-        let by_sensor = self.by_sensor.get(&stream.sensor().as_u32());
-        let by_stream = self.by_stream.get(&stream.to_raw());
-        // The three indexes can overlap (one subscriber holding All and
-        // a Sensor filter, say), so the union size counts each narrower
-        // set's members not already claimed by a wider one.
-        let mut count = self.all.len();
-        if let Some(set) = by_sensor {
-            count += set.iter().filter(|s| !self.all.contains(s)).count();
-        }
-        if let Some(set) = by_stream {
-            count += set
-                .iter()
-                .filter(|s| !self.all.contains(s) && by_sensor.is_none_or(|x| !x.contains(s)))
-                .count();
-        }
+        let mut count = 0usize;
+        self.for_each_match(stream, |_| count += 1);
         count
     }
 
@@ -250,6 +380,168 @@ impl SubscriptionTable {
     /// Total number of live subscriptions.
     pub fn subscription_count(&self) -> usize {
         self.filters.values().map(|f| f.len()).sum()
+    }
+}
+
+/// Configuration of the per-shard dispatch [`MatchCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatchCacheConfig {
+    /// Whether match sets are memoised at all. Off, every resolve
+    /// rebuilds from the table (the pre-cache behaviour).
+    pub enabled: bool,
+    /// Residency bound: the maximum number of distinct streams cached
+    /// per shard. Inserting a new stream into a full cache clears it
+    /// wholesale (deterministic, no recency bookkeeping on the hot
+    /// path). Clamped to at least 1.
+    pub capacity: usize,
+}
+
+impl DispatchCacheConfig {
+    /// Default residency bound (streams per dispatch shard).
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// A disabled cache: every resolve rebuilds from the table.
+    pub fn disabled() -> Self {
+        DispatchCacheConfig { enabled: false, capacity: Self::DEFAULT_CAPACITY }
+    }
+}
+
+impl Default for DispatchCacheConfig {
+    /// Enabled at [`DispatchCacheConfig::DEFAULT_CAPACITY`], unless the
+    /// `GARNET_TEST_MATCH_CACHE` environment variable is set to `0`,
+    /// `off` or `false` — the escape hatch ci.sh uses to rerun the
+    /// determinism suites uncached.
+    fn default() -> Self {
+        let enabled = match std::env::var("GARNET_TEST_MATCH_CACHE") {
+            Ok(v) => {
+                !(v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false"))
+            }
+            Err(_) => true,
+        };
+        DispatchCacheConfig { enabled, capacity: Self::DEFAULT_CAPACITY }
+    }
+}
+
+/// Counters of one [`MatchCache`] (or the fold over every shard's).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchCacheStats {
+    /// Resolves answered from a valid cached entry.
+    pub hits: u64,
+    /// Resolves for a stream never seen (or evicted) — built cold.
+    pub misses: u64,
+    /// Resolves that found a cached entry staled by a subscription
+    /// mutation — rebuilt.
+    pub invalidations: u64,
+    /// Entries currently resident.
+    pub resident: u64,
+}
+
+impl MatchCacheStats {
+    /// Accumulates `other` into `self` (summing every field), for
+    /// folding per-shard stats into one engine-wide view.
+    pub fn absorb(&mut self, other: MatchCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.invalidations += other.invalidations;
+        self.resident += other.resident;
+    }
+}
+
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    /// The table epoch when this set was built.
+    built_at: u64,
+    set: Arc<[SubscriberId]>,
+}
+
+/// Memoises resolved match sets per stream as shared
+/// `Arc<[SubscriberId]>` slices.
+///
+/// Each dispatch shard owns one, keyed by its own (partitioned or
+/// shared) [`SubscriptionTable`]. An entry is valid while the table's
+/// [`mutation_stamp`](SubscriptionTable::mutation_stamp) for the stream
+/// is at or below the epoch the entry was built at, so a mutation only
+/// invalidates the key ranges it touches (`All` mutations stale
+/// everything). A steady-state hit is one hash lookup plus one Arc
+/// refcount bump — zero heap allocations, which E23's alloc-counter
+/// harness proves.
+#[derive(Clone, Debug, Default)]
+pub struct MatchCache {
+    config: DispatchCacheConfig,
+    entries: HashMap<u32, CacheEntry>,
+    // Reused across misses so cold-path union building settles into
+    // zero steady-state growth too.
+    scratch: Vec<SubscriberId>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl MatchCache {
+    /// Creates an empty cache under `config`.
+    pub fn new(config: DispatchCacheConfig) -> Self {
+        MatchCache { config, ..Default::default() }
+    }
+
+    /// The configuration this cache runs under.
+    pub fn config(&self) -> DispatchCacheConfig {
+        self.config
+    }
+
+    /// Resolves the match set for `stream` against `table`. Returns the
+    /// shared slice and whether it was (re)built on this call — `false`
+    /// on a cache hit *and* whenever the cache is disabled, so rebuild
+    /// traces stay identical between cached-off runs of both engines.
+    pub fn resolve(
+        &mut self,
+        table: &SubscriptionTable,
+        stream: StreamId,
+    ) -> (Arc<[SubscriberId]>, bool) {
+        if !self.config.enabled {
+            table.match_subscribers_into(stream, &mut self.scratch);
+            return (Arc::from(self.scratch.as_slice()), false);
+        }
+        let key = stream.to_raw();
+        let stamp = table.mutation_stamp(stream);
+        match self.entries.get(&key) {
+            Some(entry) if entry.built_at >= stamp => {
+                self.hits += 1;
+                return (Arc::clone(&entry.set), false);
+            }
+            Some(_) => self.invalidations += 1,
+            None => {
+                self.misses += 1;
+                if self.entries.len() >= self.config.capacity.max(1) {
+                    // Full and a new stream wants in: deterministic
+                    // wholesale reset instead of hot-path recency.
+                    self.entries.clear();
+                }
+            }
+        }
+        table.match_subscribers_into(stream, &mut self.scratch);
+        let set: Arc<[SubscriberId]> = Arc::from(self.scratch.as_slice());
+        self.entries.insert(key, CacheEntry { built_at: table.epoch(), set: Arc::clone(&set) });
+        (set, true)
+    }
+
+    /// Fan-out accounting: the length of the resolved match set. O(1)
+    /// on a cache hit; falls back to the table's merge-count when the
+    /// cache is disabled.
+    pub fn match_count(&mut self, table: &SubscriptionTable, stream: StreamId) -> usize {
+        if !self.config.enabled {
+            return table.match_count(stream);
+        }
+        self.resolve(table, stream).0.len()
+    }
+
+    /// Snapshot of this cache's counters.
+    pub fn stats(&self) -> MatchCacheStats {
+        MatchCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            invalidations: self.invalidations,
+            resident: self.entries.len() as u64,
+        }
     }
 }
 
@@ -400,6 +692,119 @@ mod tests {
             assert_eq!(s.as_u32() % 1000, 7);
         }
     }
+
+    #[test]
+    fn epoch_bumps_only_on_actual_mutation() {
+        let mut t = SubscriptionTable::new();
+        let a = SubscriberId::new(1);
+        assert_eq!(t.epoch(), 0);
+        t.subscribe(a, TopicFilter::All);
+        assert_eq!(t.epoch(), 1);
+        t.subscribe(a, TopicFilter::All); // idempotent: no bump
+        assert_eq!(t.epoch(), 1);
+        t.unsubscribe(a, TopicFilter::Stream(stream(1, 0))); // no-op
+        assert_eq!(t.epoch(), 1);
+        t.unsubscribe(a, TopicFilter::All);
+        assert_eq!(t.epoch(), 2);
+        assert_eq!(t.unsubscribe_all(a), 0); // gone: no bump
+        assert_eq!(t.epoch(), 2);
+    }
+
+    #[test]
+    fn mutation_stamp_is_per_key_range() {
+        let mut t = SubscriptionTable::new();
+        t.subscribe(SubscriberId::new(1), TopicFilter::Stream(stream(5, 0)));
+        let stamp_5 = t.mutation_stamp(stream(5, 0));
+        // A mutation on another sensor leaves sensor 5's stamp alone.
+        t.subscribe(SubscriberId::new(2), TopicFilter::Sensor(SensorId::new(9).unwrap()));
+        assert_eq!(t.mutation_stamp(stream(5, 0)), stamp_5);
+        assert!(t.mutation_stamp(stream(9, 0)) > stamp_5);
+        // Sibling stream of the same sensor: exact-stream mutation on
+        // (5,0) does not stamp (5,1).
+        assert_eq!(t.mutation_stamp(stream(5, 1)), 0);
+        // An All mutation stamps everything.
+        t.subscribe(SubscriberId::new(3), TopicFilter::All);
+        let e = t.epoch();
+        assert_eq!(t.mutation_stamp(stream(5, 0)), e);
+        assert_eq!(t.mutation_stamp(stream(123, 45)), e);
+    }
+
+    #[test]
+    fn cache_hits_after_first_resolve() {
+        let mut t = SubscriptionTable::new();
+        t.subscribe(SubscriberId::new(1), TopicFilter::Sensor(SensorId::new(5).unwrap()));
+        let mut c = MatchCache::new(DispatchCacheConfig::default());
+        let (first, rebuilt) = c.resolve(&t, stream(5, 0));
+        assert!(rebuilt);
+        assert_eq!(&*first, &[SubscriberId::new(1)]);
+        let (second, rebuilt) = c.resolve(&t, stream(5, 0));
+        assert!(!rebuilt);
+        assert!(Arc::ptr_eq(&first, &second), "a hit returns the same shared slice");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations, s.resident), (1, 1, 0, 1));
+    }
+
+    #[test]
+    fn cache_invalidation_is_fine_grained() {
+        let mut t = SubscriptionTable::new();
+        t.subscribe(SubscriberId::new(1), TopicFilter::Sensor(SensorId::new(5).unwrap()));
+        t.subscribe(SubscriberId::new(2), TopicFilter::Sensor(SensorId::new(9).unwrap()));
+        let mut c = MatchCache::new(DispatchCacheConfig::default());
+        c.resolve(&t, stream(5, 0));
+        c.resolve(&t, stream(9, 0));
+        // Mutating sensor 9 must not stale sensor 5's entry.
+        t.subscribe(SubscriberId::new(3), TopicFilter::Sensor(SensorId::new(9).unwrap()));
+        let (_, rebuilt) = c.resolve(&t, stream(5, 0));
+        assert!(!rebuilt, "unrelated mutation invalidated a cached stream");
+        let (set, rebuilt) = c.resolve(&t, stream(9, 0));
+        assert!(rebuilt);
+        assert_eq!(set.len(), 2);
+        assert_eq!(c.stats().invalidations, 1);
+        // An All mutation stales every entry.
+        t.subscribe(SubscriberId::new(4), TopicFilter::All);
+        assert!(c.resolve(&t, stream(5, 0)).1);
+        assert!(c.resolve(&t, stream(9, 0)).1);
+    }
+
+    #[test]
+    fn cache_capacity_clears_wholesale() {
+        let mut t = SubscriptionTable::new();
+        t.subscribe(SubscriberId::new(1), TopicFilter::All);
+        let mut c = MatchCache::new(DispatchCacheConfig { enabled: true, capacity: 2 });
+        c.resolve(&t, stream(1, 0));
+        c.resolve(&t, stream(2, 0));
+        assert_eq!(c.stats().resident, 2);
+        c.resolve(&t, stream(3, 0)); // full: wholesale clear, then insert
+        assert_eq!(c.stats().resident, 1);
+        let (_, rebuilt) = c.resolve(&t, stream(3, 0));
+        assert!(!rebuilt, "the newly inserted entry survives the clear");
+    }
+
+    #[test]
+    fn disabled_cache_rebuilds_quietly() {
+        let mut t = SubscriptionTable::new();
+        t.subscribe(SubscriberId::new(1), TopicFilter::All);
+        let mut c = MatchCache::new(DispatchCacheConfig::disabled());
+        let (set, rebuilt) = c.resolve(&t, stream(1, 0));
+        assert_eq!(&*set, &[SubscriberId::new(1)]);
+        assert!(!rebuilt, "disabled caches never report rebuilds");
+        c.resolve(&t, stream(1, 0));
+        assert_eq!(c.stats(), MatchCacheStats::default());
+        assert_eq!(c.match_count(&t, stream(1, 0)), 1);
+    }
+
+    #[test]
+    fn cached_match_count_tracks_mutations() {
+        let mut t = SubscriptionTable::new();
+        let mut c = MatchCache::new(DispatchCacheConfig::default());
+        assert_eq!(c.match_count(&t, stream(5, 0)), 0);
+        t.subscribe(SubscriberId::new(1), TopicFilter::Sensor(SensorId::new(5).unwrap()));
+        assert_eq!(c.match_count(&t, stream(5, 0)), 1);
+        t.subscribe(SubscriberId::new(2), TopicFilter::Stream(stream(5, 0)));
+        assert_eq!(c.match_count(&t, stream(5, 0)), 2);
+        t.unsubscribe_all(SubscriberId::new(1));
+        assert_eq!(c.match_count(&t, stream(5, 0)), 1);
+    }
 }
 
 #[cfg(test)]
@@ -457,6 +862,96 @@ mod proptests {
             prop_assert_eq!(t.subscription_count(), 0);
             let probe = StreamId::from_raw(0x0000_0100);
             prop_assert!(t.is_unclaimed(probe));
+        }
+
+        /// `match_count` agrees with the materialised match under
+        /// arbitrary subscribe/unsubscribe interleavings, whether read
+        /// through a hot cache, a cold cache, or no cache at all.
+        #[test]
+        fn match_count_agrees_under_mutation(
+            ops in proptest::collection::vec((proptest::bool::ANY, 0u32..20, arb_filter()), 0..60),
+            sensor in 0u32..50,
+            idx in 0u8..4,
+        ) {
+            let mut t = SubscriptionTable::new();
+            let stream = StreamId::new(SensorId::new(sensor).unwrap(), garnet_wire::StreamIndex::new(idx));
+            let mut hot = MatchCache::new(DispatchCacheConfig { enabled: true, capacity: 64 });
+            let mut off = MatchCache::new(DispatchCacheConfig::disabled());
+            for (sub, id, f) in &ops {
+                if *sub {
+                    t.subscribe(SubscriberId::new(*id), *f);
+                } else {
+                    t.unsubscribe(SubscriberId::new(*id), *f);
+                }
+                // Hot: the same cache across every mutation — it must
+                // revalidate. Cold: a fresh cache every probe.
+                let want = t.match_subscribers(stream).len();
+                prop_assert_eq!(t.match_count(stream), want);
+                prop_assert_eq!(hot.match_count(&t, stream), want);
+                prop_assert_eq!(off.match_count(&t, stream), want);
+                let mut cold = MatchCache::new(DispatchCacheConfig::default());
+                prop_assert_eq!(cold.match_count(&t, stream), want);
+            }
+        }
+
+        /// Forward (by_stream/by_sensor/all) and reverse (filters)
+        /// indexes stay in lockstep under arbitrary mutation sequences:
+        /// the table's observable state equals a naive model's.
+        #[test]
+        fn forward_and_reverse_indexes_stay_in_lockstep(
+            ops in proptest::collection::vec(
+                (prop_oneof![Just(0u8), Just(1), Just(2)], 0u32..15, arb_filter()),
+                0..60,
+            ),
+        ) {
+            let mut t = SubscriptionTable::new();
+            let mut model: BTreeMap<SubscriberId, BTreeSet<TopicFilter>> = BTreeMap::new();
+            for (op, id, f) in &ops {
+                let sub = SubscriberId::new(*id);
+                match op {
+                    0 => {
+                        let was_new = model.entry(sub).or_default().insert(*f);
+                        prop_assert_eq!(t.subscribe(sub, *f), was_new);
+                    }
+                    1 => {
+                        let existed = model.get_mut(&sub).is_some_and(|fs| fs.remove(f));
+                        if model.get(&sub).is_some_and(|fs| fs.is_empty()) {
+                            model.remove(&sub);
+                        }
+                        prop_assert_eq!(t.unsubscribe(sub, *f), existed);
+                    }
+                    _ => {
+                        let n = model.remove(&sub).map_or(0, |fs| fs.len());
+                        prop_assert_eq!(t.unsubscribe_all(sub), n);
+                    }
+                }
+            }
+            // Reverse index ≡ model.
+            prop_assert_eq!(t.subscriber_count(), model.len());
+            prop_assert_eq!(
+                t.subscription_count(),
+                model.values().map(|fs| fs.len()).sum::<usize>()
+            );
+            for (sub, fs) in &model {
+                let got: BTreeSet<TopicFilter> = t.filters_of(*sub).collect();
+                prop_assert_eq!(&got, fs);
+            }
+            // Forward indexes ≡ model: every probe stream matches
+            // exactly the subscribers whose model filters claim it.
+            for sensor in 0u32..50 {
+                for idx in 0u8..4 {
+                    let s = StreamId::new(
+                        SensorId::new(sensor).unwrap(),
+                        garnet_wire::StreamIndex::new(idx),
+                    );
+                    let want: Vec<SubscriberId> = model
+                        .iter()
+                        .filter(|(_, fs)| fs.iter().any(|f| f.matches(s)))
+                        .map(|(id, _)| *id)
+                        .collect();
+                    prop_assert_eq!(t.match_subscribers(s), want);
+                }
+            }
         }
     }
 }

@@ -113,6 +113,9 @@ pub enum TraceEventKind {
     ArchiveAppend,
     /// An archive flush (sync of pending appends to the backend).
     ArchiveFlush,
+    /// A dispatch match-cache rebuild (cold or invalidated entry) for
+    /// the stream of the preceding `Filtered` hop.
+    CacheRebuild,
 }
 
 impl TraceEventKind {
@@ -134,6 +137,7 @@ impl TraceEventKind {
             TraceEventKind::ShardRestart => "shard_restart",
             TraceEventKind::ArchiveAppend => "archive_append",
             TraceEventKind::ArchiveFlush => "archive_flush",
+            TraceEventKind::CacheRebuild => "cache_rebuild",
         }
     }
 }

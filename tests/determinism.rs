@@ -166,6 +166,63 @@ fn driver_kind_does_not_change_the_world() {
     }
 }
 
+/// Drops the `dispatch.match_cache.*` rows from a metrics report. The
+/// cache counters honestly differ between cache-on and cache-off runs
+/// (that is their job); every other line must still be bit-identical.
+fn strip_cache_rows(report: &str) -> String {
+    report.lines().filter(|l| !l.contains("match_cache")).collect::<Vec<_>>().join("\n")
+}
+
+#[test]
+fn match_cache_toggle_does_not_change_the_world() {
+    // The dispatch match cache is a performance artefact, not a semantic
+    // one: disabling it must reproduce the cached run bit-for-bit on
+    // every observable except the cache's own counters, across the
+    // driver × shard matrix.
+    let baseline = run_config(1234, GarnetConfig::default());
+    for driver in [DriverKind::Fifo, DriverKind::Threaded] {
+        for (ingest, dispatch) in [(1usize, 1usize), (4, 1), (1, 4), (4, 4)] {
+            let f = run_config(
+                1234,
+                GarnetConfig {
+                    driver,
+                    ingest_shards: ingest,
+                    dispatch_shards: dispatch,
+                    dispatch_cache: garnet::net::DispatchCacheConfig::disabled(),
+                    ..GarnetConfig::default()
+                },
+            );
+            let ctx = format!("driver={driver:?} ingest={ingest} dispatch={dispatch}");
+            assert_eq!(
+                (
+                    baseline.transmissions,
+                    baseline.receptions,
+                    baseline.delivered,
+                    baseline.duplicates,
+                    baseline.crc_failures,
+                    baseline.consumer_count,
+                    baseline.orphaned,
+                ),
+                (
+                    f.transmissions,
+                    f.receptions,
+                    f.delivered,
+                    f.duplicates,
+                    f.crc_failures,
+                    f.consumer_count,
+                    f.orphaned,
+                ),
+                "cache-off counters diverged ({ctx})"
+            );
+            assert_eq!(
+                strip_cache_rows(&baseline.metrics_report),
+                strip_cache_rows(&f.metrics_report),
+                "cache-off metrics diverged ({ctx})"
+            );
+        }
+    }
+}
+
 #[test]
 fn batch_ingest_does_not_change_the_world() {
     // Batched admission and pumping is an execution strategy, not a
@@ -309,25 +366,40 @@ proptest! {
         driver_idx in 0usize..2,
         ingest in prop_oneof![Just(1usize), Just(4usize)],
         dispatch in prop_oneof![Just(1usize), Just(4usize)],
+        cache_on in proptest::bool::ANY,
     ) {
         let frames = burst_schedule(sensors, n, &drop_mask, &dup_mask);
         if frames.is_empty() {
             return; // masks dropped everything; nothing to compare
         }
         let driver = [DriverKind::Fifo, DriverKind::Threaded][driver_idx];
+        let dispatch_cache = if cache_on {
+            garnet::net::DispatchCacheConfig::default()
+        } else {
+            garnet::net::DispatchCacheConfig::disabled()
+        };
         let cfg = |batch_ingest| GarnetConfig {
             driver,
             ingest_shards: ingest,
             dispatch_shards: dispatch,
             batch_ingest,
+            dispatch_cache,
             ..GarnetConfig::default()
         };
         let batched = facade_replay(&frames, &chunks, cfg(true));
         let per_frame = facade_replay(&frames, &chunks, cfg(false));
-        prop_assert_eq!(&batched, &per_frame, "engine diverged ({:?} {}x{})", driver, ingest, dispatch);
+        prop_assert_eq!(&batched, &per_frame, "engine diverged ({:?} {}x{} cache={})", driver, ingest, dispatch, cache_on);
         let singles = facade_replay(&frames, &[1], cfg(true));
         prop_assert_eq!(&batched.log, &singles.log, "batch splits changed deliveries");
         prop_assert_eq!(batched.counters, singles.counters, "batch splits changed counters");
+        // The cache is invisible to deliveries and counters: toggling it
+        // off reproduces the same log and books.
+        let uncached = facade_replay(&frames, &chunks, GarnetConfig {
+            dispatch_cache: garnet::net::DispatchCacheConfig::disabled(),
+            ..cfg(true)
+        });
+        prop_assert_eq!(&batched.log, &uncached.log, "cache toggle changed deliveries");
+        prop_assert_eq!(batched.counters, uncached.counters, "cache toggle changed counters");
     }
 }
 
