@@ -55,4 +55,18 @@ echo "==> match-cache verify: GARNET_TEST_MATCH_CACHE=off determinism + tracing"
 GARNET_TEST_MATCH_CACHE=off cargo test -q --test determinism --test tracing
 GARNET_TEST_MATCH_CACHE=off cargo test -q --test determinism --test tracing --features trace
 
+# The telemetry plane (ISSUE 9): the facade suite in both feature
+# configs and re-hosted on the threaded graph, then an operator-tooling
+# smoke test — the telemetry_node example writes a JSONL sink and
+# garnetctl must read it back (dump renders, health exits 0).
+echo "==> telemetry verify: facade suite + threaded rerun + garnetctl smoke"
+cargo test -q --test telemetry
+cargo test -q --test telemetry --features trace
+GARNET_TEST_DRIVER=threaded cargo test -q --test telemetry
+telemetry_sink="$(mktemp -d)"
+trap 'rm -rf "$telemetry_sink"' EXIT
+cargo run -q --example telemetry_node -- "$telemetry_sink" > /dev/null
+cargo run -q -p garnet-ctl --bin garnetctl -- dump "$telemetry_sink" > /dev/null
+cargo run -q -p garnet-ctl --bin garnetctl -- health "$telemetry_sink"
+
 echo "==> CI green"

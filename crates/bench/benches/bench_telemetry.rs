@@ -1,0 +1,38 @@
+//! E24: telemetry-plane overhead at batch 64 (writes
+//! `BENCH_telemetry.json` next to the bench's working directory).
+//!
+//! ```text
+//! cargo bench -p garnet-bench --bench bench_telemetry
+//! ```
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use garnet_bench::e03_pipeline::shard_workload;
+use garnet_bench::e24_telemetry::{run_telemetry_point, run_telemetry_sweep, telemetry_json};
+use garnet_core::DriverKind;
+
+fn bench(c: &mut Criterion) {
+    let workload = shard_workload(10_000, 64);
+    let mut group = c.benchmark_group("e24_telemetry");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(workload.len() as u64));
+    for driver in [DriverKind::Fifo, DriverKind::Threaded] {
+        for spans in [false, true] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{driver:?}_spans_{spans}")),
+                &spans,
+                |b, &spans| {
+                    b.iter(|| std::hint::black_box(run_telemetry_point(&workload, driver, spans)));
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let json = telemetry_json(&run_telemetry_sweep(&shard_workload(20_000, 64)));
+    if let Err(e) = std::fs::write("BENCH_telemetry.json", &json) {
+        eprintln!("could not write BENCH_telemetry.json: {e}");
+    }
+    println!("{json}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

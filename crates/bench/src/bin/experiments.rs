@@ -116,4 +116,11 @@ fn main() {
         let (_, _, t) = e23_match_cache::run();
         println!("{}", t.render());
     }
+    if want("e24") {
+        let (_, json, t) = e24_telemetry::run();
+        if let Err(e) = std::fs::write("BENCH_telemetry.json", &json) {
+            eprintln!("could not write BENCH_telemetry.json: {e}");
+        }
+        println!("{}", t.render());
+    }
 }

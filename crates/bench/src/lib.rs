@@ -29,4 +29,5 @@ pub mod e20_runtime_mode;
 pub mod e21_batch;
 pub mod e22_store;
 pub mod e23_match_cache;
+pub mod e24_telemetry;
 pub mod table;

@@ -33,6 +33,7 @@ use crate::router::{
 };
 use crate::service::{BatchedFrame, ServiceEvent, ServiceOutput};
 use crate::stream::ShardedStreamRegistry;
+use crate::telemetry::{PipelineSpans, QueueDepthGauges};
 
 /// Which execution engine hosts the service graph.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -290,6 +291,24 @@ pub trait RouterDriver: std::fmt::Debug {
     /// the FIFO engine — nothing panics, nothing restarts).
     fn shard_restart_count(&self) -> u64;
 
+    /// The pipeline latency spans recorded so far (filtering /
+    /// dispatching / end-to-end, sim-time driven and therefore
+    /// engine-invariant). Still readable after shutdown.
+    fn pipeline_spans(&self) -> &PipelineSpans;
+
+    /// The per-ingest-shard admission-depth gauges. Still readable
+    /// after shutdown.
+    fn queue_depth_gauges(&self) -> &QueueDepthGauges;
+
+    /// Turns latency-span and depth-gauge recording on or off (on by
+    /// default).
+    fn set_telemetry_recording(&mut self, enabled: bool);
+
+    /// Resets the telemetry depth counts at a logical quiescence point
+    /// (the facade calls this after pumping the engine dry; watermarks
+    /// survive).
+    fn note_telemetry_quiescent(&mut self);
+
     /// Takes worker failures recorded since the last call (always
     /// empty for the FIFO engine, which has no threads to lose).
     fn take_shard_failures(&mut self) -> Vec<ShardFailure>;
@@ -463,6 +482,22 @@ impl RouterDriver for FifoDriver {
 
     fn shard_restart_count(&self) -> u64 {
         0
+    }
+
+    fn pipeline_spans(&self) -> &PipelineSpans {
+        self.router.pipeline_spans()
+    }
+
+    fn queue_depth_gauges(&self) -> &QueueDepthGauges {
+        self.router.queue_depth_gauges()
+    }
+
+    fn set_telemetry_recording(&mut self, enabled: bool) {
+        self.router.set_telemetry_recording(enabled);
+    }
+
+    fn note_telemetry_quiescent(&mut self) {
+        self.router.note_telemetry_quiescent();
     }
 
     fn take_shard_failures(&mut self) -> Vec<ShardFailure> {
@@ -741,6 +776,32 @@ impl RouterDriver for ThreadedDriver {
         match &self.router {
             Some(r) => r.restart_count(),
             None => self.retired().report.shard_restarts,
+        }
+    }
+
+    fn pipeline_spans(&self) -> &PipelineSpans {
+        match &self.router {
+            Some(r) => r.pipeline_spans(),
+            None => &self.retired().spans,
+        }
+    }
+
+    fn queue_depth_gauges(&self) -> &QueueDepthGauges {
+        match &self.router {
+            Some(r) => r.queue_depth_gauges(),
+            None => &self.retired().depths,
+        }
+    }
+
+    fn set_telemetry_recording(&mut self, enabled: bool) {
+        if let Some(r) = self.router.as_mut() {
+            r.set_telemetry_recording(enabled);
+        }
+    }
+
+    fn note_telemetry_quiescent(&mut self) {
+        if let Some(r) = self.router.as_mut() {
+            r.note_telemetry_quiescent();
         }
     }
 

@@ -70,6 +70,7 @@ pub mod resource;
 pub mod router;
 pub mod service;
 pub mod stream;
+pub mod telemetry;
 mod trace;
 
 pub use archive::{store_slot, ArchiveBackend, ArchiveConfig, ArchiveLedger, StoreSlot};
@@ -86,3 +87,7 @@ pub use router::{
     ThreadedIngest, ThreadedRouter, ThreadedRouterParts, ThreadedRouterReport,
 };
 pub use service::{GarnetService, ServiceEvent, ServiceOutput};
+pub use telemetry::{
+    HealthReport, HealthState, HealthThresholds, PipelineSpans, QueueDepthGauges, TelemetryConfig,
+    TelemetrySnapshot,
+};

@@ -68,6 +68,7 @@ use crate::router::{
 };
 use crate::service::{ActuationOrigin, BatchedFrame, ServiceEvent, ServiceOutput};
 use crate::stream::ShardedStreamRegistry;
+use crate::telemetry::{TelemetryConfig, TelemetryService, TelemetrySnapshot};
 
 pub use crate::service::SYSTEM_SUBSCRIBER;
 
@@ -151,6 +152,10 @@ pub struct GarnetConfig {
     /// `GARNET_TEST_MATCH_CACHE` env toggle (honoured by the default)
     /// lets CI prove by rerunning the determinism suites uncached.
     pub dispatch_cache: DispatchCacheConfig,
+    /// Telemetry plane: latency spans, windowed snapshot export, health
+    /// scoring and the optional rotating JSONL sink `garnetctl` reads
+    /// (see [`crate::telemetry`]).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for GarnetConfig {
@@ -175,6 +180,7 @@ impl Default for GarnetConfig {
             batch_ingest: default_batch_ingest(),
             archive: None,
             dispatch_cache: DispatchCacheConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -380,6 +386,12 @@ pub struct Garnet {
     /// reports the movement since the last one rather than a per-call
     /// snapshot that would miss restarts landing between calls.
     reported_restarts: u64,
+    /// The telemetry window state machine (`GarnetConfig.telemetry`).
+    telemetry: TelemetryService,
+    /// Cumulative worker failures drained by [`Garnet::pump`] — the
+    /// `overload.shard_failures` counter the health scorer reads for
+    /// stranded-job detection.
+    shard_failure_total: u64,
 }
 
 impl Garnet {
@@ -436,6 +448,7 @@ impl Garnet {
         };
         driver
             .configure_trace(garnet_simkit::trace::TraceConfig { capacity: config.trace_capacity });
+        driver.set_telemetry_recording(config.telemetry.spans);
         let archive = config
             .archive
             .map(|cfg| ArchiveService::new(cfg, config.driver, config.trace_capacity));
@@ -456,6 +469,8 @@ impl Garnet {
             api_outcome: None,
             archive,
             reported_restarts: 0,
+            telemetry: TelemetryService::new(config.telemetry),
+            shard_failure_total: 0,
         }
     }
 
@@ -685,6 +700,7 @@ impl Garnet {
         }
         self.pump(now, &mut out);
         self.note_overload_delta(base, &mut out);
+        self.maybe_emit_telemetry(now);
         out
     }
 
@@ -740,6 +756,7 @@ impl Garnet {
         // worker whose supervision backoff has elapsed gets rebuilt —
         // report those restarts on this call, not the next burst's.
         self.note_restart_delta(&mut out);
+        self.maybe_emit_telemetry(now);
         out
     }
 
@@ -921,7 +938,13 @@ impl Garnet {
         }
         let mut failures = self.driver.take_shard_failures();
         failures.sort_by_key(|f| (f.shard, f.seq));
+        self.shard_failure_total += failures.len() as u64;
         out.shard_failures.extend(failures);
+        // The engine is drained: telemetry depth counts restart from
+        // zero here, the one quiescence boundary both engines reach
+        // deterministically (a threaded poll observing its workers
+        // idle mid-burst is wall-clock, not logical, quiescence).
+        self.driver.note_telemetry_quiescent();
     }
 
     /// Applies one service output: runs the consumer callback for a
@@ -1227,6 +1250,7 @@ impl Garnet {
             ("delivered", t.delivered),
             ("peak_queue_depth", self.driver.peak_queue_depth()),
             ("shard_restarts", self.driver.shard_restart_count()),
+            ("shard_failures", self.shard_failure_total),
         ];
         for (stage, metrics) in [
             ("filtering", filtering),
@@ -1261,7 +1285,61 @@ impl Garnet {
             }
         }
         m.histogram(&stage_key("actuation", "ack_latency_us")).merge(c.actuation.ack_latency());
+        // Pipeline latency spans and the merged (all-shards) admission
+        // depth gauge. Only the totals ride here so the report stays
+        // shard-count invariant; per-shard gauges appear in telemetry
+        // snapshots, whose consumers strip them before cross-layout
+        // comparison.
+        self.driver.pipeline_spans().fold_into(&mut m);
+        m.gauge(garnet_simkit::metrics::keys::QUEUE_DEPTH)
+            .merge(self.driver.queue_depth_gauges().total());
         m
+    }
+
+    /// Builds the registry a telemetry snapshot is assembled over: the
+    /// full [`Garnet::metrics`] view plus the per-ingest-shard depth
+    /// gauges (`overload.queue_depth.shardN`), which are deliberately
+    /// kept out of the shard-invariant report.
+    fn telemetry_registry(&self) -> garnet_simkit::MetricsRegistry {
+        let mut m = self.metrics();
+        for (i, g) in self.driver.queue_depth_gauges().per_shard().iter().enumerate() {
+            m.gauge(&garnet_simkit::metrics::keys::shard_queue_depth(i)).merge(g);
+        }
+        m
+    }
+
+    /// Closes the current telemetry window at `now` and returns its
+    /// snapshot: counter deltas and rates, latency-quantile summaries,
+    /// queue-depth watermarks, the archive ledger, supervision restarts,
+    /// the match-cache hit rate, and the window's [`crate::telemetry::HealthReport`].
+    /// Also appends the snapshot to the rotating JSONL sink when
+    /// [`TelemetryConfig::sink_dir`] is configured.
+    ///
+    /// Windows are explicit: call this on whatever cadence the operator
+    /// wants, or set [`TelemetryConfig::interval`] to have the facade
+    /// emit automatically as ticks and frame bursts pass the deadline.
+    pub fn telemetry(&mut self, now: SimTime) -> TelemetrySnapshot {
+        let m = self.telemetry_registry();
+        self.telemetry.emit(&m, now)
+    }
+
+    /// The most recently emitted telemetry snapshot, if any.
+    pub fn last_telemetry(&self) -> Option<&TelemetrySnapshot> {
+        self.telemetry.last()
+    }
+
+    /// The first telemetry-sink I/O error, if any. Sink failures never
+    /// disturb the data path — they park here as a sticky diagnostic.
+    pub fn telemetry_sink_error(&self) -> Option<&str> {
+        self.telemetry.sink_error()
+    }
+
+    /// Emits a snapshot if the auto-emit interval has elapsed.
+    fn maybe_emit_telemetry(&mut self, now: SimTime) {
+        if self.telemetry.due(now) {
+            let m = self.telemetry_registry();
+            self.telemetry.emit(&m, now);
+        }
     }
 
     /// The archive tap's per-record accounting, when

@@ -42,6 +42,7 @@ use crate::replicator::MessageReplicator;
 use crate::resource::{MediationPolicy, ResourceManager};
 use crate::service::{BatchedFrame, GarnetService, ServiceEvent, ServiceOutput};
 use crate::stream::{shard_of_sensor, ShardedStreamRegistry, StreamRegistry};
+use crate::telemetry::{PipelineSpans, QueueDepthGauges};
 use crate::trace::RootTag;
 #[cfg(feature = "trace")]
 use crate::trace::{event_record, RootTrace};
@@ -738,6 +739,10 @@ pub struct Router {
     /// The flight recorder (a zero-sized no-op unless the `trace`
     /// feature is on).
     tracer: Tracer,
+    /// Always-on latency spans, recorded once per dispatched delivery.
+    spans: PipelineSpans,
+    /// Per-ingest-shard admission-depth gauges.
+    depths: QueueDepthGauges,
     /// Next root sequence number for a boundary enqueue.
     #[cfg(feature = "trace")]
     next_root: u64,
@@ -753,6 +758,7 @@ impl Router {
     /// Creates a router whose frame intake is governed by `overload`
     /// (`None` = unbounded).
     pub fn with_overload(services: Services, overload: Option<OverloadConfig>) -> Self {
+        let depths = QueueDepthGauges::new(services.ingest.shard_count());
         Router {
             services,
             queue: VecDeque::new(),
@@ -762,6 +768,8 @@ impl Router {
             peak_queued: 0,
             depth_hist: Histogram::new(),
             tracer: Tracer::new(TraceConfig::default()),
+            spans: PipelineSpans::new(),
+            depths,
             #[cfg(feature = "trace")]
             next_root: 0,
         }
@@ -846,12 +854,14 @@ impl Router {
     ) -> FrameAdmission {
         let Some(cfg) = self.overload else {
             self.totals.offered += 1;
+            self.note_offered_depth(&frame);
             self.enqueue(ServiceEvent::Frame { receiver, rssi_dbm, frame });
             return FrameAdmission::Admitted;
         };
         let capacity = cfg.capacity.max(1);
         if self.queued_frames < capacity {
             self.totals.offered += 1;
+            self.note_offered_depth(&frame);
             self.enqueue(ServiceEvent::Frame { receiver, rssi_dbm, frame });
             return FrameAdmission::Admitted;
         }
@@ -860,10 +870,29 @@ impl Router {
             OverloadPolicy::Shed => {
                 self.shed_oldest_frame(now);
                 self.totals.offered += 1;
+                self.note_offered_depth(&frame);
                 self.enqueue(ServiceEvent::Frame { receiver, rssi_dbm, frame });
                 FrameAdmission::AdmittedAfterShed
             }
             OverloadPolicy::CoalesceFrames => self.coalesce_frame(receiver, rssi_dbm, frame, now),
+        }
+    }
+
+    /// Samples the telemetry depth gauges for one offered (non-blocked)
+    /// frame: the total and the frame's ingest shard — the same count
+    /// the threaded router samples at `push_frame`, so the gauges are
+    /// engine-invariant. Skipped entirely (including the shard peek)
+    /// when span recording is off.
+    fn note_offered_depth(&mut self, frame: &[u8]) {
+        if self.depths.enabled() {
+            // A single-shard deployment (the default) needs no header
+            // peek — every frame lands on shard 0.
+            let shard = if self.services.ingest.shard_count() == 1 {
+                0
+            } else {
+                self.services.ingest.shard_of(frame)
+            };
+            self.depths.note_admitted(shard);
         }
     }
 
@@ -928,6 +957,7 @@ impl Router {
         let Some(idx) = same_stream else {
             self.shed_oldest_frame(now);
             self.totals.offered += 1;
+            self.note_offered_depth(&frame);
             self.enqueue(ServiceEvent::Frame { receiver, rssi_dbm, frame });
             return FrameAdmission::AdmittedAfterShed;
         };
@@ -946,6 +976,7 @@ impl Router {
         self.totals.offered += 1;
         self.totals.shed += 1;
         self.totals.coalesced += 1;
+        self.note_offered_depth(&frame);
         let tag = self.alloc_root();
         if arriving_wins {
             // Replace in place: the survivor keeps the queued frame's
@@ -979,6 +1010,13 @@ impl Router {
         if matches!(ev, ServiceEvent::Frame { .. }) {
             self.queued_frames -= 1;
             self.totals.delivered += 1;
+        }
+        // Every delivery passes through here exactly once (batch-mode
+        // cascades re-enter the queue), so this is the FIFO engine's
+        // span point; the threaded engine records the same three legs
+        // at its B drain.
+        if let ServiceEvent::Filtered { delivery, .. } = &ev {
+            self.spans.record(delivery.first_received_at, delivery.delivered_at, now);
         }
         #[cfg(feature = "trace")]
         let rec = {
@@ -1071,6 +1109,32 @@ impl Router {
     /// High-water mark of the frame queue.
     pub fn peak_queue_depth(&self) -> u64 {
         self.peak_queued
+    }
+
+    /// The pipeline latency spans recorded so far.
+    pub fn pipeline_spans(&self) -> &PipelineSpans {
+        &self.spans
+    }
+
+    /// The per-ingest-shard admission-depth gauges.
+    pub fn queue_depth_gauges(&self) -> &QueueDepthGauges {
+        &self.depths
+    }
+
+    /// Turns latency-span and depth-gauge recording on or off (on by
+    /// default; `GarnetConfig.telemetry.spans` drives this).
+    pub fn set_telemetry_recording(&mut self, enabled: bool) {
+        self.spans.set_enabled(enabled);
+        self.depths.set_enabled(enabled);
+    }
+
+    /// Resets the telemetry depth counts (the watermarks survive).
+    /// Called by the facade after it pumps the engine dry — a *logical*
+    /// quiescence both engines reach at the same boundary, unlike the
+    /// racy "did the workers keep up?" quiescence a threaded poll could
+    /// observe mid-burst.
+    pub fn note_telemetry_quiescent(&mut self) {
+        self.depths.note_quiescent();
     }
 
     /// Queue depth sampled at each admission (empty when unbounded —
@@ -1556,6 +1620,10 @@ struct DispatchJob {
 struct RouteNote {
     stream: garnet_wire::StreamId,
     payload_len: usize,
+    /// First boundary admission of the delivery's lead observation —
+    /// with `delivered_at` and the root's `now`, everything the B drain
+    /// needs to record the three latency spans.
+    first_received_at: SimTime,
     delivered_at: SimTime,
     depth: u32,
     /// Subscribers matched (0 = the delivery went to the Orphanage).
@@ -1586,6 +1654,7 @@ fn route_delivery(
     let note = RouteNote {
         stream: delivery.msg.stream(),
         payload_len: delivery.msg.payload().len(),
+        first_received_at: delivery.first_received_at,
         delivered_at: delivery.delivered_at,
         depth,
         matched: recipients.len(),
@@ -1737,6 +1806,10 @@ pub struct ThreadedRouterParts {
     pub filter_stats: FilterStats,
     /// Final dispatch counters.
     pub dispatch_stats: DispatchStats,
+    /// Pipeline latency spans at shutdown.
+    pub spans: PipelineSpans,
+    /// Admission-depth gauges at shutdown.
+    pub depths: QueueDepthGauges,
 }
 
 /// How a [`ThreadedRouter`] runs its control plane.
@@ -1834,6 +1907,12 @@ pub struct ThreadedRouter {
     /// feature is on). Per-root buffers merge into it at release, so
     /// its record order matches the single-threaded router's.
     tracer: Tracer,
+    /// Always-on latency spans, recorded at the B drain in global
+    /// submission order — the same once-per-delivery point the FIFO
+    /// router's `step` records at.
+    spans: PipelineSpans,
+    /// Per-ingest-shard admission-depth gauges, sampled at push time.
+    depths: QueueDepthGauges,
 }
 
 impl ThreadedRouter {
@@ -2016,6 +2095,8 @@ impl ThreadedRouter {
             lost_jobs: 0,
             failures: Vec::new(),
             tracer: Tracer::new(TraceConfig::default()),
+            spans: PipelineSpans::new(),
+            depths: QueueDepthGauges::new(ingest_shards),
         }
     }
 
@@ -2068,6 +2149,7 @@ impl ThreadedRouter {
             Some(stream) => shard_of_sensor(stream.sensor().as_u32(), self.ingest_shards),
             None => 0,
         };
+        self.depths.note_admitted(shard);
         let root = self.new_root(at);
         #[cfg(feature = "trace")]
         let base = TraceRecord {
@@ -2148,6 +2230,7 @@ impl ThreadedRouter {
                 Some(stream) => shard_of_sensor(stream.sensor().as_u32(), self.ingest_shards),
                 None => 0,
             };
+            self.depths.note_admitted(shard);
             let root = self.new_root(at);
             let state = self.roots.get_mut(&root).expect("just inserted");
             state.a_expected = 1;
@@ -2430,6 +2513,11 @@ impl ThreadedRouter {
                 *slot = note.cache_stats;
             }
             if let Some(state) = self.roots.get_mut(&root) {
+                // The FIFO router records spans when it steps each
+                // `Filtered` event at the boundary event's `now`; the
+                // root's `now` is that same instant, so the histograms
+                // are engine-invariant.
+                self.spans.record(note.first_received_at, note.delivered_at, state.now);
                 state.b_done += 1;
                 #[cfg(feature = "trace")]
                 state.trace.complete_dispatch(true, note.rebuilt);
@@ -2601,6 +2689,32 @@ impl ThreadedRouter {
         std::mem::take(&mut self.failures)
     }
 
+    /// The pipeline latency spans recorded so far.
+    pub fn pipeline_spans(&self) -> &PipelineSpans {
+        &self.spans
+    }
+
+    /// The per-ingest-shard admission-depth gauges.
+    pub fn queue_depth_gauges(&self) -> &QueueDepthGauges {
+        &self.depths
+    }
+
+    /// Turns latency-span and depth-gauge recording on or off (on by
+    /// default; `GarnetConfig.telemetry.spans` drives this).
+    pub fn set_telemetry_recording(&mut self, enabled: bool) {
+        self.spans.set_enabled(enabled);
+        self.depths.set_enabled(enabled);
+    }
+
+    /// Resets the telemetry depth counts (the watermarks survive).
+    /// Called by the facade after it pumps the engine dry — a *logical*
+    /// quiescence both engines reach at the same boundary, unlike the
+    /// racy "did the workers keep up?" quiescence a threaded poll could
+    /// observe mid-burst.
+    pub fn note_telemetry_quiescent(&mut self) {
+        self.depths.note_quiescent();
+    }
+
     /// The stream catalogue.
     pub fn streams(&self) -> &ShardedStreamRegistry {
         &self.streams
@@ -2728,6 +2842,8 @@ impl ThreadedRouter {
             control,
             filter_stats,
             dispatch_stats,
+            spans: self.spans,
+            depths: self.depths,
         }
     }
 }

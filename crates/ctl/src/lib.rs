@@ -1,0 +1,692 @@
+//! `garnetctl`: operator-side inspector for the Garnet telemetry plane.
+//!
+//! A Garnet node with [`TelemetryConfig::sink_dir`] set exports one
+//! JSONL line per telemetry window into a rotating
+//! `telemetry-NNNNNN.jsonl` series (see `garnet_core::telemetry`). This
+//! crate is the other half of that contract: it parses the sink back
+//! into [`Snapshot`] values and renders operator views — rate tables
+//! (`dump`), a compact per-window log (`tail`), the latest health
+//! verdict (`health`, with the state as the exit code), and per-stage
+//! roll-ups of a flight-recorder drain (`trace`).
+//!
+//! The parser is a minimal recursive-descent JSON reader. The sink
+//! serialiser is hand-rolled on the node side (no JSON dependency in
+//! the data path) and this crate mirrors that choice so the inspector
+//! stays dependency-free too; it accepts any JSON, not just the exact
+//! byte shapes the node emits.
+//!
+//! [`TelemetryConfig::sink_dir`]: ../garnet_core/telemetry/struct.TelemetryConfig.html
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A parsed JSON value. Integers that fit `u64` are kept exact
+/// ([`Json::Int`]) — telemetry counters are `u64` and must not round
+/// through `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer that fits `u64`, kept exact.
+    Int(u64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object (first match), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` (exact integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document, rejecting trailing garbage.
+///
+/// # Errors
+///
+/// A message naming the byte offset and what went wrong.
+pub fn parse_json(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    if text.is_empty() {
+        return Err(format!("expected a value at byte {start}"));
+    }
+    if !text.contains(['.', 'e', 'E', '-']) {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::Int(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Float)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_owned())?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_owned())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance over one UTF-8 scalar, not one byte.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected a key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// Histogram quantile summary as exported in a snapshot line.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistSummary {
+    /// Recorded samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// Gauge watermark summary as exported in a snapshot line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GaugeSummary {
+    /// Most recent level.
+    pub last: u64,
+    /// Lowest level observed.
+    pub min: u64,
+    /// Highest level observed.
+    pub max: u64,
+    /// Recordings folded in.
+    pub samples: u64,
+}
+
+/// One telemetry window parsed back from its JSONL line.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Monotonic snapshot number.
+    pub seq: u64,
+    /// Window start (µs of sim time).
+    pub window_start_us: u64,
+    /// Window end (µs of sim time).
+    pub window_end_us: u64,
+    /// `healthy` / `degraded` / `critical`.
+    pub health: String,
+    /// Scoring reasons (empty when healthy).
+    pub reasons: Vec<String>,
+    /// Dispatch match-cache hit rate, parts per million.
+    pub match_cache_hit_ppm: u64,
+    /// Cumulative counters.
+    pub counters: BTreeMap<String, u64>,
+    /// This window's counter increments.
+    pub deltas: BTreeMap<String, u64>,
+    /// Histogram summaries.
+    pub histograms: BTreeMap<String, HistSummary>,
+    /// Gauge summaries.
+    pub gauges: BTreeMap<String, GaugeSummary>,
+}
+
+impl Snapshot {
+    /// Parses one sink line.
+    ///
+    /// # Errors
+    ///
+    /// Invalid JSON or a line without the snapshot's required fields.
+    pub fn parse(line: &str) -> Result<Snapshot, String> {
+        let v = parse_json(line)?;
+        let u = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let mut snap = Snapshot {
+            seq: u("seq")?,
+            window_start_us: u("window_start_us")?,
+            window_end_us: u("window_end_us")?,
+            health: v
+                .get("health")
+                .and_then(Json::as_str)
+                .ok_or("missing field \"health\"")?
+                .to_owned(),
+            match_cache_hit_ppm: u("match_cache_hit_ppm")?,
+            ..Snapshot::default()
+        };
+        if let Some(Json::Arr(reasons)) = v.get("reasons") {
+            snap.reasons = reasons.iter().filter_map(Json::as_str).map(str::to_owned).collect();
+        }
+        for (target, key) in [(&mut snap.counters, "counters"), (&mut snap.deltas, "deltas")] {
+            if let Some(Json::Obj(members)) = v.get(key) {
+                for (name, value) in members {
+                    if let Some(value) = value.as_u64() {
+                        target.insert(name.clone(), value);
+                    }
+                }
+            }
+        }
+        if let Some(Json::Obj(members)) = v.get("histograms") {
+            for (name, h) in members {
+                let g = |key: &str| h.get(key).and_then(Json::as_u64).unwrap_or(0);
+                snap.histograms.insert(
+                    name.clone(),
+                    HistSummary {
+                        count: g("count"),
+                        mean: h.get("mean").and_then(Json::as_f64).unwrap_or(0.0),
+                        p50: g("p50"),
+                        p90: g("p90"),
+                        p99: g("p99"),
+                        min: g("min"),
+                        max: g("max"),
+                    },
+                );
+            }
+        }
+        if let Some(Json::Obj(members)) = v.get("gauges") {
+            for (name, g) in members {
+                let f = |key: &str| g.get(key).and_then(Json::as_u64).unwrap_or(0);
+                snap.gauges.insert(
+                    name.clone(),
+                    GaugeSummary {
+                        last: f("last"),
+                        min: f("min"),
+                        max: f("max"),
+                        samples: f("samples"),
+                    },
+                );
+            }
+        }
+        Ok(snap)
+    }
+
+    /// The window length in seconds.
+    pub fn window_secs(&self) -> f64 {
+        (self.window_end_us.saturating_sub(self.window_start_us)) as f64 / 1e6
+    }
+
+    /// This window's rate for counter `name`, per sim-second.
+    pub fn rate_per_sec(&self, name: &str) -> f64 {
+        let secs = self.window_secs();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.deltas.get(name).copied().unwrap_or(0) as f64 / secs
+    }
+
+    /// Numeric severity: 0 healthy, 1 degraded, 2 critical (unknown
+    /// labels score critical — an operator tool must not underreport).
+    pub fn severity(&self) -> i32 {
+        match self.health.as_str() {
+            "healthy" => 0,
+            "degraded" => 1,
+            _ => 2,
+        }
+    }
+}
+
+/// The sink files of `dir` in emission order (`telemetry-*.jsonl`,
+/// ascending index).
+///
+/// # Errors
+///
+/// Directory I/O failure.
+pub fn sink_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read {}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("telemetry-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+/// Every snapshot in the sink directory, in emission order. Unparsable
+/// lines abort with their file and line number — a telemetry sink is
+/// machine-written, so damage means truncation worth surfacing, not
+/// noise worth skipping.
+///
+/// # Errors
+///
+/// Directory or file I/O failure, or a corrupt line.
+pub fn load_sink(dir: &Path) -> Result<Vec<Snapshot>, String> {
+    let mut snapshots = Vec::new();
+    for path in sink_files(dir)? {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let snap =
+                Snapshot::parse(line).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+            snapshots.push(snap);
+        }
+    }
+    Ok(snapshots)
+}
+
+/// Left-pads `s` to `width`.
+fn pad(s: &str, width: usize) -> String {
+    format!("{s:>width$}")
+}
+
+/// The rate table for one window: every counter that moved, its delta
+/// and its per-second rate, plus latency quantiles and depth
+/// watermarks.
+pub fn render_rates(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "window #{} [{} .. {}] {:.3}s  health={}",
+        snap.seq,
+        snap.window_start_us,
+        snap.window_end_us,
+        snap.window_secs(),
+        snap.health
+    );
+    for reason in &snap.reasons {
+        let _ = writeln!(out, "  ! {reason}");
+    }
+    let _ = writeln!(out, "  match_cache_hit_ppm={}", snap.match_cache_hit_ppm);
+    let _ = writeln!(out, "  {} {} {}", pad("counter", 36), pad("delta", 12), pad("rate/s", 12));
+    for (name, delta) in &snap.deltas {
+        if *delta == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {} {} {}",
+            pad(name, 36),
+            pad(&delta.to_string(), 12),
+            pad(&format!("{:.1}", snap.rate_per_sec(name)), 12)
+        );
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "  {} {} {} {} {} {}",
+            pad("histogram", 36),
+            pad("count", 10),
+            pad("p50", 8),
+            pad("p90", 8),
+            pad("p99", 8),
+            pad("max", 8)
+        );
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {} {} {} {} {} {}",
+                pad(name, 36),
+                pad(&h.count.to_string(), 10),
+                pad(&h.p50.to_string(), 8),
+                pad(&h.p90.to_string(), 8),
+                pad(&h.p99.to_string(), 8),
+                pad(&h.max.to_string(), 8)
+            );
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(
+            out,
+            "  {} {} {} {} {}",
+            pad("gauge", 36),
+            pad("last", 10),
+            pad("min", 8),
+            pad("max", 8),
+            pad("samples", 10)
+        );
+        for (name, g) in &snap.gauges {
+            let _ = writeln!(
+                out,
+                "  {} {} {} {} {}",
+                pad(name, 36),
+                pad(&g.last.to_string(), 10),
+                pad(&g.min.to_string(), 8),
+                pad(&g.max.to_string(), 8),
+                pad(&g.samples.to_string(), 10)
+            );
+        }
+    }
+    out
+}
+
+/// One compact line per window (for `tail`).
+pub fn render_tail_line(snap: &Snapshot) -> String {
+    let offered = snap.deltas.get("overload.offered").copied().unwrap_or(0);
+    let shed = snap.deltas.get("overload.shed").copied().unwrap_or(0);
+    let p99 = snap.histograms.get("pipeline.e2e_latency_us").map_or(0, |h| h.p99);
+    format!(
+        "#{seq:<5} end={end:<12} {health:<8} offered={offered:<8} shed={shed:<6} e2e_p99_us={p99}",
+        seq = snap.seq,
+        end = snap.window_end_us,
+        health = snap.health,
+    )
+}
+
+/// The health view over the latest window (for `health`).
+pub fn render_health(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "health: {}", snap.health);
+    let _ = writeln!(out, "window: #{} ending at {}us", snap.seq, snap.window_end_us);
+    for reason in &snap.reasons {
+        let _ = writeln!(out, "reason: {reason}");
+    }
+    out
+}
+
+/// Per-stage roll-up of a flight-recorder drain (`trace` subcommand):
+/// hop counts per stage/kind/outcome triple, in first-seen order.
+///
+/// # Errors
+///
+/// A corrupt (non-JSON) line, with its line number.
+pub fn render_trace_rollup(jsonl: &str) -> Result<String, String> {
+    let mut order: Vec<(String, String, String)> = Vec::new();
+    let mut hops: BTreeMap<(String, String, String), u64> = BTreeMap::new();
+    let mut total = 0u64;
+    for (i, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let field = |key: &str| v.get(key).and_then(Json::as_str).unwrap_or("?").to_owned();
+        let key = (field("stage"), field("kind"), field("outcome"));
+        if !hops.contains_key(&key) {
+            order.push(key.clone());
+        }
+        *hops.entry(key).or_insert(0) += 1;
+        total += 1;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} {} {} {}",
+        pad("stage", 12),
+        pad("kind", 10),
+        pad("outcome", 10),
+        pad("hops", 10)
+    );
+    for key in &order {
+        let _ = writeln!(
+            out,
+            "{} {} {} {}",
+            pad(&key.0, 12),
+            pad(&key.1, 10),
+            pad(&key.2, 10),
+            pad(&hops[key].to_string(), 10)
+        );
+    }
+    let _ = writeln!(out, "total hops: {total}");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: &str = r#"{"seq":3,"window_start_us":1000,"window_end_us":3000,"health":"degraded","reasons":["shed ratio 2000ppm >= 1000ppm"],"match_cache_hit_ppm":500000,"counters":{"overload.offered":100,"telemetry.windows":3},"deltas":{"overload.offered":40,"overload.shed":2},"histograms":{"pipeline.e2e_latency_us":{"count":40,"mean":12.500,"p50":12,"p90":14,"p99":15,"min":10,"max":15}},"gauges":{"overload.queue_depth":{"last":4,"min":1,"max":9,"samples":40}}}"#;
+
+    #[test]
+    fn parses_a_snapshot_line() {
+        let snap = Snapshot::parse(LINE).unwrap();
+        assert_eq!(snap.seq, 3);
+        assert_eq!(snap.health, "degraded");
+        assert_eq!(snap.severity(), 1);
+        assert_eq!(snap.reasons.len(), 1);
+        assert_eq!(snap.counters["overload.offered"], 100);
+        assert_eq!(snap.deltas["overload.shed"], 2);
+        let h = &snap.histograms["pipeline.e2e_latency_us"];
+        assert_eq!((h.count, h.p50, h.p99, h.max), (40, 12, 15, 15));
+        assert!((h.mean - 12.5).abs() < 1e-9);
+        let g = snap.gauges["overload.queue_depth"];
+        assert_eq!((g.last, g.min, g.max, g.samples), (4, 1, 9, 40));
+        // 40 offered over the 2ms window → 20k/s.
+        assert!((snap.rate_per_sec("overload.offered") - 20_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = parse_json(r#"{"a":[1,2.5,"x\ny",{"b":null,"c":true}],"d":"A"}"#).unwrap();
+        assert_eq!(v.get("d").and_then(Json::as_str), Some("A"));
+        let Some(Json::Arr(items)) = v.get("a") else { panic!("array") };
+        assert_eq!(items[0].as_u64(), Some(1));
+        assert_eq!(items[1].as_f64(), Some(2.5));
+        assert_eq!(items[2].as_str(), Some("x\ny"));
+        assert_eq!(items[3].get("b"), Some(&Json::Null));
+        assert!(parse_json("{\"a\":1}garbage").is_err());
+        assert!(parse_json("{\"a\":").is_err());
+    }
+
+    #[test]
+    fn rate_table_lists_moved_counters_only() {
+        let snap = Snapshot::parse(LINE).unwrap();
+        let table = render_rates(&snap);
+        assert!(table.contains("overload.offered"));
+        assert!(table.contains("health=degraded"));
+        assert!(table.contains("shed ratio"));
+        // telemetry.windows moved 0 this window (absent from deltas).
+        assert!(!table.contains("telemetry.windows"));
+    }
+
+    #[test]
+    fn tail_and_health_views_render() {
+        let snap = Snapshot::parse(LINE).unwrap();
+        let line = render_tail_line(&snap);
+        assert!(line.contains("#3"));
+        assert!(line.contains("degraded"));
+        assert!(line.contains("e2e_p99_us=15"));
+        let health = render_health(&snap);
+        assert!(health.starts_with("health: degraded"));
+    }
+
+    #[test]
+    fn sink_loads_in_rotation_order() {
+        let dir = std::env::temp_dir().join(format!("garnetctl-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let line = |seq: u64| LINE.replacen("\"seq\":3", &format!("\"seq\":{seq}"), 1);
+        std::fs::write(dir.join("telemetry-000000.jsonl"), format!("{}\n{}\n", line(1), line(2)))
+            .unwrap();
+        std::fs::write(dir.join("telemetry-000001.jsonl"), format!("{}\n", line(3))).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let snaps = load_sink(&dir).unwrap();
+        assert_eq!(snaps.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_rollup_counts_stage_hops() {
+        let jsonl = concat!(
+            "{\"at_us\":1,\"stage\":\"ingest\",\"kind\":\"frame\",\"outcome\":\"ok\",\"age_us\":0}\n",
+            "{\"at_us\":2,\"stage\":\"ingest\",\"kind\":\"frame\",\"outcome\":\"ok\",\"age_us\":1}\n",
+            "{\"at_us\":3,\"stage\":\"dispatch\",\"kind\":\"deliver\",\"outcome\":\"ok\",\"age_us\":2}\n",
+        );
+        let table = render_trace_rollup(jsonl).unwrap();
+        assert!(table.contains("total hops: 3"));
+        assert!(table.contains("ingest"));
+        assert!(table.contains("dispatch"));
+        assert!(render_trace_rollup("not json\n").is_err());
+    }
+}

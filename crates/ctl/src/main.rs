@@ -1,0 +1,94 @@
+//! `garnetctl` — inspect a Garnet node's telemetry sink from the
+//! command line.
+//!
+//! ```text
+//! garnetctl dump   <sink-dir>          full rate tables, every window
+//! garnetctl tail   <sink-dir> [-n N]   last N windows, one line each
+//! garnetctl health <sink-dir>          latest verdict; exit code 0/1/2
+//! garnetctl trace  <drain.jsonl>       per-stage roll-up of a trace drain
+//! ```
+//!
+//! `health`'s exit code is the severity (0 healthy, 1 degraded,
+//! 2 critical), so scripts can gate on it directly.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use garnet_ctl::{load_sink, render_health, render_rates, render_tail_line, render_trace_rollup};
+
+const USAGE: &str = "usage: garnetctl <dump|tail|health|trace> <path> [-n N]";
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("garnetctl: {message}");
+    ExitCode::from(64)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return fail(USAGE);
+    };
+    let Some(path) = args.get(1) else {
+        return fail(USAGE);
+    };
+    let path = Path::new(path);
+    match command.as_str() {
+        "dump" => match load_sink(path) {
+            Ok(snaps) if snaps.is_empty() => fail("no telemetry windows in sink"),
+            Ok(snaps) => {
+                for snap in &snaps {
+                    print!("{}", render_rates(snap));
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&e),
+        },
+        "tail" => {
+            let n = match parse_tail_count(&args[2..]) {
+                Ok(n) => n,
+                Err(e) => return fail(&e),
+            };
+            match load_sink(path) {
+                Ok(snaps) => {
+                    let skip = snaps.len().saturating_sub(n);
+                    for snap in &snaps[skip..] {
+                        println!("{}", render_tail_line(snap));
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "health" => match load_sink(path) {
+            Ok(snaps) => match snaps.last() {
+                Some(snap) => {
+                    print!("{}", render_health(snap));
+                    ExitCode::from(snap.severity() as u8)
+                }
+                None => fail("no telemetry windows in sink"),
+            },
+            Err(e) => fail(&e),
+        },
+        "trace" => match std::fs::read_to_string(path) {
+            Ok(text) => match render_trace_rollup(&text) {
+                Ok(table) => {
+                    print!("{table}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            },
+            Err(e) => fail(&format!("read {}: {e}", path.display())),
+        },
+        other => fail(&format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn parse_tail_count(rest: &[String]) -> Result<usize, String> {
+    match rest {
+        [] => Ok(10),
+        [flag, n] if flag == "-n" => {
+            n.parse::<usize>().map_err(|_| format!("invalid -n value {n:?}"))
+        }
+        _ => Err(USAGE.to_owned()),
+    }
+}

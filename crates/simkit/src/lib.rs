@@ -38,7 +38,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, Simulation};
-pub use metrics::{stage_key, Counter, Histogram, MetricsRegistry};
+pub use metrics::{stage_key, Counter, Gauge, Histogram, MetricsRegistry};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{

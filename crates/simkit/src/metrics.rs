@@ -35,6 +35,32 @@ pub fn stage_key(stage: &str, metric: &str) -> String {
     format!("{stage}.{metric}")
 }
 
+/// Interned metric names for per-frame call sites.
+///
+/// [`stage_key`] allocates a fresh `String` per call, which is fine for
+/// cold paths (snapshot assembly, `Garnet::metrics()`) but not for names
+/// that would be rebuilt on every routed frame. The telemetry plane's
+/// hot-path names live here as `&'static str` constants so per-frame
+/// recording never formats; `stage_key` remains the constructor for
+/// everything assembled once per snapshot.
+pub mod keys {
+    /// Sim-time from first boundary admission to filtering emission.
+    pub const FILTERING_LATENCY_US: &str = "filtering.latency_us";
+    /// Sim-time from filtering emission to dispatch fan-out.
+    pub const DISPATCHING_LATENCY_US: &str = "dispatching.latency_us";
+    /// Sim-time from first boundary admission to dispatch fan-out.
+    pub const PIPELINE_E2E_LATENCY_US: &str = "pipeline.e2e_latency_us";
+    /// Frames admitted since the router last went quiescent, all shards.
+    pub const QUEUE_DEPTH: &str = "overload.queue_depth";
+    /// Jobs stranded by worker shard failures (cumulative).
+    pub const SHARD_FAILURES: &str = "overload.shard_failures";
+
+    /// Per-shard queue-depth gauge name (cold path: snapshot assembly).
+    pub fn shard_queue_depth(shard: usize) -> String {
+        format!("{QUEUE_DEPTH}.shard{shard}")
+    }
+}
+
 /// A monotonically increasing event counter.
 ///
 /// # Example
@@ -128,6 +154,7 @@ impl Histogram {
         }
     }
 
+    #[inline]
     fn bucket_index(value: u64) -> usize {
         if value < SUB_BUCKETS as u64 {
             return value as usize;
@@ -150,6 +177,7 @@ impl Histogram {
     }
 
     /// Records one observation.
+    #[inline]
     pub fn record(&mut self, value: u64) {
         self.buckets[Self::bucket_index(value)] += 1;
         self.count += 1;
@@ -191,8 +219,23 @@ impl Histogram {
         self.max
     }
 
+    /// Inclusive upper bound of a bucket: one below the next bucket's
+    /// floor. The final bucket is unbounded above.
+    fn bucket_ceil(index: usize) -> u64 {
+        if index + 1 >= OCTAVES * SUB_BUCKETS {
+            u64::MAX
+        } else {
+            Self::bucket_floor(index + 1) - 1
+        }
+    }
+
     /// The value at quantile `q` in `[0, 1]` (approximate; see type docs).
     /// Returns 0 when empty.
+    ///
+    /// The reported value is the midpoint of the sub-bucket holding the
+    /// requested rank (clamped to the observed min/max), halving the
+    /// bucket-floor bias that under-reported small-count histograms.
+    /// Octave-zero buckets are unit-width, so small values stay exact.
     ///
     /// # Panics
     ///
@@ -210,7 +253,9 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Self::bucket_floor(i).max(self.min).min(self.max);
+                let floor = Self::bucket_floor(i);
+                let mid = floor + (Self::bucket_ceil(i) - floor) / 2;
+                return mid.max(self.min).min(self.max);
             }
         }
         self.max
@@ -261,6 +306,121 @@ impl fmt::Debug for Histogram {
     }
 }
 
+/// A sampled level with min/max watermarks: the instantaneous reading a
+/// counter can't express (queue depth, outstanding jobs, buffer
+/// residency).
+///
+/// Recording overwrites `last` and folds the watermarks; nothing else is
+/// retained, so the footprint is four words and recording is branch-free
+/// enough for per-frame call sites.
+///
+/// Merging is defined for folding per-shard gauges into a node-level
+/// view: `last` values **sum** (the merged gauge reads as the total
+/// instantaneous level across shards), watermarks take the min-of-mins /
+/// max-of-maxes, and sample counts add. This makes merge commutative and
+/// associative, which the registry's [`MetricsRegistry::merge`] relies
+/// on.
+///
+/// # Example
+///
+/// ```
+/// use garnet_simkit::Gauge;
+///
+/// let mut depth = Gauge::new();
+/// depth.record(3);
+/// depth.record(7);
+/// depth.record(2);
+/// assert_eq!((depth.last(), depth.min(), depth.max(), depth.samples()), (2, 2, 7, 3));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Gauge {
+    last: u64,
+    min: u64,
+    max: u64,
+    samples: u64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    /// Creates an empty gauge.
+    pub fn new() -> Self {
+        Gauge { last: 0, min: u64::MAX, max: 0, samples: 0 }
+    }
+
+    /// Records the current level.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.last = value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.samples += 1;
+    }
+
+    /// Most recently recorded level, or 0 when empty.
+    pub fn last(&self) -> u64 {
+        if self.samples == 0 {
+            0
+        } else {
+            self.last
+        }
+    }
+
+    /// Lowest level ever recorded, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.samples == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Highest level ever recorded, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Number of recordings.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Folds another gauge into this one (see type docs for semantics).
+    pub fn merge(&mut self, other: &Gauge) {
+        if other.samples == 0 {
+            return;
+        }
+        if self.samples == 0 {
+            *self = *other;
+            return;
+        }
+        self.last += other.last;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.samples += other.samples;
+    }
+
+    /// Clears the gauge back to empty.
+    pub fn reset(&mut self) {
+        *self = Gauge::new();
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gauge")
+            .field("last", &self.last())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .field("samples", &self.samples())
+            .finish()
+    }
+}
+
 /// A named registry of counters and histograms, used by services to
 /// expose operational statistics without threading dozens of references.
 ///
@@ -280,6 +440,7 @@ impl fmt::Debug for Histogram {
 pub struct MetricsRegistry {
     counters: BTreeMap<String, Counter>,
     histograms: BTreeMap<String, Histogram>,
+    gauges: BTreeMap<String, Gauge>,
 }
 
 impl MetricsRegistry {
@@ -308,9 +469,45 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
+    /// Returns the gauge named `name`, creating it empty on first use.
+    pub fn gauge(&mut self, name: &str) -> &mut Gauge {
+        self.gauges.entry(name.to_owned()).or_default()
+    }
+
+    /// Reads a gauge without creating it.
+    pub fn gauge_ref(&self, name: &str) -> Option<&Gauge> {
+        self.gauges.get(name)
+    }
+
     /// Iterates counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, &Gauge)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Folds another registry into this one: counters add, histograms
+    /// merge bucket-wise, gauges merge per [`Gauge::merge`]. Merging is
+    /// commutative, so per-shard registries fold deterministically in
+    /// any order.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, c) in &other.counters {
+            self.counter(name).add(c.get());
+        }
+        for (name, h) in &other.histograms {
+            self.histogram(name).merge(h);
+        }
+        for (name, g) in &other.gauges {
+            self.gauge(name).merge(g);
+        }
     }
 
     /// Renders a deterministic plain-text report (name order).
@@ -331,6 +528,16 @@ impl MetricsRegistry {
                 h.max()
             );
         }
+        for (name, g) in &self.gauges {
+            let _ = writeln!(
+                out,
+                "{name}: last={} min={} max={} samples={}",
+                g.last(),
+                g.min(),
+                g.max(),
+                g.samples()
+            );
+        }
         out
     }
 
@@ -338,6 +545,7 @@ impl MetricsRegistry {
     pub fn reset(&mut self) {
         self.counters.clear();
         self.histograms.clear();
+        self.gauges.clear();
     }
 }
 
@@ -483,6 +691,79 @@ mod tests {
         let m = MetricsRegistry::new();
         assert_eq!(m.counter_value("missing"), 0);
         assert!(m.histogram_ref("missing").is_none());
+        assert!(m.gauge_ref("missing").is_none());
+    }
+
+    #[test]
+    fn quantile_midpoint_stays_inside_the_bucket() {
+        // 1000 copies of a value deep inside an octave: the estimate must
+        // clamp to the observed value, not report the bucket midpoint.
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(1_000_000);
+        }
+        assert_eq!(h.quantile(0.5), 1_000_000);
+        // Mixed values: the midpoint lands within half a sub-bucket.
+        let mut h = Histogram::new();
+        for v in [900_000u64, 1_000_000, 1_100_000] {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        let rel = (p50 as f64 - 1_000_000.0).abs() / 1_000_000.0;
+        assert!(rel < 1.0 / 16.0, "p50={p50} rel={rel}");
+    }
+
+    #[test]
+    fn gauge_basics_and_empty() {
+        let g = Gauge::new();
+        assert_eq!((g.last(), g.min(), g.max(), g.samples()), (0, 0, 0, 0));
+        let mut g = Gauge::new();
+        g.record(5);
+        g.record(9);
+        g.record(1);
+        assert_eq!((g.last(), g.min(), g.max(), g.samples()), (1, 1, 9, 3));
+        g.reset();
+        assert_eq!(g.samples(), 0);
+    }
+
+    #[test]
+    fn gauge_merge_sums_levels_and_folds_watermarks() {
+        let mut a = Gauge::new();
+        a.record(4);
+        a.record(2);
+        let mut b = Gauge::new();
+        b.record(10);
+        let mut empty = Gauge::new();
+        // Empty is the identity on both sides.
+        let mut via_empty = a;
+        via_empty.merge(&empty);
+        assert_eq!(via_empty, a);
+        empty.merge(&a);
+        assert_eq!(empty, a);
+        a.merge(&b);
+        assert_eq!((a.last(), a.min(), a.max(), a.samples()), (12, 2, 10, 3));
+    }
+
+    #[test]
+    fn registry_merge_equals_combined_recording() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        let mut combined = MetricsRegistry::new();
+        a.counter("offered").add(3);
+        b.counter("offered").add(5);
+        combined.counter("offered").add(8);
+        b.counter("only_b").incr();
+        combined.counter("only_b").incr();
+        for v in [10u64, 20, 30] {
+            a.histogram("lat").record(v);
+            combined.histogram("lat").record(v);
+        }
+        for v in [40u64, 50] {
+            b.histogram("lat").record(v);
+            combined.histogram("lat").record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.report(), combined.report());
     }
 }
 
@@ -545,12 +826,62 @@ mod proptests {
             let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
             let exact = sorted[rank - 1];
             let est = h.quantile(q);
-            // Log-linear bucketing: one sub-bucket of relative error.
-            let tolerance = (exact / 8).max(1);
+            // Log-linear bucketing with midpoint interpolation: half a
+            // sub-bucket of relative error.
+            let tolerance = (exact / 16).max(1);
             prop_assert!(
                 est <= exact && exact - est <= tolerance || est > exact && est - exact <= tolerance,
                 "q={q} est={est} exact={exact}"
             );
+        }
+
+        #[test]
+        fn registry_merge_is_commutative_and_equals_combined(
+            a in proptest::collection::vec((0usize..3, 0u64..10_000), 0..60),
+            b in proptest::collection::vec((0usize..3, 0u64..10_000), 0..60),
+        ) {
+            // Each sample records into one of three names, exercising
+            // counters, histograms and gauges under partial key overlap.
+            let build = |samples: &[(usize, u64)]| {
+                let mut m = MetricsRegistry::new();
+                for &(slot, v) in samples {
+                    let name = ["alpha", "beta", "gamma"][slot];
+                    m.counter(name).add(v);
+                    m.histogram(name).record(v);
+                    m.gauge(name).record(v);
+                }
+                m
+            };
+            let mut ab = build(&a);
+            ab.merge(&build(&b));
+            let mut ba = build(&b);
+            ba.merge(&build(&a));
+            // Commutative on everything except gauge `last` order
+            // sensitivity — which the sum semantics removes entirely.
+            prop_assert_eq!(ab.report(), ba.report());
+            // Counter and histogram folds match combined recording.
+            let mut all = a.clone();
+            all.extend(b.iter().copied());
+            let combined = build(&all);
+            for (name, v) in combined.counters() {
+                prop_assert_eq!(ab.counter_value(name), v);
+            }
+            for (name, h) in combined.histograms() {
+                let folded = ab.histogram_ref(name).unwrap();
+                prop_assert_eq!(folded.count(), h.count());
+                prop_assert_eq!(folded.min(), h.min());
+                prop_assert_eq!(folded.max(), h.max());
+                prop_assert_eq!(folded.p50(), h.p50());
+                prop_assert_eq!(folded.p99(), h.p99());
+            }
+            // Gauge watermarks and sample counts match combined
+            // recording; `last` is the sum of the per-registry lasts.
+            for (name, g) in combined.gauges() {
+                let folded = ab.gauge_ref(name).unwrap();
+                prop_assert_eq!(folded.min(), g.min());
+                prop_assert_eq!(folded.max(), g.max());
+                prop_assert_eq!(folded.samples(), g.samples());
+            }
         }
     }
 }

@@ -403,6 +403,124 @@ proptest! {
     }
 }
 
+/// Replays `frames` through a fresh facade (even sensors subscribed, 5-frame
+/// `on_frames` batches, a flush tick) and closes one telemetry window at the
+/// end, returning the snapshot's JSONL line, its Prometheus exposition, and
+/// the final metrics report. With `midrun`, an extra window is emitted
+/// between the two halves of the burst — the probe for telemetry being a
+/// pure observer.
+fn telemetry_replay(
+    frames: &[Vec<u8>],
+    config: GarnetConfig,
+    midrun: bool,
+) -> (String, String, String) {
+    let mut g = Garnet::new(config);
+    let token = g.issue_default_token("recorder");
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let id = g
+        .register_consumer(Box::new(RecordingConsumer { log: Arc::clone(&log) }), &token, 0)
+        .unwrap();
+    for s in (2..=6u32).step_by(2) {
+        g.subscribe(id, TopicFilter::Sensor(SensorId::new(s).unwrap()), &token).unwrap();
+    }
+    let half = frames.len() / 2;
+    for (phase, slice) in [(0u64, &frames[..half]), (1, &frames[half..])] {
+        for (i, chunk) in slice.chunks(5).enumerate() {
+            let at = SimTime::from_millis(1 + phase * 2_000 + i as u64);
+            let batch: Vec<_> =
+                chunk.iter().map(|b| (ReceiverId::new(0), -45.0, b.clone())).collect();
+            g.on_frames(batch, at);
+        }
+        if phase == 0 && midrun {
+            g.telemetry(SimTime::from_secs(1));
+        }
+    }
+    g.on_tick(SimTime::from_secs(60));
+    let snap = g.telemetry(SimTime::from_secs(61));
+    (snap.to_jsonl(), snap.to_prometheus(), g.metrics().report())
+}
+
+/// Parses a snapshot line back through `garnet_ctl` and normalises it with
+/// the per-shard depth gauges removed — the one part of a snapshot that
+/// legitimately depends on the shard layout.
+fn strip_shard_gauges(jsonl: &str) -> String {
+    let mut snap = garnet_ctl::Snapshot::parse(jsonl).expect("facade emits parseable JSONL");
+    snap.gauges.retain(|name, _| !name.contains(".shard"));
+    format!("{snap:?}")
+}
+
+/// Drops the per-shard depth-gauge series from a Prometheus exposition so
+/// renderings can be compared across shard layouts.
+fn strip_shard_series(prometheus: &str) -> String {
+    prometheus
+        .lines()
+        .filter(|line| !line.contains("queue_depth_shard"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+// Telemetry is an observer, not a participant. Three claims: (1) the final
+// snapshot is bit-identical — modulo per-shard gauge ids — across
+// {Fifo,Threaded} × ingest {1,4} × dispatch {1,4} × {batched,per-frame};
+// (2) two identical runs render byte-identical JSONL and Prometheus text,
+// per-shard series included; (3) emitting a snapshot mid-run leaves the
+// world's final books untouched.
+#[test]
+fn telemetry_does_not_change_the_world() {
+    let drop_mask: Vec<u8> = (0..32).map(|i| u8::from(i % 7 != 0)).collect();
+    let dup_mask: Vec<u8> = (0..32).map(|i| (i % 3) as u8).collect();
+    let frames = burst_schedule(5, 20, &drop_mask, &dup_mask);
+    let cfg = |driver, ingest_shards, dispatch_shards, batch_ingest| GarnetConfig {
+        driver,
+        ingest_shards,
+        dispatch_shards,
+        batch_ingest,
+        ..GarnetConfig::default()
+    };
+
+    let (jsonl, prometheus, report) =
+        telemetry_replay(&frames, cfg(DriverKind::Fifo, 1, 1, true), false);
+    let baseline_snap = strip_shard_gauges(&jsonl);
+    let baseline_prom = strip_shard_series(&prometheus);
+    for driver in [DriverKind::Fifo, DriverKind::Threaded] {
+        for ingest in [1usize, 4] {
+            for dispatch in [1usize, 4] {
+                for batch in [true, false] {
+                    let (j, p, r) =
+                        telemetry_replay(&frames, cfg(driver, ingest, dispatch, batch), false);
+                    let label = format!("{driver:?} {ingest}x{dispatch} batch={batch}");
+                    assert_eq!(
+                        strip_shard_gauges(&j),
+                        baseline_snap,
+                        "snapshot diverged ({label})"
+                    );
+                    assert_eq!(
+                        strip_shard_series(&p),
+                        baseline_prom,
+                        "exposition diverged ({label})"
+                    );
+                    assert_eq!(r, report, "metrics report diverged ({label})");
+                }
+            }
+        }
+    }
+
+    for driver in [DriverKind::Fifo, DriverKind::Threaded] {
+        let first = telemetry_replay(&frames, cfg(driver, 4, 4, true), false);
+        let second = telemetry_replay(&frames, cfg(driver, 4, 4, true), false);
+        assert_eq!(first.0, second.0, "{driver:?} JSONL not byte-stable across identical runs");
+        assert_eq!(
+            first.1, second.1,
+            "{driver:?} Prometheus not byte-stable across identical runs"
+        );
+    }
+
+    for driver in [DriverKind::Fifo, DriverKind::Threaded] {
+        let (_, _, with_midrun) = telemetry_replay(&frames, cfg(driver, 4, 4, true), true);
+        assert_eq!(with_midrun, report, "mid-run telemetry changed the world ({driver:?})");
+    }
+}
+
 #[test]
 fn different_seed_different_world() {
     let a = run(1);
