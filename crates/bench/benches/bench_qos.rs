@@ -1,0 +1,47 @@
+//! E17b: per-consumer QoS — the fast+slow co-subscription scenario at
+//! 16x overload (writes `BENCH_qos.json` next to the bench's working
+//! directory). The document's second point's `speedup_vs_1` is the
+//! contended/uncontended delivery-rate ratio of the fast consumer; the
+//! acceptance gate is ≥ 0.95.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use garnet_bench::e17_overload::{qos_json, run_qos_point, CAPACITY, QOS_MULTIPLIER};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_qos");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(QOS_MULTIPLIER * CAPACITY as u64));
+    for slow_present in [false, true] {
+        let label = if slow_present { "fast_plus_slow" } else { "fast_alone" };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{label}_{QOS_MULTIPLIER}x")),
+            &slow_present,
+            |b, &slow| {
+                b.iter(|| std::hint::black_box(run_qos_point(slow)));
+            },
+        );
+    }
+    group.finish();
+
+    // The acceptance gate rides on the emitted document: the fast
+    // consumer's contended rate must be within 5% of its uncontended
+    // rate (the scheduler actually delivers exact equality).
+    let alone = run_qos_point(false);
+    let contended = run_qos_point(true);
+    let ratio = contended.fast_consumed as f64 / alone.fast_consumed.max(1) as f64;
+    assert!(
+        ratio >= 0.95,
+        "fast consumer degraded under a slow co-subscriber: ratio {ratio:.3} \
+         (alone {alone:?}, contended {contended:?})"
+    );
+    assert_eq!(alone.control_shed + contended.control_shed, 0, "control events were shed");
+
+    let json = qos_json();
+    if let Err(e) = std::fs::write("BENCH_qos.json", &json) {
+        eprintln!("could not write BENCH_qos.json: {e}");
+    }
+    println!("{json}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

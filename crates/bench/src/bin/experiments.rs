@@ -91,6 +91,8 @@ fn main() {
     if want("e17") {
         let (_, t) = e17_overload::run();
         println!("{}", t.render());
+        let (_, t) = e17_overload::run_qos();
+        println!("{}", t.render());
     }
     if want("e18") {
         let (_, t) = e18_dispatch_shards::run();

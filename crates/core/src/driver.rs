@@ -291,6 +291,13 @@ pub trait RouterDriver: std::fmt::Debug {
     /// the FIFO engine — nothing panics, nothing restarts).
     fn shard_restart_count(&self) -> u64;
 
+    /// Jobs accepted per [`garnet_net::EdgeClass`] across the engine's
+    /// stage edges, indexed by `EdgeClass::index`. All zeros for the
+    /// FIFO engine, which has no channel boundaries to account at.
+    fn edge_class_submits(&self) -> [u64; 3] {
+        [0; 3]
+    }
+
     /// The pipeline latency spans recorded so far (filtering /
     /// dispatching / end-to-end, sim-time driven and therefore
     /// engine-invariant). Still readable after shutdown.
@@ -776,6 +783,13 @@ impl RouterDriver for ThreadedDriver {
         match &self.router {
             Some(r) => r.restart_count(),
             None => self.retired().report.shard_restarts,
+        }
+    }
+
+    fn edge_class_submits(&self) -> [u64; 3] {
+        match &self.router {
+            Some(r) => r.class_submits(),
+            None => [0; 3],
         }
     }
 

@@ -65,6 +65,7 @@ pub mod location;
 pub mod middleware;
 pub mod orphanage;
 pub mod pipeline;
+pub mod qos;
 pub mod replicator;
 pub mod resource;
 pub mod router;
@@ -81,6 +82,10 @@ pub use driver::{
 pub use filtering::{Delivery, FilterConfig, FilteringService, Observation};
 pub use middleware::{Garnet, GarnetConfig, OverloadStats, StepOutput};
 pub use pipeline::{PipelineConfig, PipelineSim};
+pub use qos::{
+    ClassLedger, ClassLedgers, DeliverySchedule, FrameOffer, PriorityClass, QosConfig, QosMode,
+    QosScheduler, Release,
+};
 pub use router::{
     ControlGraph, DispatchStage, FrameAdmission, IngestBatch, IngestReport, OverloadConfig,
     OverloadPolicy, OverloadTotals, RootOutput, Router, Services, ShardedDispatch, ShardedIngest,

@@ -61,6 +61,10 @@ use crate::driver::{
 use crate::filtering::{Delivery, FilterConfig};
 use crate::location::{LocationConfig, LocationEstimate, LocationService};
 use crate::orphanage::{Orphanage, OrphanageConfig};
+use crate::qos::{
+    ClassLedger, ClassLedgers, DeliverySchedule, FrameOffer, PriorityClass, QosConfig, QosMode,
+    QosScheduler, Release,
+};
 use crate::replicator::{MessageReplicator, ReplicationPlan};
 use crate::resource::{DenyReason, MediationPolicy, ResourceManager, SensorProfile};
 use crate::router::{
@@ -132,6 +136,15 @@ pub struct GarnetConfig {
     /// Bounded-queue admission control for the frame intake; `None`
     /// keeps the legacy unbounded queue (admission never sheds).
     pub overload: Option<OverloadConfig>,
+    /// Priority-classed QoS scheduling (see [`crate::qos`]). With the
+    /// default [`QosMode::Scheduled`] and an [`GarnetConfig::overload`]
+    /// config present, admission control moves from the engine's queue
+    /// to a facade-boundary [`QosScheduler`]: same policy, same ledger,
+    /// same survivors — but engine-independent, so overloaded runs are
+    /// bit-identical across `{Fifo, Threaded}` × shard × batch layouts.
+    /// [`QosMode::Legacy`] (or `GARNET_TEST_QOS=legacy`) preserves the
+    /// pre-QoS in-engine path bit for bit.
+    pub qos: QosConfig,
     /// Flight-recorder ring capacity in records. Only meaningful when
     /// the `trace` cargo feature is compiled in; without it the tracer
     /// is a zero-sized no-op regardless of this value.
@@ -176,6 +189,7 @@ impl Default for GarnetConfig {
             transmitters: Vec::new(),
             quiesce: None,
             overload: None,
+            qos: QosConfig::default(),
             trace_capacity: garnet_simkit::trace::TraceConfig::default().capacity,
             batch_ingest: default_batch_ingest(),
             archive: None,
@@ -386,6 +400,16 @@ pub struct Garnet {
     /// reports the movement since the last one rather than a per-call
     /// snapshot that would miss restarts landing between calls.
     reported_restarts: u64,
+    /// The facade-boundary QoS scheduler (`Some` when
+    /// [`QosMode::Scheduled`] and an overload config are both present;
+    /// the engines then run unbounded and this layer owns admission).
+    qos: Option<QosScheduler>,
+    /// Which mode [`GarnetConfig::qos`] selected (drain limits are
+    /// refused in legacy mode so the pre-QoS path stays untouched).
+    qos_mode: QosMode,
+    /// Per-consumer delivery scheduling — inert until
+    /// [`Garnet::set_consumer_drain_limit`] declares a consumer slow.
+    delivery: DeliverySchedule,
     /// The telemetry window state machine (`GarnetConfig.telemetry`).
     telemetry: TelemetryService,
     /// Cumulative worker failures drained by [`Garnet::pump`] — the
@@ -424,6 +448,15 @@ impl Garnet {
             replicator: MessageReplicator::new(config.transmitters),
             coordinator: SuperCoordinator::new(config.coordination),
         };
+        // With the QoS scheduler active, admission control moves to the
+        // facade boundary: the engines run unbounded (they only ever see
+        // the frames the scheduler released), which is what makes
+        // overloaded runs engine-independent.
+        let qos = match (config.qos.mode, config.overload) {
+            (QosMode::Scheduled, Some(overload)) => Some(QosScheduler::new(overload, &config.qos)),
+            _ => None,
+        };
+        let engine_overload = if qos.is_some() { None } else { config.overload };
         let mut driver: Box<dyn RouterDriver> = match config.driver {
             DriverKind::Fifo => {
                 let services = Services {
@@ -434,14 +467,14 @@ impl Garnet {
                     ),
                     control,
                 };
-                Box::new(FifoDriver::new(services, config.overload, config.batch_ingest))
+                Box::new(FifoDriver::new(services, engine_overload, config.batch_ingest))
             }
             DriverKind::Threaded => Box::new(ThreadedDriver::new(
                 config.filter,
                 config.ingest_shards,
                 config.dispatch_shards,
                 control,
-                config.overload,
+                engine_overload,
                 config.batch_ingest,
                 config.dispatch_cache,
             )),
@@ -469,6 +502,9 @@ impl Garnet {
             api_outcome: None,
             archive,
             reported_restarts: 0,
+            qos,
+            qos_mode: config.qos.mode,
+            delivery: DeliverySchedule::new(config.qos.consumer_queue_capacity),
             telemetry: TelemetryService::new(config.telemetry),
             shard_failure_total: 0,
         }
@@ -671,7 +707,7 @@ impl Garnet {
         now: SimTime,
     ) -> StepOutput {
         let mut out = StepOutput::default();
-        let base = self.driver.overload_totals();
+        let base = self.admission_totals();
         let batch: Vec<BatchedFrame> = frames
             .into_iter()
             .map(|(receiver, rssi_dbm, frame)| BatchedFrame {
@@ -692,27 +728,102 @@ impl Garnet {
                 );
             }
         }
-        // A blocked admission inside the driver drains events to make
-        // room; whatever escaped the queue in the process comes back
-        // here and is applied in order.
-        for o in self.driver.admit_frames(batch, now) {
-            self.apply(o, now, &mut out);
+        if self.qos.is_some() {
+            // The scheduler owns admission: every frame offers into the
+            // bounded Data tier (same policy, same ledger as the legacy
+            // in-engine queue), and the survivors release in one batch.
+            for f in batch {
+                let mut pending = f;
+                while let FrameOffer::Blocked(frame) =
+                    self.qos.as_mut().expect("checked above").offer_frame(pending, now)
+                {
+                    // Tier full under Block: release the staged tier
+                    // into the engine, pump it dry to make room, then
+                    // re-offer — the facade-level equivalent of the
+                    // FIFO router's block-drain-retry loop.
+                    self.release_qos(now);
+                    self.pump(now, &mut out);
+                    pending = frame;
+                }
+            }
+            self.release_qos(now);
+        } else {
+            // A blocked admission inside the driver drains events to
+            // make room; whatever escaped the queue in the process comes
+            // back here and is applied in order.
+            for o in self.driver.admit_frames(batch, now) {
+                self.apply(o, now, &mut out);
+            }
         }
         self.pump(now, &mut out);
         self.note_overload_delta(base, &mut out);
+        if let Some(s) = self.qos.as_mut() {
+            // Quiescence is the one point both engines reach
+            // deterministically — where the adaptive bound may retune.
+            s.note_quiescent();
+        }
         self.maybe_emit_telemetry(now);
         out
     }
 
+    /// Queues a boundary event — through the QoS scheduler when active
+    /// (its class ledger counts it and strict-priority release preserves
+    /// Control > Actuation > Data) or straight into the engine.
+    fn route_event(&mut self, ev: ServiceEvent, now: SimTime) {
+        if let Some(s) = self.qos.as_mut() {
+            s.offer_event(ev, now);
+            self.release_qos(now);
+        } else {
+            self.driver.push_event(ev, now);
+        }
+    }
+
+    /// Releases everything the scheduler staged, in strict priority
+    /// order, into the engine.
+    fn release_qos(&mut self, now: SimTime) {
+        let releases = match self.qos.as_mut() {
+            Some(s) => s.release(now),
+            None => return,
+        };
+        for r in releases {
+            match r {
+                Release::Event(ev) => self.driver.push_event(ev, now),
+                Release::Frames(frames) => {
+                    // The engine is unbounded while the scheduler governs
+                    // admission, so nothing can escape here.
+                    let escaped = self.driver.admit_frames(frames, now);
+                    debug_assert!(escaped.is_empty(), "unbounded engine blocked an admission");
+                }
+            }
+        }
+    }
+
+    /// Monotonic admission totals from whichever layer governs
+    /// admission (the QoS scheduler when active, else the engine).
+    fn admission_totals(&self) -> OverloadTotals {
+        match &self.qos {
+            Some(s) => s.totals(),
+            None => self.driver.overload_totals(),
+        }
+    }
+
+    /// High-water mark of the governed frame queue.
+    fn admission_peak_depth(&self) -> u64 {
+        match &self.qos {
+            Some(s) => s.peak_depth(),
+            None => self.driver.peak_queue_depth(),
+        }
+    }
+
     /// Folds the admission-counter movement since `base` into `out`.
     fn note_overload_delta(&mut self, base: OverloadTotals, out: &mut StepOutput) {
-        let t = self.driver.overload_totals();
+        let t = self.admission_totals();
         out.overload.absorb(OverloadStats {
             offered: t.offered - base.offered,
             shed: t.shed - base.shed,
             coalesced: t.coalesced - base.coalesced,
             delivered: t.delivered - base.delivered,
-            peak_queue_depth: self.driver.peak_queue_depth(),
+            peak_queue_depth: self.admission_peak_depth(),
             shard_restarts: 0,
         });
         self.note_restart_delta(out);
@@ -735,7 +846,7 @@ impl Garnet {
         if let Some(archive) = &mut self.archive {
             archive.append(&ack_record(request_id, status, now), now);
         }
-        self.driver.push_event(ServiceEvent::AckReceived { request_id, status }, now);
+        self.route_event(ServiceEvent::AckReceived { request_id, status }, now);
         let mut scratch = StepOutput::default();
         self.pump(now, &mut scratch);
     }
@@ -747,9 +858,9 @@ impl Garnet {
         if let Some(archive) = &mut self.archive {
             archive.append(&tick_record(now), now);
         }
-        self.driver.push_event(ServiceEvent::FlushReorder, now);
+        self.route_event(ServiceEvent::FlushReorder, now);
         self.pump(now, &mut out);
-        self.driver.push_event(ServiceEvent::ActuationTick, now);
+        self.route_event(ServiceEvent::ActuationTick, now);
         self.pump(now, &mut out);
         self.sweep_quiesce(now, &mut out);
         // A tick's flush reaches every shard, so it is where a poisoned
@@ -778,7 +889,7 @@ impl Garnet {
             .map(|i| i.stream)
             .collect();
         for stream in due {
-            self.driver.push_event(
+            self.route_event(
                 ServiceEvent::ActuationRequested {
                     origin: ActuationOrigin::Quiesce,
                     requester: SYSTEM_SUBSCRIBER,
@@ -805,7 +916,7 @@ impl Garnet {
         // Withdraw the system's slow-rate demand so consumer demands
         // mediate freshly, then restore the working rate.
         self.driver.control_mut().resource.release_consumer(SYSTEM_SUBSCRIBER);
-        self.driver.push_event(
+        self.route_event(
             ServiceEvent::ActuationRequested {
                 origin: ActuationOrigin::Restore,
                 requester: SYSTEM_SUBSCRIBER,
@@ -847,7 +958,7 @@ impl Garnet {
     ) -> Result<ActuationOutcome, GarnetError> {
         self.authorize(token, Capability::Actuate, now)?;
         let priority = self.consumers.get(&id).ok_or(GarnetError::UnknownConsumer(id))?.priority;
-        self.driver.push_event(
+        self.route_event(
             ServiceEvent::ActuationRequested {
                 origin: ActuationOrigin::Api,
                 requester: id,
@@ -876,7 +987,7 @@ impl Garnet {
         now: SimTime,
     ) -> Result<(), GarnetError> {
         self.authorize(token, Capability::ProvideHints, now)?;
-        self.driver.push_event(ServiceEvent::Hint { sensor, position, confidence }, now);
+        self.route_event(ServiceEvent::Hint { sensor, position, confidence }, now);
         let mut scratch = StepOutput::default();
         self.pump(now, &mut scratch);
         Ok(())
@@ -909,7 +1020,7 @@ impl Garnet {
             return Err(GarnetError::UnknownConsumer(id));
         }
         let mut out = StepOutput::default();
-        self.driver.push_event(ServiceEvent::StateReported { reporter: id, state }, now);
+        self.route_event(ServiceEvent::StateReported { reporter: id, state }, now);
         self.pump(now, &mut out);
         Ok(out)
     }
@@ -927,14 +1038,17 @@ impl Garnet {
 
     /// Drains the driver to quiescence, applying every escaped output.
     fn pump(&mut self, now: SimTime, out: &mut StepOutput) {
-        loop {
-            let outputs = self.driver.pump(now);
-            if outputs.is_empty() {
-                break;
+        self.pump_engine(now, out);
+        // One delivery-drain pass per pump: each rate-limited consumer
+        // receives up to its per-call limit from its staged queue, and
+        // whatever its callbacks produced is pumped to quiescence (new
+        // deliveries to limited consumers stage again for a later call).
+        let due = self.delivery.drain();
+        if !due.is_empty() {
+            for (rid, delivery, depth) in due {
+                self.deliver_to(rid, &delivery, depth, now);
             }
-            for o in outputs {
-                self.apply(o, now, out);
-            }
+            self.pump_engine(now, out);
         }
         let mut failures = self.driver.take_shard_failures();
         failures.sort_by_key(|f| (f.shard, f.seq));
@@ -947,6 +1061,19 @@ impl Garnet {
         self.driver.note_telemetry_quiescent();
     }
 
+    /// The inner engine-drain loop of [`Garnet::pump`].
+    fn pump_engine(&mut self, now: SimTime, out: &mut StepOutput) {
+        loop {
+            let outputs = self.driver.pump(now);
+            if outputs.is_empty() {
+                break;
+            }
+            for o in outputs {
+                self.apply(o, now, out);
+            }
+        }
+    }
+
     /// Applies one service output: runs the consumer callback for a
     /// delivery, or interprets an actuation chain's terminal according
     /// to its [`ActuationOrigin`].
@@ -954,7 +1081,13 @@ impl Garnet {
         match output {
             ServiceOutput::Emit(ev) => self.driver.push_event(ev, now),
             ServiceOutput::Deliver { recipient, delivery, depth } => {
-                self.deliver_to(recipient, &delivery, depth, now);
+                // Per-consumer delivery scheduling: a rate-limited
+                // consumer's deliveries stage (and coalesce per
+                // subscription) in its own queue; everyone else's pass
+                // straight through.
+                if let Some((delivery, depth)) = self.delivery.offer(recipient, delivery, depth) {
+                    self.deliver_to(recipient, &delivery, depth, now);
+                }
             }
             ServiceOutput::Planned { origin, plan, .. } => match origin {
                 ActuationOrigin::Api => {
@@ -1038,7 +1171,7 @@ impl Garnet {
                     *seq_slot = seq_slot.next();
                     let stream = StreamId::new(entry.virtual_sensor, index);
                     match DataMessage::builder(stream).seq(seq).payload(payload).build() {
-                        Ok(msg) => self.driver.push_event(
+                        Ok(msg) => self.route_event(
                             ServiceEvent::Filtered {
                                 delivery: Delivery {
                                     msg,
@@ -1057,7 +1190,7 @@ impl Garnet {
                         self.denied_actions += 1;
                         continue;
                     }
-                    self.driver.push_event(
+                    self.route_event(
                         ServiceEvent::ActuationRequested {
                             origin: ActuationOrigin::Consumer,
                             requester: rid,
@@ -1073,16 +1206,14 @@ impl Garnet {
                         self.denied_actions += 1;
                         continue;
                     }
-                    self.driver
-                        .push_event(ServiceEvent::StateReported { reporter: rid, state }, now);
+                    self.route_event(ServiceEvent::StateReported { reporter: rid, state }, now);
                 }
                 ConsumerAction::LocationHint { sensor, position, confidence } => {
                     if !caps.allows(Capability::ProvideHints) {
                         self.denied_actions += 1;
                         continue;
                     }
-                    self.driver
-                        .push_event(ServiceEvent::Hint { sensor, position, confidence }, now);
+                    self.route_event(ServiceEvent::Hint { sensor, position, confidence }, now);
                 }
             }
         }
@@ -1167,7 +1298,66 @@ impl Garnet {
     /// records no samples, so this is 0 unless an
     /// [`crate::router::OverloadConfig`] is set.
     pub fn queue_depth_p99(&self) -> u64 {
-        self.driver.queue_depth_p99()
+        match &self.qos {
+            Some(s) => s.depth_p99(),
+            None => self.driver.queue_depth_p99(),
+        }
+    }
+
+    /// Whether the QoS scheduler governs admission (Scheduled mode with
+    /// an overload config present).
+    pub fn qos_active(&self) -> bool {
+        self.qos.is_some()
+    }
+
+    /// The per-class scheduling ledgers, when the QoS scheduler is
+    /// active. Each class holds `offered == shed + delivered` at
+    /// quiescence; Control and Actuation never shed.
+    pub fn qos_ledgers(&self) -> Option<&ClassLedgers> {
+        self.qos.as_ref().map(QosScheduler::ledgers)
+    }
+
+    /// The current (possibly retuned) data-tier admission bound.
+    pub fn qos_capacity(&self) -> Option<usize> {
+        self.qos.as_ref().map(QosScheduler::capacity)
+    }
+
+    /// How many times the adaptive bound moved at quiescence.
+    pub fn qos_retune_count(&self) -> u64 {
+        self.qos.as_ref().map(QosScheduler::retune_count).unwrap_or(0)
+    }
+
+    /// Declares a consumer slow: at most `limit` deliveries reach it per
+    /// facade call; the rest stage in its own queue, where same-stream
+    /// duplicates coalesce (newest sequence wins) without touching any
+    /// other consumer's delivery sequence. `None` removes the limit (the
+    /// backlog flushes on the next call). Refused — a no-op — in
+    /// [`QosMode::Legacy`], which preserves the pre-QoS path bit for
+    /// bit.
+    pub fn set_consumer_drain_limit(&mut self, id: SubscriberId, limit: Option<usize>) {
+        if self.qos_mode == QosMode::Legacy {
+            return;
+        }
+        self.delivery.set_limit(id, limit);
+    }
+
+    /// The per-consumer delivery-plane ledger (offered, shed, coalesced,
+    /// delivered across all rate-limited consumers). Balanced as
+    /// `offered == shed + delivered + backlog`.
+    pub fn delivery_ledger(&self) -> &ClassLedger {
+        self.delivery.ledger()
+    }
+
+    /// Deliveries currently staged for rate-limited consumers.
+    pub fn delivery_backlog(&self) -> u64 {
+        self.delivery.backlog()
+    }
+
+    /// Jobs accepted per [`garnet_net::EdgeClass`] across the engine's
+    /// stage edges (all zeros under the FIFO engine, which has no
+    /// channel boundaries).
+    pub fn edge_class_submits(&self) -> [u64; 3] {
+        self.driver.edge_class_submits()
     }
 
     /// Builds a metrics snapshot of every service — the operator's
@@ -1242,13 +1432,13 @@ impl Garnet {
             ("depth_drops", self.depth_drops),
         ];
         let streams: &[(&str, u64)] = &[("catalogued", self.driver.streams().len() as u64)];
-        let t = self.driver.overload_totals();
+        let t = self.admission_totals();
         let overload: &[(&str, u64)] = &[
             ("offered", t.offered),
             ("shed", t.shed),
             ("coalesced", t.coalesced),
             ("delivered", t.delivered),
-            ("peak_queue_depth", self.driver.peak_queue_depth()),
+            ("peak_queue_depth", self.admission_peak_depth()),
             ("shard_restarts", self.driver.shard_restart_count()),
             ("shard_failures", self.shard_failure_total),
         ];
@@ -1282,6 +1472,37 @@ impl Garnet {
                 ("recovered_records", archive.recovery().records),
             ] {
                 m.counter(&stage_key("archive", metric)).add(value);
+            }
+        }
+        // The QoS plane's per-class view: ledgers, waits, and the
+        // delivery-plane counters. Emitted only when the scheduler is
+        // active, so legacy-mode reports are byte-identical to pre-QoS
+        // ones (determinism comparisons strip `qos.*` rows, the same
+        // treatment the match-cache rows get).
+        if let Some(s) = &self.qos {
+            for class in PriorityClass::ALL {
+                let l = s.ledgers().class(class);
+                for (metric, value) in [
+                    ("offered", l.offered),
+                    ("shed", l.shed),
+                    ("coalesced", l.coalesced),
+                    ("delivered", l.delivered),
+                ] {
+                    m.counter(&stage_key("qos", &format!("{}.{metric}", class.name()))).add(value);
+                }
+                m.histogram(&stage_key("qos", &format!("{}.wait_us", class.name())))
+                    .merge(s.wait_hist(class));
+            }
+            m.counter(&stage_key("qos", "retunes")).add(s.retune_count());
+            let dl = self.delivery.ledger();
+            for (metric, value) in [
+                ("delivery.offered", dl.offered),
+                ("delivery.shed", dl.shed),
+                ("delivery.coalesced", dl.coalesced),
+                ("delivery.delivered", dl.delivered),
+                ("delivery.peak_backlog", self.delivery.peak_backlog()),
+            ] {
+                m.counter(&stage_key("qos", metric)).add(value);
             }
         }
         m.histogram(&stage_key("actuation", "ack_latency_us")).merge(c.actuation.ack_latency());
@@ -1493,6 +1714,15 @@ impl Garnet {
     /// see how much of the tail is in doubt.
     pub fn shutdown(&mut self, now: SimTime) -> Result<StepOutput, GarnetError> {
         let mut out = StepOutput::default();
+        self.pump(now, &mut out);
+        // Nothing may be stranded in the QoS plane: release anything the
+        // scheduler still stages and flush every rate-limited consumer's
+        // backlog regardless of drain limits, so both ledgers close
+        // balanced (`offered == shed + delivered`).
+        self.release_qos(now);
+        for (rid, delivery, depth) in self.delivery.drain_all() {
+            self.deliver_to(rid, &delivery, depth, now);
+        }
         self.pump(now, &mut out);
         // Archive first: its log must capture every input the engines
         // processed, and a wedged store must not leave worker pools

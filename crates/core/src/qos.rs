@@ -1,0 +1,777 @@
+//! Per-consumer QoS scheduling: priority classes, tiered staging, and
+//! subscription-keyed delivery coalescing.
+//!
+//! The legacy overload path (`OverloadConfig` on the router) is a single
+//! global bounded queue: one slow consumer fills it and every subscriber
+//! pays. This module generalises it into three pieces the facade
+//! composes in front of either engine:
+//!
+//! * [`PriorityClass`] — every [`ServiceEvent`] belongs to exactly one
+//!   of **Control > Actuation > Data**. The router's ad-hoc "never drop
+//!   control" rule becomes explicit: only Data is ever governed by an
+//!   overload policy; Control and Actuation pass through counted but
+//!   untouched, and [`QosScheduler::release`] drains tiers in strict
+//!   priority order.
+//! * [`QosScheduler`] — tiered staging *in front of* admission. Data
+//!   frames stage into a bounded tier whose shed/coalesce semantics
+//!   mirror the router's byte for byte, so a burst observes the same
+//!   ledger, the same survivors and the same delivery order as the
+//!   legacy in-queue policy — but because the policy now runs entirely
+//!   at the facade boundary, **both engines schedule identically**,
+//!   making overloaded runs bit-identical across `{Fifo, Threaded}` ×
+//!   shard × batch layouts (the legacy threaded edge sheds on
+//!   wall-clock timing and cannot promise that).
+//! * [`DeliverySchedule`] — coalescing keyed per **consumer
+//!   subscription** (`SubscriberId` × stream), not per stream: a slow
+//!   consumer's in-window duplicates collapse in its own queue without
+//!   touching a fast consumer's delivery sequence.
+//!
+//! Capacity is adaptive: at each quiescence the data tier retunes its
+//! bound from the p99 of the depth histogram the `overload.*` metrics
+//! already collect, clamped to the `[floor, ceiling]` band of
+//! [`QosConfig`]. With the band collapsed (the default), the bound is
+//! exactly the legacy `OverloadConfig::capacity`.
+//!
+//! Every class keeps the exact ledger `offered == shed + delivered`
+//! (Control and Actuation trivially so — their shed is always zero),
+//! and each dropped frame passes through exactly one terminal
+//! accounting point, so a frame that is first coalesced into a
+//! survivor and later shed is counted once, not twice.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use garnet_net::SubscriberId;
+use garnet_simkit::{Histogram, SimTime};
+use garnet_wire::{peek_seq, peek_stream};
+
+use crate::filtering::Delivery;
+use crate::router::{OverloadConfig, OverloadPolicy, OverloadTotals};
+use crate::service::{BatchedFrame, ServiceEvent};
+
+/// The scheduling class of a [`ServiceEvent`] — strict priority order,
+/// highest first. Only [`PriorityClass::Data`] is ever shed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PriorityClass {
+    /// Graph-keeping events: reorder flushes, orphanage hand-offs,
+    /// location observations and hints, coordinator state reports.
+    /// Losing one corrupts bookkeeping, so they are never dropped.
+    Control,
+    /// The actuation chain: requests, mediation submits, replication,
+    /// acks and retry ticks. Losing one strands a sensor command.
+    Actuation,
+    /// The data plane: frames, frame batches and filtered deliveries —
+    /// the only class an overload policy may shed or coalesce.
+    Data,
+}
+
+impl PriorityClass {
+    /// All classes, in strict priority (drain) order.
+    pub const ALL: [PriorityClass; 3] =
+        [PriorityClass::Control, PriorityClass::Actuation, PriorityClass::Data];
+
+    /// The class an event schedules under.
+    pub fn of(ev: &ServiceEvent) -> PriorityClass {
+        match ev {
+            ServiceEvent::Frame { .. }
+            | ServiceEvent::FrameBatch { .. }
+            | ServiceEvent::Filtered { .. } => PriorityClass::Data,
+            ServiceEvent::ActuationRequested { .. }
+            | ServiceEvent::Submit { .. }
+            | ServiceEvent::Replicate { .. }
+            | ServiceEvent::AckReceived { .. }
+            | ServiceEvent::ActuationTick => PriorityClass::Actuation,
+            ServiceEvent::FlushReorder
+            | ServiceEvent::Orphaned { .. }
+            | ServiceEvent::Observed { .. }
+            | ServiceEvent::Hint { .. }
+            | ServiceEvent::StateReported { .. } => PriorityClass::Control,
+        }
+    }
+
+    /// Stable metric-name segment (`qos.<name>.offered` …).
+    pub fn name(self) -> &'static str {
+        match self {
+            PriorityClass::Control => "control",
+            PriorityClass::Actuation => "actuation",
+            PriorityClass::Data => "data",
+        }
+    }
+
+    /// Dense index for per-class arrays, in [`PriorityClass::ALL`]
+    /// order.
+    pub fn index(self) -> usize {
+        match self {
+            PriorityClass::Control => 0,
+            PriorityClass::Actuation => 1,
+            PriorityClass::Data => 2,
+        }
+    }
+}
+
+/// Whether the facade schedules through the QoS layer or preserves the
+/// legacy in-router overload path bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QosMode {
+    /// Admission, classing and per-consumer delivery run through
+    /// [`QosScheduler`] / [`DeliverySchedule`] at the facade boundary.
+    Scheduled,
+    /// The pre-QoS behaviour: the engine's own [`OverloadConfig`]
+    /// governs admission and deliveries are immediate. No `qos.*`
+    /// metrics are emitted.
+    Legacy,
+}
+
+impl Default for QosMode {
+    /// [`QosMode::Scheduled`], unless the `GARNET_TEST_QOS` environment
+    /// variable says `legacy`/`off`/`0` — the hook CI uses to prove
+    /// default-config suites behave identically without the QoS layer
+    /// (the twin of `GARNET_TEST_DRIVER` / `GARNET_TEST_BATCH`).
+    fn default() -> Self {
+        match std::env::var("GARNET_TEST_QOS") {
+            Ok(v)
+                if v == "0"
+                    || v.eq_ignore_ascii_case("legacy")
+                    || v.eq_ignore_ascii_case("off") =>
+            {
+                QosMode::Legacy
+            }
+            _ => QosMode::Scheduled,
+        }
+    }
+}
+
+/// QoS tuning. The scheduler only activates when the facade also has an
+/// [`OverloadConfig`] — an unbounded intake has nothing to schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QosConfig {
+    /// Scheduled (default) or legacy pass-through.
+    pub mode: QosMode,
+    /// Lower bound for the adaptive data-tier capacity. `None` pins it
+    /// to `OverloadConfig::capacity` (adaptation disabled downward).
+    pub data_floor: Option<usize>,
+    /// Upper bound for the adaptive data-tier capacity. `None` pins it
+    /// to `OverloadConfig::capacity` (adaptation disabled upward).
+    pub data_ceiling: Option<usize>,
+    /// Bound on each rate-limited consumer's staged delivery queue
+    /// (oldest staged delivery is shed at overflow, after per-stream
+    /// coalescing has had its chance). 0 is treated as 1.
+    pub consumer_queue_capacity: usize,
+}
+
+impl Default for QosConfig {
+    fn default() -> Self {
+        QosConfig {
+            mode: QosMode::default(),
+            data_floor: None,
+            data_ceiling: None,
+            consumer_queue_capacity: 64,
+        }
+    }
+}
+
+/// One class's monotonic scheduling ledger. At quiescence
+/// `offered == shed + delivered`; for Control and Actuation, `shed`
+/// and `coalesced` are zero by construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassLedger {
+    /// Events of this class accepted into scheduling.
+    pub offered: u64,
+    /// Events dropped by the overload policy (Data only).
+    pub shed: u64,
+    /// The subset of `shed` dropped in favour of a newer same-stream
+    /// sequence.
+    pub coalesced: u64,
+    /// Events released into the engine.
+    pub delivered: u64,
+}
+
+impl ClassLedger {
+    /// `offered == shed + delivered` (the exact ledger).
+    pub fn balanced(&self) -> bool {
+        self.offered == self.shed + self.delivered
+    }
+}
+
+/// Ledgers for all three classes, indexed by [`PriorityClass::index`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassLedgers(pub [ClassLedger; 3]);
+
+impl ClassLedgers {
+    /// The ledger of one class.
+    pub fn class(&self, c: PriorityClass) -> &ClassLedger {
+        &self.0[c.index()]
+    }
+
+    fn class_mut(&mut self, c: PriorityClass) -> &mut ClassLedger {
+        &mut self.0[c.index()]
+    }
+}
+
+/// A data frame parked in the scheduler's bounded tier.
+#[derive(Debug)]
+struct StagedFrame {
+    frame: BatchedFrame,
+    offered_at: SimTime,
+}
+
+/// One item of a strict-priority release plan: Control events first,
+/// then Actuation, then the surviving Data frames as one batch (so the
+/// engine's batched admission path is preserved).
+#[derive(Debug)]
+pub enum Release {
+    /// A control- or actuation-class event for
+    /// [`crate::driver::RouterDriver::push_event`].
+    Event(ServiceEvent),
+    /// The surviving data frames, in admission order, for
+    /// [`crate::driver::RouterDriver::admit_frames`].
+    Frames(Vec<BatchedFrame>),
+}
+
+/// What [`QosScheduler::offer_frame`] did with a data frame.
+#[derive(Debug)]
+pub enum FrameOffer {
+    /// Staged below capacity.
+    Staged,
+    /// Staged after the oldest staged frame was shed.
+    StagedAfterShed,
+    /// Resolved against a staged frame of the same stream (newer
+    /// sequence survives).
+    Coalesced,
+    /// Tier at capacity under [`OverloadPolicy::Block`]: release the
+    /// staged tier into the engine, pump it dry, then re-offer. Nothing
+    /// is counted for a blocked attempt.
+    Blocked(BatchedFrame),
+}
+
+/// The facade-boundary scheduler: three priority tiers with a bounded,
+/// policy-governed Data tier and strict-priority release. See the
+/// module docs for how this relates to the legacy in-router policy.
+#[derive(Debug)]
+pub struct QosScheduler {
+    policy: OverloadPolicy,
+    /// Current data-tier bound (retuned at quiescence within
+    /// `[floor, ceiling]`).
+    capacity: usize,
+    floor: usize,
+    ceiling: usize,
+    control: VecDeque<(ServiceEvent, SimTime)>,
+    actuation: VecDeque<(ServiceEvent, SimTime)>,
+    data: VecDeque<StagedFrame>,
+    ledgers: ClassLedgers,
+    peak_depth: u64,
+    depth_hist: Histogram,
+    /// Per-class offer→release wait (µs, sim time).
+    waits: [Histogram; 3],
+    retunes: u64,
+}
+
+impl QosScheduler {
+    /// Builds a scheduler enforcing `overload`'s policy at the facade
+    /// boundary, with the adaptive band from `qos` (both bounds default
+    /// to the legacy capacity, which disables adaptation).
+    pub fn new(overload: OverloadConfig, qos: &QosConfig) -> Self {
+        let legacy = overload.capacity.max(1);
+        let floor = qos.data_floor.unwrap_or(legacy).max(1);
+        let ceiling = qos.data_ceiling.unwrap_or(legacy).max(floor);
+        QosScheduler {
+            policy: overload.policy,
+            capacity: legacy.clamp(floor, ceiling),
+            floor,
+            ceiling,
+            control: VecDeque::new(),
+            actuation: VecDeque::new(),
+            data: VecDeque::new(),
+            ledgers: ClassLedgers::default(),
+            peak_depth: 0,
+            depth_hist: Histogram::new(),
+            waits: [Histogram::new(), Histogram::new(), Histogram::new()],
+            retunes: 0,
+        }
+    }
+
+    /// Stages a non-data event into its class tier. Control and
+    /// Actuation tiers are unbounded — these classes are never shed.
+    /// Data-class events entering by this path (derived `Filtered`
+    /// republications) also pass untouched: the overload policy governs
+    /// radio frames, not deliveries already paid for.
+    pub fn offer_event(&mut self, ev: ServiceEvent, now: SimTime) {
+        let class = PriorityClass::of(&ev);
+        self.ledgers.class_mut(class).offered += 1;
+        match class {
+            PriorityClass::Control => self.control.push_back((ev, now)),
+            // Data-class control-path entries skip the bounded tier:
+            // count them delivered on release alongside actuation.
+            PriorityClass::Actuation | PriorityClass::Data => self.actuation.push_back((ev, now)),
+        }
+    }
+
+    /// Offers one radio frame to the bounded Data tier under the
+    /// configured policy. Mirrors `Router::admit_frame` exactly —
+    /// shed-oldest, per-stream newest-wins coalescing with replace in
+    /// place, blocked hand-back — so a burst's ledger and survivors
+    /// match the legacy path bit for bit.
+    pub fn offer_frame(&mut self, frame: BatchedFrame, now: SimTime) -> FrameOffer {
+        if self.data.len() < self.capacity {
+            self.note_offered(frame, now);
+            return FrameOffer::Staged;
+        }
+        match self.policy {
+            OverloadPolicy::Block => FrameOffer::Blocked(frame),
+            OverloadPolicy::Shed => {
+                self.drop_staged_oldest();
+                self.note_offered(frame, now);
+                FrameOffer::StagedAfterShed
+            }
+            OverloadPolicy::CoalesceFrames => self.coalesce(frame, now),
+        }
+    }
+
+    /// Counts and stages an accepted frame, sampling the tier depth
+    /// (the same cadence the legacy router samples at admission).
+    fn note_offered(&mut self, frame: BatchedFrame, now: SimTime) {
+        self.ledgers.class_mut(PriorityClass::Data).offered += 1;
+        self.data.push_back(StagedFrame { frame, offered_at: now });
+        let depth = self.data.len() as u64;
+        self.peak_depth = self.peak_depth.max(depth);
+        self.depth_hist.record(depth);
+    }
+
+    /// The single terminal accounting point for a dropped data frame:
+    /// every drop — shed-oldest, coalesce victim, either branch —
+    /// passes through here exactly once, so a frame that was first a
+    /// coalesce survivor and is later shed still counts once.
+    fn note_dropped(&mut self, coalesced: bool) {
+        let ledger = self.ledgers.class_mut(PriorityClass::Data);
+        ledger.shed += 1;
+        if coalesced {
+            ledger.coalesced += 1;
+        }
+        debug_assert!(
+            ledger.offered >= ledger.shed + ledger.delivered,
+            "data ledger overdrawn: {ledger:?}"
+        );
+    }
+
+    fn drop_staged_oldest(&mut self) {
+        if self.data.pop_front().is_some() {
+            self.note_dropped(false);
+        }
+    }
+
+    /// At capacity under `CoalesceFrames`: resolve against the staged
+    /// frame of the arriving frame's stream (wraparound-aware newest
+    /// wins, survivor keeps the staged position), falling back to
+    /// shedding the oldest staged frame when the stream has nothing
+    /// staged. Same tie-breaks as `Router::coalesce_frame`.
+    fn coalesce(&mut self, frame: BatchedFrame, now: SimTime) -> FrameOffer {
+        let stream = peek_stream(&frame.frame);
+        let same_stream = stream
+            .and_then(|s| self.data.iter().position(|q| peek_stream(&q.frame.frame) == Some(s)));
+        let Some(idx) = same_stream else {
+            self.drop_staged_oldest();
+            self.note_offered(frame, now);
+            return FrameOffer::StagedAfterShed;
+        };
+        let staged_seq = peek_seq(&self.data[idx].frame.frame);
+        let arriving_wins = match (peek_seq(&frame.frame), staged_seq) {
+            (Some(a), Some(q)) => a.is_after(q),
+            (Some(_), None) => true,
+            _ => false,
+        };
+        self.ledgers.class_mut(PriorityClass::Data).offered += 1;
+        self.note_dropped(true);
+        if arriving_wins {
+            // Replace in place: the survivor keeps the staged frame's
+            // position, and thus its place in the release order.
+            self.data[idx] = StagedFrame { frame, offered_at: now };
+            let depth = self.data.len() as u64;
+            self.peak_depth = self.peak_depth.max(depth);
+            self.depth_hist.record(depth);
+        }
+        FrameOffer::Coalesced
+    }
+
+    /// Drains every tier in strict priority order — Control, then
+    /// Actuation, then the surviving Data frames as one batch — and
+    /// counts each released item delivered, recording its offer→release
+    /// wait.
+    pub fn release(&mut self, now: SimTime) -> Vec<Release> {
+        let mut plan = Vec::new();
+        while let Some((ev, at)) = self.control.pop_front() {
+            self.note_released(PriorityClass::Control, at, now);
+            plan.push(Release::Event(ev));
+        }
+        while let Some((ev, at)) = self.actuation.pop_front() {
+            let class = PriorityClass::of(&ev);
+            self.note_released(class, at, now);
+            plan.push(Release::Event(ev));
+        }
+        if !self.data.is_empty() {
+            let mut frames = Vec::with_capacity(self.data.len());
+            while let Some(staged) = self.data.pop_front() {
+                self.note_released(PriorityClass::Data, staged.offered_at, now);
+                frames.push(staged.frame);
+            }
+            plan.push(Release::Frames(frames));
+        }
+        plan
+    }
+
+    fn note_released(&mut self, class: PriorityClass, offered_at: SimTime, now: SimTime) {
+        self.ledgers.class_mut(class).delivered += 1;
+        self.waits[class.index()].record(now.saturating_since(offered_at).as_micros());
+    }
+
+    /// Retunes the data-tier capacity from the depth histogram's p99 —
+    /// called at quiescence, the one point both engines reach
+    /// deterministically. Target is `2 × p99` clamped to the
+    /// configured band; a collapsed band (the default) makes this a
+    /// no-op, preserving the legacy fixed bound.
+    pub fn note_quiescent(&mut self) {
+        if self.floor == self.ceiling {
+            return;
+        }
+        let p99 = self.depth_hist.p99();
+        let target = (p99.saturating_mul(2).max(1) as usize).clamp(self.floor, self.ceiling);
+        if target != self.capacity {
+            self.capacity = target;
+            self.retunes += 1;
+        }
+    }
+
+    /// The Data tier's ledger, shaped as the legacy overload totals
+    /// (what `overload.*` metrics report when the scheduler governs
+    /// admission).
+    pub fn totals(&self) -> OverloadTotals {
+        let d = self.ledgers.class(PriorityClass::Data);
+        OverloadTotals {
+            offered: d.offered,
+            shed: d.shed,
+            coalesced: d.coalesced,
+            delivered: d.delivered,
+        }
+    }
+
+    /// All three class ledgers.
+    pub fn ledgers(&self) -> &ClassLedgers {
+        &self.ledgers
+    }
+
+    /// Current (possibly retuned) data-tier bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many times `note_quiescent` moved the bound.
+    pub fn retune_count(&self) -> u64 {
+        self.retunes
+    }
+
+    /// High-water mark of the staged Data tier.
+    pub fn peak_depth(&self) -> u64 {
+        self.peak_depth
+    }
+
+    /// p99 of tier-depth-at-offer samples.
+    pub fn depth_p99(&self) -> u64 {
+        self.depth_hist.p99()
+    }
+
+    /// One class's offer→release wait histogram (µs, sim time).
+    pub fn wait_hist(&self, class: PriorityClass) -> &Histogram {
+        &self.waits[class.index()]
+    }
+}
+
+/// Per-consumer delivery scheduling: coalescing keyed by
+/// (`SubscriberId` × stream). Consumers without a drain limit are
+/// untouched — their deliveries never enter this structure's queues —
+/// so enabling QoS changes nothing until a consumer is actually
+/// declared slow.
+#[derive(Debug, Default)]
+pub struct DeliverySchedule {
+    /// Per-consumer staged-queue bound (from
+    /// [`QosConfig::consumer_queue_capacity`]).
+    capacity: usize,
+    /// Max deliveries drained per facade call, per limited consumer.
+    limits: HashMap<SubscriberId, usize>,
+    /// Staged deliveries per limited consumer, oldest first. BTreeMap:
+    /// drain order is deterministic across runs and engines.
+    queues: BTreeMap<SubscriberId, VecDeque<(Delivery, u32)>>,
+    ledger: ClassLedger,
+    peak_backlog: u64,
+}
+
+impl DeliverySchedule {
+    /// An empty schedule whose per-consumer queues hold at most
+    /// `capacity` staged deliveries (0 treated as 1).
+    pub fn new(capacity: usize) -> Self {
+        DeliverySchedule { capacity: capacity.max(1), ..Default::default() }
+    }
+
+    /// Declares `id` a slow consumer draining at most `limit`
+    /// deliveries per facade call (`None` removes the limit; its
+    /// backlog flushes on the next drain).
+    pub fn set_limit(&mut self, id: SubscriberId, limit: Option<usize>) {
+        match limit {
+            Some(l) => {
+                self.limits.insert(id, l.max(1));
+            }
+            None => {
+                self.limits.remove(&id);
+            }
+        }
+    }
+
+    /// Whether `id` currently has a drain limit.
+    pub fn is_limited(&self, id: SubscriberId) -> bool {
+        self.limits.contains_key(&id)
+    }
+
+    /// Offers a delivery to `id`. Unlimited consumers get it straight
+    /// back (`Some`) for immediate delivery; limited consumers stage it
+    /// (`None`), coalescing against a staged delivery of the same
+    /// stream (newest sequence wins, survivor keeps its queue position)
+    /// and shedding the oldest staged delivery at overflow.
+    pub fn offer(
+        &mut self,
+        id: SubscriberId,
+        delivery: Delivery,
+        depth: u32,
+    ) -> Option<(Delivery, u32)> {
+        if !self.limits.contains_key(&id) {
+            return Some((delivery, depth));
+        }
+        self.ledger.offered += 1;
+        let queue = self.queues.entry(id).or_default();
+        let stream = delivery.msg.stream();
+        if let Some(idx) = queue.iter().position(|(d, _)| d.msg.stream() == stream) {
+            // Per-subscription coalescing: this consumer is behind on
+            // this stream, so only the newest sequence is worth keeping
+            // — other consumers' queues are not consulted.
+            if delivery.msg.seq().is_after(queue[idx].0.msg.seq()) {
+                queue[idx] = (delivery, depth);
+            }
+            self.ledger.shed += 1;
+            self.ledger.coalesced += 1;
+            return None;
+        }
+        if queue.len() >= self.capacity {
+            queue.pop_front();
+            self.ledger.shed += 1;
+        }
+        queue.push_back((delivery, depth));
+        let backlog: u64 = self.queues.values().map(|q| q.len() as u64).sum();
+        self.peak_backlog = self.peak_backlog.max(backlog);
+        None
+    }
+
+    /// Drains each consumer's staged queue up to its limit (all of it
+    /// for consumers whose limit was removed), in subscriber-id order.
+    /// Call once per facade entry point.
+    pub fn drain(&mut self) -> Vec<(SubscriberId, Delivery, u32)> {
+        let mut due = Vec::new();
+        for (&id, queue) in &mut self.queues {
+            let take = self.limits.get(&id).copied().unwrap_or(usize::MAX).min(queue.len());
+            for _ in 0..take {
+                let (delivery, depth) = queue.pop_front().expect("take <= len");
+                self.ledger.delivered += 1;
+                due.push((id, delivery, depth));
+            }
+        }
+        self.queues.retain(|_, q| !q.is_empty());
+        due
+    }
+
+    /// Drains everything regardless of limits (shutdown: nothing may be
+    /// stranded, so the ledger closes balanced).
+    pub fn drain_all(&mut self) -> Vec<(SubscriberId, Delivery, u32)> {
+        self.limits.clear();
+        self.drain()
+    }
+
+    /// Deliveries currently staged across all consumers.
+    pub fn backlog(&self) -> u64 {
+        self.queues.values().map(|q| q.len() as u64).sum()
+    }
+
+    /// High-water mark of the total staged backlog.
+    pub fn peak_backlog(&self) -> u64 {
+        self.peak_backlog
+    }
+
+    /// The delivery-plane ledger. Balanced as
+    /// `offered == shed + delivered + backlog` mid-flight and
+    /// `offered == shed + delivered` once drained.
+    pub fn ledger(&self) -> &ClassLedger {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use garnet_radio::ReceiverId;
+    use garnet_wire::{DataMessage, FrameBytes, SensorId, SequenceNumber, StreamId, StreamIndex};
+
+    fn frame_bytes(sensor: u32, idx: u8, seq: u16) -> FrameBytes {
+        let stream = StreamId::new(SensorId::new(sensor).unwrap(), StreamIndex::new(idx));
+        DataMessage::builder(stream)
+            .seq(SequenceNumber::new(seq))
+            .payload(vec![7])
+            .build()
+            .unwrap()
+            .encode_to_vec()
+            .into()
+    }
+
+    fn batched(sensor: u32, idx: u8, seq: u16) -> BatchedFrame {
+        BatchedFrame {
+            receiver: ReceiverId::new(0),
+            rssi_dbm: -50.0,
+            frame: frame_bytes(sensor, idx, seq),
+        }
+    }
+
+    fn sched(policy: OverloadPolicy, capacity: usize) -> QosScheduler {
+        QosScheduler::new(OverloadConfig { capacity, policy }, &QosConfig::default())
+    }
+
+    #[test]
+    fn classes_cover_every_event_and_order_strictly() {
+        assert!(PriorityClass::Control < PriorityClass::Actuation);
+        assert!(PriorityClass::Actuation < PriorityClass::Data);
+        assert_eq!(PriorityClass::of(&ServiceEvent::FlushReorder), PriorityClass::Control);
+        assert_eq!(PriorityClass::of(&ServiceEvent::ActuationTick), PriorityClass::Actuation);
+    }
+
+    #[test]
+    fn release_drains_control_before_data() {
+        let mut s = sched(OverloadPolicy::Shed, 4);
+        let t = SimTime::ZERO;
+        assert!(matches!(s.offer_frame(batched(1, 0, 0), t), FrameOffer::Staged));
+        s.offer_event(ServiceEvent::FlushReorder, t);
+        s.offer_event(ServiceEvent::ActuationTick, t);
+        let plan = s.release(t);
+        assert!(matches!(plan[0], Release::Event(ServiceEvent::FlushReorder)));
+        assert!(matches!(plan[1], Release::Event(ServiceEvent::ActuationTick)));
+        assert!(matches!(&plan[2], Release::Frames(f) if f.len() == 1));
+        for c in PriorityClass::ALL {
+            assert!(s.ledgers().class(c).balanced(), "{c:?} unbalanced");
+        }
+    }
+
+    #[test]
+    fn shed_keeps_newest_and_balances() {
+        let mut s = sched(OverloadPolicy::Shed, 2);
+        let t = SimTime::ZERO;
+        for seq in 0..5u16 {
+            s.offer_frame(batched(1, 0, seq), t);
+        }
+        let plan = s.release(t);
+        let Release::Frames(frames) = &plan[0] else { panic!("expected frames") };
+        let seqs: Vec<u16> = frames.iter().map(|f| peek_seq(&f.frame).unwrap().as_u16()).collect();
+        assert_eq!(seqs, vec![3, 4]);
+        let d = s.ledgers().class(PriorityClass::Data);
+        assert_eq!((d.offered, d.shed, d.delivered), (5, 3, 2));
+    }
+
+    #[test]
+    fn coalesce_then_shed_counts_the_survivor_once() {
+        // A coalesce survivor that is later shed must appear in the
+        // ledger exactly once: offered at arrival, shed at its single
+        // terminal, never both coalesced-away and shed.
+        let mut s = sched(OverloadPolicy::CoalesceFrames, 2);
+        let t = SimTime::ZERO;
+        s.offer_frame(batched(1, 0, 0), t); // A0 staged
+        s.offer_frame(batched(2, 0, 0), t); // B0 staged — tier full
+                                            // A1 replaces A0 in place.
+        assert!(matches!(s.offer_frame(batched(1, 0, 1), t), FrameOffer::Coalesced));
+        // Stream C has nothing staged: fall back to shedding the oldest
+        // staged frame — which is A1, the coalesce survivor.
+        assert!(matches!(s.offer_frame(batched(3, 0, 0), t), FrameOffer::StagedAfterShed));
+        s.release(t);
+        let d = *s.ledgers().class(PriorityClass::Data);
+        assert_eq!((d.offered, d.shed, d.coalesced, d.delivered), (4, 2, 1, 2));
+        assert!(d.balanced());
+    }
+
+    #[test]
+    fn adaptive_capacity_tracks_p99_within_band() {
+        let cfg = QosConfig { data_floor: Some(2), data_ceiling: Some(64), ..QosConfig::default() };
+        let mut s =
+            QosScheduler::new(OverloadConfig { capacity: 8, policy: OverloadPolicy::Shed }, &cfg);
+        let t = SimTime::ZERO;
+        // Shallow bursts: depth samples stay tiny, so the bound adapts
+        // down toward the floor.
+        for _ in 0..10 {
+            s.offer_frame(batched(1, 0, 0), t);
+            s.release(t);
+        }
+        s.note_quiescent();
+        assert_eq!(s.capacity(), 2, "2×p99(=1) clamps to the floor of 2");
+        // Deep bursts drive it back up, still within the ceiling.
+        for round in 0..20 {
+            for seq in 0..8u16 {
+                s.offer_frame(batched(1, 0, round * 8 + seq), t);
+            }
+            s.release(t);
+        }
+        s.note_quiescent();
+        assert!(s.capacity() > 2 && s.capacity() <= 64, "capacity {}", s.capacity());
+        assert!(s.retune_count() >= 2);
+    }
+
+    fn delivery(sensor: u32, idx: u8, seq: u16) -> Delivery {
+        let stream = StreamId::new(SensorId::new(sensor).unwrap(), StreamIndex::new(idx));
+        let msg = DataMessage::builder(stream)
+            .seq(SequenceNumber::new(seq))
+            .payload(vec![1])
+            .build()
+            .unwrap();
+        Delivery { msg, first_received_at: SimTime::ZERO, delivered_at: SimTime::ZERO }
+    }
+
+    #[test]
+    fn slow_consumer_coalesces_without_touching_fast() {
+        let mut d = DeliverySchedule::new(8);
+        let fast = SubscriberId::new(1);
+        let slow = SubscriberId::new(2);
+        d.set_limit(slow, Some(1));
+        // Fast consumer: pass-through, never staged.
+        assert!(d.offer(fast, delivery(1, 0, 0), 0).is_some());
+        // Slow consumer: five same-stream deliveries collapse to the
+        // newest…
+        for seq in 0..5u16 {
+            assert!(d.offer(slow, delivery(1, 0, seq), 0).is_none());
+        }
+        // …plus one on another stream, untouched.
+        assert!(d.offer(slow, delivery(2, 0, 9), 0).is_none());
+        assert_eq!(d.backlog(), 2);
+        let first = d.drain();
+        assert_eq!(first.len(), 1, "limit 1 drains one delivery per call");
+        assert_eq!(first[0].1.msg.seq().as_u16(), 4, "newest sequence survived");
+        let rest = d.drain_all();
+        assert_eq!(rest.len(), 1);
+        let l = d.ledger();
+        assert_eq!(l.offered, l.shed + l.delivered, "{l:?}");
+        assert_eq!(l.coalesced, 4);
+    }
+
+    #[test]
+    fn overflow_sheds_oldest_staged_delivery() {
+        let mut d = DeliverySchedule::new(2);
+        let slow = SubscriberId::new(5);
+        d.set_limit(slow, Some(1));
+        for sensor in 1..=3u32 {
+            d.offer(slow, delivery(sensor, 0, 0), 0);
+        }
+        assert_eq!(d.backlog(), 2);
+        assert_eq!(d.ledger().shed, 1);
+        let all = d.drain_all();
+        let sensors: Vec<u32> =
+            all.iter().map(|(_, dl, _)| dl.msg.stream().sensor().as_u32()).collect();
+        assert_eq!(sensors, vec![2, 3], "sensor 1's delivery was the oldest, shed");
+        assert!(d.ledger().balanced());
+    }
+}

@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, RwLock};
 
 use garnet_net::{
-    RefusedJob, RootFailure, ShardFailure, ShardPool, StageEdge, SubscriptionTable,
+    EdgeClass, RefusedJob, RootFailure, ShardFailure, ShardPool, StageEdge, SubscriptionTable,
     SupervisionConfig,
 };
 use garnet_radio::ReceiverId;
@@ -914,9 +914,30 @@ impl Router {
         {
             let (tag, ev) = self.queue.remove(idx).expect("position is in range");
             self.queued_frames -= 1;
-            self.totals.shed += 1;
+            self.note_frame_dropped(false);
             self.trace_dropped(tag, &ev, now, DropKind::Shed);
         }
+    }
+
+    /// The single terminal accounting point for a frame dropped by
+    /// admission control. Every drop — shed-oldest, or either branch of
+    /// a coalesce — passes through here exactly once per frame, so a
+    /// frame that first survives a coalesce (replacing an older queued
+    /// copy) and is later shed itself is still counted once: its
+    /// victim's terminal paid the earlier `shed`, and its own terminal
+    /// pays this one. Keeping the increment in one place (instead of
+    /// scattered per branch) is what makes double-counting structurally
+    /// impossible.
+    fn note_frame_dropped(&mut self, coalesced: bool) {
+        self.totals.shed += 1;
+        if coalesced {
+            self.totals.coalesced += 1;
+        }
+        debug_assert!(
+            self.totals.offered >= self.totals.shed + self.totals.delivered,
+            "admission ledger overdrawn: {:?}",
+            self.totals
+        );
     }
 
     /// Records a frame that admission control dropped (never routed, so
@@ -973,9 +994,12 @@ impl Router {
             (Some(_), None) => true,
             _ => false,
         };
+        // One frame arrives, one frame dies: the arrival is offered,
+        // and whichever copy loses (the queued one when the arrival is
+        // newer, the arrival itself otherwise) pays exactly one
+        // coalesced drop at the terminal below.
         self.totals.offered += 1;
-        self.totals.shed += 1;
-        self.totals.coalesced += 1;
+        self.note_frame_dropped(true);
         self.note_offered_depth(&frame);
         let tag = self.alloc_root();
         if arriving_wins {
@@ -1350,7 +1374,8 @@ impl ThreadedIngest {
         let count = frames.len() as u64;
         match self.policy {
             OverloadPolicy::Block => {
-                let seq = self.pool.submit(shard, IngestJob::Frames(frames));
+                let seq =
+                    self.pool.submit_tagged(shard, IngestJob::Frames(frames), EdgeClass::Data);
                 self.frames_per_seq.insert(seq, count);
             }
             OverloadPolicy::Shed | OverloadPolicy::CoalesceFrames => {
@@ -1360,7 +1385,8 @@ impl ThreadedIngest {
                     frames
                 };
                 let count = frames.len() as u64;
-                match self.pool.try_submit(shard, IngestJob::Frames(frames)) {
+                match self.pool.try_submit_tagged(shard, IngestJob::Frames(frames), EdgeClass::Data)
+                {
                     Ok(seq) => {
                         self.frames_per_seq.insert(seq, count);
                     }
@@ -1472,7 +1498,7 @@ impl ThreadedIngest {
                 let frames = std::mem::take(&mut self.pending[shard]);
                 self.submit_batch(shard, frames);
             }
-            let seq = self.pool.submit(shard, IngestJob::Flush(now));
+            let seq = self.pool.submit_tagged(shard, IngestJob::Flush(now), EdgeClass::Control);
             self.frames_per_seq.insert(seq, 0);
         }
         let out = self.pool.drain();
@@ -1533,7 +1559,8 @@ impl ThreadedIngest {
             if !self.pending[shard].is_empty() {
                 let frames = std::mem::take(&mut self.pending[shard]);
                 let count = frames.len() as u64;
-                let seq = self.pool.submit(shard, IngestJob::Frames(frames));
+                let seq =
+                    self.pool.submit_tagged(shard, IngestJob::Frames(frames), EdgeClass::Data);
                 self.frames_per_seq.insert(seq, count);
             }
         }
@@ -1682,6 +1709,25 @@ fn route_delivery(
 struct ControlJob {
     events: Vec<ServiceEvent>,
     now: SimTime,
+}
+
+/// The [`EdgeClass`] tag for a control-stage hand-off: the
+/// highest-priority [`crate::qos::PriorityClass`] among the bundled
+/// events (a batch carrying any graph-keeping event is control-class;
+/// a pure actuation chain tags as actuation).
+fn control_batch_class(batch: &[(u64, ControlJob)]) -> EdgeClass {
+    use crate::qos::PriorityClass;
+    let top = batch
+        .iter()
+        .flat_map(|(_, job)| job.events.iter())
+        .map(PriorityClass::of)
+        .min()
+        .unwrap_or(PriorityClass::Control);
+    match top {
+        PriorityClass::Control => EdgeClass::Control,
+        PriorityClass::Actuation => EdgeClass::Actuation,
+        PriorityClass::Data => EdgeClass::Data,
+    }
 }
 
 /// The trace record for one `Filtered` hop handed to a dispatch shard,
@@ -2167,11 +2213,11 @@ impl ThreadedRouter {
         let _outcome = match self.policy {
             OverloadPolicy::Block => {
                 self.roots.get_mut(&root).expect("just inserted").a_expected = 1;
-                self.a.submit(shard, root, job);
+                self.a.submit_classed(shard, root, job, EdgeClass::Data);
                 TraceOutcome::Delivered
             }
             OverloadPolicy::Shed | OverloadPolicy::CoalesceFrames => {
-                match self.a.try_submit(shard, root, job) {
+                match self.a.try_submit_classed(shard, root, job, EdgeClass::Data) {
                     Ok(()) => {
                         self.roots.get_mut(&root).expect("just inserted").a_expected = 1;
                         TraceOutcome::Delivered
@@ -2269,10 +2315,10 @@ impl ThreadedRouter {
     fn submit_frame_run(&mut self, shard: usize, first: u64, mut run: Vec<PendingFrame>) {
         if run.len() == 1 {
             let frame = run.pop().expect("run of one");
-            self.a.submit(shard, first, FilterJob::Frame(frame));
+            self.a.submit_classed(shard, first, FilterJob::Frame(frame), EdgeClass::Data);
         } else {
             self.a_spans.insert(first, run.len());
-            self.a.submit(shard, first, FilterJob::Frames(run));
+            self.a.submit_classed(shard, first, FilterJob::Frames(run), EdgeClass::Data);
         }
     }
 
@@ -2295,7 +2341,7 @@ impl ThreadedRouter {
             ));
         }
         for shard in 0..self.ingest_shards {
-            self.a.submit(shard, root, FilterJob::Flush(now));
+            self.a.submit_classed(shard, root, FilterJob::Flush(now), EdgeClass::Control);
         }
         self.poll()
     }
@@ -2329,7 +2375,7 @@ impl ThreadedRouter {
         state.b_expected = 1;
         #[cfg(feature = "trace")]
         state.trace.push_dispatch(dispatch_record(&delivery, now, shard));
-        self.b.submit(shard, root, DispatchJob { delivery, depth });
+        self.b.submit_classed(shard, root, DispatchJob { delivery, depth }, EdgeClass::Data);
         self.poll()
     }
 
@@ -2488,7 +2534,7 @@ impl ThreadedRouter {
                 let (_, r, j) = it.next().expect("peeked");
                 jobs.push((r, j));
             }
-            self.b.submit_batch(shard, jobs);
+            self.b.submit_batch_classed(shard, jobs, EdgeClass::Data);
         }
 
         for (root, (outputs, note)) in self.b.drain() {
@@ -2582,7 +2628,8 @@ impl ThreadedRouter {
         }
         if !c_batch.is_empty() {
             if let ControlStage::Worker(edge) = &mut self.c {
-                edge.submit_batch(0, c_batch);
+                let class = control_batch_class(&c_batch);
+                edge.submit_batch_classed(0, c_batch, class);
             }
         }
 
@@ -2682,6 +2729,21 @@ impl ThreadedRouter {
             ControlStage::Inline(_) => 0,
         };
         self.a.restart_count() + self.b.restart_count() + c
+    }
+
+    /// Jobs accepted per [`EdgeClass`] across all stage edges, indexed
+    /// by [`EdgeClass::index`] — the per-class flow accounting the QoS
+    /// layer's `qos.*` metrics ride on for the threaded engine.
+    pub fn class_submits(&self) -> [u64; 3] {
+        let mut totals = [0u64; 3];
+        let c = match &self.c {
+            ControlStage::Worker(edge) => edge.class_submits(),
+            ControlStage::Inline(_) => [0; 3],
+        };
+        for (i, t) in totals.iter_mut().enumerate() {
+            *t = self.a.class_submits()[i] + self.b.class_submits()[i] + c[i];
+        }
+        totals
     }
 
     /// Takes the worker failures recorded since the last call.

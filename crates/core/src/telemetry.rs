@@ -310,6 +310,14 @@ pub struct WindowStats {
     pub prev_e2e_p99: Option<u64>,
     /// e2e p99 of this window (µs, cumulative histogram).
     pub e2e_p99: u64,
+    /// Per-class QoS offers in the window
+    /// (`qos.{control,actuation,data}.offered` deltas, in
+    /// [`crate::qos::PriorityClass::ALL`] order; zeros when the QoS
+    /// scheduler is inactive).
+    pub class_offered: [u64; 3],
+    /// Per-class QoS releases in the window
+    /// (`qos.{control,actuation,data}.delivered` deltas).
+    pub class_delivered: [u64; 3],
 }
 
 /// Scores one window against `t`. Critical reasons trump degraded ones;
@@ -338,6 +346,15 @@ pub fn evaluate_health(t: &HealthThresholds, w: &WindowStats) -> HealthReport {
     }
     if w.archive_pending >= t.archive_pending_degraded {
         degraded.push(format!("{} archive records pending flush", w.archive_pending));
+    }
+    for class in crate::qos::PriorityClass::ALL {
+        let offered = w.class_offered[class.index()];
+        if offered > 0 && w.class_delivered[class.index()] == 0 {
+            critical.push(format!(
+                "qos: {} class starved ({offered} offered, 0 delivered)",
+                class.name()
+            ));
+        }
     }
     if let Some(prev) = w.prev_e2e_p99 {
         if prev > 0
@@ -770,6 +787,12 @@ impl TelemetryService {
             hits.saturating_mul(1_000_000).checked_div(hits + misses).unwrap_or(0);
         let delta = |name: &str| deltas.get(name).copied().unwrap_or(0);
         let e2e_p99 = histograms.get(keys::PIPELINE_E2E_LATENCY_US).map_or(0, |h| h.p99);
+        let mut class_offered = [0u64; 3];
+        let mut class_delivered = [0u64; 3];
+        for class in crate::qos::PriorityClass::ALL {
+            class_offered[class.index()] = delta(&format!("qos.{}.offered", class.name()));
+            class_delivered[class.index()] = delta(&format!("qos.{}.delivered", class.name()));
+        }
         let stats = WindowStats {
             offered: delta("overload.offered"),
             shed: delta("overload.shed"),
@@ -779,6 +802,8 @@ impl TelemetryService {
             archive_pending: counters.get("archive.pending").copied().unwrap_or(0),
             prev_e2e_p99: self.prev_e2e_p99,
             e2e_p99,
+            class_offered,
+            class_delivered,
         };
         let health = evaluate_health(&self.config.thresholds, &stats);
         self.seq += 1;
@@ -896,6 +921,27 @@ mod tests {
         let dropped =
             evaluate_health(&t, &WindowStats { archive_dropped: 1, ..WindowStats::default() });
         assert_eq!(dropped.label(), "critical");
+    }
+
+    #[test]
+    fn health_flags_a_starved_qos_class_as_critical() {
+        let t = HealthThresholds::default();
+        let starved = evaluate_health(
+            &t,
+            &WindowStats { class_offered: [0, 0, 7], ..WindowStats::default() },
+        );
+        assert_eq!(starved.label(), "critical");
+        assert_eq!(starved.reasons(), ["qos: data class starved (7 offered, 0 delivered)"]);
+        // One delivery in the window clears the verdict.
+        let fed = evaluate_health(
+            &t,
+            &WindowStats {
+                class_offered: [0, 0, 7],
+                class_delivered: [0, 0, 1],
+                ..WindowStats::default()
+            },
+        );
+        assert_eq!(fed.label(), "healthy");
     }
 
     #[test]

@@ -545,6 +545,38 @@ pub fn render_tail_line(snap: &Snapshot) -> String {
     )
 }
 
+/// QoS priority classes as named in the node's `qos.*` counter rows,
+/// highest priority first (mirrors `garnet_core::qos::PriorityClass`).
+pub const QOS_CLASSES: [&str; 3] = ["control", "actuation", "data"];
+
+/// Classes that were offered events this window but delivered none —
+/// computed from the per-class `qos.<class>.{offered,delivered}`
+/// deltas, independently of the node's own verdict, so the inspector
+/// still flags starvation on a sink whose scorer predates the rule.
+pub fn starved_classes(snap: &Snapshot) -> Vec<String> {
+    let delta = |name: String| snap.deltas.get(&name).copied().unwrap_or(0);
+    QOS_CLASSES
+        .iter()
+        .filter_map(|class| {
+            let offered = delta(format!("qos.{class}.offered"));
+            let delivered = delta(format!("qos.{class}.delivered"));
+            (offered > 0 && delivered == 0)
+                .then(|| format!("{class} ({offered} offered, 0 delivered)"))
+        })
+        .collect()
+}
+
+/// Exit severity for the `health` subcommand: the node's own verdict,
+/// escalated to critical when the window shows a starved QoS class the
+/// node did not score.
+pub fn health_severity(snap: &Snapshot) -> i32 {
+    if starved_classes(snap).is_empty() {
+        snap.severity()
+    } else {
+        2
+    }
+}
+
 /// The health view over the latest window (for `health`).
 pub fn render_health(snap: &Snapshot) -> String {
     let mut out = String::new();
@@ -552,6 +584,22 @@ pub fn render_health(snap: &Snapshot) -> String {
     let _ = writeln!(out, "window: #{} ending at {}us", snap.seq, snap.window_end_us);
     for reason in &snap.reasons {
         let _ = writeln!(out, "reason: {reason}");
+    }
+    let delta = |name: String| snap.deltas.get(&name).copied().unwrap_or(0);
+    if QOS_CLASSES.iter().any(|class| delta(format!("qos.{class}.offered")) > 0) {
+        for class in QOS_CLASSES {
+            let _ = writeln!(
+                out,
+                "qos.{class}: offered={} shed={} coalesced={} delivered={}",
+                delta(format!("qos.{class}.offered")),
+                delta(format!("qos.{class}.shed")),
+                delta(format!("qos.{class}.coalesced")),
+                delta(format!("qos.{class}.delivered")),
+            );
+        }
+    }
+    for starved in starved_classes(snap) {
+        let _ = writeln!(out, "starved class: {starved}");
     }
     out
 }
@@ -659,6 +707,34 @@ mod tests {
         assert!(line.contains("e2e_p99_us=15"));
         let health = render_health(&snap);
         assert!(health.starts_with("health: degraded"));
+    }
+
+    #[test]
+    fn health_view_flags_a_starved_qos_class() {
+        // A sink line whose node-side scorer missed the starvation:
+        // health says healthy, but the deltas show a data class that
+        // was offered frames and delivered none.
+        let line = LINE
+            .replacen("\"health\":\"degraded\"", "\"health\":\"healthy\"", 1)
+            .replacen("\"reasons\":[\"shed ratio 2000ppm >= 1000ppm\"]", "\"reasons\":[]", 1)
+            .replacen(
+                "\"deltas\":{",
+                "\"deltas\":{\"qos.control.offered\":5,\"qos.control.delivered\":5,\
+                 \"qos.data.offered\":9,\"qos.data.delivered\":0,",
+                1,
+            );
+        let snap = Snapshot::parse(&line).unwrap();
+        assert_eq!(snap.severity(), 0);
+        assert_eq!(starved_classes(&snap), ["data (9 offered, 0 delivered)"]);
+        assert_eq!(health_severity(&snap), 2, "starvation escalates the exit code");
+        let view = render_health(&snap);
+        assert!(view.contains("starved class: data (9 offered, 0 delivered)"));
+        assert!(view.contains("qos.control: offered=5 shed=0 coalesced=0 delivered=5"));
+        // A window with no qos rows renders no qos table and no flags.
+        let plain = Snapshot::parse(LINE).unwrap();
+        assert!(starved_classes(&plain).is_empty());
+        assert_eq!(health_severity(&plain), 1);
+        assert!(!render_health(&plain).contains("qos."));
     }
 
     #[test]

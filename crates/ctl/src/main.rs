@@ -14,7 +14,9 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use garnet_ctl::{load_sink, render_health, render_rates, render_tail_line, render_trace_rollup};
+use garnet_ctl::{
+    health_severity, load_sink, render_health, render_rates, render_tail_line, render_trace_rollup,
+};
 
 const USAGE: &str = "usage: garnetctl <dump|tail|health|trace> <path> [-n N]";
 
@@ -63,7 +65,7 @@ fn main() -> ExitCode {
             Ok(snaps) => match snaps.last() {
                 Some(snap) => {
                     print!("{}", render_health(snap));
-                    ExitCode::from(snap.severity() as u8)
+                    ExitCode::from(health_severity(snap) as u8)
                 }
                 None => fail("no telemetry windows in sink"),
             },

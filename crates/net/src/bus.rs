@@ -255,6 +255,34 @@ pub struct RestartEvent {
     pub delay: std::time::Duration,
 }
 
+/// The scheduling class a submission carries through a pool or edge —
+/// the QoS layer's **Control > Actuation > Data** tiers, tagged at the
+/// channel boundary so per-class flow through every stage is
+/// observable. The tag is accounting, not routing: submission order
+/// and the deterministic merge are class-blind (priority is enforced
+/// upstream, at the facade scheduler).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeClass {
+    /// Graph-keeping jobs (reorder flushes, bookkeeping events).
+    Control,
+    /// Actuation-chain jobs.
+    Actuation,
+    /// Data-plane jobs (frames, filtered deliveries) — the default for
+    /// untagged submissions.
+    Data,
+}
+
+impl EdgeClass {
+    /// Dense index for per-class arrays (Control, Actuation, Data).
+    pub fn index(self) -> usize {
+        match self {
+            EdgeClass::Control => 0,
+            EdgeClass::Actuation => 1,
+            EdgeClass::Data => 2,
+        }
+    }
+}
+
 fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
@@ -350,6 +378,9 @@ pub struct ShardPool<I: Send + 'static, O: Send + 'static> {
     poisoned_at: Vec<Option<std::time::Instant>>,
     restarts: u64,
     restart_events: Vec<RestartEvent>,
+    /// Jobs accepted per [`EdgeClass`] (refused try-submissions are not
+    /// counted — they consumed no sequence number).
+    class_submits: [u64; 3],
 }
 
 impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
@@ -412,6 +443,7 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
             poisoned_at: vec![None; shards],
             restarts: 0,
             restart_events: Vec::new(),
+            class_submits: [0; 3],
         }
     }
 
@@ -463,6 +495,12 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
         std::mem::take(&mut self.restart_events)
     }
 
+    /// Jobs accepted per [`EdgeClass`], indexed by [`EdgeClass::index`]
+    /// (untagged submissions count as [`EdgeClass::Data`]).
+    pub fn class_submits(&self) -> [u64; 3] {
+        self.class_submits
+    }
+
     fn spawn_worker(
         shard: usize,
         rx: Receiver<JobBatch<I>>,
@@ -511,6 +549,13 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
     /// not silently lost: it is recorded as a [`ShardFailure`] and the
     /// merge skips its slot. Returns the job's sequence number.
     pub fn submit(&mut self, shard: usize, job: I) -> u64 {
+        self.submit_tagged(shard, job, EdgeClass::Data)
+    }
+
+    /// [`ShardPool::submit`] carrying an explicit [`EdgeClass`] tag,
+    /// counted in [`ShardPool::class_submits`].
+    pub fn submit_tagged(&mut self, shard: usize, job: I, class: EdgeClass) -> u64 {
+        self.class_submits[class.index()] += 1;
         self.absorb_ready();
         self.supervise();
         let idx = shard % self.jobs.len();
@@ -531,6 +576,18 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
     /// been [`ShardPool::submit`]ted individually — the batch only
     /// amortises the per-job rendezvous with the worker.
     pub fn submit_batch(&mut self, shard: usize, jobs: Vec<I>) -> std::ops::Range<u64> {
+        self.submit_batch_tagged(shard, jobs, EdgeClass::Data)
+    }
+
+    /// [`ShardPool::submit_batch`] carrying an explicit [`EdgeClass`]
+    /// tag for the whole burst.
+    pub fn submit_batch_tagged(
+        &mut self,
+        shard: usize,
+        jobs: Vec<I>,
+        class: EdgeClass,
+    ) -> std::ops::Range<u64> {
+        self.class_submits[class.index()] += jobs.len() as u64;
         self.absorb_ready();
         self.supervise();
         let idx = shard % self.jobs.len();
@@ -555,6 +612,23 @@ impl<I: Send + 'static, O: Send + 'static> ShardPool<I, O> {
     /// [`RefusedJob`] and **no sequence number is consumed**, so refused
     /// jobs leave no gap in the merge.
     pub fn try_submit(&mut self, shard: usize, job: I) -> Result<u64, RefusedJob<I>> {
+        self.try_submit_tagged(shard, job, EdgeClass::Data)
+    }
+
+    /// [`ShardPool::try_submit`] carrying an explicit [`EdgeClass`] tag
+    /// (counted only when the job is accepted).
+    pub fn try_submit_tagged(
+        &mut self,
+        shard: usize,
+        job: I,
+        class: EdgeClass,
+    ) -> Result<u64, RefusedJob<I>> {
+        let seq = self.try_submit_inner(shard, job)?;
+        self.class_submits[class.index()] += 1;
+        Ok(seq)
+    }
+
+    fn try_submit_inner(&mut self, shard: usize, job: I) -> Result<u64, RefusedJob<I>> {
         self.absorb_ready();
         self.supervise();
         let idx = shard % self.jobs.len();

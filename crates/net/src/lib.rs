@@ -39,8 +39,8 @@ pub mod threaded_router;
 pub use archiver::{Archiver, ArchiverCounters, ArchiverShutdown, FlushOutcome};
 pub use auth::{AuthService, Capability, CapabilitySet, Principal, Token};
 pub use bus::{
-    BusError, RefusedJob, RestartEvent, ShardFailure, ShardPool, Stage, SupervisionConfig,
-    ThreadedBus,
+    BusError, EdgeClass, RefusedJob, RestartEvent, ShardFailure, ShardPool, Stage,
+    SupervisionConfig, ThreadedBus,
 };
 pub use pubsub::{
     DispatchCacheConfig, MatchCache, MatchCacheStats, SubscriberId, SubscriptionTable, TopicFilter,

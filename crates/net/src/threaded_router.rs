@@ -19,7 +19,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::bus::{RefusedJob, ShardFailure, ShardPool, Stage, SupervisionConfig};
+use crate::bus::{EdgeClass, RefusedJob, ShardFailure, ShardPool, Stage, SupervisionConfig};
 
 /// A worker failure attributed to the boundary event (root) whose work
 /// was lost.
@@ -85,7 +85,14 @@ impl<I: Send + 'static, O: Send + 'static> StageEdge<I, O> {
     /// Submits `job` for `root` on `shard`, blocking while the shard's
     /// queue is full (backpressure propagates to the driver).
     pub fn submit(&mut self, shard: usize, root: u64, job: I) {
-        let seq = self.pool.submit(shard, job);
+        self.submit_classed(shard, root, job, EdgeClass::Data);
+    }
+
+    /// [`StageEdge::submit`] carrying an explicit [`EdgeClass`] tag —
+    /// the QoS layer's per-class flow accounting at this stage's
+    /// channel boundary.
+    pub fn submit_classed(&mut self, shard: usize, root: u64, job: I, class: EdgeClass) {
+        let seq = self.pool.submit_tagged(shard, job, class);
         self.roots.insert(seq, root);
     }
 
@@ -95,13 +102,19 @@ impl<I: Send + 'static, O: Send + 'static> StageEdge<I, O> {
     /// root attribution are exactly as if each pair had been
     /// [`StageEdge::submit`]ted individually.
     pub fn submit_batch(&mut self, shard: usize, jobs: Vec<(u64, I)>) {
+        self.submit_batch_classed(shard, jobs, EdgeClass::Data);
+    }
+
+    /// [`StageEdge::submit_batch`] carrying an explicit [`EdgeClass`]
+    /// tag for the whole burst.
+    pub fn submit_batch_classed(&mut self, shard: usize, jobs: Vec<(u64, I)>, class: EdgeClass) {
         let mut roots = Vec::with_capacity(jobs.len());
         let mut batch = Vec::with_capacity(jobs.len());
         for (root, job) in jobs {
             roots.push(root);
             batch.push(job);
         }
-        let seqs = self.pool.submit_batch(shard, batch);
+        let seqs = self.pool.submit_batch_tagged(shard, batch, class);
         for (seq, root) in seqs.zip(roots) {
             self.roots.insert(seq, root);
         }
@@ -111,9 +124,27 @@ impl<I: Send + 'static, O: Send + 'static> StageEdge<I, O> {
     /// budget-exhausted shard) the job is handed back and nothing is
     /// recorded for the root.
     pub fn try_submit(&mut self, shard: usize, root: u64, job: I) -> Result<(), RefusedJob<I>> {
-        let seq = self.pool.try_submit(shard, job)?;
+        self.try_submit_classed(shard, root, job, EdgeClass::Data)
+    }
+
+    /// [`StageEdge::try_submit`] carrying an explicit [`EdgeClass`] tag
+    /// (counted only when the job is accepted).
+    pub fn try_submit_classed(
+        &mut self,
+        shard: usize,
+        root: u64,
+        job: I,
+        class: EdgeClass,
+    ) -> Result<(), RefusedJob<I>> {
+        let seq = self.pool.try_submit_tagged(shard, job, class)?;
         self.roots.insert(seq, root);
         Ok(())
+    }
+
+    /// Jobs accepted per [`EdgeClass`] at this edge, indexed by
+    /// [`EdgeClass::index`].
+    pub fn class_submits(&self) -> [u64; 3] {
+        self.pool.class_submits()
     }
 
     /// Collects newly surfaced worker failures, attributing each to its

@@ -1,0 +1,330 @@
+//! Per-consumer QoS scheduling: priority classes, per-subscription
+//! coalescing, adaptive capacity, and the per-class admission ledger.
+//!
+//! The scheduler's contract (ISSUE 10): Control > Actuation > Data with
+//! strict-priority release and no shedding above the data tier; the
+//! exact `offered == shed + delivered` ledger holds **per class**; a
+//! slow consumer's backlog never perturbs a fast co-subscriber; and the
+//! whole layer is bit-identical across execution engines.
+
+use std::sync::{Arc, Mutex};
+
+use garnet::core::consumer::{Consumer, ConsumerCtx};
+use garnet::core::filtering::Delivery;
+use garnet::core::middleware::{Garnet, GarnetConfig};
+use garnet::core::router::{OverloadConfig, OverloadPolicy};
+use garnet::core::{DriverKind, PriorityClass, QosConfig, QosMode};
+use garnet::net::{SubscriberId, TopicFilter};
+use garnet::radio::ReceiverId;
+use garnet::simkit::SimTime;
+use garnet::wire::{DataMessage, SensorId, SequenceNumber, StreamId, StreamIndex};
+
+const CAPACITY: usize = 32;
+const STREAMS: u32 = 6;
+
+/// The byte-exact delivery log one consumer observed.
+type Log = Arc<Mutex<Vec<(u32, u16, Vec<u8>)>>>;
+
+struct Recorder {
+    name: &'static str,
+    log: Log,
+}
+
+impl Consumer for Recorder {
+    fn name(&self) -> &str {
+        self.name
+    }
+    fn on_data(&mut self, d: &Delivery, _ctx: &mut ConsumerCtx) {
+        self.log.lock().unwrap().push((
+            d.msg.stream().to_raw(),
+            d.msg.seq().as_u16(),
+            d.msg.payload().to_vec(),
+        ));
+    }
+}
+
+fn scheduled(policy: OverloadPolicy) -> GarnetConfig {
+    GarnetConfig {
+        overload: Some(OverloadConfig { capacity: CAPACITY, policy }),
+        qos: QosConfig { mode: QosMode::Scheduled, ..QosConfig::default() },
+        ..GarnetConfig::default()
+    }
+}
+
+/// An interleaved burst of `multiplier * CAPACITY` frames over
+/// [`STREAMS`] streams, with every third frame duplicated so coalescing
+/// has work to do.
+fn burst(multiplier: usize) -> Vec<(ReceiverId, f64, Vec<u8>)> {
+    let mut frames = Vec::new();
+    for i in 0..(multiplier * CAPACITY) as u64 {
+        let sensor = (i % u64::from(STREAMS)) as u32 + 1;
+        let seq = (i / u64::from(STREAMS)) as u16;
+        let stream = StreamId::new(SensorId::new(sensor).unwrap(), StreamIndex::new(0));
+        let bytes = DataMessage::builder(stream)
+            .seq(SequenceNumber::new(seq))
+            .payload(vec![sensor as u8, seq as u8])
+            .build()
+            .unwrap()
+            .encode_to_vec();
+        frames.push((ReceiverId::new(0), -50.0, bytes.clone()));
+        if i % 3 == 0 {
+            frames.push((ReceiverId::new(0), -50.0, bytes));
+        }
+    }
+    frames
+}
+
+/// Registers a recording consumer subscribed to every stream.
+fn register(g: &mut Garnet, name: &'static str) -> (SubscriberId, Log) {
+    let token = g.issue_default_token(name);
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    let id = g
+        .register_consumer(Box::new(Recorder { name, log: Arc::clone(&log) }), &token, 0)
+        .expect("fresh facade accepts a consumer");
+    g.subscribe(id, TopicFilter::All, &token).expect("subscribe with a fresh token");
+    (id, log)
+}
+
+#[test]
+fn per_class_ledger_holds_on_both_engines() {
+    for driver in [DriverKind::Fifo, DriverKind::Threaded] {
+        for policy in [OverloadPolicy::Shed, OverloadPolicy::CoalesceFrames, OverloadPolicy::Block]
+        {
+            let mut g = Garnet::new(GarnetConfig { driver, ..scheduled(policy) });
+            let (_, _log) = register(&mut g, "sink");
+            assert!(g.qos_active(), "Scheduled mode + overload config must arm the scheduler");
+            // Data through admission; control (flush) and actuation
+            // (ticks) through the event tiers.
+            g.on_frames(burst(8), SimTime::from_millis(1));
+            g.on_tick(SimTime::from_secs(1));
+            g.on_frames(burst(4), SimTime::from_secs(2));
+            g.on_tick(SimTime::from_secs(3));
+            let ledgers = g.qos_ledgers().expect("scheduler is active");
+            for class in PriorityClass::ALL {
+                let l = ledgers.class(class);
+                assert!(
+                    l.balanced(),
+                    "{driver:?} {policy:?} {}: offered {} != shed {} + delivered {}",
+                    class.name(),
+                    l.offered,
+                    l.shed,
+                    l.delivered
+                );
+                assert!(l.coalesced <= l.shed, "coalesced is a subset of shed");
+            }
+            assert!(ledgers.class(PriorityClass::Data).offered > 0, "burst reached the data tier");
+            g.shutdown(SimTime::from_secs(4)).expect("clean shutdown");
+        }
+    }
+}
+
+#[test]
+fn control_and_actuation_are_never_shed_under_data_overload() {
+    for driver in [DriverKind::Fifo, DriverKind::Threaded] {
+        let mut g = Garnet::new(GarnetConfig { driver, ..scheduled(OverloadPolicy::Shed) });
+        let (_, _log) = register(&mut g, "sink");
+        // 16x the data tier's capacity, with flush/actuation ticks
+        // interleaved between bursts.
+        for round in 0..4u64 {
+            g.on_frames(burst(4), SimTime::from_millis(1 + round * 1_000));
+            g.on_tick(SimTime::from_secs(1 + round));
+        }
+        let ledgers = g.qos_ledgers().expect("scheduler is active");
+        for class in [PriorityClass::Control, PriorityClass::Actuation] {
+            let l = ledgers.class(class);
+            assert!(l.offered > 0, "{driver:?}: ticks must exercise the {} tier", class.name());
+            assert_eq!(l.shed, 0, "{driver:?}: {} events must never shed", class.name());
+            assert_eq!(l.delivered, l.offered, "{driver:?}: {} tier drains fully", class.name());
+        }
+        let data = ledgers.class(PriorityClass::Data);
+        assert!(data.shed > 0, "{driver:?}: a 16x burst must shed data frames");
+        assert!(data.balanced(), "{driver:?}: data ledger must balance");
+    }
+}
+
+#[test]
+fn slow_consumer_does_not_perturb_fast_consumer() {
+    // Starvation regression: the run with a rate-limited co-subscriber
+    // must hand the fast consumer the exact delivery log it gets alone.
+    // Sub-capacity chunks keep deliveries flowing on every call, so the
+    // slow consumer's staging queue (not the admission tier) is what
+    // holds traffic back.
+    let feed = |g: &mut Garnet| {
+        for (i, chunk) in burst(16).chunks(24).enumerate() {
+            g.on_frames(chunk.to_vec(), SimTime::from_millis(1 + i as u64));
+        }
+        g.on_tick(SimTime::from_secs(1));
+    };
+    let alone = {
+        let mut g = Garnet::new(scheduled(OverloadPolicy::CoalesceFrames));
+        let (_, fast_log) = register(&mut g, "fast");
+        feed(&mut g);
+        let log = fast_log.lock().unwrap().clone();
+        log
+    };
+
+    let mut g = Garnet::new(scheduled(OverloadPolicy::CoalesceFrames));
+    let (_, fast_log) = register(&mut g, "fast");
+    let (slow_id, slow_log) = register(&mut g, "slow");
+    g.set_consumer_drain_limit(slow_id, Some(2));
+    feed(&mut g);
+
+    let fast = fast_log.lock().unwrap().clone();
+    assert_eq!(fast, alone, "a slow co-subscriber changed the fast consumer's deliveries");
+    assert!(!fast.is_empty(), "the burst must reach the fast consumer");
+
+    // The slow consumer trickles: at most its limit per facade call so
+    // far, the rest staged or coalesced away, and the delivery-plane
+    // ledger accounts for every staged offer.
+    let slow_so_far = slow_log.lock().unwrap().len() as u64;
+    assert!(slow_so_far < fast.len() as u64, "the drain limit must hold deliveries back");
+    let l = g.delivery_ledger();
+    assert_eq!(
+        l.offered,
+        l.shed + l.delivered + g.delivery_backlog(),
+        "delivery ledger out of balance mid-flight"
+    );
+    assert!(l.coalesced > 0, "in-window duplicates for a slow consumer must coalesce");
+
+    // Shutdown flushes any remaining backlog; nothing is stranded and
+    // the ledger closes balanced.
+    g.shutdown(SimTime::from_secs(2)).expect("clean shutdown");
+    assert_eq!(g.delivery_backlog(), 0, "shutdown must flush the staged backlog");
+    let l = g.delivery_ledger();
+    assert_eq!(l.offered, l.shed + l.delivered, "delivery ledger must close balanced");
+    // Coalescing is per subscription: what the slow consumer sees is a
+    // subsequence of the fast consumer's log (newest-wins per stream).
+    let slow = slow_log.lock().unwrap();
+    for d in slow.iter() {
+        assert!(fast.contains(d), "slow consumer saw a delivery the fast one never got: {d:?}");
+    }
+}
+
+#[test]
+fn coalesce_then_shed_counts_once() {
+    // Regression for the CoalesceFrames double-count: a frame that is
+    // coalesced and whose survivor is later shed must enter the ledger
+    // exactly once. Pin `offered == shed + delivered` with duplicates
+    // at every position, in both the scheduled and the legacy path.
+    for mode in [QosMode::Scheduled, QosMode::Legacy] {
+        // The legacy arm exercises the engine's own admission queue, so
+        // pin the FIFO engine: threaded legacy admission is
+        // timing-dependent and only owes the balance, not the counts.
+        let mut g = Garnet::new(GarnetConfig {
+            driver: DriverKind::Fifo,
+            qos: QosConfig { mode, ..QosConfig::default() },
+            ..scheduled(OverloadPolicy::CoalesceFrames)
+        });
+        let (_, _log) = register(&mut g, "sink");
+        assert_eq!(g.qos_active(), mode == QosMode::Scheduled);
+        let mut offered = 0u64;
+        let mut shed = 0u64;
+        let mut delivered = 0u64;
+        for round in 0..3u64 {
+            let out = g.on_frames(burst(8), SimTime::from_millis(1 + round));
+            offered += out.overload.offered;
+            shed += out.overload.shed;
+            delivered += out.overload.delivered;
+            assert!(out.overload.coalesced > 0, "{mode:?}: duplicates must coalesce");
+        }
+        assert_eq!(offered, shed + delivered, "{mode:?}: coalesce-then-shed double-counted");
+        g.on_tick(SimTime::from_secs(1));
+    }
+}
+
+#[test]
+fn qos_is_bit_identical_across_engines_and_layouts() {
+    // With the scheduler active, admission decisions move above the
+    // engine: every {driver} x {shards} x {batch} layout must reproduce
+    // the same delivery log, the same per-class ledgers, and the same
+    // metrics report under overload.
+    let fingerprint = |driver, ingest, dispatch, batch_ingest| {
+        let mut g = Garnet::new(GarnetConfig {
+            driver,
+            ingest_shards: ingest,
+            dispatch_shards: dispatch,
+            batch_ingest,
+            ..scheduled(OverloadPolicy::CoalesceFrames)
+        });
+        let (_, log) = register(&mut g, "sink");
+        for (i, chunk) in burst(16).chunks(24).enumerate() {
+            g.on_frames(chunk.to_vec(), SimTime::from_millis(1 + i as u64));
+        }
+        g.on_tick(SimTime::from_secs(1));
+        let ledgers = *g.qos_ledgers().expect("scheduler is active");
+        let report = g.metrics().report();
+        let log = log.lock().unwrap().clone();
+        (log, ledgers, report)
+    };
+    let baseline = fingerprint(DriverKind::Fifo, 1, 1, false);
+    assert!(!baseline.0.is_empty());
+    for driver in [DriverKind::Fifo, DriverKind::Threaded] {
+        for ingest in [1usize, 4] {
+            for dispatch in [1usize, 4] {
+                for batch in [false, true] {
+                    let f = fingerprint(driver, ingest, dispatch, batch);
+                    let label = format!("{driver:?} {ingest}x{dispatch} batch={batch}");
+                    assert_eq!(f.0, baseline.0, "delivery log diverged ({label})");
+                    assert_eq!(f.1, baseline.1, "per-class ledgers diverged ({label})");
+                    assert_eq!(f.2, baseline.2, "metrics report diverged ({label})");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_capacity_retunes_within_its_band() {
+    let mut g = Garnet::new(GarnetConfig {
+        qos: QosConfig {
+            mode: QosMode::Scheduled,
+            data_floor: Some(8),
+            data_ceiling: Some(CAPACITY),
+            ..QosConfig::default()
+        },
+        ..scheduled(OverloadPolicy::Shed)
+    });
+    let (_, _log) = register(&mut g, "sink");
+    assert_eq!(g.qos_capacity(), Some(CAPACITY), "starts at the configured capacity");
+    // A light trickle: depth stays shallow, so the p99-driven bound
+    // contracts toward the floor.
+    for i in 0..40u64 {
+        g.on_frames(burst(1).into_iter().take(2).collect(), SimTime::from_millis(1 + i));
+    }
+    let contracted = g.qos_capacity().expect("scheduler is active");
+    assert!(g.qos_retune_count() > 0, "quiescent retuning must engage");
+    assert!((8..=CAPACITY).contains(&contracted), "bound left its band: {contracted}");
+    assert!(contracted < CAPACITY, "a shallow workload must contract the bound");
+    // A sustained overload burst pushes the observed p99 back up and the
+    // bound re-expands — still inside the band.
+    for round in 0..30u64 {
+        g.on_frames(burst(4), SimTime::from_secs(1 + round));
+    }
+    let expanded = g.qos_capacity().expect("scheduler is active");
+    assert!((8..=CAPACITY).contains(&expanded), "bound left its band: {expanded}");
+    assert!(expanded > contracted, "sustained overload must re-expand the bound");
+    let ledgers = g.qos_ledgers().expect("scheduler is active");
+    assert!(ledgers.class(PriorityClass::Data).balanced(), "retuning must not unbalance books");
+}
+
+#[test]
+fn legacy_mode_reproduces_the_engine_overload_path() {
+    // GARNET_TEST_QOS=legacy contract, pinned explicitly: Legacy mode
+    // hands the overload config to the engine and the scheduler never
+    // arms, so the pre-QoS books are reproduced exactly.
+    let mut g = Garnet::new(GarnetConfig {
+        driver: DriverKind::Fifo,
+        qos: QosConfig { mode: QosMode::Legacy, ..QosConfig::default() },
+        ..scheduled(OverloadPolicy::Shed)
+    });
+    let (slow_id, _log) = register(&mut g, "sink");
+    assert!(!g.qos_active());
+    assert!(g.qos_ledgers().is_none());
+    // Drain limits are refused in legacy mode — the delivery plane
+    // stays out of the path entirely.
+    g.set_consumer_drain_limit(slow_id, Some(1));
+    let out = g.on_frames(burst(8), SimTime::from_millis(1));
+    assert_eq!(g.delivery_backlog(), 0, "legacy mode must not stage deliveries");
+    assert_eq!(out.overload.offered, out.overload.shed + out.overload.delivered);
+    assert!(out.overload.shed > 0, "the engine's own bounded queue still sheds");
+}
